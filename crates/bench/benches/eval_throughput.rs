@@ -1,0 +1,34 @@
+//! Evaluation throughput: the full retrieval → assembly → answer → grade
+//! path per (model, condition) on a real (small) pipeline output.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mcqa_bench::bench_output;
+use mcqa_eval::{EvalConfig, Evaluator};
+use mcqa_llm::MODEL_CARDS;
+
+fn bench_eval(c: &mut Criterion) {
+    let output = bench_output();
+    let mut group = c.benchmark_group("eval_throughput");
+    group.sample_size(10);
+
+    group.bench_function("prepare_retrieval_bundles", |b| {
+        b.iter(|| {
+            let ev = Evaluator::new(output, EvalConfig::default());
+            std::hint::black_box(ev.synth_bundle().len())
+        });
+    });
+
+    let evaluator = Evaluator::new(output, EvalConfig::default());
+    let n = output.items.len() as u64;
+    group.throughput(Throughput::Elements(n * 5)); // 5 conditions
+    group.bench_function("evaluate_one_model_all_conditions", |b| {
+        b.iter(|| {
+            let run = evaluator.run_cards(std::slice::from_ref(&MODEL_CARDS[3]));
+            std::hint::black_box(run.models[0].synth_best_rt())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Vector-store benches: Flat vs IVF vs HNSW build and search (the
+//! recall/latency trade the paper's FAISS deployment makes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mcqa_bench::random_unit_vectors;
+use mcqa_embed::Precision;
+use mcqa_index::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorStore};
+
+const DIM: usize = 256;
+
+fn build_flat(data: &[Vec<f32>]) -> FlatIndex {
+    let mut idx = FlatIndex::new(DIM, Metric::Cosine, Precision::F16);
+    for (i, v) in data.iter().enumerate() {
+        idx.add(i as u64, v);
+    }
+    idx
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    let data = random_unit_vectors(4_000, DIM, 7);
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("flat_4k", |b| b.iter(|| std::hint::black_box(build_flat(&data))));
+    group.bench_function("ivf_4k", |b| {
+        b.iter(|| {
+            let mut idx = IvfIndex::new(DIM, Metric::Cosine, IvfConfig::default());
+            idx.train(&data[..1000.min(data.len())]);
+            for (i, v) in data.iter().enumerate() {
+                idx.add(i as u64, v);
+            }
+            std::hint::black_box(idx.len())
+        })
+    });
+    group.bench_function("hnsw_1k", |b| {
+        // HNSW construction is the expensive one; bench a smaller set.
+        b.iter(|| {
+            let mut idx = HnswIndex::new(DIM, Metric::Cosine, HnswConfig::default());
+            for (i, v) in data[..1000].iter().enumerate() {
+                idx.add(i as u64, v);
+            }
+            std::hint::black_box(idx.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_search");
+    group.sample_size(30);
+    let data = random_unit_vectors(8_000, DIM, 11);
+    let queries = random_unit_vectors(16, DIM, 99);
+
+    let flat = build_flat(&data);
+    let mut ivf = IvfIndex::new(
+        DIM,
+        Metric::Cosine,
+        IvfConfig { nlist: 64, nprobe: 8, train_iters: 6, seed: 3 },
+    );
+    ivf.train(&data[..2000]);
+    let mut hnsw = HnswIndex::new(DIM, Metric::Cosine, HnswConfig::default());
+    for (i, v) in data.iter().enumerate() {
+        ivf.add(i as u64, v);
+        hnsw.add(i as u64, v);
+    }
+
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_function("flat_top5_8k", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(flat.search(q, 5));
+            }
+        })
+    });
+    for nprobe in [4usize, 8, 16] {
+        let mut idx = IvfIndex::new(
+            DIM,
+            Metric::Cosine,
+            IvfConfig { nlist: 64, nprobe, train_iters: 6, seed: 3 },
+        );
+        idx.train(&data[..2000]);
+        for (i, v) in data.iter().enumerate() {
+            idx.add(i as u64, v);
+        }
+        group.bench_with_input(BenchmarkId::new("ivf_top5_8k_nprobe", nprobe), &nprobe, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    std::hint::black_box(idx.search(q, 5));
+                }
+            })
+        });
+    }
+    group.bench_function("hnsw_top5_8k", |b| {
+        b.iter(|| {
+            for q in &queries {
+                std::hint::black_box(hnsw.search(q, 5));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_search);
+criterion_main!(benches);

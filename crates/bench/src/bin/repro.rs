@@ -1,0 +1,244 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! repro all                         # everything, default scale 0.1
+//! repro table2 --scale 0.2 --seed 7
+//! repro fig1 | fig2 | fig3 | fig4 | fig5 | fig6
+//! repro table1 | table3 | table4
+//! repro rates                       # measured retrieval rates per model
+//! repro residuals                   # calibration residual census
+//! repro ablate-topk                 # accuracy vs retrieval depth
+//! repro ablate-context              # accuracy vs context window
+//! repro ablate-filter               # quality threshold sweep
+//! ```
+
+use mcqa_core::{Pipeline, PipelineConfig};
+use mcqa_eval::results::{render_fig, render_table2, render_table3, render_table4, FigureSeries};
+use mcqa_eval::{EvalConfig, Evaluator};
+use mcqa_llm::answer::Condition;
+use mcqa_index::VectorStore;
+use mcqa_llm::{cards, TraceMode, MODEL_CARDS};
+
+struct Args {
+    command: String,
+    scale: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = argv.first().cloned().unwrap_or_else(|| "all".to_string());
+    let mut scale = 0.1;
+    let mut seed = 42;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--scale" => {
+                scale = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(scale);
+                i += 2;
+            }
+            "--seed" => {
+                seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(seed);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    Args { command, scale, seed }
+}
+
+fn main() {
+    let args = parse_args();
+
+    // Schema-only commands need no pipeline run.
+    match args.command.as_str() {
+        "table1" => {
+            println!("{}", cards::render_table1());
+            return;
+        }
+        _ => {}
+    }
+
+    eprintln!(
+        "[repro] building pipeline at scale {} (seed {}) ...",
+        args.scale, args.seed
+    );
+    let output = Pipeline::run(&PipelineConfig::at_scale(args.scale, args.seed));
+    eprintln!(
+        "[repro] {} docs → {} chunks → {} candidates → {} accepted ({:.1}%)",
+        output.library.len(),
+        output.chunks.len(),
+        output.candidates,
+        output.items.len(),
+        100.0 * output.acceptance_rate()
+    );
+
+    match args.command.as_str() {
+        "fig1" => {
+            println!("Figure 1 — workflow overview (stage census)\n");
+            print!("{}", output.report.render());
+            println!(
+                "\nchunk DB: {} vectors ({} KiB fp16); trace DBs: 3 × {} vectors",
+                output.chunk_index.len(),
+                output.chunk_index.payload_bytes() / 1024,
+                output.items.len()
+            );
+            return;
+        }
+        "fig2" => {
+            println!("Figure 2 — question record JSON schema (one generated record)\n");
+            let q = output.questions.first().expect("at least one question");
+            println!("{}", serde_json::to_string_pretty(q).expect("serialises"));
+            return;
+        }
+        "fig3" => {
+            println!("Figure 3 — reasoning-trace JSON schema (all three modes)\n");
+            for mode in TraceMode::ALL {
+                let t = output
+                    .traces
+                    .iter()
+                    .find(|t| t.mode == mode)
+                    .expect("trace exists");
+                println!("{}\n", serde_json::to_string_pretty(t).expect("serialises"));
+            }
+            return;
+        }
+        _ => {}
+    }
+
+    eprintln!("[repro] evaluating 8 models × 5 conditions × 2 benchmarks ...");
+    let evaluator = Evaluator::new(&output, EvalConfig { seed: args.seed, ..Default::default() });
+    let run = evaluator.run();
+
+    match args.command.as_str() {
+        "all" => {
+            println!("{}", cards::render_table1());
+            println!("{}", render_table2(&run));
+            println!("{}", render_table3(&run));
+            println!("{}", render_table4(&run));
+            println!("{}", render_fig(&run, FigureSeries::Fig4Synthetic));
+            println!("{}", render_fig(&run, FigureSeries::Fig5AstroAll));
+            println!("{}", render_fig(&run, FigureSeries::Fig6AstroNoMath));
+            print_rates(&run);
+        }
+        "table2" => println!("{}", render_table2(&run)),
+        "table3" => println!("{}", render_table3(&run)),
+        "table4" => println!("{}", render_table4(&run)),
+        "fig4" => println!("{}", render_fig(&run, FigureSeries::Fig4Synthetic)),
+        "fig5" => println!("{}", render_fig(&run, FigureSeries::Fig5AstroAll)),
+        "fig6" => println!("{}", render_fig(&run, FigureSeries::Fig6AstroNoMath)),
+        "rates" => print_rates(&run),
+        "residuals" => print_residuals(&run),
+        "ablate-topk" => ablate_topk(&output, args.seed),
+        "ablate-context" => ablate_context(&output, args.seed),
+        "ablate-filter" => ablate_filter(args.scale, args.seed),
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn print_rates(run: &mcqa_eval::EvalRun) {
+    println!("Measured usable-hit rates (post truncation):");
+    println!(
+        "{:<26} {:>8} {:>8} {:>8} {:>8} | {:>8} {:>8}",
+        "model", "syn-chk", "syn-det", "syn-foc", "syn-eff", "ast-chk", "ast-rt"
+    );
+    for m in &run.models {
+        println!(
+            "{:<26} {:>8.3} {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3}",
+            m.name,
+            m.rates.synth_chunk,
+            m.rates.synth_trace[0],
+            m.rates.synth_trace[1],
+            m.rates.synth_trace[2],
+            m.rates.astro_chunk,
+            m.rates.astro_trace[1],
+        );
+    }
+}
+
+fn print_residuals(run: &mcqa_eval::EvalRun) {
+    println!("Calibration residuals (achieved − paper target at the clamped solve):");
+    for m in &run.models {
+        let worst: Vec<_> = m
+            .calibration
+            .solved
+            .iter()
+            .filter(|s| s.residual.abs() > 0.005)
+            .collect();
+        if worst.is_empty() {
+            println!("{:<26} all targets reachable", m.name);
+        } else {
+            println!("{}:", m.name);
+            for s in worst {
+                println!("    {:<22} value {:.3}  residual {:+.3}", s.name, s.value, s.residual);
+            }
+        }
+    }
+}
+
+/// Ablation: accuracy vs retrieval depth k (beyond the paper).
+fn ablate_topk(output: &mcqa_core::PipelineOutput, seed: u64) {
+    println!("Ablation — synthetic accuracy vs retrieval depth (SmolLM3-3B):");
+    println!("{:>4} {:>12} {:>12}", "k", "rag-chunks", "rt-focused");
+    let card = MODEL_CARDS.iter().find(|c| c.name == "SmolLM3-3B").unwrap();
+    for k in [1usize, 2, 3, 5, 8, 10] {
+        let evaluator = Evaluator::new(
+            output,
+            EvalConfig { seed, retrieval_k: k, ..Default::default() },
+        );
+        let run = evaluator.run_cards(std::slice::from_ref(card));
+        let m = &run.models[0];
+        println!(
+            "{:>4} {:>12.3} {:>12.3}",
+            k,
+            m.synth_accuracy(Condition::RagChunks),
+            m.synth_accuracy(Condition::RagTraces(TraceMode::Focused)),
+        );
+    }
+}
+
+/// Ablation: accuracy vs context window — shows the truncation mechanism.
+fn ablate_context(output: &mcqa_core::PipelineOutput, seed: u64) {
+    println!("Ablation — synthetic accuracy vs context window (OLMo-7B behaviour card):");
+    println!("{:>8} {:>9} {:>9} {:>12} {:>12}", "window", "hit-chk", "hit-rt", "rag-chunks", "rt-focused");
+    let base = MODEL_CARDS.iter().find(|c| c.name == "OLMo-7B").unwrap();
+    for window in [512usize, 1024, 2048, 4096, 8192, 32_768] {
+        let mut card = base.clone();
+        card.context_window = window;
+        let evaluator = Evaluator::new(output, EvalConfig { seed, ..Default::default() });
+        let run = evaluator.run_cards(std::slice::from_ref(&card));
+        let m = &run.models[0];
+        println!(
+            "{:>8} {:>9.3} {:>9.3} {:>12.3} {:>12.3}",
+            window,
+            m.rates.synth_chunk,
+            m.rates.synth_trace[1],
+            m.synth_accuracy(Condition::RagChunks),
+            m.synth_accuracy(Condition::RagTraces(TraceMode::Focused)),
+        );
+    }
+}
+
+/// Ablation: quality threshold sweep — benchmark size vs acceptance bar.
+fn ablate_filter(scale: f64, seed: u64) {
+    println!("Ablation — quality threshold vs benchmark size (paper uses 7):");
+    println!("{:>10} {:>12} {:>12} {:>14}", "threshold", "candidates", "accepted", "acceptance");
+    for threshold in [5u8, 6, 7, 8, 9] {
+        let mut config = PipelineConfig::at_scale(scale, seed);
+        config.quality_threshold = threshold;
+        let output = Pipeline::run(&config);
+        println!(
+            "{:>10} {:>12} {:>12} {:>13.1}%",
+            threshold,
+            output.candidates,
+            output.items.len(),
+            100.0 * output.acceptance_rate()
+        );
+    }
+}

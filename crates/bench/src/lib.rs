@@ -1,0 +1,55 @@
+//! Shared fixtures for the criterion benches and the `repro` binary.
+
+use mcqa_core::{Pipeline, PipelineConfig, PipelineOutput};
+
+/// Scale used by the criterion benches (kept small so `cargo bench`
+/// finishes quickly; the `repro` binary takes `--scale` for real runs).
+pub const BENCH_SCALE: f64 = 0.01;
+
+/// Build (once per process) a small pipeline output for benches.
+pub fn bench_output() -> &'static PipelineOutput {
+    static OUT: std::sync::OnceLock<PipelineOutput> = std::sync::OnceLock::new();
+    OUT.get_or_init(|| Pipeline::run(&PipelineConfig::at_scale(BENCH_SCALE, 42)))
+}
+
+/// Sample prose for text-stage benches.
+pub fn sample_prose(repeats: usize) -> String {
+    let base = "Ionising radiation produces clustered lesions in tumour DNA. \
+                Damage sensing kinases phosphorylate chromatin-bound substrates. \
+                Repair pathway choice depends on cell-cycle phase and chromatin state. \
+                Fractionated schedules exploit differential repair between tissues. \
+                Hypoxic cores exhibit pronounced radioresistance through oxygen fixation. ";
+    base.repeat(repeats)
+}
+
+/// Deterministic unit vectors for index benches.
+pub fn random_unit_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let ks = mcqa_util::KeyedStochastic::new(seed);
+    (0..n)
+        .map(|i| {
+            let mut v: Vec<f32> = (0..dim)
+                .map(|j| ks.gaussian(&["v", &i.to_string(), &j.to_string()]) as f32)
+                .collect();
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            v.iter_mut().for_each(|x| *x /= norm);
+            v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_work() {
+        let prose = sample_prose(2);
+        assert!(mcqa_text::token_count(&prose) > 50);
+        let vecs = random_unit_vectors(4, 16, 1);
+        assert_eq!(vecs.len(), 4);
+        for v in vecs {
+            let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The `BioEncoder`: signed feature-hashing text encoder.
+
+use mcqa_text::stopwords::is_stopword;
+use mcqa_text::tokenize;
+use mcqa_util::StableHasher;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Encoder configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EmbedConfig {
+    /// Embedding dimensionality. The paper's PubMedBERT emits 768-d; the
+    /// default here is 256 for speed, with the same retrieval behaviour
+    /// (cosine geometry is preserved by the JL sketch).
+    pub dim: usize,
+    /// Seed for the hash family (a different seed is a different encoder).
+    pub seed: u64,
+    /// Include word bigram features (phrase sensitivity).
+    pub word_bigrams: bool,
+    /// Include character trigram features (robust to morphology/typos).
+    pub char_trigrams: bool,
+}
+
+impl Default for EmbedConfig {
+    fn default() -> Self {
+        Self { dim: 256, seed: 42, word_bigrams: true, char_trigrams: true }
+    }
+}
+
+/// Deterministic semantic text encoder (PubMedBERT stand-in).
+#[derive(Debug, Clone)]
+pub struct BioEncoder {
+    config: EmbedConfig,
+}
+
+impl BioEncoder {
+    /// Create an encoder.
+    pub fn new(config: EmbedConfig) -> Self {
+        assert!(config.dim >= 8, "dim must be at least 8");
+        Self { config }
+    }
+
+    /// The encoder's configuration.
+    pub fn config(&self) -> &EmbedConfig {
+        &self.config
+    }
+
+    /// Add a signed hashed feature to the accumulator. Each feature is
+    /// scattered to two positions with independent signs, halving sketch
+    /// variance vs a single position.
+    #[inline]
+    fn add_feature(&self, acc: &mut [f32], feature: &str, weight: f32) {
+        for r in 0..2u32 {
+            let mut h = StableHasher::with_seed(self.config.seed);
+            h.write_u32(r);
+            h.write_str(feature);
+            let bits = h.finish();
+            let idx = (bits % self.config.dim as u64) as usize;
+            let sign = if bits & (1 << 63) != 0 { -1.0 } else { 1.0 };
+            acc[idx] += sign * weight;
+        }
+    }
+
+    /// Encode one text into a unit-norm `dim`-vector (zero vector for
+    /// featureless input).
+    pub fn encode(&self, text: &str) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.config.dim];
+        let tokens = tokenize(text);
+
+        let mut prev_content: Option<&str> = None;
+        for tok in &tokens {
+            let stop = is_stopword(tok);
+            if !stop {
+                // Unigrams carry the bulk of the signal. Entity-like
+                // symbols (digit-bearing gene/cell-line names) are the
+                // discriminative keys of biomedical retrieval — a contextual
+                // encoder like PubMedBERT weights them heavily, so do we.
+                let entity_like = tok.chars().any(|c| c.is_ascii_digit());
+                let w = if entity_like { 2.5 } else { 1.0 };
+                self.add_feature(&mut acc, tok, w);
+                if self.config.char_trigrams && tok.len() >= 5 {
+                    let chars: Vec<char> = tok.chars().collect();
+                    for w in chars.windows(3) {
+                        let tri: String = w.iter().collect();
+                        self.add_feature(&mut acc, &format!("#{tri}"), 0.25);
+                    }
+                }
+                if self.config.word_bigrams {
+                    if let Some(p) = prev_content {
+                        self.add_feature(&mut acc, &format!("{p}_{tok}"), 0.5);
+                    }
+                }
+                prev_content = Some(tok);
+            }
+        }
+
+        let norm: f32 = acc.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut acc {
+                *x /= norm;
+            }
+        }
+        acc
+    }
+
+    /// Encode a batch in parallel; rows are index-aligned with `texts`.
+    pub fn encode_batch<S: AsRef<str> + Sync>(&self, texts: &[S]) -> Vec<Vec<f32>> {
+        texts.par_iter().map(|t| self.encode(t.as_ref())).collect()
+    }
+}
+
+impl mcqa_text::Encoder for BioEncoder {
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn encode(&self, text: &str) -> Vec<f32> {
+        BioEncoder::encode(self, text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcqa_text::similarity::dense_cosine;
+
+    fn enc() -> BioEncoder {
+        BioEncoder::new(EmbedConfig::default())
+    }
+
+    #[test]
+    fn deterministic() {
+        let e = enc();
+        let a = e.encode("radiation induces apoptosis in tumour cells");
+        let b = e.encode("radiation induces apoptosis in tumour cells");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unit_norm_or_zero() {
+        let e = enc();
+        let v = e.encode("fractionated dose schedules spare normal tissue");
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+        assert_eq!(e.encode(""), vec![0.0; 256]);
+        assert_eq!(e.encode("the of and"), vec![0.0; 256], "stopwords only");
+    }
+
+    #[test]
+    fn near_duplicates_are_close() {
+        let e = enc();
+        let a = e.encode("The TRK2 gene activates the repair pathway after irradiation.");
+        let b = e.encode("After irradiation the TRK2 gene activates the repair pathway.");
+        assert!(dense_cosine(&a, &b) > 0.8, "cos {}", dense_cosine(&a, &b));
+    }
+
+    #[test]
+    fn related_texts_closer_than_unrelated() {
+        let e = enc();
+        let q = e.encode("Which pathway does TRK2 activate after radiation?");
+        let rel = e.encode("TRK2 activates the VAXOR repair axis following radiation exposure.");
+        let unrel = e.encode("Hospital billing codes changed in fiscal year 2019 budgets.");
+        let cr = dense_cosine(&q, &rel);
+        let cu = dense_cosine(&q, &unrel);
+        assert!(cr > cu + 0.2, "related {cr} vs unrelated {cu}");
+    }
+
+    #[test]
+    fn unrelated_near_orthogonal() {
+        let e = enc();
+        let a = e.encode("oxygen enhancement ratio under hypoxic conditions");
+        let b = e.encode("quarterly insurance revenue administration staffing");
+        assert!(dense_cosine(&a, &b).abs() < 0.25);
+    }
+
+    #[test]
+    fn different_seeds_give_different_spaces() {
+        let e1 = BioEncoder::new(EmbedConfig { seed: 1, ..Default::default() });
+        let e2 = BioEncoder::new(EmbedConfig { seed: 2, ..Default::default() });
+        let a = e1.encode("radiation biology");
+        let b = e2.encode("radiation biology");
+        assert!(dense_cosine(&a, &b) < 0.5, "independent hash families expected");
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let e = enc();
+        let texts = vec![
+            "alpha beta gamma".to_string(),
+            "".to_string(),
+            "dose response modelling of late effects".to_string(),
+        ];
+        let batch = e.encode_batch(&texts);
+        for (t, row) in texts.iter().zip(&batch) {
+            assert_eq!(row, &e.encode(t));
+        }
+    }
+
+    #[test]
+    fn dim_respected_and_validated() {
+        let e = BioEncoder::new(EmbedConfig { dim: 64, ..Default::default() });
+        assert_eq!(e.encode("text").len(), 64);
+        assert_eq!(mcqa_text::Encoder::dim(&e), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim must be at least 8")]
+    fn tiny_dim_rejected() {
+        BioEncoder::new(EmbedConfig { dim: 4, ..Default::default() });
+    }
+
+    #[test]
+    fn bigram_feature_changes_encoding() {
+        let with = BioEncoder::new(EmbedConfig { word_bigrams: true, ..Default::default() });
+        let without = BioEncoder::new(EmbedConfig { word_bigrams: false, ..Default::default() });
+        let t = "homologous recombination repairs breaks";
+        assert_ne!(with.encode(t), without.encode(t));
+    }
+
+    #[test]
+    fn works_as_chunker_encoder() {
+        // Integration with the semantic chunker via the Encoder trait.
+        let e = enc();
+        let chunker = mcqa_text::Chunker::new(
+            &e,
+            mcqa_text::ChunkerConfig { max_tokens: 64, min_tokens: 8, drift_threshold: 0.1, window_sentences: 2 },
+        );
+        let chunks = chunker.chunk(
+            "Radiation damages DNA in tumours. Radiation repair pathways respond to damage. \
+             Billing budget revenue processed hospital claims. Hospital billing budget reports.",
+        );
+        assert!(!chunks.is_empty());
+    }
+}

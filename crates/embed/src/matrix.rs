@@ -1,0 +1,285 @@
+//! Row-major embedding storage with optional FP16 compression.
+//!
+//! The paper stores its 173,318 chunk embeddings as FP16 (747 MB total).
+//! [`EmbeddingMatrix`] offers both precisions behind one API and measures
+//! the cosine error the compression introduces (property-tested to stay
+//! within half-precision bounds).
+
+use mcqa_util::f16::{decode_f16_bytes, encode_f16_bytes};
+use serde::{Deserialize, Serialize};
+
+/// Storage precision for an embedding matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// 4 bytes per component.
+    F32,
+    /// 2 bytes per component (the paper's FAISS configuration).
+    F16,
+}
+
+/// A dense row-major embedding matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmbeddingMatrix {
+    dim: usize,
+    rows: usize,
+    precision: Precision,
+    /// F32 storage (empty when precision is F16).
+    data_f32: Vec<f32>,
+    /// F16 storage as raw little-endian bytes (empty when precision is F32).
+    data_f16: Vec<u8>,
+}
+
+impl EmbeddingMatrix {
+    /// Create an empty matrix.
+    pub fn new(dim: usize, precision: Precision) -> Self {
+        assert!(dim > 0);
+        Self { dim, rows: 0, precision, data_f32: Vec::new(), data_f16: Vec::new() }
+    }
+
+    /// Build from rows (each must have length `dim`).
+    pub fn from_rows(dim: usize, precision: Precision, rows: &[Vec<f32>]) -> Self {
+        let mut m = Self::new(dim, precision);
+        for r in rows {
+            m.push(r);
+        }
+        m
+    }
+
+    /// Append one row.
+    pub fn push(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.dim, "row dimension mismatch");
+        match self.precision {
+            Precision::F32 => self.data_f32.extend_from_slice(row),
+            Precision::F16 => self.data_f16.extend_from_slice(&encode_f16_bytes(row)),
+        }
+        self.rows += 1;
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// True when the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Storage precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Bytes used by the payload (excluding struct overhead) — lets benches
+    /// report the FP16 saving the paper relies on.
+    pub fn payload_bytes(&self) -> usize {
+        match self.precision {
+            Precision::F32 => self.data_f32.len() * 4,
+            Precision::F16 => self.data_f16.len(),
+        }
+    }
+
+    /// Fetch row `i` as `f32` (decompressing when stored as F16).
+    ///
+    /// Returns `None` when `i` is out of range.
+    pub fn row(&self, i: usize) -> Option<Vec<f32>> {
+        if i >= self.rows {
+            return None;
+        }
+        Some(match self.precision {
+            Precision::F32 => self.data_f32[i * self.dim..(i + 1) * self.dim].to_vec(),
+            Precision::F16 => {
+                let start = i * self.dim * 2;
+                decode_f16_bytes(&self.data_f16[start..start + self.dim * 2])
+                    .expect("even length by construction")
+            }
+        })
+    }
+
+    /// Visit every row without allocating per row (decodes into a reused
+    /// buffer for F16).
+    pub fn for_each_row<F: FnMut(usize, &[f32])>(&self, mut f: F) {
+        match self.precision {
+            Precision::F32 => {
+                for i in 0..self.rows {
+                    f(i, &self.data_f32[i * self.dim..(i + 1) * self.dim]);
+                }
+            }
+            Precision::F16 => {
+                let mut buf = vec![0.0f32; self.dim];
+                for i in 0..self.rows {
+                    let start = i * self.dim * 2;
+                    for (j, c) in self.data_f16[start..start + self.dim * 2]
+                        .chunks_exact(2)
+                        .enumerate()
+                    {
+                        buf[j] = mcqa_util::F16(u16::from_le_bytes([c[0], c[1]])).to_f32();
+                    }
+                    f(i, &buf);
+                }
+            }
+        }
+    }
+
+    /// Serialise to bytes (header + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_bytes() + 32);
+        out.extend_from_slice(b"EMBX");
+        out.extend_from_slice(&(self.dim as u32).to_le_bytes());
+        out.extend_from_slice(&(self.rows as u32).to_le_bytes());
+        out.push(match self.precision {
+            Precision::F32 => 0,
+            Precision::F16 => 1,
+        });
+        match self.precision {
+            Precision::F32 => {
+                for v in &self.data_f32 {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Precision::F16 => out.extend_from_slice(&self.data_f16),
+        }
+        out
+    }
+
+    /// Deserialise from bytes produced by [`EmbeddingMatrix::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 13 || &bytes[..4] != b"EMBX" {
+            return None;
+        }
+        let dim = u32::from_le_bytes(bytes[4..8].try_into().ok()?) as usize;
+        let rows = u32::from_le_bytes(bytes[8..12].try_into().ok()?) as usize;
+        let precision = match bytes[12] {
+            0 => Precision::F32,
+            1 => Precision::F16,
+            _ => return None,
+        };
+        let payload = &bytes[13..];
+        match precision {
+            Precision::F32 => {
+                if payload.len() != dim * rows * 4 {
+                    return None;
+                }
+                let data_f32 = payload
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect();
+                Some(Self { dim, rows, precision, data_f32, data_f16: Vec::new() })
+            }
+            Precision::F16 => {
+                if payload.len() != dim * rows * 2 {
+                    return None;
+                }
+                Some(Self { dim, rows, precision, data_f32: Vec::new(), data_f16: payload.to_vec() })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcqa_text::similarity::dense_cosine;
+
+    fn sample_rows(n: usize, dim: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| {
+                let mut v: Vec<f32> = (0..dim)
+                    .map(|j| ((i * dim + j) as f32).sin())
+                    .collect();
+                let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+                v.iter_mut().for_each(|x| *x /= norm);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn f32_roundtrip_exact() {
+        let rows = sample_rows(10, 32);
+        let m = EmbeddingMatrix::from_rows(32, Precision::F32, &rows);
+        assert_eq!(m.len(), 10);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(&m.row(i).unwrap(), r);
+        }
+        assert!(m.row(10).is_none());
+    }
+
+    #[test]
+    fn f16_compression_halves_storage() {
+        let rows = sample_rows(50, 64);
+        let m32 = EmbeddingMatrix::from_rows(64, Precision::F32, &rows);
+        let m16 = EmbeddingMatrix::from_rows(64, Precision::F16, &rows);
+        assert_eq!(m16.payload_bytes() * 2, m32.payload_bytes());
+    }
+
+    #[test]
+    fn f16_cosine_error_small() {
+        let rows = sample_rows(20, 128);
+        let m = EmbeddingMatrix::from_rows(128, Precision::F16, &rows);
+        for (i, r) in rows.iter().enumerate() {
+            let back = m.row(i).unwrap();
+            let cos = dense_cosine(r, &back);
+            assert!(cos > 0.9999, "row {i}: cosine {cos}");
+        }
+    }
+
+    #[test]
+    fn for_each_row_matches_row() {
+        for precision in [Precision::F32, Precision::F16] {
+            let rows = sample_rows(7, 16);
+            let m = EmbeddingMatrix::from_rows(16, precision, &rows);
+            let mut visited = 0;
+            m.for_each_row(|i, r| {
+                assert_eq!(r, m.row(i).unwrap().as_slice());
+                visited += 1;
+            });
+            assert_eq!(visited, 7);
+        }
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        for precision in [Precision::F32, Precision::F16] {
+            let rows = sample_rows(5, 24);
+            let m = EmbeddingMatrix::from_rows(24, precision, &rows);
+            let b = m.to_bytes();
+            let back = EmbeddingMatrix::from_bytes(&b).unwrap();
+            assert_eq!(back, m);
+        }
+    }
+
+    #[test]
+    fn bytes_rejects_garbage() {
+        assert!(EmbeddingMatrix::from_bytes(b"").is_none());
+        assert!(EmbeddingMatrix::from_bytes(b"EMBX").is_none());
+        let rows = sample_rows(2, 8);
+        let mut b = EmbeddingMatrix::from_rows(8, Precision::F16, &rows).to_bytes();
+        b.truncate(b.len() - 3);
+        assert!(EmbeddingMatrix::from_bytes(&b).is_none(), "length mismatch rejected");
+        b[0] = b'X';
+        assert!(EmbeddingMatrix::from_bytes(&b).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row dimension mismatch")]
+    fn wrong_dim_row_panics() {
+        let mut m = EmbeddingMatrix::new(8, Precision::F32);
+        m.push(&[0.0; 9]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = EmbeddingMatrix::new(16, Precision::F16);
+        assert!(m.is_empty());
+        assert_eq!(m.payload_bytes(), 0);
+        assert!(m.row(0).is_none());
+        let b = m.to_bytes();
+        assert_eq!(EmbeddingMatrix::from_bytes(&b).unwrap(), m);
+    }
+}

@@ -1,0 +1,393 @@
+//! The evaluator: rate measurement → card calibration → parallel
+//! answering → judge grading.
+
+use mcqa_core::PipelineOutput;
+use mcqa_llm::answer::Condition;
+use mcqa_llm::{
+    resolve, AssembledContext, JudgeModel, McqItem, ModelCard, PipelineRates, ResolvedModel,
+    TraceMode, MODEL_CARDS,
+};
+use mcqa_util::Accuracy;
+use rayon::prelude::*;
+use serde::Serialize;
+
+use crate::astro::{AstroConfig, AstroExam};
+use crate::retrieval::{RetrievalBundle, Source};
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct EvalConfig {
+    /// Seed for the answer cascade.
+    pub seed: u64,
+    /// Retrieval depth (passages per query; the pipeline's `retrieval_k`).
+    pub retrieval_k: usize,
+    /// Astro exam settings.
+    pub astro: AstroConfig,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self { seed: 42, retrieval_k: 8, astro: AstroConfig::default() }
+    }
+}
+
+/// Results for one model.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelEval {
+    /// Model name (Table 1).
+    pub name: String,
+    /// Measured usable-hit rates for this model's context window.
+    pub rates: PipelineRates,
+    /// The calibration the solver produced.
+    pub calibration: mcqa_llm::solver::Calibration,
+    /// Synthetic benchmark accuracy per condition (paper Table 2).
+    pub synth: Vec<(Condition, Accuracy)>,
+    /// Astro (all questions) accuracy per condition (Table 3).
+    pub astro_all: Vec<(Condition, Accuracy)>,
+    /// Astro no-math accuracy per condition (Table 4).
+    pub astro_nomath: Vec<(Condition, Accuracy)>,
+}
+
+impl ModelEval {
+    fn lookup(rows: &[(Condition, Accuracy)], cond: Condition) -> f64 {
+        rows.iter()
+            .find(|(c, _)| *c == cond)
+            .map(|(_, a)| a.value())
+            .unwrap_or(0.0)
+    }
+
+    /// Accuracy on the synthetic benchmark under `cond`.
+    pub fn synth_accuracy(&self, cond: Condition) -> f64 {
+        Self::lookup(&self.synth, cond)
+    }
+
+    /// Accuracy on the full Astro set under `cond`.
+    pub fn astro_all_accuracy(&self, cond: Condition) -> f64 {
+        Self::lookup(&self.astro_all, cond)
+    }
+
+    /// Accuracy on the Astro no-math subset under `cond`.
+    pub fn astro_nomath_accuracy(&self, cond: Condition) -> f64 {
+        Self::lookup(&self.astro_nomath, cond)
+    }
+
+    /// Best reasoning-trace accuracy on (all, no-math) Astro sets.
+    pub fn astro_best_rt(&self) -> (f64, f64) {
+        let best = |rows: &[(Condition, Accuracy)]| {
+            rows.iter()
+                .filter(|(c, _)| matches!(c, Condition::RagTraces(_)))
+                .map(|(_, a)| a.value())
+                .fold(0.0, f64::max)
+        };
+        (best(&self.astro_all), best(&self.astro_nomath))
+    }
+
+    /// Best reasoning-trace accuracy on the synthetic benchmark.
+    pub fn synth_best_rt(&self) -> f64 {
+        self.synth
+            .iter()
+            .filter(|(c, _)| matches!(c, Condition::RagTraces(_)))
+            .map(|(_, a)| a.value())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A complete evaluation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct EvalRun {
+    /// Per-model results, in card order.
+    pub models: Vec<ModelEval>,
+    /// Synthetic benchmark size.
+    pub synth_questions: usize,
+    /// Astro evaluated size (paper: 335).
+    pub astro_questions: usize,
+    /// Astro no-math subset size (paper: 189).
+    pub astro_nomath_questions: usize,
+}
+
+/// The evaluator.
+pub struct Evaluator<'a> {
+    output: &'a PipelineOutput,
+    config: EvalConfig,
+    exam: AstroExam,
+    synth_bundle: RetrievalBundle,
+    astro_bundle: RetrievalBundle,
+    judge: JudgeModel,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Prepare retrieval for both benchmarks.
+    pub fn new(output: &'a PipelineOutput, config: EvalConfig) -> Self {
+        let exam = AstroExam::generate(&output.ontology, &config.astro);
+        let synth_bundle = RetrievalBundle::build(output, &output.items, config.retrieval_k);
+        let astro_bundle = RetrievalBundle::build(output, &exam.items, config.retrieval_k);
+        let judge = JudgeModel::new(config.seed);
+        Self { output, config, exam, synth_bundle, astro_bundle, judge }
+    }
+
+    /// The generated exam.
+    pub fn exam(&self) -> &AstroExam {
+        &self.exam
+    }
+
+    /// The synthetic-benchmark retrieval bundle.
+    pub fn synth_bundle(&self) -> &RetrievalBundle {
+        &self.synth_bundle
+    }
+
+    /// Assemble contexts for every (item, source) under one window size.
+    fn assemble_all(
+        items: &[McqItem],
+        bundle: &RetrievalBundle,
+        window: usize,
+    ) -> Vec<[AssembledContext; 4]> {
+        items
+            .par_iter()
+            .enumerate()
+            .map(|(qi, item)| {
+                let mk = |s: Source| {
+                    mcqa_llm::context::assemble(item, bundle.passages(qi, s), window)
+                };
+                [
+                    mk(Source::Chunks),
+                    mk(Source::Traces(TraceMode::Detailed)),
+                    mk(Source::Traces(TraceMode::Focused)),
+                    mk(Source::Traces(TraceMode::Efficient)),
+                ]
+            })
+            .collect()
+    }
+
+    /// Usable-hit rates over a set of assembled contexts (optionally
+    /// restricted by a mask).
+    fn hit_rates(contexts: &[[AssembledContext; 4]], mask: Option<&[bool]>) -> [f64; 4] {
+        let mut counts = [0usize; 4];
+        let mut total = 0usize;
+        for (i, cs) in contexts.iter().enumerate() {
+            if let Some(m) = mask {
+                if !m[i] {
+                    continue;
+                }
+            }
+            total += 1;
+            for (s, c) in cs.iter().enumerate() {
+                if c.relevant_in_window {
+                    counts[s] += 1;
+                }
+            }
+        }
+        if total == 0 {
+            return [0.0; 4];
+        }
+        [
+            counts[0] as f64 / total as f64,
+            counts[1] as f64 / total as f64,
+            counts[2] as f64 / total as f64,
+            counts[3] as f64 / total as f64,
+        ]
+    }
+
+    /// Evaluate one model card.
+    pub fn evaluate_card(&self, card: &ModelCard) -> ModelEval {
+        let window = card.context_window;
+        let synth_ctx = Self::assemble_all(&self.output.items, &self.synth_bundle, window);
+        let astro_ctx = Self::assemble_all(&self.exam.items, &self.astro_bundle, window);
+
+        // Measured usable-hit rates (the solver's h values).
+        let synth_rates = Self::hit_rates(&synth_ctx, None);
+        let nomath_mask: Vec<bool> = self.exam.items.iter().map(|i| !i.is_math).collect();
+        let astro_rates = Self::hit_rates(&astro_ctx, Some(&nomath_mask));
+        let rates = PipelineRates {
+            synth_chunk: synth_rates[0],
+            synth_trace: [synth_rates[1], synth_rates[2], synth_rates[3]],
+            astro_chunk: astro_rates[0],
+            astro_trace: [astro_rates[1], astro_rates[2], astro_rates[3]],
+        };
+
+        let calibration = resolve(card, &rates);
+        let model = ResolvedModel { card: card.clone(), cal: calibration.clone() };
+
+        let conditions = Condition::all();
+        let seed = self.config.seed;
+
+        let run_bench = |items: &[McqItem],
+                         contexts: &[[AssembledContext; 4]],
+                         mask: Option<&[bool]>|
+         -> Vec<(Condition, Accuracy)> {
+            conditions
+                .iter()
+                .map(|cond| {
+                    let acc = items
+                        .par_iter()
+                        .enumerate()
+                        .filter(|(i, _)| mask.map(|m| m[*i]).unwrap_or(true))
+                        .map(|(i, item)| {
+                            let ctx = match cond {
+                                Condition::Baseline => None,
+                                Condition::RagChunks => Some(&contexts[i][0]),
+                                Condition::RagTraces(m) => {
+                                    let mi = TraceMode::ALL
+                                        .iter()
+                                        .position(|x| x == m)
+                                        .expect("mode");
+                                    Some(&contexts[i][1 + mi])
+                                }
+                            };
+                            let out = model.answer(item, *cond, ctx, seed);
+                            let grade =
+                                self.judge.grade(&out.text, item.correct, item.options.len());
+                            let mut a = Accuracy::new();
+                            a.record(grade.correct);
+                            a
+                        })
+                        .reduce(Accuracy::new, |mut a, b| {
+                            a.merge(&b);
+                            a
+                        });
+                    (*cond, acc)
+                })
+                .collect()
+        };
+
+        let synth = run_bench(&self.output.items, &synth_ctx, None);
+        let astro_all = run_bench(&self.exam.items, &astro_ctx, None);
+        let astro_nomath = run_bench(&self.exam.items, &astro_ctx, Some(&nomath_mask));
+
+        ModelEval {
+            name: card.name.to_string(),
+            rates,
+            calibration,
+            synth,
+            astro_all,
+            astro_nomath,
+        }
+    }
+
+    /// Evaluate the paper's full model roster.
+    pub fn run(&self) -> EvalRun {
+        self.run_cards(&MODEL_CARDS)
+    }
+
+    /// Evaluate a custom card list.
+    pub fn run_cards(&self, cards: &[ModelCard]) -> EvalRun {
+        let models = cards.iter().map(|c| self.evaluate_card(c)).collect();
+        EvalRun {
+            models,
+            synth_questions: self.output.items.len(),
+            astro_questions: self.exam.items.len(),
+            astro_nomath_questions: self.exam.no_math_items().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcqa_core::{Pipeline, PipelineConfig};
+
+    fn eval_run() -> &'static (EvalRun, usize) {
+        static OUT: std::sync::OnceLock<(EvalRun, usize)> = std::sync::OnceLock::new();
+        OUT.get_or_init(|| {
+            let output = Pipeline::run(&PipelineConfig::tiny(42));
+            let evaluator = Evaluator::new(&output, EvalConfig::default());
+            let run = evaluator.run_cards(&MODEL_CARDS);
+            (run, output.items.len())
+        })
+    }
+
+    #[test]
+    fn run_covers_all_models_and_conditions() {
+        let (run, n_items) = eval_run();
+        assert_eq!(run.models.len(), 8);
+        assert_eq!(run.synth_questions, *n_items);
+        assert_eq!(run.astro_questions, 335);
+        for m in &run.models {
+            assert_eq!(m.synth.len(), 5);
+            assert_eq!(m.astro_all.len(), 5);
+            for (_, acc) in &m.synth {
+                assert_eq!(acc.total as usize, run.synth_questions);
+            }
+            for (_, acc) in &m.astro_all {
+                assert_eq!(acc.total as usize, 335);
+            }
+            for (_, acc) in &m.astro_nomath {
+                assert_eq!(acc.total as usize, run.astro_nomath_questions);
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_shape_rt_over_chunks_over_baseline() {
+        // The paper's headline result must *emerge* from the run.
+        let (run, _) = eval_run();
+        for m in &run.models {
+            let base = m.synth_accuracy(Condition::Baseline);
+            let chunks = m.synth_accuracy(Condition::RagChunks);
+            let rt = m.synth_best_rt();
+            assert!(
+                chunks > base - 0.03,
+                "{}: chunks {chunks:.3} vs baseline {base:.3}",
+                m.name
+            );
+            assert!(rt > chunks - 0.03, "{}: rt {rt:.3} vs chunks {chunks:.3}", m.name);
+            assert!(rt > base, "{}: rt {rt:.3} vs baseline {base:.3}", m.name);
+        }
+    }
+
+    #[test]
+    fn synthetic_accuracies_near_paper_targets() {
+        let (run, _) = eval_run();
+        for m in &run.models {
+            let card = MODEL_CARDS.iter().find(|c| c.name == m.name).unwrap();
+            let base = m.synth_accuracy(Condition::Baseline);
+            assert!(
+                (base - card.targets.synth_baseline).abs() < 0.05,
+                "{}: baseline {base:.3} vs paper {:.3}",
+                m.name,
+                card.targets.synth_baseline
+            );
+            let chunks = m.synth_accuracy(Condition::RagChunks);
+            // The tiny fixture's chunk-hit rate sits below the solvable
+            // range for the strongest chunk targets, so residuals up to
+            // ~0.08 are expected here (the scale-0.1 repro run lands within
+            // 0.022 — see EXPERIMENTS.md).
+            assert!(
+                (chunks - card.targets.synth_chunks).abs() < 0.09,
+                "{}: chunks {chunks:.3} vs paper {:.3}",
+                m.name,
+                card.targets.synth_chunks
+            );
+        }
+    }
+
+    #[test]
+    fn small_models_gain_most_from_traces() {
+        let (run, _) = eval_run();
+        let gain = |name: &str| {
+            let m = run.models.iter().find(|m| m.name == name).unwrap();
+            let b = m.synth_accuracy(Condition::Baseline);
+            (m.synth_best_rt() - b) / b.max(1e-9)
+        };
+        let tiny = gain("TinyLlama-1.1B-Chat");
+        let llama31 = gain("Llama-3.1-8B-Instruct");
+        assert!(
+            tiny > llama31 * 2.0,
+            "relative gains must anticorrelate with size: tiny {tiny:.2} vs llama3.1 {llama31:.2}"
+        );
+    }
+
+    #[test]
+    fn rates_truncation_effect_visible() {
+        // A 2k-window model must lose more chunk hits to truncation than a
+        // 128k-window model on the same retrievals.
+        let (run, _) = eval_run();
+        let olmo = run.models.iter().find(|m| m.name == "OLMo-7B").unwrap();
+        let gemma = run.models.iter().find(|m| m.name == "Gemma 3 4B-IT").unwrap();
+        assert!(
+            olmo.rates.synth_chunk <= gemma.rates.synth_chunk + 1e-9,
+            "olmo chunk hit {} vs gemma {}",
+            olmo.rates.synth_chunk,
+            gemma.rates.synth_chunk
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-question retrieval with oracle relevance labels.
+
+use std::collections::HashMap;
+
+use mcqa_core::PipelineOutput;
+use mcqa_index::VectorStore;
+use mcqa_llm::{McqItem, Passage, PassageSource, TraceMode};
+use rayon::prelude::*;
+
+/// A retrieval source key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Source {
+    /// The chunk database.
+    Chunks,
+    /// A trace database.
+    Traces(TraceMode),
+}
+
+impl Source {
+    /// All four sources in canonical order.
+    pub const ALL: [Source; 4] = [
+        Source::Chunks,
+        Source::Traces(TraceMode::Detailed),
+        Source::Traces(TraceMode::Focused),
+        Source::Traces(TraceMode::Efficient),
+    ];
+}
+
+/// Precomputed retrieval results for a set of questions: for every
+/// (question, source) the top-k passages with oracle relevance labels and
+/// precomputed token counts (so window assembly is cheap per model).
+pub struct RetrievalBundle {
+    /// `passages[q][source-index]` = retrieved passages for question `q`.
+    passages: Vec<[Vec<Passage>; 4]>,
+}
+
+impl RetrievalBundle {
+    /// Run retrieval for `items` over the pipeline's stores.
+    ///
+    /// Relevance labelling (ground truth, used by the simulator only):
+    /// * a chunk passage supports the question's fact iff the chunk's
+    ///   provenance fact list contains it;
+    /// * a trace passage supports it iff the trace's source fact matches.
+    pub fn build(output: &PipelineOutput, items: &[McqItem], k: usize) -> Self {
+        // chunk_id → position in output.chunks
+        let chunk_pos: HashMap<u64, usize> =
+            output.chunks.iter().enumerate().map(|(i, c)| (c.chunk_id, i)).collect();
+        // question_id → fact, per-mode trace text
+        let mut trace_text: HashMap<(u64, TraceMode), &str> = HashMap::new();
+        let mut trace_fact: HashMap<u64, u64> = HashMap::new();
+        for t in &output.traces {
+            trace_text.insert((t.question_id, t.mode), t.trace.as_str());
+            trace_fact.insert(t.question_id, t.fact_id);
+        }
+        // Fact → subject entity (traces about the same subject transfer:
+        // a distilled rationale about TRK2's signalling helps answer other
+        // TRK2 questions, which is the knowledge-transfer channel the
+        // paper attributes reasoning-trace retrieval's exam gains to).
+        let subject_of = |fact_id: u64| -> Option<u32> {
+            output
+                .ontology
+                .fact(mcqa_ontology::FactId(fact_id))
+                .map(|f| f.subject.0)
+        };
+
+        let passages: Vec<[Vec<Passage>; 4]> = items
+            .par_iter()
+            .map(|item| {
+                // Query = the stem. Including the options would inject six
+                // same-kind distractor names that pull retrieval toward
+                // unrelated chunks (measured: −20 points of hit rate).
+                let query = output.encoder.encode(&item.stem);
+                let mut per_source: [Vec<Passage>; 4] =
+                    [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+
+                // Chunks.
+                for hit in output.chunk_index.search(&query, k) {
+                    let Some(&pos) = chunk_pos.get(&hit.id) else { continue };
+                    let chunk = &output.chunks[pos];
+                    per_source[0].push(Passage {
+                        text: chunk.text.clone(),
+                        source: PassageSource::Chunk,
+                        supports: chunk.facts.contains(&item.fact).then_some(item.fact),
+                        score: hit.score,
+                    });
+                }
+
+                // Traces, one DB per mode. A trace supports the question
+                // when it reasons about the same fact, or about another
+                // fact with the same subject entity (knowledge transfer).
+                let item_subject = subject_of(item.fact.0);
+                for (si, mode) in TraceMode::ALL.iter().enumerate() {
+                    let idx = &output.trace_indexes[mode];
+                    for hit in idx.search(&query, k) {
+                        let Some(text) = trace_text.get(&(hit.id, *mode)) else { continue };
+                        let supports = trace_fact
+                            .get(&hit.id)
+                            .filter(|f| {
+                                **f == item.fact.0
+                                    || (item_subject.is_some()
+                                        && subject_of(**f) == item_subject)
+                            })
+                            .map(|_| item.fact);
+                        per_source[1 + si].push(Passage {
+                            text: (*text).to_string(),
+                            source: PassageSource::Trace(*mode),
+                            supports,
+                            score: hit.score,
+                        });
+                    }
+                }
+                per_source
+            })
+            .collect();
+
+        Self { passages }
+    }
+
+    /// Retrieved passages for question index `q` from `source`.
+    pub fn passages(&self, q: usize, source: Source) -> &[Passage] {
+        let si = Source::ALL.iter().position(|s| *s == source).expect("source");
+        &self.passages[q][si]
+    }
+
+    /// Number of questions covered.
+    pub fn len(&self) -> usize {
+        self.passages.len()
+    }
+
+    /// True when no questions are covered.
+    pub fn is_empty(&self) -> bool {
+        self.passages.is_empty()
+    }
+
+    /// Raw retrieval hit rate (before truncation) for a source: the
+    /// fraction of questions whose top-k contains a supporting passage.
+    pub fn raw_hit_rate(&self, source: Source) -> f64 {
+        if self.passages.is_empty() {
+            return 0.0;
+        }
+        let si = Source::ALL.iter().position(|s| *s == source).expect("source");
+        let hits = self
+            .passages
+            .iter()
+            .filter(|p| p[si].iter().any(|x| x.supports.is_some()))
+            .count();
+        hits as f64 / self.passages.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcqa_core::{Pipeline, PipelineConfig, PipelineOutput};
+
+    fn output() -> &'static PipelineOutput {
+        static OUT: std::sync::OnceLock<PipelineOutput> = std::sync::OnceLock::new();
+        OUT.get_or_init(|| Pipeline::run(&PipelineConfig::tiny(42)))
+    }
+
+    #[test]
+    fn bundle_covers_all_items_with_k_passages() {
+        let out = output();
+        let bundle = RetrievalBundle::build(out, &out.items, 5);
+        assert_eq!(bundle.len(), out.items.len());
+        for q in 0..bundle.len().min(50) {
+            for s in Source::ALL {
+                let ps = bundle.passages(q, s);
+                assert!(ps.len() <= 5);
+                assert!(!ps.is_empty(), "q{q} {s:?} returned nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_retrieval_hits_own_question() {
+        // A synthetic question's own trace is in the DB and shares its
+        // vocabulary: hit rates must be near-perfect.
+        let out = output();
+        let bundle = RetrievalBundle::build(out, &out.items, 5);
+        for mode in TraceMode::ALL {
+            let r = bundle.raw_hit_rate(Source::Traces(mode));
+            assert!(r > 0.9, "{mode:?} raw hit rate {r:.3}");
+        }
+    }
+
+    #[test]
+    fn chunk_retrieval_hits_most_questions() {
+        let out = output();
+        let bundle = RetrievalBundle::build(out, &out.items, 5);
+        let r = bundle.raw_hit_rate(Source::Chunks);
+        assert!(r > 0.5, "chunk raw hit rate {r:.3}");
+        assert!(r < 1.0, "chunk retrieval should not be perfect");
+    }
+
+    #[test]
+    fn relevance_labels_match_oracle() {
+        let out = output();
+        let bundle = RetrievalBundle::build(out, &out.items, 5);
+        let chunk_by_id: HashMap<u64, &mcqa_core::ChunkRecord> =
+            out.chunks.iter().map(|c| (c.chunk_id, c)).collect();
+        for (q, item) in out.items.iter().enumerate().take(40) {
+            for p in bundle.passages(q, Source::Chunks) {
+                if let Some(f) = p.supports {
+                    assert_eq!(f, item.fact);
+                    // Find the chunk by text and confirm the oracle.
+                    let supporting = chunk_by_id
+                        .values()
+                        .any(|c| c.text == p.text && c.facts.contains(&item.fact));
+                    assert!(supporting, "labelled passage lacks oracle support");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_items() {
+        let out = output();
+        let bundle = RetrievalBundle::build(out, &[], 5);
+        assert!(bundle.is_empty());
+        assert_eq!(bundle.raw_hit_rate(Source::Chunks), 0.0);
+    }
+}

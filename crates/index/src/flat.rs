@@ -1,0 +1,229 @@
+//! Exact brute-force index over an [`EmbeddingMatrix`].
+
+use mcqa_embed::{EmbeddingMatrix, Precision};
+use rayon::prelude::*;
+
+use crate::metric::Metric;
+use crate::{sort_hits, SearchResult, VectorStore};
+
+/// An exact (non-approximate) vector index. Ground truth for recall tests
+/// and the right default below ~10⁵ vectors.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    matrix: EmbeddingMatrix,
+    ids: Vec<u64>,
+    metric: Metric,
+}
+
+impl FlatIndex {
+    /// Create an empty index.
+    pub fn new(dim: usize, metric: Metric, precision: Precision) -> Self {
+        Self { matrix: EmbeddingMatrix::new(dim, precision), ids: Vec::new(), metric }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.matrix.dim()
+    }
+
+    /// Payload bytes of the backing storage.
+    pub fn payload_bytes(&self) -> usize {
+        self.matrix.payload_bytes()
+    }
+
+    /// Parallel batch search; results are index-aligned with `queries`.
+    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<SearchResult>> {
+        queries.par_iter().map(|q| self.search(q, k)).collect()
+    }
+
+    /// Serialise (matrix bytes + ids).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let m = self.matrix.to_bytes();
+        let mut out = Vec::with_capacity(m.len() + self.ids.len() * 8 + 16);
+        out.extend_from_slice(b"FLAT");
+        out.push(match self.metric {
+            Metric::Cosine => 0,
+            Metric::Dot => 1,
+            Metric::L2 => 2,
+        });
+        out.extend_from_slice(&(m.len() as u64).to_le_bytes());
+        out.extend_from_slice(&m);
+        for id in &self.ids {
+            out.extend_from_slice(&id.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialise from [`FlatIndex::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 13 || &bytes[..4] != b"FLAT" {
+            return None;
+        }
+        let metric = match bytes[4] {
+            0 => Metric::Cosine,
+            1 => Metric::Dot,
+            2 => Metric::L2,
+            _ => return None,
+        };
+        let mlen = u64::from_le_bytes(bytes[5..13].try_into().ok()?) as usize;
+        if bytes.len() < 13 + mlen {
+            return None;
+        }
+        let matrix = EmbeddingMatrix::from_bytes(&bytes[13..13 + mlen])?;
+        let id_bytes = &bytes[13 + mlen..];
+        if id_bytes.len() != matrix.len() * 8 {
+            return None;
+        }
+        let ids = id_bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        Some(Self { matrix, ids, metric })
+    }
+}
+
+impl VectorStore for FlatIndex {
+    fn add(&mut self, id: u64, vector: &[f32]) {
+        self.matrix.push(vector);
+        self.ids.push(id);
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
+        assert_eq!(query.len(), self.dim(), "query dimension mismatch");
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut hits: Vec<SearchResult> = Vec::with_capacity(self.len());
+        self.matrix.for_each_row(|i, row| {
+            hits.push(SearchResult { id: self.ids[i], score: self.metric.score(query, row) });
+        });
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, hot: usize) -> Vec<f32> {
+        let mut v = vec![0.0; dim];
+        v[hot] = 1.0;
+        v
+    }
+
+    #[test]
+    fn exact_nearest_neighbour() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine, Precision::F32);
+        for i in 0..4 {
+            idx.add(100 + i as u64, &unit(4, i));
+        }
+        let hits = idx.search(&unit(4, 2), 2);
+        assert_eq!(hits[0].id, 102);
+        assert!((hits[0].score - 1.0).abs() < 1e-6);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut idx = FlatIndex::new(2, Metric::Dot, Precision::F32);
+        idx.add(7, &[1.0, 0.0]);
+        idx.add(3, &[1.0, 0.0]);
+        idx.add(5, &[1.0, 0.0]);
+        let hits = idx.search(&[1.0, 0.0], 3);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn k_larger_than_len() {
+        let mut idx = FlatIndex::new(2, Metric::Cosine, Precision::F32);
+        idx.add(1, &[1.0, 0.0]);
+        assert_eq!(idx.search(&[1.0, 0.0], 10).len(), 1);
+        assert!(idx.search(&[1.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = FlatIndex::new(2, Metric::Cosine, Precision::F32);
+        assert!(idx.search(&[1.0, 0.0], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "query dimension mismatch")]
+    fn dim_mismatch_panics() {
+        let mut idx = FlatIndex::new(3, Metric::Cosine, Precision::F32);
+        idx.add(1, &[1.0, 0.0, 0.0]);
+        idx.search(&[1.0, 0.0], 1);
+    }
+
+    #[test]
+    fn f16_backing_preserves_ranking() {
+        let dim = 64;
+        let mk = |seed: u64| -> Vec<f32> {
+            let mut v: Vec<f32> = (0..dim)
+                .map(|j| (mcqa_util::splitmix64(seed * 1000 + j as u64) as f32 / u64::MAX as f32) - 0.5)
+                .collect();
+            let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            v.iter_mut().for_each(|x| *x /= n);
+            v
+        };
+        let mut f32_idx = FlatIndex::new(dim, Metric::Cosine, Precision::F32);
+        let mut f16_idx = FlatIndex::new(dim, Metric::Cosine, Precision::F16);
+        for i in 0..200u64 {
+            let v = mk(i);
+            f32_idx.add(i, &v);
+            f16_idx.add(i, &v);
+        }
+        // Top-1 must agree on (almost) every query; check exactly.
+        let mut agree = 0;
+        for q in 0..50u64 {
+            let query = mk(10_000 + q);
+            let a = f32_idx.search(&query, 1)[0].id;
+            let b = f16_idx.search(&query, 1)[0].id;
+            if a == b {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 48, "f16 quantisation changed too many top-1s: {agree}/50");
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let mut idx = FlatIndex::new(8, Metric::Cosine, Precision::F32);
+        for i in 0..20 {
+            idx.add(i as u64, &unit(8, i % 8));
+        }
+        let queries: Vec<Vec<f32>> = (0..8).map(|i| unit(8, i)).collect();
+        let batch = idx.search_batch(&queries, 3);
+        for (q, hits) in queries.iter().zip(&batch) {
+            assert_eq!(hits, &idx.search(q, 3));
+        }
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        let mut idx = FlatIndex::new(8, Metric::L2, Precision::F16);
+        for i in 0..10 {
+            idx.add(i as u64 * 3, &unit(8, i % 8));
+        }
+        let bytes = idx.to_bytes();
+        let back = FlatIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(back.metric(), Metric::L2);
+        let q = unit(8, 3);
+        assert_eq!(back.search(&q, 5), idx.search(&q, 5));
+        // Corruption rejected.
+        assert!(FlatIndex::from_bytes(&bytes[..bytes.len() - 5]).is_none());
+        assert!(FlatIndex::from_bytes(b"nope").is_none());
+    }
+}

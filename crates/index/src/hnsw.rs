@@ -1,0 +1,393 @@
+//! HNSW: hierarchical navigable small-world graph.
+//!
+//! The standard high-recall ANN index (Malkov & Yashunin 2016): vectors are
+//! inserted into a layered proximity graph; search descends greedily
+//! through the sparse upper layers and runs a beam search (`ef`) on the
+//! bottom layer. Deterministic: level draws are keyed on the external id.
+
+use mcqa_util::KeyedStochastic;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::metric::Metric;
+use crate::{sort_hits, SearchResult, VectorStore};
+
+/// HNSW parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HnswConfig {
+    /// Max neighbours per node per layer (bottom layer gets `2 * m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Beam width during search.
+    pub ef_search: usize,
+    /// Seed for level assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self { m: 16, ef_construction: 100, ef_search: 64, seed: 42 }
+    }
+}
+
+struct Node {
+    id: u64,
+    vector: Vec<f32>,
+    /// Neighbour lists per layer (index 0 = bottom).
+    neighbours: Vec<Vec<usize>>,
+}
+
+/// The HNSW index.
+pub struct HnswIndex {
+    config: HnswConfig,
+    dim: usize,
+    metric: Metric,
+    nodes: Vec<Node>,
+    entry: Option<usize>,
+    max_layer: usize,
+}
+
+/// Max-heap entry ordered by score.
+#[derive(PartialEq)]
+struct Scored {
+    score: f32,
+    node: usize,
+}
+
+impl Eq for Scored {}
+
+impl PartialOrd for Scored {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scored {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .partial_cmp(&other.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl HnswIndex {
+    /// Create an empty index.
+    pub fn new(dim: usize, metric: Metric, config: HnswConfig) -> Self {
+        assert!(config.m >= 2);
+        assert!(config.ef_construction >= config.m);
+        assert!(config.ef_search >= 1);
+        Self { config, dim, metric, nodes: Vec::new(), entry: None, max_layer: 0 }
+    }
+
+    /// Geometric level draw, deterministic per id.
+    fn draw_level(&self, id: u64) -> usize {
+        let rng = KeyedStochastic::new(self.config.seed ^ 0x4E5_107);
+        let u = rng.uniform(&["level", &id.to_string()]).max(1e-12);
+        let ml = 1.0 / (self.config.m as f64).ln();
+        (-(u.ln()) * ml).floor() as usize
+    }
+
+    /// Beam search on one layer starting from `entries`; returns up to `ef`
+    /// best (score, node) pairs, best-first.
+    fn search_layer(&self, query: &[f32], entries: &[usize], ef: usize, layer: usize) -> Vec<Scored> {
+        let mut visited: std::collections::HashSet<usize> = entries.iter().copied().collect();
+        let mut candidates: BinaryHeap<Scored> = BinaryHeap::new(); // max-heap by score
+        // Result set as a min-heap via Reverse.
+        let mut results: BinaryHeap<std::cmp::Reverse<Scored>> = BinaryHeap::new();
+
+        for &e in entries {
+            let s = self.metric.score(query, &self.nodes[e].vector);
+            candidates.push(Scored { score: s, node: e });
+            results.push(std::cmp::Reverse(Scored { score: s, node: e }));
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+
+        while let Some(best) = candidates.pop() {
+            let worst_kept = results.peek().map(|r| r.0.score).unwrap_or(f32::NEG_INFINITY);
+            if results.len() >= ef && best.score < worst_kept {
+                break;
+            }
+            for &n in &self.nodes[best.node].neighbours[layer] {
+                if !visited.insert(n) {
+                    continue;
+                }
+                let s = self.metric.score(query, &self.nodes[n].vector);
+                let worst = results.peek().map(|r| r.0.score).unwrap_or(f32::NEG_INFINITY);
+                if results.len() < ef || s > worst {
+                    candidates.push(Scored { score: s, node: n });
+                    results.push(std::cmp::Reverse(Scored { score: s, node: n }));
+                    while results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Scored> = results.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Select the best `m` neighbours from candidates (simple heuristic:
+    /// highest scores win; deterministic tie-break on node index).
+    fn select_neighbours(mut cands: Vec<Scored>, m: usize) -> Vec<usize> {
+        cands.sort_by(|a, b| b.cmp(a));
+        cands.truncate(m);
+        cands.into_iter().map(|s| s.node).collect()
+    }
+
+    fn max_neighbours(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.config.m * 2
+        } else {
+            self.config.m
+        }
+    }
+
+    /// Prune a node's neighbour list down to capacity, keeping the closest.
+    fn prune(&mut self, node: usize, layer: usize) {
+        let cap = self.max_neighbours(layer);
+        if self.nodes[node].neighbours[layer].len() <= cap {
+            return;
+        }
+        let v = self.nodes[node].vector.clone();
+        let mut scored: Vec<Scored> = self.nodes[node].neighbours[layer]
+            .iter()
+            .map(|&n| Scored { score: self.metric.score(&v, &self.nodes[n].vector), node: n })
+            .collect();
+        scored.sort_by(|a, b| b.cmp(a));
+        scored.truncate(cap);
+        self.nodes[node].neighbours[layer] = scored.into_iter().map(|s| s.node).collect();
+    }
+}
+
+impl VectorStore for HnswIndex {
+    fn add(&mut self, id: u64, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        let level = self.draw_level(id);
+        let new_idx = self.nodes.len();
+        self.nodes.push(Node {
+            id,
+            vector: vector.to_vec(),
+            neighbours: vec![Vec::new(); level + 1],
+        });
+
+        let Some(mut entry) = self.entry else {
+            self.entry = Some(new_idx);
+            self.max_layer = level;
+            return;
+        };
+
+        // Greedy descent through layers above `level`.
+        let mut layer = self.max_layer;
+        while layer > level {
+            let found = self.search_layer(vector, &[entry], 1, layer.min(self.nodes[entry].neighbours.len() - 1));
+            if let Some(best) = found.first() {
+                entry = best.node;
+            }
+            if layer == 0 {
+                break;
+            }
+            layer -= 1;
+        }
+
+        // Insert from min(level, max_layer) down to 0.
+        let mut entries = vec![entry];
+        let top = level.min(self.max_layer);
+        for l in (0..=top).rev() {
+            // Restrict entries to nodes that exist on layer l.
+            let eff_entries: Vec<usize> = entries
+                .iter()
+                .copied()
+                .filter(|&n| self.nodes[n].neighbours.len() > l)
+                .collect();
+            let eff_entries = if eff_entries.is_empty() { vec![entry] } else { eff_entries };
+            let found = self.search_layer(vector, &eff_entries, self.config.ef_construction, l);
+            let neighbours = Self::select_neighbours(
+                found.iter().map(|s| Scored { score: s.score, node: s.node }).collect(),
+                self.max_neighbours(l),
+            );
+            for &n in &neighbours {
+                if n == new_idx {
+                    continue;
+                }
+                self.nodes[new_idx].neighbours[l].push(n);
+                if self.nodes[n].neighbours.len() > l {
+                    self.nodes[n].neighbours[l].push(new_idx);
+                    self.prune(n, l);
+                }
+            }
+            entries = neighbours;
+            if entries.is_empty() {
+                entries = vec![entry];
+            }
+        }
+
+        if level > self.max_layer {
+            self.max_layer = level;
+            self.entry = Some(new_idx);
+        }
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if k == 0 || self.nodes.is_empty() {
+            return Vec::new();
+        }
+        let mut entry = self.entry.expect("non-empty index has an entry");
+        // Greedy descent to layer 1.
+        for layer in (1..=self.max_layer).rev() {
+            if self.nodes[entry].neighbours.len() <= layer {
+                continue;
+            }
+            loop {
+                let cur_score = self.metric.score(query, &self.nodes[entry].vector);
+                let mut improved = false;
+                for &n in &self.nodes[entry].neighbours[layer] {
+                    if self.metric.score(query, &self.nodes[n].vector) > cur_score {
+                        entry = n;
+                        improved = true;
+                        break;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        // Beam search at the bottom.
+        let ef = self.config.ef_search.max(k);
+        let found = self.search_layer(query, &[entry], ef, 0);
+        let mut hits: Vec<SearchResult> = found
+            .into_iter()
+            .map(|s| SearchResult { id: self.nodes[s.node].id, score: s.score })
+            .collect();
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use mcqa_embed::Precision;
+
+    fn random_unit(dim: usize, seed: u64) -> Vec<f32> {
+        let rng = KeyedStochastic::new(seed);
+        let mut v: Vec<f32> = (0..dim)
+            .map(|j| rng.gaussian(&["v", &j.to_string()]) as f32)
+            .collect();
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        v.iter_mut().for_each(|x| *x /= n);
+        v
+    }
+
+    #[test]
+    fn single_and_empty() {
+        let mut idx = HnswIndex::new(8, Metric::Cosine, HnswConfig::default());
+        assert!(idx.search(&[0.0; 8], 3).is_empty());
+        idx.add(42, &random_unit(8, 1));
+        let hits = idx.search(&random_unit(8, 1), 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 42);
+    }
+
+    #[test]
+    fn exact_on_small_sets() {
+        // With ef_search >= n the beam is exhaustive ⇒ matches flat.
+        let dim = 16;
+        let n = 60;
+        let mut hnsw = HnswIndex::new(
+            dim,
+            Metric::Cosine,
+            HnswConfig { m: 8, ef_construction: 64, ef_search: 64, seed: 2 },
+        );
+        let mut flat = FlatIndex::new(dim, Metric::Cosine, Precision::F32);
+        for i in 0..n {
+            let v = random_unit(dim, 1000 + i);
+            hnsw.add(i, &v);
+            flat.add(i, &v);
+        }
+        for q in 0..10u64 {
+            let query = random_unit(dim, 5000 + q);
+            let a: Vec<u64> = hnsw.search(&query, 5).into_iter().map(|h| h.id).collect();
+            let b: Vec<u64> = flat.search(&query, 5).into_iter().map(|h| h.id).collect();
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+
+    #[test]
+    fn recall_on_larger_set() {
+        let dim = 24;
+        let n = 800u64;
+        let mut hnsw = HnswIndex::new(dim, Metric::Cosine, HnswConfig::default());
+        let mut flat = FlatIndex::new(dim, Metric::Cosine, Precision::F32);
+        for i in 0..n {
+            let v = random_unit(dim, 77_000 + i);
+            hnsw.add(i, &v);
+            flat.add(i, &v);
+        }
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for q in 0..30u64 {
+            let query = random_unit(dim, 99_000 + q);
+            let truth: std::collections::HashSet<u64> =
+                flat.search(&query, 10).into_iter().map(|h| h.id).collect();
+            let approx = hnsw.search(&query, 10);
+            hit += approx.iter().filter(|h| truth.contains(&h.id)).count();
+            total += truth.len();
+        }
+        let recall = hit as f64 / total as f64;
+        assert!(recall >= 0.85, "HNSW recall@10 = {recall}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let dim = 12;
+        let mk = || {
+            let mut idx = HnswIndex::new(dim, Metric::Cosine, HnswConfig::default());
+            for i in 0..100u64 {
+                idx.add(i, &random_unit(dim, 31 + i));
+            }
+            idx
+        };
+        let a = mk();
+        let b = mk();
+        let q = random_unit(dim, 9);
+        assert_eq!(a.search(&q, 7), b.search(&q, 7));
+    }
+
+    #[test]
+    fn duplicate_vectors_handled() {
+        let mut idx = HnswIndex::new(4, Metric::Cosine, HnswConfig { m: 4, ef_construction: 8, ef_search: 8, seed: 0 });
+        let v = [0.5f32, 0.5, 0.5, 0.5];
+        for i in 0..20u64 {
+            idx.add(i, &v);
+        }
+        let hits = idx.search(&v, 5);
+        assert_eq!(hits.len(), 5);
+        // Ties break by ascending id.
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dim_mismatch() {
+        let mut idx = HnswIndex::new(4, Metric::Cosine, HnswConfig::default());
+        idx.add(0, &[0.0; 5]);
+    }
+}

@@ -1,0 +1,304 @@
+//! IVF: inverted-file index with a k-means coarse quantiser.
+//!
+//! Build: k-means over a training sample assigns every vector to its
+//! nearest centroid's inverted list. Search: score the query against all
+//! centroids, visit the best `nprobe` lists exhaustively. The classic
+//! FAISS `IndexIVFFlat` trade-off: `nprobe ≪ nlist` gives large speedups
+//! at a small recall cost (measured against [`crate::FlatIndex`] in the
+//! benches).
+
+use mcqa_util::KeyedStochastic;
+use serde::{Deserialize, Serialize};
+
+use crate::metric::Metric;
+use crate::{sort_hits, SearchResult, VectorStore};
+
+/// IVF configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IvfConfig {
+    /// Number of coarse centroids (inverted lists).
+    pub nlist: usize,
+    /// Lists visited per query.
+    pub nprobe: usize,
+    /// k-means iterations.
+    pub train_iters: usize,
+    /// Seed for centroid initialisation.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        Self { nlist: 64, nprobe: 8, train_iters: 8, seed: 42 }
+    }
+}
+
+/// The IVF index.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    config: IvfConfig,
+    dim: usize,
+    metric: Metric,
+    centroids: Vec<Vec<f32>>,
+    /// Inverted lists: per centroid, (external id, vector).
+    lists: Vec<Vec<(u64, Vec<f32>)>>,
+    len: usize,
+    trained: bool,
+}
+
+impl IvfIndex {
+    /// Create an untrained index.
+    pub fn new(dim: usize, metric: Metric, config: IvfConfig) -> Self {
+        assert!(config.nlist >= 1);
+        assert!(config.nprobe >= 1);
+        Self { config, dim, metric, centroids: Vec::new(), lists: Vec::new(), len: 0, trained: false }
+    }
+
+    /// True when the coarse quantiser has been trained.
+    pub fn is_trained(&self) -> bool {
+        self.trained
+    }
+
+    /// Train the coarse quantiser with k-means over `training` vectors,
+    /// then the index accepts [`VectorStore::add`].
+    ///
+    /// When fewer training vectors than `nlist` are supplied, the number of
+    /// lists shrinks to the training size.
+    pub fn train(&mut self, training: &[Vec<f32>]) {
+        assert!(!training.is_empty(), "cannot train on an empty sample");
+        for t in training {
+            assert_eq!(t.len(), self.dim, "training vector dimension mismatch");
+        }
+        let k = self.config.nlist.min(training.len());
+        let rng = KeyedStochastic::new(self.config.seed ^ 0x1BF_C3A7);
+
+        // k-means++ style seeding (simplified): random distinct picks.
+        let perm = rng.permutation(training.len(), &["init"]);
+        let mut centroids: Vec<Vec<f32>> = perm[..k].iter().map(|&i| training[i].clone()).collect();
+
+        for _iter in 0..self.config.train_iters {
+            let mut sums: Vec<Vec<f64>> = vec![vec![0.0; self.dim]; k];
+            let mut counts = vec![0usize; k];
+            for v in training {
+                let c = self.nearest_centroid_of(&centroids, v);
+                counts[c] += 1;
+                for (s, x) in sums[c].iter_mut().zip(v) {
+                    *s += *x as f64;
+                }
+            }
+            for (c, centroid) in centroids.iter_mut().enumerate() {
+                if counts[c] == 0 {
+                    continue; // keep the old position for empty clusters
+                }
+                for (ci, s) in centroid.iter_mut().zip(&sums[c]) {
+                    *ci = (*s / counts[c] as f64) as f32;
+                }
+            }
+        }
+
+        self.lists = vec![Vec::new(); k];
+        self.centroids = centroids;
+        self.trained = true;
+    }
+
+    fn nearest_centroid_of(&self, centroids: &[Vec<f32>], v: &[f32]) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f32::NEG_INFINITY;
+        for (i, c) in centroids.iter().enumerate() {
+            let s = self.metric.score(v, c);
+            if s > best_score {
+                best_score = s;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Number of inverted lists actually in use.
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Occupancy histogram (list lengths), useful for balance diagnostics.
+    pub fn list_sizes(&self) -> Vec<usize> {
+        self.lists.iter().map(Vec::len).collect()
+    }
+}
+
+impl VectorStore for IvfIndex {
+    fn add(&mut self, id: u64, vector: &[f32]) {
+        assert!(self.trained, "IvfIndex::add before train()");
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        let c = self.nearest_centroid_of(&self.centroids, vector);
+        self.lists[c].push((id, vector.to_vec()));
+        self.len += 1;
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        // Rank centroids, visit nprobe lists.
+        let mut ranked: Vec<(usize, f32)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, self.metric.score(query, c)))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        let mut hits = Vec::new();
+        for &(list_idx, _) in ranked.iter().take(self.config.nprobe) {
+            for (id, v) in &self.lists[list_idx] {
+                hits.push(SearchResult { id: *id, score: self.metric.score(query, v) });
+            }
+        }
+        sort_hits(&mut hits);
+        hits.truncate(k);
+        hits
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use mcqa_embed::Precision;
+
+    /// Clustered synthetic vectors: `n` points around `c` centres.
+    fn clustered(n: usize, centres: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let rng = KeyedStochastic::new(seed);
+        (0..n)
+            .map(|i| {
+                let c = i % centres;
+                let mut v: Vec<f32> = (0..dim)
+                    .map(|j| {
+                        let base = if j % centres == c { 1.0 } else { 0.0 };
+                        base + 0.15 * rng.gaussian(&["g", &i.to_string(), &j.to_string()]) as f32
+                    })
+                    .collect();
+                let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+                v.iter_mut().for_each(|x| *x /= norm);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recall_against_flat() {
+        let dim = 32;
+        let data = clustered(600, 8, dim, 7);
+        let mut flat = FlatIndex::new(dim, Metric::Cosine, Precision::F32);
+        let mut ivf = IvfIndex::new(
+            dim,
+            Metric::Cosine,
+            IvfConfig { nlist: 16, nprobe: 4, train_iters: 6, seed: 3 },
+        );
+        ivf.train(&data);
+        for (i, v) in data.iter().enumerate() {
+            flat.add(i as u64, v);
+            ivf.add(i as u64, v);
+        }
+        let queries = clustered(50, 8, dim, 99);
+        let mut recall_hits = 0usize;
+        let mut total = 0usize;
+        for q in &queries {
+            let truth: std::collections::HashSet<u64> =
+                flat.search(q, 10).into_iter().map(|h| h.id).collect();
+            let approx = ivf.search(q, 10);
+            recall_hits += approx.iter().filter(|h| truth.contains(&h.id)).count();
+            total += truth.len();
+        }
+        let recall = recall_hits as f64 / total as f64;
+        assert!(recall >= 0.8, "IVF recall@10 = {recall}");
+    }
+
+    #[test]
+    fn full_probe_equals_flat() {
+        // nprobe == nlist ⇒ exhaustive ⇒ identical to flat search.
+        let dim = 16;
+        let data = clustered(200, 4, dim, 5);
+        let mut flat = FlatIndex::new(dim, Metric::Cosine, Precision::F32);
+        let mut ivf = IvfIndex::new(
+            dim,
+            Metric::Cosine,
+            IvfConfig { nlist: 8, nprobe: 8, train_iters: 5, seed: 1 },
+        );
+        ivf.train(&data);
+        for (i, v) in data.iter().enumerate() {
+            flat.add(i as u64, v);
+            ivf.add(i as u64, v);
+        }
+        for q in clustered(10, 4, dim, 31) {
+            let a: Vec<u64> = flat.search(&q, 5).into_iter().map(|h| h.id).collect();
+            let b: Vec<u64> = ivf.search(&q, 5).into_iter().map(|h| h.id).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let dim = 16;
+        let data = clustered(100, 4, dim, 5);
+        let mk = || {
+            let mut ivf = IvfIndex::new(dim, Metric::Cosine, IvfConfig::default());
+            ivf.train(&data);
+            for (i, v) in data.iter().enumerate() {
+                ivf.add(i as u64, v);
+            }
+            ivf
+        };
+        let a = mk();
+        let b = mk();
+        let q = &data[3];
+        assert_eq!(a.search(q, 5), b.search(q, 5));
+        assert_eq!(a.list_sizes(), b.list_sizes());
+    }
+
+    #[test]
+    fn small_training_shrinks_nlist() {
+        let mut ivf = IvfIndex::new(4, Metric::Cosine, IvfConfig { nlist: 64, ..Default::default() });
+        ivf.train(&[vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]]);
+        assert_eq!(ivf.nlist(), 2);
+        ivf.add(1, &[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(ivf.search(&[1.0, 0.0, 0.0, 0.0], 1)[0].id, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before train")]
+    fn add_before_train_panics() {
+        let mut ivf = IvfIndex::new(4, Metric::Cosine, IvfConfig::default());
+        ivf.add(0, &[0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn train_empty_panics() {
+        let mut ivf = IvfIndex::new(4, Metric::Cosine, IvfConfig::default());
+        ivf.train(&[]);
+    }
+
+    #[test]
+    fn all_vectors_land_in_some_list() {
+        let dim = 8;
+        let data = clustered(120, 3, dim, 9);
+        let mut ivf = IvfIndex::new(dim, Metric::Cosine, IvfConfig { nlist: 6, ..Default::default() });
+        ivf.train(&data);
+        for (i, v) in data.iter().enumerate() {
+            ivf.add(i as u64, v);
+        }
+        assert_eq!(ivf.list_sizes().iter().sum::<usize>(), 120);
+        assert_eq!(ivf.len(), 120);
+    }
+}

@@ -1,0 +1,70 @@
+//! `mcqa-index` — vector stores standing in for FAISS.
+//!
+//! The paper keeps four FAISS databases: one over paper chunks and one per
+//! reasoning-trace mode. This crate supplies the same capability with three
+//! index families exposing one trait:
+//!
+//! * [`flat`] — exact brute-force search (ground truth; what the paper's
+//!   small FP16 databases effectively use).
+//! * [`ivf`] — inverted-file index with a k-means coarse quantiser and
+//!   `nprobe` search, trading recall for speed on large corpora.
+//! * [`hnsw`] — a hierarchical navigable-small-world graph for logarithmic
+//!   search, the standard high-recall ANN structure.
+//! * [`metric`] — cosine / dot / L2 metrics shared by all indexes.
+//! * [`registry`] — a named multi-database registry (chunks + three trace
+//!   modes, like the paper's four FAISS stores).
+//!
+//! All indexes are deterministic given their seeds, and IVF/HNSW recall is
+//! property-tested against the flat ground truth.
+
+pub mod flat;
+pub mod hnsw;
+pub mod ivf;
+pub mod metric;
+pub mod registry;
+
+pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use ivf::{IvfConfig, IvfIndex};
+pub use metric::Metric;
+pub use registry::IndexRegistry;
+
+use serde::{Deserialize, Serialize};
+
+/// One search hit: an external id and a similarity score (higher = better
+/// under every metric; L2 distances are negated).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchResult {
+    /// External id supplied at insertion.
+    pub id: u64,
+    /// Similarity score (metric-dependent; higher is more similar).
+    pub score: f32,
+}
+
+/// The common vector-store interface.
+pub trait VectorStore {
+    /// Add a vector under an external id.
+    fn add(&mut self, id: u64, vector: &[f32]);
+    /// Top-`k` most similar vectors to `query`, best first. Deterministic:
+    /// ties break by ascending id.
+    fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult>;
+    /// Number of stored vectors.
+    fn len(&self) -> usize;
+    /// True when no vectors are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The metric in use.
+    fn metric(&self) -> Metric;
+}
+
+/// Deterministically order candidate hits: descending score, then
+/// ascending id. Shared by all index implementations.
+pub(crate) fn sort_hits(hits: &mut [SearchResult]) {
+    hits.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.id.cmp(&b.id))
+    });
+}

@@ -1,0 +1,90 @@
+//! A named multi-database registry.
+//!
+//! The paper's evaluation keeps four FAISS stores side by side: the chunk
+//! database plus one per reasoning-trace mode (detailed / focused /
+//! efficient). [`IndexRegistry`] holds that family behind names.
+
+use std::collections::BTreeMap;
+
+use crate::{SearchResult, VectorStore};
+
+/// A registry of named vector stores.
+#[derive(Default)]
+pub struct IndexRegistry {
+    stores: BTreeMap<String, Box<dyn VectorStore + Send + Sync>>,
+}
+
+impl IndexRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a store under `name`, replacing any existing one.
+    pub fn insert(&mut self, name: &str, store: Box<dyn VectorStore + Send + Sync>) {
+        self.stores.insert(name.to_string(), store);
+    }
+
+    /// Borrow a store by name.
+    pub fn get(&self, name: &str) -> Option<&(dyn VectorStore + Send + Sync)> {
+        self.stores.get(name).map(|b| b.as_ref())
+    }
+
+    /// Search a named store. `None` when the store does not exist.
+    pub fn search(&self, name: &str, query: &[f32], k: usize) -> Option<Vec<SearchResult>> {
+        self.get(name).map(|s| s.search(query, k))
+    }
+
+    /// Registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.stores.keys().map(String::as_str).collect()
+    }
+
+    /// Number of stores.
+    pub fn len(&self) -> usize {
+        self.stores.len()
+    }
+
+    /// True when no stores are registered.
+    pub fn is_empty(&self) -> bool {
+        self.stores.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use crate::metric::Metric;
+    use mcqa_embed::Precision;
+
+    #[test]
+    fn insert_search_names() {
+        let mut reg = IndexRegistry::new();
+        let mut chunks = FlatIndex::new(4, Metric::Cosine, Precision::F32);
+        chunks.add(1, &[1.0, 0.0, 0.0, 0.0]);
+        let mut traces = FlatIndex::new(4, Metric::Cosine, Precision::F16);
+        traces.add(2, &[0.0, 1.0, 0.0, 0.0]);
+        reg.insert("chunks", Box::new(chunks));
+        reg.insert("traces-detailed", Box::new(traces));
+
+        assert_eq!(reg.names(), vec!["chunks", "traces-detailed"]);
+        let hits = reg.search("chunks", &[1.0, 0.0, 0.0, 0.0], 1).unwrap();
+        assert_eq!(hits[0].id, 1);
+        assert!(reg.search("missing", &[0.0; 4], 1).is_none());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn replacement_overwrites() {
+        let mut reg = IndexRegistry::new();
+        let mut a = FlatIndex::new(2, Metric::Cosine, Precision::F32);
+        a.add(10, &[1.0, 0.0]);
+        reg.insert("x", Box::new(a));
+        let mut b = FlatIndex::new(2, Metric::Cosine, Precision::F32);
+        b.add(20, &[1.0, 0.0]);
+        reg.insert("x", Box::new(b));
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.search("x", &[1.0, 0.0], 1).unwrap()[0].id, 20);
+    }
+}

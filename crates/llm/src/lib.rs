@@ -1,0 +1,51 @@
+//! `mcqa-llm` — the simulated language-model substrate.
+//!
+//! Nothing in this workspace calls a hosted LLM; every model role in the
+//! paper is played by a deterministic behavioural simulator:
+//!
+//! | Paper role | Here |
+//! |---|---|
+//! | GPT-4.1 question generation | [`teacher::TeacherModel::generate_question`] |
+//! | GPT-4.1 reasoning-trace distillation (3 modes) | [`teacher::TeacherModel::generate_trace`] |
+//! | LLM judge (quality scoring + grading) | [`judge::JudgeModel`] |
+//! | GPT-5 math-question classifier | [`math_classifier::MathClassifier`] |
+//! | The eight evaluated SLMs (1.1B–14B) | [`cards::ModelCard`] + [`answer::ResolvedModel`] |
+//!
+//! ## The calibration contract
+//!
+//! Model cards carry two kinds of numbers:
+//!
+//! * **Structural parameters** (context window, answer-format reliability,
+//!   distractor-elimination skill, distraction susceptibility) — chosen
+//!   a-priori per model and documented on each field;
+//! * **Behavioural targets** — the paper's own Table 2/3/4 accuracy cells.
+//!
+//! At evaluation time the harness *measures* the pipeline's emergent
+//! retrieval-hit rates (per model, per retrieval source, including context
+//! -window truncation) and [`solver::resolve`] inverts the answer cascade
+//! to find the per-model extraction skills that reproduce the targets
+//! under those measured rates. If a target is unreachable given what
+//! retrieval actually delivers, the skill clamps to `[0, 1]` and the
+//! residual shows up in EXPERIMENTS.md — that is the honest boundary
+//! between *calibrated behaviour* (model cards) and *emergent mechanism*
+//! (retrieval, truncation, filtering).
+
+pub mod answer;
+pub mod cards;
+pub mod context;
+pub mod judge;
+pub mod math_classifier;
+pub mod mcq;
+pub mod solver;
+pub mod teacher;
+pub mod trace;
+
+pub use answer::{AnswerOutcome, ResolvedModel};
+pub use cards::{ModelCard, BenchTargets, MODEL_CARDS, GPT4_ASTRO_REFERENCE};
+pub use context::{AssembledContext, Passage, PassageSource};
+pub use judge::{GradeResult, JudgeModel, QualityJudgment};
+pub use math_classifier::MathClassifier;
+pub use mcq::{BenchKind, McqItem, OPTION_LETTERS};
+pub use solver::{PipelineRates, resolve};
+pub use teacher::{GeneratedQuestion, QuestionDefect, TeacherModel};
+pub use trace::TraceMode;

@@ -1,0 +1,44 @@
+//! A synthetic radiation- and cancer-biology domain ontology.
+//!
+//! The paper builds its benchmark from 22,548 real open-access documents.
+//! Those are not available offline — and, more importantly, real documents
+//! give you no *ground truth*: you cannot check whether a generated question
+//! is really supported by its source chunk, or whether a retrieval hit is
+//! really relevant. This crate replaces the literature with a generative
+//! ontology:
+//!
+//! * a registry of typed [`entity::Entity`]s (genes, proteins, pathways,
+//!   cell lines, drugs, radiation modalities, …) with deterministic
+//!   synthesised names,
+//! * a set of qualitative [`fact::Fact`]s — subject/relation/object triples
+//!   with difficulty and salience — partitioned over [`topic::Topic`]s,
+//! * quantitative [`math::QuantFact`]s implementing real radiobiology
+//!   formulae (linear-quadratic survival, BED/EQD2, radioactive decay,
+//!   inverse-square law) so that the Astro exam's maths subset exercises a
+//!   genuinely different capability,
+//! * natural-language [`realize`] templates that render facts as
+//!   declarative statements (for papers), exam stems (for questions), and
+//!   distilled rationales (for reasoning traces).
+//!
+//! Every downstream stage — corpus synthesis, question generation, trace
+//! distillation, evaluation — consumes the same ontology, which is what
+//! makes end-to-end provenance checkable in integration tests.
+//!
+//! Generation is fully deterministic given a seed: two processes
+//! constructing `Ontology::generate(&config)` with equal configs get
+//! bit-identical ontologies.
+
+pub mod entity;
+pub mod fact;
+pub mod math;
+pub mod ontology;
+pub mod realize;
+pub mod relation;
+pub mod topic;
+
+pub use entity::{Entity, EntityId, EntityKind, EntityRegistry};
+pub use fact::{Fact, FactId};
+pub use math::{MathKind, QuantFact};
+pub use ontology::{Ontology, OntologyConfig};
+pub use relation::RelationKind;
+pub use topic::Topic;

@@ -1,0 +1,283 @@
+//! The adaptive parsing engine: per-document strategy escalation plus a
+//! rayon-parallel batch driver with aggregate statistics.
+
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::quality::{self, QualityScore};
+use crate::record::ParsedDocument;
+use crate::strategy::{parse_with, ParseError, ParseStrategy};
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParserConfig {
+    /// Quality threshold a fast-path parse must clear to be accepted.
+    pub fast_quality_bar: f64,
+    /// Accept salvage output whose quality clears this (lower) bar.
+    pub salvage_quality_bar: f64,
+}
+
+impl Default for ParserConfig {
+    fn default() -> Self {
+        Self { fast_quality_bar: QualityScore::ACCEPT, salvage_quality_bar: 0.4 }
+    }
+}
+
+/// The outcome for one document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseOutcome {
+    /// Successfully parsed.
+    Parsed {
+        /// The recovered document.
+        doc: ParsedDocument,
+        /// Which strategy finally succeeded.
+        strategy: ParseStrategy,
+        /// Quality score of the accepted output.
+        quality: f64,
+    },
+    /// All strategies failed.
+    Failed {
+        /// The terminal error (from the last strategy tried).
+        error: ParseError,
+    },
+}
+
+impl ParseOutcome {
+    /// The parsed document, if any.
+    pub fn document(&self) -> Option<&ParsedDocument> {
+        match self {
+            ParseOutcome::Parsed { doc, .. } => Some(doc),
+            ParseOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// True when parsing succeeded.
+    pub fn is_parsed(&self) -> bool {
+        matches!(self, ParseOutcome::Parsed { .. })
+    }
+}
+
+/// Aggregate statistics over a batch parse.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Total documents submitted.
+    pub total: usize,
+    /// Parsed on the fast path.
+    pub fast: usize,
+    /// Escalated to the thorough parser.
+    pub thorough: usize,
+    /// Recovered by salvage.
+    pub salvage: usize,
+    /// Unrecoverable documents.
+    pub failed: usize,
+    /// Wall-clock seconds for the batch.
+    pub elapsed_secs: f64,
+}
+
+impl BatchStats {
+    /// Documents per second (0 when elapsed time is unknown).
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.total as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of documents that needed escalation beyond the fast path.
+    pub fn escalation_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.thorough + self.salvage + self.failed) as f64 / self.total as f64
+        }
+    }
+}
+
+/// The adaptive parser.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveParser {
+    config: ParserConfig,
+}
+
+impl AdaptiveParser {
+    /// Create with `config`.
+    pub fn new(config: ParserConfig) -> Self {
+        Self { config }
+    }
+
+    /// Parse one blob with strategy escalation:
+    ///
+    /// 1. `Fast` — accepted only if its quality clears `fast_quality_bar`;
+    /// 2. `Thorough` — accepted if it parses at all (full validation);
+    /// 3. `Salvage` — accepted if quality clears `salvage_quality_bar`.
+    pub fn parse(&self, bytes: &[u8]) -> ParseOutcome {
+        // Fast path.
+        match parse_with(ParseStrategy::Fast, bytes) {
+            Ok(doc) => {
+                let q = quality::score(&doc);
+                if q.0 >= self.config.fast_quality_bar {
+                    return ParseOutcome::Parsed { doc, strategy: ParseStrategy::Fast, quality: q.0 };
+                }
+            }
+            Err(_) => {}
+        }
+        // Thorough path.
+        let thorough_err = match parse_with(ParseStrategy::Thorough, bytes) {
+            Ok(doc) => {
+                let q = quality::score(&doc);
+                return ParseOutcome::Parsed {
+                    doc,
+                    strategy: ParseStrategy::Thorough,
+                    quality: q.0,
+                };
+            }
+            Err(e) => e,
+        };
+        // Salvage path.
+        match parse_with(ParseStrategy::Salvage, bytes) {
+            Ok(doc) => {
+                let q = quality::score(&doc);
+                if q.0 >= self.config.salvage_quality_bar {
+                    ParseOutcome::Parsed { doc, strategy: ParseStrategy::Salvage, quality: q.0 }
+                } else {
+                    ParseOutcome::Failed { error: ParseError::LowQuality { score: q.0 } }
+                }
+            }
+            Err(_) => ParseOutcome::Failed { error: thorough_err },
+        }
+    }
+
+    /// Parse a batch in parallel; outcomes are index-aligned with `blobs`.
+    pub fn parse_batch<B: AsRef<[u8]> + Sync>(&self, blobs: &[B]) -> (Vec<ParseOutcome>, BatchStats) {
+        let timer = mcqa_util::ScopeTimer::start("parse_batch");
+        let stats = Mutex::new(BatchStats { total: blobs.len(), ..Default::default() });
+        let outcomes: Vec<ParseOutcome> = blobs
+            .par_iter()
+            .map(|b| {
+                let o = self.parse(b.as_ref());
+                let mut s = stats.lock();
+                match &o {
+                    ParseOutcome::Parsed { strategy, .. } => match strategy {
+                        ParseStrategy::Fast => s.fast += 1,
+                        ParseStrategy::Thorough => s.thorough += 1,
+                        ParseStrategy::Salvage => s.salvage += 1,
+                    },
+                    ParseOutcome::Failed { .. } => s.failed += 1,
+                }
+                o
+            })
+            .collect();
+        let mut s = stats.into_inner();
+        s.elapsed_secs = timer.elapsed_secs();
+        (outcomes, s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcqa_corpus::{AcquisitionConfig, CorpusLibrary, DocId, SynthConfig};
+    use mcqa_ontology::{Ontology, OntologyConfig};
+
+    fn library(corruption_rate: f64) -> CorpusLibrary {
+        let ont = Ontology::generate(&OntologyConfig {
+            seed: 11,
+            entities_per_kind: 25,
+            qualitative_facts: 200,
+            quantitative_facts: 5,
+        });
+        CorpusLibrary::build(
+            &ont,
+            &AcquisitionConfig {
+                seed: 11,
+                full_papers: 24,
+                abstracts: 12,
+                corruption_rate,
+                synth: SynthConfig::default(),
+            },
+        )
+    }
+
+    #[test]
+    fn clean_corpus_goes_fast_path() {
+        let lib = library(0.0);
+        let parser = AdaptiveParser::default();
+        let blobs: Vec<&[u8]> = (0..lib.len() as u32)
+            .map(|i| lib.download(DocId(i)).unwrap())
+            .collect();
+        let (outcomes, stats) = parser.parse_batch(&blobs);
+        assert_eq!(stats.total, 36);
+        assert_eq!(stats.fast, 36, "clean blobs all take the fast path: {stats:?}");
+        assert_eq!(stats.failed, 0);
+        assert!(outcomes.iter().all(ParseOutcome::is_parsed));
+        assert!((stats.escalation_rate() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupted_corpus_escalates_but_mostly_recovers() {
+        let lib = library(0.5);
+        let parser = AdaptiveParser::default();
+        let blobs: Vec<&[u8]> = (0..lib.len() as u32)
+            .map(|i| lib.download(DocId(i)).unwrap())
+            .collect();
+        let (outcomes, stats) = parser.parse_batch(&blobs);
+        assert!(stats.fast < stats.total, "{stats:?}");
+        assert!(stats.salvage > 0, "some docs must need salvage: {stats:?}");
+        // Recovery: a majority of documents still produce text.
+        let parsed = outcomes.iter().filter(|o| o.is_parsed()).count();
+        assert!(parsed * 10 >= stats.total * 8, "parsed {parsed}/{}", stats.total);
+        assert_eq!(stats.fast + stats.thorough + stats.salvage + stats.failed, stats.total);
+    }
+
+    #[test]
+    fn parsed_text_matches_ground_truth() {
+        let lib = library(0.0);
+        let parser = AdaptiveParser::default();
+        for i in 0..lib.len() as u32 {
+            let id = DocId(i);
+            let outcome = parser.parse(lib.download(id).unwrap());
+            let doc = outcome.document().unwrap_or_else(|| panic!("doc {i} failed"));
+            let truth = lib.document(id).unwrap();
+            assert_eq!(doc.sections.len(), truth.sections.len());
+            for (p, t) in doc.sections.iter().zip(&truth.sections) {
+                assert_eq!(p.title, t.title);
+                assert_eq!(p.text, t.text());
+            }
+            let meta = doc.meta.as_ref().expect("meta present");
+            assert_eq!(meta.doc_id(), id);
+        }
+    }
+
+    #[test]
+    fn hopeless_blob_fails_cleanly() {
+        let parser = AdaptiveParser::default();
+        let outcome = parser.parse(&[0u8; 32]);
+        assert!(!outcome.is_parsed());
+        assert!(outcome.document().is_none());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let parser = AdaptiveParser::default();
+        let (outcomes, stats) = parser.parse_batch::<Vec<u8>>(&[]);
+        assert!(outcomes.is_empty());
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.throughput(), stats.throughput()); // finite, no panic
+        assert_eq!(stats.escalation_rate(), 0.0);
+    }
+
+    #[test]
+    fn batch_outcomes_are_index_aligned() {
+        let lib = library(0.0);
+        let parser = AdaptiveParser::default();
+        let blobs: Vec<&[u8]> =
+            (0..4u32).map(|i| lib.download(DocId(i)).unwrap()).collect();
+        let (outcomes, _) = parser.parse_batch(&blobs);
+        for (i, o) in outcomes.iter().enumerate() {
+            let meta = o.document().unwrap().meta.as_ref().unwrap();
+            assert_eq!(meta.id, i as u32, "outcome order must match input order");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `mcqa-parse` — an AdaParse-style adaptive, parallel document parsing
+//! engine for SPDF blobs.
+//!
+//! The paper parses 22,548 PDFs with AdaParse, an engine that picks a
+//! parser per document (cheap fast path, expensive thorough path) based on
+//! predicted output quality, and recovers what it can from damaged files.
+//! This crate reproduces that architecture over the SPDF container:
+//!
+//! * [`strategy`] — three parse strategies: `Fast` (no checksum
+//!   validation), `Thorough` (full structural validation with precise
+//!   errors), and `Salvage` (best-effort recovery of readable objects).
+//! * [`quality`] — a text-quality scorer that decides whether a fast-path
+//!   result is acceptable or the document must be re-parsed thoroughly
+//!   (AdaParse's quality predictor).
+//! * [`engine`] — the adaptive driver: per-document strategy escalation,
+//!   rayon-parallel batch parsing, an error taxonomy, and aggregate
+//!   statistics (documents/second, strategy mix, failure census).
+//! * [`record`] — the parsed-output record (metadata + section texts),
+//!   serialisable to JSONL exactly like AdaParse's JSON output.
+
+pub mod engine;
+pub mod quality;
+pub mod record;
+pub mod strategy;
+
+pub use engine::{AdaptiveParser, BatchStats, ParseOutcome, ParserConfig};
+pub use record::{ParsedDocument, ParsedSection};
+pub use strategy::{ParseError, ParseStrategy};

@@ -1,0 +1,134 @@
+//! Output-quality scoring: AdaParse's quality predictor, reproduced.
+//!
+//! The adaptive engine needs a cheap judgement of "does this parse look
+//! like clean scientific text?" to decide whether the fast path's output
+//! is acceptable. Score components:
+//!
+//! * printable ratio — binary garbage drags this down;
+//! * mean sentence length in tokens — shredded text has absurd values;
+//! * lexical validity — fraction of tokens that are alphabetic-ish;
+//! * structure — documents should have at least one non-empty section.
+
+use crate::record::ParsedDocument;
+
+/// A quality verdict in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityScore(pub f64);
+
+impl QualityScore {
+    /// The acceptance threshold used by the adaptive engine's fast path.
+    pub const ACCEPT: f64 = 0.7;
+
+    /// True when the score clears the fast-path acceptance bar.
+    pub fn acceptable(self) -> bool {
+        self.0 >= Self::ACCEPT
+    }
+}
+
+/// Score a parsed document.
+pub fn score(doc: &ParsedDocument) -> QualityScore {
+    if doc.sections.is_empty() || doc.text_len() == 0 {
+        return QualityScore(0.0);
+    }
+    let text: String = doc.sections.iter().map(|s| s.text.as_str()).collect::<Vec<_>>().join(" ");
+
+    // Printable ratio.
+    let total_chars = text.chars().count().max(1);
+    let printable = text
+        .chars()
+        .filter(|c| !c.is_control() || *c == '\n' || *c == '\t')
+        .count();
+    let printable_ratio = printable as f64 / total_chars as f64;
+
+    // Sentence shape.
+    let sentences = mcqa_text::split_sentences(&text);
+    let sentence_score = if sentences.is_empty() {
+        0.0
+    } else {
+        let mean_len = sentences
+            .iter()
+            .map(|s| mcqa_text::token_count(s) as f64)
+            .sum::<f64>()
+            / sentences.len() as f64;
+        // Clean scientific prose averages ~8–40 tokens/sentence.
+        if (4.0..=60.0).contains(&mean_len) {
+            1.0
+        } else if mean_len > 0.0 {
+            0.4
+        } else {
+            0.0
+        }
+    };
+
+    // Lexical validity.
+    let tokens = mcqa_text::tokenize(&text);
+    let lexical = if tokens.is_empty() {
+        0.0
+    } else {
+        let wordy = tokens
+            .iter()
+            .filter(|t| t.chars().filter(|c| c.is_alphabetic()).count() * 2 >= t.len())
+            .count();
+        wordy as f64 / tokens.len() as f64
+    };
+
+    // Weighted blend.
+    let s = 0.35 * printable_ratio + 0.3 * sentence_score + 0.35 * lexical;
+    QualityScore(s.clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ParsedSection;
+
+    fn doc_with_text(text: &str) -> ParsedDocument {
+        ParsedDocument {
+            meta: None,
+            sections: vec![ParsedSection { title: "Body".into(), text: text.into() }],
+            issues: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_prose_scores_high() {
+        let doc = doc_with_text(
+            "Radiation induces double-strand breaks in DNA. Repair pathways \
+             respond within minutes of exposure. Survival depends on dose and \
+             fractionation schedule. These findings inform clinical practice.",
+        );
+        let s = score(&doc);
+        assert!(s.acceptable(), "score {}", s.0);
+    }
+
+    #[test]
+    fn binary_garbage_scores_low() {
+        // Control characters, punctuation, and digits — what a mis-decoded
+        // binary stream looks like after lossy UTF-8 conversion.
+        let garbage: String = (0u8..48).cycle().take(600).map(|b| b as char).collect();
+        let s = score(&doc_with_text(&garbage));
+        assert!(!s.acceptable(), "score {}", s.0);
+    }
+
+    #[test]
+    fn numeric_shred_scores_low() {
+        let shred = "0x3f 9 1 4 7 2 2 8 1 9 0 3 3 7 1 ".repeat(40);
+        let s = score(&doc_with_text(&shred));
+        assert!(s.0 < 0.7, "score {}", s.0);
+    }
+
+    #[test]
+    fn empty_document_scores_zero() {
+        let empty = ParsedDocument { meta: None, sections: vec![], issues: vec![] };
+        assert_eq!(score(&empty).0, 0.0);
+        assert_eq!(score(&doc_with_text("")).0, 0.0);
+    }
+
+    #[test]
+    fn score_bounded() {
+        for text in ["a", "Word.", "Many many many words go here today."] {
+            let s = score(&doc_with_text(text)).0;
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

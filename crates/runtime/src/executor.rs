@@ -1,0 +1,261 @@
+//! A persistent work-stealing thread pool.
+//!
+//! Architecture (the classic crossbeam-deque pattern):
+//!
+//! * one global [`Injector`] receives submitted jobs;
+//! * each worker owns a LIFO deque and exposes a [`Stealer`];
+//! * a worker looks for work in order: own deque → injector (batch steal)
+//!   → other workers' stealers; when idle it backs off and eventually
+//!   parks briefly.
+//!
+//! Task panics are caught per task so one poisoned job cannot take down a
+//! worker (Parsl's task-level fault isolation).
+
+use crossbeam_deque::{Injector, Stealer, Worker};
+use crossbeam_utils::Backoff;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Counters describing pool activity since construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs executed per worker.
+    pub executed_per_worker: Vec<u64>,
+    /// Steal operations per worker (tasks taken from a peer).
+    pub steals_per_worker: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Total executed jobs.
+    pub fn total_executed(&self) -> u64 {
+        self.executed_per_worker.iter().sum()
+    }
+
+    /// Total steals.
+    pub fn total_steals(&self) -> u64 {
+        self.steals_per_worker.iter().sum()
+    }
+}
+
+struct Shared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    shutdown: AtomicBool,
+    executed: Vec<AtomicU64>,
+    steals: Vec<AtomicU64>,
+}
+
+/// The pool.
+pub struct WorkStealingPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkStealingPool {
+    /// Spawn a pool with `workers` threads (at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let worker_deques: Vec<Worker<Job>> = (0..workers).map(|_| Worker::new_lifo()).collect();
+        let stealers: Vec<Stealer<Job>> = worker_deques.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+        });
+
+        let handles = worker_deques
+            .into_iter()
+            .enumerate()
+            .map(|(wid, local)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mcqa-worker-{wid}"))
+                    .spawn(move || worker_loop(wid, local, shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        Self { shared, handles, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Submit one fire-and-forget job.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.shared.injector.push(Box::new(job));
+    }
+
+    /// Snapshot activity counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            executed_per_worker: self
+                .shared
+                .executed
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+            steals_per_worker: self
+                .shared
+                .steals
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Drop for WorkStealingPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(wid: usize, local: Worker<Job>, shared: Arc<Shared>) {
+    let backoff = Backoff::new();
+    loop {
+        // 1. Own deque.
+        let job = local.pop().or_else(|| {
+            // 2. Global injector (batch-steal into the local deque).
+            std::iter::repeat_with(|| shared.injector.steal_batch_and_pop(&local))
+                .find(|s| !s.is_retry())
+                .and_then(|s| s.success())
+                .or_else(|| {
+                    // 3. Peers.
+                    for (i, stealer) in shared.stealers.iter().enumerate() {
+                        if i == wid {
+                            continue;
+                        }
+                        loop {
+                            match stealer.steal() {
+                                crossbeam_deque::Steal::Success(job) => {
+                                    shared.steals[wid].fetch_add(1, Ordering::Relaxed);
+                                    return Some(job);
+                                }
+                                crossbeam_deque::Steal::Retry => continue,
+                                crossbeam_deque::Steal::Empty => break,
+                            }
+                        }
+                    }
+                    None
+                })
+        });
+
+        match job {
+            Some(job) => {
+                backoff.reset();
+                shared.executed[wid].fetch_add(1, Ordering::Relaxed);
+                // Panic isolation: a panicking task must not kill the worker.
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if backoff.is_completed() {
+                    std::thread::park_timeout(std::time::Duration::from_millis(1));
+                } else {
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = WorkStealingPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = crossbeam_channel::bounded(1000);
+        for _ in 0..1000 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..1000 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).expect("job completed");
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(pool.stats().total_executed(), 1000);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_workers() {
+        let pool = WorkStealingPool::new(2);
+        let (tx, rx) = crossbeam_channel::bounded(10);
+        pool.submit(|| panic!("boom"));
+        // Pool must still process subsequent jobs.
+        for i in 0..10 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i).unwrap());
+        }
+        let mut got: Vec<i32> = (0..10)
+            .map(|_| rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn work_distributes_across_workers() {
+        let pool = WorkStealingPool::new(4);
+        let (tx, rx) = crossbeam_channel::bounded(4000);
+        for _ in 0..4000 {
+            let tx = tx.clone();
+            pool.submit(move || {
+                // Small but non-zero work so no single worker can drain all.
+                let mut x = 0u64;
+                for i in 0..500 {
+                    x = x.wrapping_add(mcqa_util::splitmix64(i));
+                }
+                std::hint::black_box(x);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..4000 {
+            rx.recv_timeout(std::time::Duration::from_secs(30)).unwrap();
+        }
+        let stats = pool.stats();
+        let busy_workers = stats.executed_per_worker.iter().filter(|&&c| c > 0).count();
+        assert!(busy_workers >= 2, "expected multiple busy workers: {stats:?}");
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let pool = WorkStealingPool::new(0);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        pool.submit(move || tx.send(42).unwrap());
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(), 42);
+    }
+
+    #[test]
+    fn drop_joins_cleanly_with_pending_shutdown() {
+        let pool = WorkStealingPool::new(3);
+        for i in 0..50 {
+            pool.submit(move || {
+                std::hint::black_box(i);
+            });
+        }
+        drop(pool); // must not hang or panic
+    }
+}

@@ -1,0 +1,31 @@
+//! `mcqa-runtime` — a Parsl-style workflow runtime at node scale.
+//!
+//! The paper's pipeline runs on ALCF supercomputers under Parsl: stages are
+//! fleets of independent tasks, dynamically load-balanced, with retries and
+//! per-stage accounting. This crate reproduces those semantics for a single
+//! node:
+//!
+//! * [`executor`] — a persistent work-stealing thread pool
+//!   (crossbeam-deque): per-worker deques + a global injector, task panics
+//!   isolated per task, per-worker execution/steal counters.
+//! * [`stage`] — `run_stage`: an ordered parallel map over a task list
+//!   with error isolation and a [`metrics::StageMetrics`] record — the
+//!   building block `mcqa-core` assembles its workflow from.
+//! * [`retry`] — bounded-attempt retry with injectable backoff (Parsl's
+//!   retry handler).
+//! * [`scaling`] — an elastic worker-count policy driven by queue depth
+//!   (Parsl's elastic blocks), exercised by the `runtime_scaling` bench.
+//! * [`metrics`] — stage metrics and the run report printed by the
+//!   Figure-1 reproduction.
+
+pub mod executor;
+pub mod metrics;
+pub mod retry;
+pub mod scaling;
+pub mod stage;
+
+pub use executor::{PoolStats, WorkStealingPool};
+pub use metrics::{RunReport, StageMetrics};
+pub use retry::{RetryPolicy, RetryOutcome};
+pub use scaling::{ScalingDecision, ScalingPolicy};
+pub use stage::{run_stage, TaskError};

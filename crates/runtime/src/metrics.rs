@@ -1,0 +1,145 @@
+//! Stage metrics and the workflow run report.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics for one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageMetrics {
+    /// Stage name.
+    pub name: String,
+    /// Items submitted.
+    pub items: usize,
+    /// Items completing successfully.
+    pub ok: usize,
+    /// Items failing (including panics).
+    pub errors: usize,
+    /// Items that panicked (subset of `errors`).
+    pub panics: usize,
+    /// Wall-clock seconds.
+    pub elapsed_secs: f64,
+}
+
+impl StageMetrics {
+    /// Items per second (0 when time is unmeasured or no items ran).
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_secs > 0.0 && self.items > 0 {
+            self.items as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Success rate in `[0, 1]` (1 for an empty stage).
+    pub fn success_rate(&self) -> f64 {
+        if self.items == 0 {
+            1.0
+        } else {
+            self.ok as f64 / self.items as f64
+        }
+    }
+}
+
+/// A whole-workflow report: ordered stage metrics.
+///
+/// `render()` is the text behind the Figure-1 reproduction (workflow
+/// overview with per-stage counts).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    stages: Vec<StageMetrics>,
+}
+
+impl RunReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a stage record.
+    pub fn add(&mut self, m: StageMetrics) {
+        self.stages.push(m);
+    }
+
+    /// The recorded stages in order.
+    pub fn stages(&self) -> &[StageMetrics] {
+        &self.stages
+    }
+
+    /// Total wall-clock seconds across stages.
+    pub fn total_secs(&self) -> f64 {
+        self.stages.iter().map(|s| s.elapsed_secs).sum()
+    }
+
+    /// Render a fixed-width text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:>9} {:>9} {:>7} {:>10} {:>11}\n",
+            "stage", "items", "ok", "errors", "secs", "items/s"
+        ));
+        out.push_str(&"-".repeat(74));
+        out.push('\n');
+        for s in &self.stages {
+            out.push_str(&format!(
+                "{:<22} {:>9} {:>9} {:>7} {:>10.3} {:>11.1}\n",
+                s.name,
+                s.items,
+                s.ok,
+                s.errors,
+                s.elapsed_secs,
+                s.throughput()
+            ));
+        }
+        out.push_str(&format!("total wall-clock: {:.3}s\n", self.total_secs()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(name: &str, items: usize, ok: usize, secs: f64) -> StageMetrics {
+        StageMetrics {
+            name: name.into(),
+            items,
+            ok,
+            errors: items - ok,
+            panics: 0,
+            elapsed_secs: secs,
+        }
+    }
+
+    #[test]
+    fn throughput_and_success() {
+        let s = m("parse", 100, 95, 2.0);
+        assert_eq!(s.throughput(), 50.0);
+        assert_eq!(s.success_rate(), 0.95);
+        let empty = m("x", 0, 0, 0.0);
+        assert_eq!(empty.throughput(), 0.0);
+        assert_eq!(empty.success_rate(), 1.0);
+    }
+
+    #[test]
+    fn report_renders_all_stages() {
+        let mut r = RunReport::new();
+        r.add(m("acquire", 2255, 2255, 1.2));
+        r.add(m("parse", 2255, 2230, 3.4));
+        r.add(m("chunk", 2230, 2230, 0.8));
+        let text = r.render();
+        for name in ["acquire", "parse", "chunk"] {
+            assert!(text.contains(name), "{text}");
+        }
+        assert!(text.contains("items/s"));
+        assert!((r.total_secs() - 5.4).abs() < 1e-9);
+        assert_eq!(r.stages().len(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = RunReport::new();
+        r.add(m("a", 1, 1, 0.1));
+        let s = serde_json::to_string(&r).unwrap();
+        let back: RunReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,160 @@
+//! Bounded-attempt retry with injectable backoff.
+//!
+//! Parsl retries failed apps a configurable number of times; transient
+//! failures (a flaky parser worker, an overloaded embedding service)
+//! should not fail a whole stage. Backoff is injected as a closure so
+//! tests never sleep.
+
+use serde::{Deserialize, Serialize};
+
+/// Retry configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Maximum attempts (>= 1; 1 means no retry).
+    pub max_attempts: u32,
+    /// Base backoff in milliseconds, doubled per attempt.
+    pub base_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { max_attempts: 3, base_backoff_ms: 10 }
+    }
+}
+
+/// The outcome of a retried operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RetryOutcome<T, E> {
+    /// Succeeded on attempt `attempts` (1-based).
+    Success {
+        /// The value produced.
+        value: T,
+        /// How many attempts were used.
+        attempts: u32,
+    },
+    /// All attempts failed; the last error is kept.
+    Exhausted {
+        /// The final error.
+        error: E,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+}
+
+impl<T, E> RetryOutcome<T, E> {
+    /// The value, if the operation eventually succeeded.
+    pub fn into_result(self) -> Result<T, E> {
+        match self {
+            RetryOutcome::Success { value, .. } => Ok(value),
+            RetryOutcome::Exhausted { error, .. } => Err(error),
+        }
+    }
+
+    /// Attempts consumed.
+    pub fn attempts(&self) -> u32 {
+        match self {
+            RetryOutcome::Success { attempts, .. } | RetryOutcome::Exhausted { attempts, .. } => {
+                *attempts
+            }
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before attempt `attempt` (1-based; attempt 1 has none).
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        if attempt <= 1 {
+            0
+        } else {
+            self.base_backoff_ms.saturating_mul(1u64 << (attempt - 2).min(16))
+        }
+    }
+
+    /// Run `op` with retries, calling `sleep(ms)` between attempts.
+    pub fn run_with_sleeper<T, E, Op, Sleep>(&self, mut op: Op, mut sleep: Sleep) -> RetryOutcome<T, E>
+    where
+        Op: FnMut(u32) -> Result<T, E>,
+        Sleep: FnMut(u64),
+    {
+        let max = self.max_attempts.max(1);
+        let mut last_err: Option<E> = None;
+        for attempt in 1..=max {
+            let pause = self.backoff_ms(attempt);
+            if pause > 0 {
+                sleep(pause);
+            }
+            match op(attempt) {
+                Ok(v) => return RetryOutcome::Success { value: v, attempts: attempt },
+                Err(e) => last_err = Some(e),
+            }
+        }
+        RetryOutcome::Exhausted { error: last_err.expect("at least one attempt"), attempts: max }
+    }
+
+    /// Run `op` with real thread sleeps between attempts.
+    pub fn run<T, E, Op>(&self, op: Op) -> RetryOutcome<T, E>
+    where
+        Op: FnMut(u32) -> Result<T, E>,
+    {
+        self.run_with_sleeper(op, |ms| std::thread::sleep(std::time::Duration::from_millis(ms)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn succeeds_first_try() {
+        let p = RetryPolicy::default();
+        let mut sleeps = Vec::new();
+        let out = p.run_with_sleeper(|_| Ok::<_, String>(42), |ms| sleeps.push(ms));
+        assert_eq!(out, RetryOutcome::Success { value: 42, attempts: 1 });
+        assert!(sleeps.is_empty(), "no backoff before the first attempt");
+    }
+
+    #[test]
+    fn retries_until_success() {
+        let p = RetryPolicy { max_attempts: 5, base_backoff_ms: 10 };
+        let mut sleeps = Vec::new();
+        let out = p.run_with_sleeper(
+            |attempt| if attempt < 3 { Err("flaky") } else { Ok(attempt) },
+            |ms| sleeps.push(ms),
+        );
+        assert_eq!(out, RetryOutcome::Success { value: 3, attempts: 3 });
+        assert_eq!(sleeps, vec![10, 20], "exponential backoff between attempts");
+    }
+
+    #[test]
+    fn exhaustion_keeps_last_error() {
+        let p = RetryPolicy { max_attempts: 3, base_backoff_ms: 1 };
+        let out: RetryOutcome<(), String> =
+            p.run_with_sleeper(|a| Err(format!("err {a}")), |_| {});
+        assert_eq!(out, RetryOutcome::Exhausted { error: "err 3".into(), attempts: 3 });
+        assert!(out.into_result().is_err());
+    }
+
+    #[test]
+    fn backoff_schedule() {
+        let p = RetryPolicy { max_attempts: 6, base_backoff_ms: 100 };
+        assert_eq!(p.backoff_ms(1), 0);
+        assert_eq!(p.backoff_ms(2), 100);
+        assert_eq!(p.backoff_ms(3), 200);
+        assert_eq!(p.backoff_ms(4), 400);
+        assert_eq!(p.backoff_ms(5), 800);
+    }
+
+    #[test]
+    fn zero_attempts_clamped() {
+        let p = RetryPolicy { max_attempts: 0, base_backoff_ms: 1 };
+        let out = p.run_with_sleeper(|a| Ok::<_, String>(a), |_| {});
+        assert_eq!(out.attempts(), 1);
+    }
+
+    #[test]
+    fn backoff_saturates() {
+        let p = RetryPolicy { max_attempts: 64, base_backoff_ms: u64::MAX / 2 };
+        // Must not overflow.
+        let _ = p.backoff_ms(40);
+    }
+}

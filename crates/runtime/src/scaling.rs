@@ -1,0 +1,162 @@
+//! Elastic worker scaling policy (Parsl's elastic blocks, simplified).
+//!
+//! Given a queue-depth observation stream, the policy recommends a worker
+//! count between configured bounds: scale out when the backlog per worker
+//! exceeds a high-water mark for consecutive observations, scale in when
+//! workers sit idle. Pure and deterministic — the decision logic is fully
+//! unit-testable without threads.
+
+use serde::{Deserialize, Serialize};
+
+/// Scaling policy parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalingPolicy {
+    /// Minimum workers.
+    pub min_workers: usize,
+    /// Maximum workers.
+    pub max_workers: usize,
+    /// Scale out when backlog/worker exceeds this.
+    pub high_watermark: f64,
+    /// Scale in when backlog/worker falls below this.
+    pub low_watermark: f64,
+    /// Consecutive observations required before acting.
+    pub patience: usize,
+}
+
+impl Default for ScalingPolicy {
+    fn default() -> Self {
+        Self { min_workers: 1, max_workers: 16, high_watermark: 8.0, low_watermark: 1.0, patience: 2 }
+    }
+}
+
+/// A scaling recommendation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingDecision {
+    /// Keep the current worker count.
+    Hold,
+    /// Grow to the given count.
+    ScaleOut(usize),
+    /// Shrink to the given count.
+    ScaleIn(usize),
+}
+
+/// Stateful evaluator applying a [`ScalingPolicy`] to observations.
+#[derive(Debug, Clone)]
+pub struct ScalingController {
+    policy: ScalingPolicy,
+    workers: usize,
+    high_streak: usize,
+    low_streak: usize,
+}
+
+impl ScalingController {
+    /// Create a controller starting at `initial_workers` (clamped to
+    /// policy bounds).
+    pub fn new(policy: ScalingPolicy, initial_workers: usize) -> Self {
+        assert!(policy.min_workers >= 1);
+        assert!(policy.max_workers >= policy.min_workers);
+        assert!(policy.high_watermark > policy.low_watermark);
+        let workers = initial_workers.clamp(policy.min_workers, policy.max_workers);
+        Self { policy, workers, high_streak: 0, low_streak: 0 }
+    }
+
+    /// Current worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Feed one queue-depth observation; returns the decision taken (the
+    /// controller applies it to its own state).
+    pub fn observe(&mut self, queue_depth: usize) -> ScalingDecision {
+        let per_worker = queue_depth as f64 / self.workers as f64;
+        if per_worker > self.policy.high_watermark {
+            self.high_streak += 1;
+            self.low_streak = 0;
+        } else if per_worker < self.policy.low_watermark {
+            self.low_streak += 1;
+            self.high_streak = 0;
+        } else {
+            self.high_streak = 0;
+            self.low_streak = 0;
+        }
+
+        if self.high_streak >= self.policy.patience && self.workers < self.policy.max_workers {
+            self.high_streak = 0;
+            self.workers = (self.workers * 2).min(self.policy.max_workers);
+            return ScalingDecision::ScaleOut(self.workers);
+        }
+        if self.low_streak >= self.policy.patience && self.workers > self.policy.min_workers {
+            self.low_streak = 0;
+            self.workers = (self.workers / 2).max(self.policy.min_workers);
+            return ScalingDecision::ScaleIn(self.workers);
+        }
+        ScalingDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_out_under_sustained_backlog() {
+        let mut c = ScalingController::new(ScalingPolicy::default(), 2);
+        assert_eq!(c.observe(100), ScalingDecision::Hold, "patience 1/2");
+        assert_eq!(c.observe(100), ScalingDecision::ScaleOut(4));
+        assert_eq!(c.workers(), 4);
+        // Needs a fresh streak to scale again.
+        assert_eq!(c.observe(100), ScalingDecision::Hold);
+        assert_eq!(c.observe(100), ScalingDecision::ScaleOut(8));
+    }
+
+    #[test]
+    fn scales_in_when_idle() {
+        let mut c = ScalingController::new(ScalingPolicy::default(), 8);
+        assert_eq!(c.observe(0), ScalingDecision::Hold);
+        assert_eq!(c.observe(0), ScalingDecision::ScaleIn(4));
+        assert_eq!(c.observe(0), ScalingDecision::Hold);
+        assert_eq!(c.observe(0), ScalingDecision::ScaleIn(2));
+    }
+
+    #[test]
+    fn respects_bounds() {
+        let policy = ScalingPolicy { min_workers: 2, max_workers: 4, ..Default::default() };
+        let mut c = ScalingController::new(policy, 100);
+        assert_eq!(c.workers(), 4, "clamped at construction");
+        for _ in 0..10 {
+            c.observe(1_000);
+        }
+        assert_eq!(c.workers(), 4, "never exceeds max");
+        for _ in 0..20 {
+            c.observe(0);
+        }
+        assert_eq!(c.workers(), 2, "never below min");
+    }
+
+    #[test]
+    fn moderate_load_holds() {
+        let mut c = ScalingController::new(ScalingPolicy::default(), 4);
+        for _ in 0..10 {
+            assert_eq!(c.observe(16), ScalingDecision::Hold); // 4 per worker: in band
+        }
+        assert_eq!(c.workers(), 4);
+    }
+
+    #[test]
+    fn mixed_signals_reset_streaks() {
+        let mut c = ScalingController::new(ScalingPolicy::default(), 4);
+        assert_eq!(c.observe(1000), ScalingDecision::Hold);
+        assert_eq!(c.observe(10), ScalingDecision::Hold); // breaks the streak
+        assert_eq!(c.observe(1000), ScalingDecision::Hold);
+        assert_eq!(c.observe(1000), ScalingDecision::ScaleOut(8));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_policy_rejected() {
+        ScalingController::new(
+            ScalingPolicy { min_workers: 0, ..Default::default() },
+            1,
+        );
+    }
+}

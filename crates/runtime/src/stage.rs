@@ -1,0 +1,167 @@
+//! `run_stage` — an ordered, fault-isolated parallel map with metrics.
+//!
+//! This is the unit `mcqa-core` composes its workflow from: every pipeline
+//! stage (parse, chunk, embed, generate, judge, trace) is one `run_stage`
+//! call, which mirrors how the paper expresses stages as Parsl app fleets.
+
+use std::sync::Arc;
+
+use crate::executor::WorkStealingPool;
+use crate::metrics::StageMetrics;
+
+/// A task-level failure inside a stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The task function returned an error.
+    Failed(String),
+    /// The task function panicked.
+    Panicked,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::Failed(msg) => write!(f, "task failed: {msg}"),
+            TaskError::Panicked => write!(f, "task panicked"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Run `f` over `items` on `pool`, returning per-item results **in input
+/// order** plus stage metrics. Individual failures and panics are isolated
+/// into `Err` slots; the stage always completes.
+pub fn run_stage<T, U, F>(
+    pool: &WorkStealingPool,
+    name: &str,
+    items: Vec<T>,
+    f: F,
+) -> (Vec<Result<U, TaskError>>, StageMetrics)
+where
+    T: Send + 'static,
+    U: Send + 'static,
+    F: Fn(T) -> Result<U, String> + Send + Sync + 'static,
+{
+    let timer = mcqa_util::ScopeTimer::start("stage");
+    let n = items.len();
+    let f = Arc::new(f);
+    let (tx, rx) = crossbeam_channel::bounded::<(usize, Result<U, TaskError>)>(n.max(1));
+
+    for (i, item) in items.into_iter().enumerate() {
+        let f = Arc::clone(&f);
+        let tx = tx.clone();
+        pool.submit(move || {
+            let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+                Ok(Ok(u)) => Ok(u),
+                Ok(Err(msg)) => Err(TaskError::Failed(msg)),
+                Err(_) => Err(TaskError::Panicked),
+            };
+            // The receiver outlives all submissions; a send can only fail
+            // if the caller dropped the rx, in which case the result is
+            // moot anyway.
+            let _ = tx.send((i, result));
+        });
+    }
+    drop(tx);
+
+    let mut slots: Vec<Option<Result<U, TaskError>>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let (i, r) = rx.recv().expect("all tasks send exactly once");
+        slots[i] = Some(r);
+    }
+    let results: Vec<Result<U, TaskError>> =
+        slots.into_iter().map(|s| s.expect("slot filled")).collect();
+
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    let panics = results
+        .iter()
+        .filter(|r| matches!(r, Err(TaskError::Panicked)))
+        .count();
+    let metrics = StageMetrics {
+        name: name.to_string(),
+        items: n,
+        ok,
+        errors: n - ok,
+        panics,
+        elapsed_secs: timer.elapsed_secs(),
+    };
+    (results, metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_results() {
+        let pool = WorkStealingPool::new(4);
+        let items: Vec<u64> = (0..500).collect();
+        let (results, metrics) = run_stage(&pool, "square", items, |x| Ok::<u64, String>(x * x));
+        assert_eq!(results.len(), 500);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), (i * i) as u64, "order preserved");
+        }
+        assert_eq!(metrics.ok, 500);
+        assert_eq!(metrics.errors, 0);
+        assert_eq!(metrics.name, "square");
+    }
+
+    #[test]
+    fn errors_isolated_in_slots() {
+        let pool = WorkStealingPool::new(2);
+        let items: Vec<u32> = (0..20).collect();
+        let (results, metrics) = run_stage(&pool, "flaky", items, |x| {
+            if x % 5 == 0 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(metrics.errors, 4);
+        assert_eq!(metrics.ok, 16);
+        assert_eq!(results[5], Err(TaskError::Failed("bad 5".into())));
+        assert_eq!(results[6], Ok(6));
+    }
+
+    #[test]
+    fn panics_isolated_in_slots() {
+        let pool = WorkStealingPool::new(3);
+        let items: Vec<u32> = (0..10).collect();
+        let (results, metrics) = run_stage(&pool, "panicky", items, |x| {
+            if x == 3 {
+                panic!("kaboom");
+            }
+            Ok(x)
+        });
+        assert_eq!(results[3], Err(TaskError::Panicked));
+        assert_eq!(metrics.panics, 1);
+        assert_eq!(metrics.ok, 9);
+        // Subsequent stages still run on the same pool.
+        let (r2, _) = run_stage(&pool, "after", vec![1u32, 2], |x| Ok::<u32, String>(x));
+        assert!(r2.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn empty_stage() {
+        let pool = WorkStealingPool::new(2);
+        let (results, metrics) = run_stage(&pool, "empty", Vec::<u32>::new(), |x| {
+            Ok::<u32, String>(x)
+        });
+        assert!(results.is_empty());
+        assert_eq!(metrics.items, 0);
+        assert_eq!(metrics.throughput(), 0.0);
+    }
+
+    #[test]
+    fn results_independent_of_worker_count() {
+        let items: Vec<u64> = (0..200).collect();
+        let run = |workers| {
+            let pool = WorkStealingPool::new(workers);
+            let (r, _) =
+                run_stage(&pool, "x", items.clone(), |x| Ok::<u64, String>(x.wrapping_mul(31)));
+            r.into_iter().map(Result::unwrap).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(8), "determinism across parallelism");
+    }
+}

@@ -1,0 +1,328 @@
+//! Semantic chunking: embedding-drift boundary detection under a token
+//! budget.
+//!
+//! This mirrors the paper's "semantic chunking with PubMedBERT": sentences
+//! are grouped while consecutive sentence-window embeddings stay similar; a
+//! boundary is emitted where similarity drops (topic shift) or where the
+//! token budget would overflow. The encoder is pluggable via [`Encoder`].
+
+use serde::{Deserialize, Serialize};
+
+use crate::sentence::split_sentences;
+use crate::similarity::dense_cosine;
+use crate::token::token_count;
+
+/// Anything that can embed a piece of text into a dense vector.
+///
+/// `mcqa-embed`'s `BioEncoder` (the PubMedBERT stand-in) implements this;
+/// tests use the lexical [`TfEncoder`].
+pub trait Encoder {
+    /// Embedding dimensionality.
+    fn dim(&self) -> usize;
+    /// Encode one text into a dense `dim()`-length vector.
+    fn encode(&self, text: &str) -> Vec<f32>;
+}
+
+/// A trivial lexical encoder: hashed bag-of-words into a small dense
+/// vector. Adequate for exercising the chunker without `mcqa-embed`.
+#[derive(Debug, Clone)]
+pub struct TfEncoder {
+    dim: usize,
+}
+
+impl TfEncoder {
+    /// Create with the given dimensionality (≥ 8 recommended).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0);
+        Self { dim }
+    }
+}
+
+impl Encoder for TfEncoder {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn encode(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        for tok in crate::token::tokenize(text) {
+            if crate::stopwords::is_stopword(&tok) {
+                continue;
+            }
+            let h = mcqa_util::fnv1a(tok.as_bytes());
+            v[(h % self.dim as u64) as usize] += 1.0;
+        }
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for x in &mut v {
+                *x /= norm;
+            }
+        }
+        v
+    }
+}
+
+/// Chunker configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkerConfig {
+    /// Hard upper bound on tokens per chunk.
+    pub max_tokens: usize,
+    /// Minimum tokens before a drift boundary may fire (avoids confetti).
+    pub min_tokens: usize,
+    /// Cosine-similarity threshold: a boundary fires when the similarity of
+    /// the running-chunk embedding and the next sentence drops below it.
+    pub drift_threshold: f32,
+    /// Number of trailing sentences in the comparison window.
+    pub window_sentences: usize,
+}
+
+impl Default for ChunkerConfig {
+    fn default() -> Self {
+        Self {
+            max_tokens: 256,
+            min_tokens: 48,
+            drift_threshold: 0.18,
+            window_sentences: 3,
+        }
+    }
+}
+
+/// A chunk of a source document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Chunk {
+    /// Chunk text (sentences joined by a single space).
+    pub text: String,
+    /// Index of the first sentence (inclusive).
+    pub first_sentence: usize,
+    /// Index of the last sentence (inclusive).
+    pub last_sentence: usize,
+    /// Token count of `text`.
+    pub tokens: usize,
+}
+
+/// The semantic chunker.
+pub struct Chunker<'e, E: Encoder> {
+    config: ChunkerConfig,
+    encoder: &'e E,
+}
+
+impl<'e, E: Encoder> Chunker<'e, E> {
+    /// Create a chunker over `encoder` with `config`.
+    pub fn new(encoder: &'e E, config: ChunkerConfig) -> Self {
+        assert!(config.max_tokens >= config.min_tokens.max(1));
+        assert!(config.window_sentences >= 1);
+        Self { config, encoder }
+    }
+
+    /// Chunk a document.
+    ///
+    /// Invariants (property-tested):
+    /// * every sentence lands in exactly one chunk, in order;
+    /// * every chunk except possibly one holding a single oversized
+    ///   sentence respects `max_tokens`;
+    /// * chunk sentence ranges are contiguous and non-overlapping.
+    pub fn chunk(&self, text: &str) -> Vec<Chunk> {
+        let sentences = split_sentences(text);
+        if sentences.is_empty() {
+            return Vec::new();
+        }
+
+        let mut chunks: Vec<Chunk> = Vec::new();
+        let mut cur_sents: Vec<&str> = Vec::new();
+        let mut cur_tokens = 0usize;
+        let mut cur_first = 0usize;
+
+        let flush = |chunks: &mut Vec<Chunk>, cur: &mut Vec<&str>, first: usize, last: usize, tokens: usize| {
+            if cur.is_empty() {
+                return;
+            }
+            chunks.push(Chunk {
+                text: cur.join(" "),
+                first_sentence: first,
+                last_sentence: last,
+                tokens,
+            });
+            cur.clear();
+        };
+
+        for (i, sent) in sentences.iter().enumerate() {
+            let stoks = token_count(sent);
+            if cur_sents.is_empty() {
+                cur_first = i;
+                cur_sents.push(sent);
+                cur_tokens = stoks;
+                continue;
+            }
+
+            // Budget boundary.
+            if cur_tokens + stoks > self.config.max_tokens {
+                flush(&mut chunks, &mut cur_sents, cur_first, i - 1, cur_tokens);
+                cur_first = i;
+                cur_sents.push(sent);
+                cur_tokens = stoks;
+                continue;
+            }
+
+            // Drift boundary: compare a trailing window of the running
+            // chunk with a look-ahead window starting at the candidate
+            // sentence. Windowing on both sides smooths out single-sentence
+            // vocabulary noise, which a contextual encoder would absorb.
+            if cur_tokens >= self.config.min_tokens {
+                let w = self.config.window_sentences.min(cur_sents.len());
+                let window_text = cur_sents[cur_sents.len() - w..].join(" ");
+                let ahead_end = (i + self.config.window_sentences).min(sentences.len());
+                let ahead_text = sentences[i..ahead_end].join(" ");
+                let a = self.encoder.encode(&window_text);
+                let b = self.encoder.encode(&ahead_text);
+                if dense_cosine(&a, &b) < self.config.drift_threshold {
+                    flush(&mut chunks, &mut cur_sents, cur_first, i - 1, cur_tokens);
+                    cur_first = i;
+                    cur_sents.push(sent);
+                    cur_tokens = stoks;
+                    continue;
+                }
+            }
+
+            cur_sents.push(sent);
+            cur_tokens += stoks;
+        }
+        let last = sentences.len() - 1;
+        flush(&mut chunks, &mut cur_sents, cur_first, last, cur_tokens);
+        chunks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn themed_text() -> String {
+        // Two lexically cohesive themes: sentences within a theme share
+        // vocabulary (as real topical prose does), themes share none.
+        let theme_a = "Radiation induces breaks in tumour DNA strands. \
+                       Radiation damage triggers repair of DNA breaks. \
+                       Repair kinases mark radiation breaks in DNA. \
+                       Tumour DNA repair follows radiation damage signalling. ";
+        let theme_b = "Billing budgets changed hospital revenue processing. \
+                       Hospital billing departments processed budget claims. \
+                       Budget revenue reports shaped hospital billing. \
+                       Billing committees reviewed hospital budget revenue. ";
+        format!("{theme_a}{theme_b}")
+    }
+
+    #[test]
+    fn empty_input() {
+        let enc = TfEncoder::new(64);
+        let chunker = Chunker::new(&enc, ChunkerConfig::default());
+        assert!(chunker.chunk("").is_empty());
+        assert!(chunker.chunk("   ").is_empty());
+    }
+
+    #[test]
+    fn single_sentence() {
+        let enc = TfEncoder::new(64);
+        let chunker = Chunker::new(&enc, ChunkerConfig::default());
+        let chunks = chunker.chunk("A single short sentence.");
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].first_sentence, 0);
+        assert_eq!(chunks[0].last_sentence, 0);
+    }
+
+    #[test]
+    fn budget_boundary_respected() {
+        let enc = TfEncoder::new(64);
+        let cfg = ChunkerConfig {
+            max_tokens: 20,
+            min_tokens: 5,
+            drift_threshold: -1.0, // never fires: isolate the budget rule
+            window_sentences: 2,
+        };
+        let chunker = Chunker::new(&enc, cfg.clone());
+        let text = "One two three four five six seven. \
+                    Eight nine ten eleven twelve thirteen. \
+                    Fourteen fifteen sixteen seventeen eighteen nineteen twenty twentyone.";
+        let chunks = chunker.chunk(text);
+        assert!(chunks.len() >= 2, "{chunks:?}");
+        for c in &chunks {
+            assert!(c.tokens <= cfg.max_tokens, "{c:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_single_sentence_kept_whole() {
+        let enc = TfEncoder::new(64);
+        let cfg = ChunkerConfig {
+            max_tokens: 5,
+            min_tokens: 1,
+            drift_threshold: -1.0,
+            window_sentences: 1,
+        };
+        let chunker = Chunker::new(&enc, cfg);
+        let text = "this single sentence has considerably more than five tokens in it.";
+        let chunks = chunker.chunk(text);
+        assert_eq!(chunks.len(), 1, "oversized sentence forms its own chunk");
+    }
+
+    #[test]
+    fn drift_boundary_fires_on_topic_shift() {
+        let enc = TfEncoder::new(256);
+        let cfg = ChunkerConfig {
+            max_tokens: 1000, // budget never fires: isolate the drift rule
+            min_tokens: 10,
+            drift_threshold: 0.12,
+            window_sentences: 3,
+        };
+        let chunker = Chunker::new(&enc, cfg);
+        let chunks = chunker.chunk(&themed_text());
+        assert!(chunks.len() >= 2, "topic shift should split: {chunks:?}");
+        // The split should be near the theme boundary (sentence 4).
+        assert!(chunks[0].last_sentence >= 2 && chunks[0].last_sentence <= 5, "{chunks:?}");
+    }
+
+    #[test]
+    fn sentences_partitioned_exactly() {
+        let enc = TfEncoder::new(64);
+        let chunker = Chunker::new(
+            &enc,
+            ChunkerConfig { max_tokens: 30, min_tokens: 8, drift_threshold: 0.15, window_sentences: 2 },
+        );
+        let text = themed_text();
+        let n_sentences = split_sentences(&text).len();
+        let chunks = chunker.chunk(&text);
+        let mut next = 0usize;
+        for c in &chunks {
+            assert_eq!(c.first_sentence, next, "contiguous coverage");
+            assert!(c.last_sentence >= c.first_sentence);
+            next = c.last_sentence + 1;
+        }
+        assert_eq!(next, n_sentences, "all sentences covered");
+    }
+
+    #[test]
+    fn token_counts_accurate() {
+        let enc = TfEncoder::new(64);
+        let chunker = Chunker::new(&enc, ChunkerConfig::default());
+        for c in chunker.chunk(&themed_text()) {
+            assert_eq!(c.tokens, token_count(&c.text), "{c:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_config_rejected() {
+        let enc = TfEncoder::new(8);
+        let _ = Chunker::new(
+            &enc,
+            ChunkerConfig { max_tokens: 4, min_tokens: 10, drift_threshold: 0.2, window_sentences: 1 },
+        );
+    }
+
+    #[test]
+    fn tf_encoder_unit_norm() {
+        let enc = TfEncoder::new(32);
+        let v = enc.encode("radiation dose fractionation response");
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        assert_eq!(enc.encode(""), vec![0.0; 32], "empty text is the zero vector");
+    }
+}

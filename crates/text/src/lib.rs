@@ -1,0 +1,30 @@
+//! Text processing substrate: tokenisation, sentence segmentation,
+//! vocabulary statistics, similarity, and semantic chunking.
+//!
+//! The paper's pipeline performs "semantic chunking with PubMedBERT" to
+//! address SLM context limits, yielding 173,318 chunks from 22,548
+//! documents. This crate supplies the text machinery that stage needs:
+//!
+//! * [`token`] — a deterministic word tokeniser; all context-window
+//!   accounting across the workspace is in these tokens.
+//! * [`sentence`] — abbreviation-aware sentence segmentation.
+//! * [`vocab`] — corpus vocabulary with document frequencies and tf-idf.
+//! * [`similarity`] — cosine/Jaccard measures over term vectors.
+//! * [`chunk`] — the semantic chunker: sentence-window embeddings are
+//!   compared and a chunk boundary is placed where the embedding drifts
+//!   (topic shift) or the token budget fills up. The embedding function is
+//!   abstracted behind [`chunk::Encoder`] so the chunker works with the
+//!   lexical [`chunk::TfEncoder`] (tests) or `mcqa-embed`'s `BioEncoder`
+//!   (production, the PubMedBERT stand-in).
+
+pub mod chunk;
+pub mod sentence;
+pub mod similarity;
+pub mod stopwords;
+pub mod token;
+pub mod vocab;
+
+pub use chunk::{Chunk, Chunker, ChunkerConfig, Encoder, TfEncoder};
+pub use sentence::split_sentences;
+pub use token::{tokenize, token_count};
+pub use vocab::Vocabulary;

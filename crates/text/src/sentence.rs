@@ -1,0 +1,153 @@
+//! Abbreviation-aware sentence segmentation.
+//!
+//! Scientific prose is full of `"e.g."`, `"et al."`, `"Fig. 3"`, and decimal
+//! numbers; naïvely splitting on `.` shreds it. The segmenter below splits
+//! on `.`, `!`, `?` followed by whitespace and an uppercase/numeric start,
+//! unless the period terminates a known abbreviation or an initial.
+
+/// Abbreviations that never end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "e.g", "i.e", "et al", "cf", "vs", "fig", "figs", "eq", "ref", "refs", "approx",
+    "resp", "ca", "no", "nos", "vol", "dr", "prof", "inc", "etc",
+];
+
+/// Split `text` into sentences. Whitespace is trimmed from each sentence;
+/// empty sentences are dropped.
+pub fn split_sentences(text: &str) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '.' || c == '!' || c == '?' {
+            // Look ahead: sentence boundary requires whitespace then an
+            // uppercase letter, digit, or end of text.
+            let mut j = i + 1;
+            // Consume closing quotes/brackets directly after the mark.
+            while j < bytes.len() && matches!(bytes[j] as char, ')' | ']' | '"' | '\'') {
+                j += 1;
+            }
+            let ws_start = j;
+            while j < bytes.len() && (bytes[j] as char).is_whitespace() {
+                j += 1;
+            }
+            let has_ws = j > ws_start;
+            let next_ok = j >= bytes.len()
+                || (has_ws && {
+                    // Safe: j is on a char boundary because whitespace and
+                    // ASCII consumed above are single-byte; for multi-byte
+                    // chars we fall back to a char lookup.
+                    match text[j..].chars().next() {
+                        Some(nc) => nc.is_uppercase() || nc.is_numeric(),
+                        None => true,
+                    }
+                });
+
+            let is_abbrev = c == '.' && {
+                let before = &text[start..i];
+                let last_word = before
+                    .rsplit(|ch: char| ch.is_whitespace() || ch == '(' || ch == ',')
+                    .next()
+                    .unwrap_or("");
+                let lw = last_word.trim_end_matches('.').to_lowercase();
+                // Single letters are initials ("J. Smith"); known
+                // abbreviations and decimal contexts also block splits.
+                lw.len() == 1 && lw.chars().all(|c| c.is_alphabetic())
+                    || ABBREVIATIONS.iter().any(|a| lw == *a || lw.ends_with(&format!(".{a}")))
+                    || (i + 1 < bytes.len() && (bytes[i + 1] as char).is_numeric())
+            };
+
+            if next_ok && !is_abbrev {
+                let s = text[start..ws_start].trim();
+                if !s.is_empty() {
+                    out.push(s);
+                }
+                start = j;
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_split() {
+        let s = "First sentence. Second one! Third? Done.";
+        let parts = split_sentences(s);
+        assert_eq!(parts, vec!["First sentence.", "Second one!", "Third?", "Done."]);
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = "Repair is slow, e.g. in hypoxia. See Fig. 3 for details.";
+        let parts = split_sentences(s);
+        assert_eq!(parts.len(), 2, "{parts:?}");
+        assert!(parts[0].ends_with("hypoxia."));
+        assert!(parts[1].starts_with("See Fig. 3"));
+    }
+
+    #[test]
+    fn decimals_do_not_split() {
+        let s = "The dose was 2.5 Gy per fraction. Survival fell to 0.37 overall.";
+        let parts = split_sentences(s);
+        assert_eq!(parts.len(), 2, "{parts:?}");
+    }
+
+    #[test]
+    fn initials_do_not_split() {
+        let s = "As shown by J. Smith. The effect persisted.";
+        let parts = split_sentences(s);
+        assert_eq!(parts.len(), 2, "{parts:?}");
+        assert_eq!(parts[0], "As shown by J. Smith.");
+    }
+
+    #[test]
+    fn et_al_does_not_split() {
+        let s = "Reported by Chen et al. Nevertheless results differ.";
+        let parts = split_sentences(s);
+        assert_eq!(parts.len(), 2, "{parts:?}");
+        assert!(parts[0].ends_with("et al."));
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   \n\t ").is_empty());
+        assert_eq!(split_sentences("No terminal punctuation"), vec!["No terminal punctuation"]);
+    }
+
+    #[test]
+    fn lowercase_continuation_does_not_split() {
+        // "pH 7.4 buffer. we" — lowercase after period: treated as same
+        // sentence (protects against mid-citation splits).
+        let s = "Cells were kept in buffer. we then irradiated them.";
+        let parts = split_sentences(s);
+        assert_eq!(parts.len(), 1, "{parts:?}");
+    }
+
+    #[test]
+    fn sentences_cover_text() {
+        let s = "One. Two! Three? Four.";
+        let parts = split_sentences(s);
+        let glued: String = parts.join(" ");
+        assert_eq!(glued, s);
+    }
+
+    #[test]
+    fn unicode_content_survives() {
+        let s = "The α/β ratio was 10 Gy. Überleben fell sharply.";
+        let parts = split_sentences(s);
+        assert_eq!(parts.len(), 2, "{parts:?}");
+    }
+}

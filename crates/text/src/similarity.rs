@@ -1,0 +1,115 @@
+//! Similarity measures over term vectors and dense embeddings.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// Cosine similarity of two sparse vectors. Returns 0 for empty inputs.
+pub fn sparse_cosine<K: Eq + Hash>(a: &HashMap<K, f64>, b: &HashMap<K, f64>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    // Iterate the smaller map.
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let dot: f64 = small
+        .iter()
+        .filter_map(|(k, v)| large.get(k).map(|w| v * w))
+        .sum();
+    let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
+    let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Cosine similarity of two dense vectors; panics on length mismatch.
+pub fn dense_cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+/// Jaccard similarity of two sets.
+pub fn jaccard<K: Eq + Hash>(a: &HashSet<K>, b: &HashSet<K>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Token-set Jaccard of two strings (lowercased word tokens).
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let sa: HashSet<String> = crate::token::tokenize(a).into_iter().collect();
+    let sb: HashSet<String> = crate::token::tokenize(b).into_iter().collect();
+    jaccard(&sa, &sb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_cosine_identical() {
+        let mut a = HashMap::new();
+        a.insert("x", 1.0);
+        a.insert("y", 2.0);
+        assert!((sparse_cosine(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparse_cosine_orthogonal_and_empty() {
+        let mut a = HashMap::new();
+        a.insert("x", 1.0);
+        let mut b = HashMap::new();
+        b.insert("y", 1.0);
+        assert_eq!(sparse_cosine(&a, &b), 0.0);
+        let e: HashMap<&str, f64> = HashMap::new();
+        assert_eq!(sparse_cosine(&a, &e), 0.0);
+    }
+
+    #[test]
+    fn dense_cosine_basics() {
+        assert!((dense_cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(dense_cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert!((dense_cosine(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(dense_cosine(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dense_cosine_mismatch_panics() {
+        dense_cosine(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a: HashSet<i32> = [1, 2, 3].into_iter().collect();
+        let b: HashSet<i32> = [2, 3, 4].into_iter().collect();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        let e: HashSet<i32> = HashSet::new();
+        assert_eq!(jaccard(&e, &e), 1.0);
+        assert_eq!(jaccard(&a, &e), 0.0);
+    }
+
+    #[test]
+    fn token_jaccard_case_insensitive() {
+        assert!((token_jaccard("DNA repair", "dna REPAIR") - 1.0).abs() < 1e-12);
+        assert!(token_jaccard("alpha beta", "gamma delta") == 0.0);
+        let mid = token_jaccard("dose rate effect", "dose rate constant");
+        assert!(mid > 0.0 && mid < 1.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Deterministic word tokenisation.
+//!
+//! One tokeniser is used everywhere — chunk budgets, context-window
+//! truncation, embedding features — so token counts are comparable across
+//! the whole pipeline (the paper's stages share PubMedBERT's tokeniser in
+//! the same way).
+
+/// A token: lowercase alphanumeric word, keeping internal hyphens and
+/// Greek-free alphanumerics (`"non-homologous"`, `"eqd2"`, `"t1/2"` splits
+/// at the slash).
+///
+/// Tokenisation rules:
+/// * split on any char that is not alphanumeric or `-`,
+/// * drop pure `-` strings,
+/// * lowercase everything.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '-' {
+            for lc in c.to_lowercase() {
+                cur.push(lc);
+            }
+        } else if !cur.is_empty() {
+            if cur.chars().any(|c| c.is_alphanumeric()) {
+                out.push(std::mem::take(&mut cur));
+            } else {
+                cur.clear();
+            }
+        }
+    }
+    if !cur.is_empty() && cur.chars().any(|c| c.is_alphanumeric()) {
+        out.push(cur);
+    }
+    out
+}
+
+/// Number of tokens in `text` without materialising them.
+pub fn token_count(text: &str) -> usize {
+    let mut count = 0usize;
+    let mut in_tok = false;
+    let mut has_alnum = false;
+    for c in text.chars() {
+        if c.is_alphanumeric() || c == '-' {
+            in_tok = true;
+            has_alnum |= c.is_alphanumeric();
+        } else {
+            if in_tok && has_alnum {
+                count += 1;
+            }
+            in_tok = false;
+            has_alnum = false;
+        }
+    }
+    if in_tok && has_alnum {
+        count += 1;
+    }
+    count
+}
+
+/// Truncate `text` to at most `max_tokens` tokens, preserving the original
+/// surface form (whitespace/punctuation) of the kept prefix.
+///
+/// Used for context-window truncation in the simulated models: a 2k-window
+/// model sees only the first 2k tokens of its prompt, exactly like a real
+/// model whose tokenizer hits its limit.
+pub fn truncate_tokens(text: &str, max_tokens: usize) -> &str {
+    if max_tokens == 0 {
+        return "";
+    }
+    let mut count = 0usize;
+    let mut in_tok = false;
+    let mut has_alnum = false;
+    for (i, c) in text.char_indices() {
+        if c.is_alphanumeric() || c == '-' {
+            if !in_tok {
+                // A new token starts here; if we already have the budget
+                // filled, cut before it.
+                if count == max_tokens {
+                    return &text[..i];
+                }
+            }
+            in_tok = true;
+            has_alnum |= c.is_alphanumeric();
+        } else {
+            if in_tok && has_alnum {
+                count += 1;
+            }
+            in_tok = false;
+            has_alnum = false;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokenisation() {
+        assert_eq!(
+            tokenize("The HX-29 cell line was irradiated."),
+            vec!["the", "hx-29", "cell", "line", "was", "irradiated"]
+        );
+    }
+
+    #[test]
+    fn punctuation_and_case() {
+        assert_eq!(tokenize("EQD2 = BED/(1+2/3)!"), vec!["eqd2", "bed", "1", "2", "3"]);
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("—–…"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn hyphens_kept_inside_words() {
+        assert_eq!(
+            tokenize("non-homologous end-joining"),
+            vec!["non-homologous", "end-joining"]
+        );
+        // Pure dashes are dropped.
+        assert_eq!(tokenize("a - b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn count_matches_tokenize() {
+        let samples = [
+            "",
+            "one",
+            "The p53-mediator axis, under hypoxic conditions, activates apoptosis.",
+            "x - - y--z 42 Gy (3.5%)",
+            "trailing word",
+        ];
+        for s in samples {
+            assert_eq!(token_count(s), tokenize(s).len(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn truncate_basics() {
+        let s = "alpha beta gamma delta";
+        assert_eq!(truncate_tokens(s, 0), "");
+        assert_eq!(truncate_tokens(s, 2).trim_end(), "alpha beta");
+        assert_eq!(truncate_tokens(s, 4), s);
+        assert_eq!(truncate_tokens(s, 100), s);
+    }
+
+    #[test]
+    fn truncate_respects_token_count() {
+        let s = "Clustered lesions, induced by carbon ions, resist repair (p < 0.05).";
+        for k in 0..=token_count(s) {
+            let t = truncate_tokens(s, k);
+            assert!(token_count(t) <= k, "k={k} got {:?}", t);
+            if k > 0 {
+                assert_eq!(token_count(t), k);
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_preserves_prefix_surface() {
+        let s = "A, B; C";
+        let t = truncate_tokens(s, 2);
+        assert!(s.starts_with(t));
+        assert_eq!(tokenize(t), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unicode_safety() {
+        // Multi-byte chars must not split mid-boundary.
+        let s = "α-kinase führt 5µm Überleben";
+        let t = truncate_tokens(s, 2);
+        assert!(s.starts_with(t));
+        assert!(token_count(t) <= 2);
+        let toks = tokenize("Überleben");
+        assert_eq!(toks, vec!["überleben"]);
+    }
+}

@@ -1,0 +1,208 @@
+//! Corpus vocabulary with document frequencies and tf-idf weighting.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::stopwords::is_stopword;
+use crate::token::tokenize;
+
+/// A term id in a [`Vocabulary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+/// A corpus vocabulary: term ↔ id mapping plus document frequencies.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    ids: HashMap<String, TermId>,
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+}
+
+impl Vocabulary {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one document's text, updating term ↔ id tables and document
+    /// frequencies. Stopwords are excluded.
+    pub fn add_document(&mut self, text: &str) {
+        self.num_docs += 1;
+        let mut seen = std::collections::HashSet::new();
+        for tok in tokenize(text) {
+            if is_stopword(&tok) {
+                continue;
+            }
+            let id = match self.ids.get(&tok) {
+                Some(&id) => id,
+                None => {
+                    let id = TermId(self.terms.len() as u32);
+                    self.terms.push(tok.clone());
+                    self.ids.insert(tok.clone(), id);
+                    self.doc_freq.push(0);
+                    id
+                }
+            };
+            if seen.insert(id) {
+                self.doc_freq[id.0 as usize] += 1;
+            }
+        }
+    }
+
+    /// Term id for `term` (must be lowercase).
+    pub fn id(&self, term: &str) -> Option<TermId> {
+        self.ids.get(term).copied()
+    }
+
+    /// Term string for an id.
+    pub fn term(&self, id: TermId) -> Option<&str> {
+        self.terms.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Vocabulary size.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been added.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Number of documents added.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Document frequency of a term.
+    pub fn doc_freq(&self, id: TermId) -> u32 {
+        self.doc_freq.get(id.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency: `ln((1+N)/(1+df)) + 1`.
+    pub fn idf(&self, id: TermId) -> f64 {
+        let df = self.doc_freq(id) as f64;
+        ((1.0 + self.num_docs as f64) / (1.0 + df)).ln() + 1.0
+    }
+
+    /// tf-idf vector of `text` as a sparse `TermId → weight` map,
+    /// L2-normalised. Unknown terms are ignored.
+    pub fn tfidf(&self, text: &str) -> HashMap<TermId, f64> {
+        let mut tf: HashMap<TermId, f64> = HashMap::new();
+        for tok in tokenize(text) {
+            if is_stopword(&tok) {
+                continue;
+            }
+            if let Some(id) = self.id(&tok) {
+                *tf.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        let mut norm = 0.0;
+        for (id, w) in tf.iter_mut() {
+            *w *= self.idf(*id);
+            norm += *w * *w;
+        }
+        if norm > 0.0 {
+            let norm = norm.sqrt();
+            for w in tf.values_mut() {
+                *w /= norm;
+            }
+        }
+        tf
+    }
+
+    /// The `k` highest-idf terms of `text` (most distinctive terms),
+    /// descending, ties broken by term string for determinism.
+    pub fn salient_terms<'v>(&'v self, text: &str, k: usize) -> Vec<&'v str> {
+        let v = self.tfidf(text);
+        let mut pairs: Vec<(TermId, f64)> = v.into_iter().collect();
+        pairs.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| self.term(a.0).cmp(&self.term(b.0)))
+        });
+        pairs
+            .into_iter()
+            .take(k)
+            .filter_map(|(id, _)| self.term(id))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_vocab() -> Vocabulary {
+        let mut v = Vocabulary::new();
+        v.add_document("Radiation induces apoptosis in tumour cells.");
+        v.add_document("Radiation damages DNA. Repair pathways respond.");
+        v.add_document("Hypoxia causes radioresistance in tumour cores.");
+        v
+    }
+
+    #[test]
+    fn ids_roundtrip() {
+        let v = sample_vocab();
+        for term in ["radiation", "apoptosis", "hypoxia"] {
+            let id = v.id(term).unwrap_or_else(|| panic!("{term} missing"));
+            assert_eq!(v.term(id), Some(term));
+        }
+        assert!(v.id("the").is_none(), "stopwords excluded");
+        assert!(v.id("nonexistent").is_none());
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let mut v = Vocabulary::new();
+        v.add_document("dose dose dose");
+        v.add_document("dose response");
+        let id = v.id("dose").unwrap();
+        assert_eq!(v.doc_freq(id), 2, "df counts documents");
+        assert_eq!(v.num_docs(), 2);
+    }
+
+    #[test]
+    fn idf_orders_rarity() {
+        let v = sample_vocab();
+        let common = v.id("radiation").unwrap(); // 2 docs
+        let rare = v.id("hypoxia").unwrap(); // 1 doc
+        assert!(v.idf(rare) > v.idf(common));
+    }
+
+    #[test]
+    fn tfidf_normalised() {
+        let v = sample_vocab();
+        let vec = v.tfidf("radiation apoptosis repair");
+        let norm: f64 = vec.values().map(|w| w * w).sum();
+        assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+    }
+
+    #[test]
+    fn tfidf_of_unknown_text_is_empty() {
+        let v = sample_vocab();
+        assert!(v.tfidf("zzz qqq xxx").is_empty());
+        assert!(v.tfidf("").is_empty());
+    }
+
+    #[test]
+    fn salient_terms_prefer_rare() {
+        let v = sample_vocab();
+        let salient = v.salient_terms("radiation hypoxia tumour", 2);
+        assert_eq!(salient.len(), 2);
+        assert!(salient.contains(&"hypoxia"), "{salient:?}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = sample_vocab();
+        let s = serde_json::to_string(&v).unwrap();
+        let back: Vocabulary = serde_json::from_str(&s).unwrap();
+        assert_eq!(back.len(), v.len());
+        assert_eq!(back.num_docs(), v.num_docs());
+        let id = v.id("radiation").unwrap();
+        assert_eq!(back.doc_freq(id), v.doc_freq(id));
+    }
+}

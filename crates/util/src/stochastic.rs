@@ -1,0 +1,235 @@
+//! Keyed, order-independent stochastic primitives.
+//!
+//! The evaluation harness answers hundreds of thousands of questions across
+//! many threads. Classic sequential RNGs make results depend on evaluation
+//! order; instead, every random decision here is a *pure function* of a
+//! stable key (`(seed, domain, entity ids...)`). This yields:
+//!
+//! * bit-identical results regardless of thread count or batching,
+//! * independent decisions for independent keys,
+//! * the ability to "replay" any single decision in isolation (great for
+//!   debugging a single question's outcome).
+
+use crate::hash::{splitmix64, StableHasher};
+
+/// A keyed stochastic source: a fixed 64-bit seed plus per-call key material.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyedStochastic {
+    seed: u64,
+}
+
+impl KeyedStochastic {
+    /// Create a source with a global seed (e.g. the run's `--seed`).
+    #[inline]
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// The raw 64-bit hash for a key path.
+    #[inline]
+    pub fn raw(&self, parts: &[&str]) -> u64 {
+        let mut h = StableHasher::with_seed(self.seed);
+        h.write_u64(parts.len() as u64);
+        for p in parts {
+            h.write_str(p);
+        }
+        h.finish()
+    }
+
+    /// A uniform float in `[0, 1)` for the key path.
+    #[inline]
+    pub fn uniform(&self, parts: &[&str]) -> f64 {
+        // 53 mantissa bits → exactly representable dyadic rational in [0,1).
+        (self.raw(parts) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// A Bernoulli draw with probability `p` for the key path.
+    ///
+    /// `p <= 0` always yields `false`; `p >= 1` always yields `true`.
+    #[inline]
+    pub fn bernoulli(&self, p: f64, parts: &[&str]) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.uniform(parts) < p
+    }
+
+    /// A uniform integer in `[0, n)` for the key path. `n` must be > 0.
+    #[inline]
+    pub fn below(&self, n: usize, parts: &[&str]) -> usize {
+        assert!(n > 0, "below(0) is undefined");
+        // Multiply-shift reduction avoids modulo bias for n << 2^64.
+        let r = self.raw(parts);
+        ((r as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Choose an index from a weight vector (weights need not sum to 1).
+    ///
+    /// Returns `None` when all weights are zero/negative or the slice is
+    /// empty.
+    pub fn weighted_choice(&self, weights: &[f64], parts: &[&str]) -> Option<usize> {
+        let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let mut target = self.uniform(parts) * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if w <= 0.0 {
+                continue;
+            }
+            if target < w {
+                return Some(i);
+            }
+            target -= w;
+        }
+        // Floating-point edge: fall back to the last positive weight.
+        weights.iter().rposition(|w| *w > 0.0)
+    }
+
+    /// A Gaussian(0, 1) sample via the Box–Muller transform on two
+    /// independent key-derived uniforms.
+    pub fn gaussian(&self, parts: &[&str]) -> f64 {
+        let u1 = self.uniform(parts).max(f64::MIN_POSITIVE);
+        // Derive an independent second uniform by perturbing the key.
+        let r2 = splitmix64(self.raw(parts) ^ 0x9e37_79b9_7f4a_7c15);
+        let u2 = (r2 >> 11) as f64 / (1u64 << 53) as f64;
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Deterministic Fisher–Yates permutation of `0..n` for the key path.
+    pub fn permutation(&self, n: usize, parts: &[&str]) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..n).collect();
+        let base = self.raw(parts);
+        for i in (1..n).rev() {
+            let r = splitmix64(base.wrapping_add(i as u64));
+            let j = ((r as u128 * (i as u128 + 1)) >> 64) as usize;
+            out.swap(i, j);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_range_and_deterministic() {
+        let s = KeyedStochastic::new(7);
+        for i in 0..1000 {
+            let key = format!("k{i}");
+            let u = s.uniform(&[&key]);
+            assert!((0.0..1.0).contains(&u));
+            assert_eq!(u, s.uniform(&[&key]), "same key, same value");
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_p() {
+        let s = KeyedStochastic::new(11);
+        for &p in &[0.1, 0.5, 0.9] {
+            let n = 20_000;
+            let hits = (0..n)
+                .filter(|i| s.bernoulli(p, &["b", &i.to_string(), &p.to_string()]))
+                .count();
+            let freq = hits as f64 / n as f64;
+            assert!((freq - p).abs() < 0.02, "p={p} freq={freq}");
+        }
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let s = KeyedStochastic::new(1);
+        assert!(!s.bernoulli(0.0, &["x"]));
+        assert!(!s.bernoulli(-1.0, &["x"]));
+        assert!(s.bernoulli(1.0, &["x"]));
+        assert!(s.bernoulli(2.0, &["x"]));
+    }
+
+    #[test]
+    fn below_is_uniform() {
+        let s = KeyedStochastic::new(3);
+        let n = 10;
+        let mut counts = vec![0usize; n];
+        let trials = 50_000;
+        for i in 0..trials {
+            counts[s.below(n, &["u", &i.to_string()])] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.12,
+                "bucket {i}: {c} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        KeyedStochastic::new(0).below(0, &["x"]);
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let s = KeyedStochastic::new(5);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for i in 0..40_000 {
+            let idx = s.weighted_choice(&weights, &["w", &i.to_string()]).unwrap();
+            counts[idx] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero weight never chosen");
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_choice_degenerate() {
+        let s = KeyedStochastic::new(5);
+        assert_eq!(s.weighted_choice(&[], &["w"]), None);
+        assert_eq!(s.weighted_choice(&[0.0, 0.0], &["w"]), None);
+        assert_eq!(s.weighted_choice(&[-1.0], &["w"]), None);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let s = KeyedStochastic::new(9);
+        let n = 30_000;
+        let samples: Vec<f64> = (0..n).map(|i| s.gaussian(&["g", &i.to_string()])).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn permutation_is_valid_and_varies() {
+        let s = KeyedStochastic::new(13);
+        let p1 = s.permutation(20, &["p", "1"]);
+        let p2 = s.permutation(20, &["p", "2"]);
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(p1, p2, "different keys should permute differently");
+        assert_eq!(p1, s.permutation(20, &["p", "1"]), "deterministic");
+    }
+
+    #[test]
+    fn different_seeds_decorrelate() {
+        let a = KeyedStochastic::new(1);
+        let b = KeyedStochastic::new(2);
+        let n = 10_000;
+        let agree = (0..n)
+            .filter(|i| {
+                let k = i.to_string();
+                a.bernoulli(0.5, &[&k]) == b.bernoulli(0.5, &[&k])
+            })
+            .count();
+        let frac = agree as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "agreement {frac}");
+    }
+}

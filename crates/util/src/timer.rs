@@ -1,0 +1,98 @@
+//! Minimal wall-clock instrumentation for pipeline stage metrics.
+
+use std::time::{Duration, Instant};
+
+/// A named wall-clock scope.
+///
+/// ```
+/// use mcqa_util::ScopeTimer;
+/// let t = ScopeTimer::start("embed");
+/// // ... work ...
+/// let elapsed = t.elapsed();
+/// assert!(elapsed.as_nanos() > 0 || elapsed.as_nanos() == 0); // monotonic
+/// ```
+#[derive(Debug)]
+pub struct ScopeTimer {
+    label: &'static str,
+    start: Instant,
+}
+
+impl ScopeTimer {
+    /// Start timing a named scope.
+    pub fn start(label: &'static str) -> Self {
+        Self {
+            label,
+            start: Instant::now(),
+        }
+    }
+
+    /// The scope's label.
+    pub fn label(&self) -> &'static str {
+        self.label
+    }
+
+    /// Time elapsed since `start`.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in fractional seconds.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+
+    /// Items/second for `n` items processed in this scope (0 when no time
+    /// has passed yet, avoiding ±inf in reports).
+    pub fn throughput(&self, n: usize) -> f64 {
+        let secs = self.elapsed_secs();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            n as f64 / secs
+        }
+    }
+}
+
+/// Format a `Duration` as a short human string (`1.23s`, `45.6ms`, `789µs`).
+pub fn human_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{}µs", nanos / 1_000)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_monotonic() {
+        let t = ScopeTimer::start("x");
+        let a = t.elapsed();
+        let b = t.elapsed();
+        assert!(b >= a);
+        assert_eq!(t.label(), "x");
+    }
+
+    #[test]
+    fn throughput_no_div_by_zero() {
+        let t = ScopeTimer::start("x");
+        // Either a sane number or 0, never inf/NaN.
+        let tp = t.throughput(100);
+        assert!(tp.is_finite());
+    }
+
+    #[test]
+    fn human_duration_units() {
+        assert_eq!(human_duration(Duration::from_nanos(500)), "500ns");
+        assert_eq!(human_duration(Duration::from_micros(12)), "12µs");
+        assert_eq!(human_duration(Duration::from_millis(3)), "3.0ms");
+        assert_eq!(human_duration(Duration::from_secs(2)), "2.00s");
+    }
+}

@@ -1,0 +1,44 @@
+//! The external-validity experiment: evaluate the model roster on the
+//! synthetic Astro exam (all questions + no-math subset), printing
+//! Tables 3 and 4 and Figures 5 and 6.
+//!
+//! ```sh
+//! cargo run --release --example astro_exam -- [scale] [seed]
+//! ```
+
+use distllm::eval::results::{render_fig, render_table3, render_table4, FigureSeries};
+use distllm::prelude::*;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(42);
+
+    let output = Pipeline::run(&PipelineConfig::at_scale(scale, seed));
+    let evaluator = Evaluator::new(&output, EvalConfig::default());
+
+    let exam = evaluator.exam();
+    let math = exam.items.iter().filter(|i| i.is_math).count();
+    println!(
+        "exam: {} raw questions, {} excluded as multimodal, {} evaluated",
+        exam.evaluated() + exam.excluded_multimodal.len(),
+        exam.excluded_multimodal.len(),
+        exam.evaluated()
+    );
+    println!(
+        "math classifier (GPT-5 stand-in): {math} math / {} no-math; \
+         agreement with ground truth {:.1}%",
+        exam.evaluated() - math,
+        100.0 * exam.classifier_agreement()
+    );
+    for (i, stem) in exam.excluded_multimodal.iter().enumerate() {
+        println!("  excluded[{i}]: {stem}");
+    }
+    println!();
+
+    let run = evaluator.run();
+    println!("{}", render_table3(&run));
+    println!("{}", render_table4(&run));
+    println!("{}", render_fig(&run, FigureSeries::Fig5AstroAll));
+    println!("{}", render_fig(&run, FigureSeries::Fig6AstroNoMath));
+}
