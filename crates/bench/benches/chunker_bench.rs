@@ -27,14 +27,10 @@ fn bench_chunker(c: &mut Criterion) {
 
     for max_tokens in [128usize, 256, 512] {
         let chunker_cfg = ChunkerConfig { max_tokens, ..Default::default() };
-        group.bench_with_input(
-            BenchmarkId::new("budget", max_tokens),
-            &max_tokens,
-            |b, _| {
-                let chunker = Chunker::new(&tf, chunker_cfg.clone());
-                b.iter(|| std::hint::black_box(chunker.chunk(&doc)).len());
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("budget", max_tokens), &max_tokens, |b, _| {
+            let chunker = Chunker::new(&tf, chunker_cfg.clone());
+            b.iter(|| std::hint::black_box(chunker.chunk(&doc)).len());
+        });
     }
     group.finish();
 }

@@ -29,7 +29,8 @@ fn bench_storage(c: &mut Criterion) {
     let mut group = c.benchmark_group("embed_storage");
     group.sample_size(20);
     let enc = BioEncoder::new(EmbedConfig::default());
-    let rows: Vec<Vec<f32>> = (0..512).map(|i| enc.encode(&format!("chunk {i} about dna repair"))).collect();
+    let rows: Vec<Vec<f32>> =
+        (0..512).map(|i| enc.encode(&format!("chunk {i} about dna repair"))).collect();
     for precision in [Precision::F32, Precision::F16] {
         group.bench_with_input(
             BenchmarkId::new("matrix_build", format!("{precision:?}")),

@@ -24,18 +24,14 @@ fn bench_scaling(c: &mut Criterion) {
     worker_counts.sort_unstable();
     worker_counts.dedup();
     for workers in worker_counts {
-        group.bench_with_input(
-            BenchmarkId::new("stage_2k_tasks", workers),
-            &workers,
-            |b, &w| {
-                let pool = WorkStealingPool::new(w);
-                b.iter(|| {
-                    let items: Vec<u64> = (0..n_tasks).collect();
-                    let (results, _) = run_stage(&pool, "bench", items, work_unit);
-                    std::hint::black_box(results.len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("stage_2k_tasks", workers), &workers, |b, &w| {
+            let pool = WorkStealingPool::new(w);
+            b.iter(|| {
+                let items: Vec<u64> = (0..n_tasks).collect();
+                let (results, _) = run_stage(&pool, "bench", items, work_unit);
+                std::hint::black_box(results.len())
+            });
+        });
     }
     group.finish();
 }
@@ -48,7 +44,7 @@ fn bench_submission_overhead(c: &mut Criterion) {
     group.bench_function("10k_trivial_tasks", |b| {
         b.iter(|| {
             let items: Vec<u64> = (0..10_000).collect();
-            let (r, _) = run_stage(&pool, "trivial", items, |x| Ok::<u64, String>(x));
+            let (r, _) = run_stage(&pool, "trivial", items, Ok::<u64, String>);
             std::hint::black_box(r.len())
         });
     });

@@ -15,8 +15,8 @@
 use mcqa_core::{Pipeline, PipelineConfig};
 use mcqa_eval::results::{render_fig, render_table2, render_table3, render_table4, FigureSeries};
 use mcqa_eval::{EvalConfig, Evaluator};
-use mcqa_llm::answer::Condition;
 use mcqa_index::VectorStore;
+use mcqa_llm::answer::Condition;
 use mcqa_llm::{cards, TraceMode, MODEL_CARDS};
 
 struct Args {
@@ -54,18 +54,12 @@ fn main() {
     let args = parse_args();
 
     // Schema-only commands need no pipeline run.
-    match args.command.as_str() {
-        "table1" => {
-            println!("{}", cards::render_table1());
-            return;
-        }
-        _ => {}
+    if args.command.as_str() == "table1" {
+        println!("{}", cards::render_table1());
+        return;
     }
 
-    eprintln!(
-        "[repro] building pipeline at scale {} (seed {}) ...",
-        args.scale, args.seed
-    );
+    eprintln!("[repro] building pipeline at scale {} (seed {}) ...", args.scale, args.seed);
     let output = Pipeline::run(&PipelineConfig::at_scale(args.scale, args.seed));
     eprintln!(
         "[repro] {} docs → {} chunks → {} candidates → {} accepted ({:.1}%)",
@@ -97,11 +91,7 @@ fn main() {
         "fig3" => {
             println!("Figure 3 — reasoning-trace JSON schema (all three modes)\n");
             for mode in TraceMode::ALL {
-                let t = output
-                    .traces
-                    .iter()
-                    .find(|t| t.mode == mode)
-                    .expect("trace exists");
+                let t = output.traces.iter().find(|t| t.mode == mode).expect("trace exists");
                 println!("{}\n", serde_json::to_string_pretty(t).expect("serialises"));
             }
             return;
@@ -165,12 +155,8 @@ fn print_rates(run: &mcqa_eval::EvalRun) {
 fn print_residuals(run: &mcqa_eval::EvalRun) {
     println!("Calibration residuals (achieved − paper target at the clamped solve):");
     for m in &run.models {
-        let worst: Vec<_> = m
-            .calibration
-            .solved
-            .iter()
-            .filter(|s| s.residual.abs() > 0.005)
-            .collect();
+        let worst: Vec<_> =
+            m.calibration.solved.iter().filter(|s| s.residual.abs() > 0.005).collect();
         if worst.is_empty() {
             println!("{:<26} all targets reachable", m.name);
         } else {
@@ -188,10 +174,8 @@ fn ablate_topk(output: &mcqa_core::PipelineOutput, seed: u64) {
     println!("{:>4} {:>12} {:>12}", "k", "rag-chunks", "rt-focused");
     let card = MODEL_CARDS.iter().find(|c| c.name == "SmolLM3-3B").unwrap();
     for k in [1usize, 2, 3, 5, 8, 10] {
-        let evaluator = Evaluator::new(
-            output,
-            EvalConfig { seed, retrieval_k: k, ..Default::default() },
-        );
+        let evaluator =
+            Evaluator::new(output, EvalConfig { seed, retrieval_k: k, ..Default::default() });
         let run = evaluator.run_cards(std::slice::from_ref(card));
         let m = &run.models[0];
         println!(
@@ -206,7 +190,10 @@ fn ablate_topk(output: &mcqa_core::PipelineOutput, seed: u64) {
 /// Ablation: accuracy vs context window — shows the truncation mechanism.
 fn ablate_context(output: &mcqa_core::PipelineOutput, seed: u64) {
     println!("Ablation — synthetic accuracy vs context window (OLMo-7B behaviour card):");
-    println!("{:>8} {:>9} {:>9} {:>12} {:>12}", "window", "hit-chk", "hit-rt", "rag-chunks", "rt-focused");
+    println!(
+        "{:>8} {:>9} {:>9} {:>12} {:>12}",
+        "window", "hit-chk", "hit-rt", "rag-chunks", "rt-focused"
+    );
     let base = MODEL_CARDS.iter().find(|c| c.name == "OLMo-7B").unwrap();
     for window in [512usize, 1024, 2048, 4096, 8192, 32_768] {
         let mut card = base.clone();

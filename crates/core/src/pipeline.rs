@@ -6,9 +6,7 @@ use std::sync::Arc;
 use mcqa_corpus::{CorpusLibrary, DocId};
 use mcqa_embed::{BioEncoder, Precision};
 use mcqa_index::{FlatIndex, Metric, VectorStore};
-use mcqa_llm::{
-    BenchKind, JudgeModel, McqItem, TeacherModel, TraceMode, OPTION_LETTERS,
-};
+use mcqa_llm::{BenchKind, JudgeModel, McqItem, TeacherModel, TraceMode, OPTION_LETTERS};
 use mcqa_ontology::Ontology;
 use mcqa_parse::{AdaptiveParser, ParsedDocument, ParserConfig};
 use mcqa_runtime::{run_stage, RunReport, StageMetrics, WorkStealingPool};
@@ -78,6 +76,7 @@ impl Pipeline {
             ok: library.len(),
             errors: 0,
             panics: 0,
+            produced: library.len(),
             elapsed_secs: t.elapsed_secs(),
         });
 
@@ -85,10 +84,9 @@ impl Pipeline {
         let doc_ids: Vec<u32> = (0..library.len() as u32).collect();
         let lib_for_parse = Arc::clone(&library);
         let parser = Arc::new(AdaptiveParser::new(ParserConfig::default()));
-        let (parse_results, mut parse_metrics) = run_stage(&pool, "parse", doc_ids, move |id| {
-            let blob = lib_for_parse
-                .download(DocId(id))
-                .ok_or_else(|| format!("doc {id} missing"))?;
+        let (parse_results, parse_metrics) = run_stage(&pool, "parse", doc_ids, move |id| {
+            let blob =
+                lib_for_parse.download(DocId(id)).ok_or_else(|| format!("doc {id} missing"))?;
             match parser.parse(blob).document() {
                 Some(doc) => Ok((id, doc.clone())),
                 None => Err(format!("doc {id} unparseable")),
@@ -96,22 +94,23 @@ impl Pipeline {
         });
         let parsed: Vec<(u32, ParsedDocument)> =
             parse_results.into_iter().filter_map(Result::ok).collect();
-        parse_metrics.name = "parse".into();
         report.add(parse_metrics);
 
-        // Stage 3: semantic chunking with provenance mapping.
-        let t = ScopeTimer::start("chunk");
+        // Stage 3: semantic chunking with provenance mapping, fanned out one
+        // task per parsed document on the work-stealing pool. The stage's
+        // metrics keep both rates observable: `throughput()` is docs/s,
+        // `output_throughput()` is chunks/s.
         let encoder = BioEncoder::new(config.embed.clone());
         let chunker_cfg = config.chunker.clone();
         let lib_for_chunk = Arc::clone(&library);
-        let mut chunks: Vec<ChunkRecord> = parsed
-            .par_iter()
-            .flat_map(|(id, pdoc)| {
-                let chunker = mcqa_text::Chunker::new(&encoder, chunker_cfg.clone());
-                let doc_id = DocId(*id);
+        let chunk_encoder = encoder.clone();
+        let (chunk_results, mut chunk_metrics) =
+            run_stage(&pool, "chunk", parsed, move |(id, pdoc)| {
+                let chunker = mcqa_text::Chunker::new(&chunk_encoder, chunker_cfg.clone());
+                let doc_id = DocId(id);
                 let truth = lib_for_chunk.document(doc_id);
                 let text = pdoc.full_text();
-                chunker
+                let records: Vec<ChunkRecord> = chunker
                     .chunk(&text)
                     .into_iter()
                     .enumerate()
@@ -138,35 +137,36 @@ impl Pipeline {
                             facts,
                         }
                     })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
+                    .collect();
+                Ok::<_, String>(records)
+            });
+        let mut chunks: Vec<ChunkRecord> =
+            chunk_results.into_iter().filter_map(Result::ok).flatten().collect();
         chunks.sort_by_key(|c| c.chunk_id);
-        report.add(StageMetrics {
-            name: "chunk".into(),
-            items: chunks.len(),
-            ok: chunks.len(),
-            errors: 0,
-            panics: 0,
-            elapsed_secs: t.elapsed_secs(),
-        });
+        chunk_metrics.produced = chunks.len();
+        report.add(chunk_metrics);
 
-        // Stage 4: embed chunks and build the chunk vector DB (FP16).
-        let t = ScopeTimer::start("embed-chunks");
-        let texts: Vec<&str> = chunks.iter().map(|c| c.text.as_str()).collect();
-        let vectors = encoder.encode_batch(&texts);
+        // Stage 4: embed chunks (one task per chunk on the pool) and build
+        // the chunk vector DB (FP16).
+        let chunks = Arc::new(chunks);
+        let embed_encoder = encoder.clone();
+        let chunks_for_embed = Arc::clone(&chunks);
+        let (embed_results, embed_metrics) =
+            run_stage(&pool, "embed-chunks", (0..chunks.len()).collect(), move |i| {
+                let c = &chunks_for_embed[i];
+                Ok::<_, String>((c.chunk_id, embed_encoder.encode(&c.text)))
+            });
         let mut chunk_index = FlatIndex::new(config.embed.dim, Metric::Cosine, Precision::F16);
-        for (c, v) in chunks.iter().zip(&vectors) {
-            chunk_index.add(c.chunk_id, v);
+        for r in embed_results {
+            // The embed closure is infallible, so an Err slot can only be a
+            // panic; a silently missing vector would skew retrieval, so fail
+            // loudly instead.
+            let (id, v) = r.expect("embed-chunks task cannot fail");
+            chunk_index.add(id, v.as_slice());
         }
-        report.add(StageMetrics {
-            name: "embed-chunks".into(),
-            items: chunks.len(),
-            ok: chunks.len(),
-            errors: 0,
-            panics: 0,
-            elapsed_secs: t.elapsed_secs(),
-        });
+        report.add(embed_metrics);
+        let chunks: Vec<ChunkRecord> =
+            Arc::try_unwrap(chunks).expect("embed stage dropped its chunk references");
 
         // Stage 5: question generation (one candidate per chunk) + judge
         // filtering at the paper's 7/10 threshold.
@@ -271,6 +271,7 @@ impl Pipeline {
             ok: questions.len(),
             errors: candidates - questions.len(),
             panics: 0,
+            produced: questions.len(),
             elapsed_secs: t.elapsed_secs(),
         });
 
@@ -312,31 +313,35 @@ impl Pipeline {
             ok: traces.len(),
             errors: items.len() * 3 - traces.len(),
             panics: 0,
+            produced: traces.len(),
             elapsed_secs: t.elapsed_secs(),
         });
 
-        // Stage 7: embed traces into one DB per mode.
-        let t = ScopeTimer::start("embed-traces");
+        // Stage 7: embed traces into one DB per mode (one pool task per
+        // trace; the per-mode indexes are assembled from the ordered
+        // results).
+        let traces = Arc::new(traces);
+        let traces_for_embed = Arc::clone(&traces);
+        let trace_encoder = encoder.clone();
+        let (trace_embed_results, trace_embed_metrics) =
+            run_stage(&pool, "embed-traces", (0..traces.len()).collect(), move |i| {
+                let tr = &traces_for_embed[i];
+                Ok::<_, String>((tr.mode, tr.question_id, trace_encoder.encode(&tr.trace)))
+            });
         let mut trace_indexes: BTreeMap<TraceMode, FlatIndex> = BTreeMap::new();
         for mode in TraceMode::ALL {
-            let mode_traces: Vec<&TraceRecord> =
-                traces.iter().filter(|tr| tr.mode == mode).collect();
-            let texts: Vec<&str> = mode_traces.iter().map(|tr| tr.trace.as_str()).collect();
-            let vectors = encoder.encode_batch(&texts);
-            let mut idx = FlatIndex::new(config.embed.dim, Metric::Cosine, Precision::F16);
-            for (tr, v) in mode_traces.iter().zip(&vectors) {
-                idx.add(tr.question_id, v);
-            }
-            trace_indexes.insert(mode, idx);
+            trace_indexes
+                .insert(mode, FlatIndex::new(config.embed.dim, Metric::Cosine, Precision::F16));
         }
-        report.add(StageMetrics {
-            name: "embed-traces".into(),
-            items: traces.len(),
-            ok: traces.len(),
-            errors: 0,
-            panics: 0,
-            elapsed_secs: t.elapsed_secs(),
-        });
+        for r in trace_embed_results {
+            // Infallible closure: an Err slot is a panic — fail loudly
+            // rather than leave a trace unretrievable.
+            let (mode, qid, v) = r.expect("embed-traces task cannot fail");
+            trace_indexes.get_mut(&mode).expect("all modes pre-registered").add(qid, v.as_slice());
+        }
+        report.add(trace_embed_metrics);
+        let traces: Vec<TraceRecord> =
+            Arc::try_unwrap(traces).expect("embed stage dropped its trace references");
 
         PipelineOutput {
             config: config.clone(),
@@ -380,7 +385,15 @@ mod tests {
         let names: Vec<&str> = out.report.stages().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["acquire", "parse", "chunk", "embed-chunks", "generate+judge", "traces", "embed-traces"]
+            vec![
+                "acquire",
+                "parse",
+                "chunk",
+                "embed-chunks",
+                "generate+judge",
+                "traces",
+                "embed-traces"
+            ]
         );
     }
 
@@ -388,10 +401,7 @@ mod tests {
     fn acceptance_rate_in_paper_band() {
         let out = tiny_output();
         let rate = out.acceptance_rate();
-        assert!(
-            (0.04..=0.25).contains(&rate),
-            "acceptance rate {rate:.3}, paper has 0.096"
-        );
+        assert!((0.04..=0.25).contains(&rate), "acceptance rate {rate:.3}, paper has 0.096");
     }
 
     #[test]
@@ -441,7 +451,8 @@ mod tests {
             assert!(tr.answer_excluded);
             assert!(
                 !tr.trace.contains(item.correct_text()),
-                "trace {} leaks the answer", tr.trace_id
+                "trace {} leaks the answer",
+                tr.trace_id
             );
             assert_eq!(tr.fact_id, item.fact.0);
         }

@@ -155,8 +155,14 @@ mod tests {
     fn question_schema_has_figure2_fields() {
         let v: serde_json::Value = serde_json::from_str(&sample_question().to_jsonl()).unwrap();
         for field in [
-            "question_id", "question", "options", "answer_letter", "question_type",
-            "provenance", "relevance_check", "quality",
+            "question_id",
+            "question",
+            "options",
+            "answer_letter",
+            "question_type",
+            "provenance",
+            "relevance_check",
+            "quality",
         ] {
             assert!(v.get(field).is_some(), "missing {field}");
         }

@@ -63,8 +63,8 @@ impl AcquisitionConfig {
     pub fn paper_scale(scale: f64, seed: u64) -> Self {
         Self {
             seed,
-            full_papers: ((14_115 as f64) * scale).round().max(1.0) as usize,
-            abstracts: ((8_433 as f64) * scale).round().max(1.0) as usize,
+            full_papers: (14_115_f64 * scale).round().max(1.0) as usize,
+            abstracts: (8_433_f64 * scale).round().max(1.0) as usize,
             corruption_rate: 0.02,
             synth: SynthConfig { seed, ..SynthConfig::default() },
         }
@@ -211,10 +211,7 @@ impl CorpusLibrary {
             })
             .collect();
         hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.id.cmp(&b.id))
+            b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
         });
         hits
     }
@@ -266,14 +263,17 @@ mod tests {
         let (_, lib) = small_library();
         let n = lib.corrupted_count();
         // 15% of 45 ≈ 7; tolerate binomial noise.
-        assert!(n >= 2 && n <= 15, "corrupted {n} of {}", lib.len());
+        assert!((2..=15).contains(&n), "corrupted {n} of {}", lib.len());
         // Intact blobs read strictly; corrupted ones must fail or salvage.
         for i in 0..lib.len() as u32 {
             let id = DocId(i);
             let blob = lib.download(id).unwrap();
             match lib.corruption(id).unwrap() {
                 Corruption::None => {
-                    assert!(crate::spdf::SpdfReader::read(blob).is_ok(), "doc {i} intact but unreadable");
+                    assert!(
+                        crate::spdf::SpdfReader::read(blob).is_ok(),
+                        "doc {i} intact but unreadable"
+                    );
                 }
                 _ => {
                     assert!(

@@ -33,11 +33,7 @@ impl Section {
     /// The section's text: sentences joined by spaces, paragraphs by
     /// blank lines.
     pub fn text(&self) -> String {
-        self.paragraphs
-            .iter()
-            .map(|p| p.join(" "))
-            .collect::<Vec<_>>()
-            .join("\n\n")
+        self.paragraphs.iter().map(|p| p.join(" ")).collect::<Vec<_>>().join("\n\n")
     }
 }
 
@@ -96,10 +92,7 @@ impl Document {
 
     /// Total sentence count across sections.
     pub fn sentence_count(&self) -> usize {
-        self.sections
-            .iter()
-            .map(|s| s.paragraphs.iter().map(Vec::len).sum::<usize>())
-            .sum()
+        self.sections.iter().map(|s| s.paragraphs.iter().map(Vec::len).sum::<usize>()).sum()
     }
 
     /// Verify the oracle: every mention's sentence must appear verbatim in

@@ -103,7 +103,9 @@ impl std::fmt::Display for SpdfError {
             SpdfError::UnsupportedVersion(v) => write!(f, "unsupported SPDF version {v}"),
             SpdfError::Truncated { at } => write!(f, "file truncated at {at}"),
             SpdfError::BadObjectType(b) => write!(f, "unknown object type {b:#04x}"),
-            SpdfError::ObjectTooLarge { raw_len } => write!(f, "object too large ({raw_len} bytes)"),
+            SpdfError::ObjectTooLarge { raw_len } => {
+                write!(f, "object too large ({raw_len} bytes)")
+            }
             SpdfError::BadTrailer => write!(f, "missing trailer"),
             SpdfError::ChecksumMismatch { expected, actual } => {
                 write!(f, "checksum mismatch: expected {expected:#018x}, got {actual:#018x}")
@@ -186,11 +188,8 @@ impl SpdfWriter {
         for (kind, data) in objects {
             let compressed = compress(data);
             // Only keep compression when it wins.
-            let (flags, stored): (u8, &[u8]) = if compressed.len() < data.len() {
-                (1, &compressed)
-            } else {
-                (0, data)
-            };
+            let (flags, stored): (u8, &[u8]) =
+                if compressed.len() < data.len() { (1, &compressed) } else { (0, data) };
             out.push(kind.to_byte());
             out.push(flags);
             out.extend_from_slice(&(data.len() as u32).to_le_bytes());
@@ -208,11 +207,8 @@ impl SpdfWriter {
     pub fn write_document(doc: &Document) -> Vec<u8> {
         let meta = DocMeta::from_document(doc);
         let meta_json = serde_json::to_vec(&meta).expect("metadata serialises");
-        let section_texts: Vec<String> = doc
-            .sections
-            .iter()
-            .map(|s| format!("{}\n\n{}", s.title, s.text()))
-            .collect();
+        let section_texts: Vec<String> =
+            doc.sections.iter().map(|s| format!("{}\n\n{}", s.title, s.text())).collect();
         let mut objects: Vec<(ObjectKind, &[u8])> = Vec::with_capacity(1 + section_texts.len());
         objects.push((ObjectKind::Meta, meta_json.as_slice()));
         for t in &section_texts {
@@ -303,9 +299,8 @@ impl SpdfReader {
         let mut objects = Vec::with_capacity(declared.min(64));
         let mut pos = 10usize;
         for obj_idx in 0..declared {
-            let fail = |e: SpdfError| -> Result<(Vec<SpdfObject>, usize, usize), SpdfError> {
-                Err(e)
-            };
+            let fail =
+                |e: SpdfError| -> Result<(Vec<SpdfObject>, usize, usize), SpdfError> { Err(e) };
             if pos + 10 > bytes.len() {
                 if strict {
                     return fail(SpdfError::Truncated { at: "object header" });
@@ -462,10 +457,7 @@ mod tests {
         let truncated = &bytes[..cut];
         assert!(SpdfReader::read(truncated).is_err());
         let s = SpdfReader::salvage(truncated);
-        assert!(
-            s.objects.len() < 1 + doc.sections.len(),
-            "some objects must be lost"
-        );
+        assert!(s.objects.len() < 1 + doc.sections.len(), "some objects must be lost");
         assert!(!s.issues.is_empty());
         // Whatever was recovered must be internally valid.
         if let Some(first) = s.objects.first() {

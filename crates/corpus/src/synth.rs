@@ -33,8 +33,22 @@ impl Default for SynthConfig {
 }
 
 const SURNAMES: &[&str] = &[
-    "Hartwell", "Okafor", "Lindqvist", "Marchetti", "Stolz", "Ferreira", "Nakata", "Osei",
-    "Bergstrom", "Callahan", "Deveraux", "Iwashita", "Kovacs", "Leclerc", "Moravec", "Ngata",
+    "Hartwell",
+    "Okafor",
+    "Lindqvist",
+    "Marchetti",
+    "Stolz",
+    "Ferreira",
+    "Nakata",
+    "Osei",
+    "Bergstrom",
+    "Callahan",
+    "Deveraux",
+    "Iwashita",
+    "Kovacs",
+    "Leclerc",
+    "Moravec",
+    "Ngata",
 ];
 
 const VENUES: &[&str] = &[
@@ -162,7 +176,11 @@ pub fn synthesize(
                 // Paraphrase variant unique to (doc, fact).
                 let variant = rng.raw(&["variant", &d, &fi.to_string()]);
                 let sentence = realize::statement(fact, reg, variant);
-                mentions.push(FactMention { fact: fact.id, section: si, sentence: sentence.clone() });
+                mentions.push(FactMention {
+                    fact: fact.id,
+                    section: si,
+                    sentence: sentence.clone(),
+                });
                 sentences.push(sentence);
                 for k in 0..config.filler_per_fact {
                     sentences.push(filler_sentence(
@@ -182,7 +200,8 @@ pub fn synthesize(
     }
 
     // Keywords: topic keywords + mentioned subjects.
-    let mut keywords: Vec<String> = topic.keywords().iter().take(4).map(|s| s.to_string()).collect();
+    let mut keywords: Vec<String> =
+        topic.keywords().iter().take(4).map(|s| s.to_string()).collect();
     for f in chosen.iter().take(4) {
         keywords.push(reg.get(f.subject).name.clone());
     }

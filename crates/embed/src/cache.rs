@@ -93,11 +93,11 @@ mod tests {
         let enc = BioEncoder::new(EmbedConfig::default());
         let cache = EmbeddingCache::new(&enc);
         std::thread::scope(|s| {
-            for t in 0..4 {
+            for _t in 0..4 {
                 let cache = &cache;
                 s.spawn(move || {
                     for i in 0..50 {
-                        let text = format!("text {}", i % 10 + t * 0); // shared keys
+                        let text = format!("text {}", i % 10); // keys shared across threads
                         let _ = cache.encode(&text);
                     }
                 });

@@ -223,7 +223,12 @@ mod tests {
         let e = enc();
         let chunker = mcqa_text::Chunker::new(
             &e,
-            mcqa_text::ChunkerConfig { max_tokens: 64, min_tokens: 8, drift_threshold: 0.1, window_sentences: 2 },
+            mcqa_text::ChunkerConfig {
+                max_tokens: 64,
+                min_tokens: 8,
+                drift_threshold: 0.1,
+                window_sentences: 2,
+            },
         );
         let chunks = chunker.chunk(
             "Radiation damages DNA in tumours. Radiation repair pathways respond to damage. \

@@ -114,9 +114,8 @@ impl EmbeddingMatrix {
                 let mut buf = vec![0.0f32; self.dim];
                 for i in 0..self.rows {
                     let start = i * self.dim * 2;
-                    for (j, c) in self.data_f16[start..start + self.dim * 2]
-                        .chunks_exact(2)
-                        .enumerate()
+                    for (j, c) in
+                        self.data_f16[start..start + self.dim * 2].chunks_exact(2).enumerate()
                     {
                         buf[j] = mcqa_util::F16(u16::from_le_bytes([c[0], c[1]])).to_f32();
                     }
@@ -175,7 +174,13 @@ impl EmbeddingMatrix {
                 if payload.len() != dim * rows * 2 {
                     return None;
                 }
-                Some(Self { dim, rows, precision, data_f32: Vec::new(), data_f16: payload.to_vec() })
+                Some(Self {
+                    dim,
+                    rows,
+                    precision,
+                    data_f32: Vec::new(),
+                    data_f16: payload.to_vec(),
+                })
             }
         }
     }
@@ -189,9 +194,7 @@ mod tests {
     fn sample_rows(n: usize, dim: usize) -> Vec<Vec<f32>> {
         (0..n)
             .map(|i| {
-                let mut v: Vec<f32> = (0..dim)
-                    .map(|j| ((i * dim + j) as f32).sin())
-                    .collect();
+                let mut v: Vec<f32> = (0..dim).map(|j| ((i * dim + j) as f32).sin()).collect();
                 let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
                 v.iter_mut().for_each(|x| *x /= norm);
                 v

@@ -185,12 +185,8 @@ impl AstroExam {
         if self.items.is_empty() {
             return 1.0;
         }
-        let agree = self
-            .items
-            .iter()
-            .zip(&self.truth_is_math)
-            .filter(|(i, t)| i.is_math == **t)
-            .count();
+        let agree =
+            self.items.iter().zip(&self.truth_is_math).filter(|(i, t)| i.is_math == **t).count();
         agree as f64 / self.items.len() as f64
     }
 }
@@ -266,10 +262,7 @@ mod tests {
             .filter(|i| !synth_markers.iter().any(|m| i.stem.starts_with(m)))
             .count();
         let nomath = exam.items.iter().filter(|i| !i.is_math).count();
-        assert!(
-            exam_style * 10 >= nomath * 9,
-            "{exam_style}/{nomath} stems in exam register"
-        );
+        assert!(exam_style * 10 >= nomath * 9, "{exam_style}/{nomath} stems in exam register");
     }
 
     #[test]

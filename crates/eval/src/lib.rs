@@ -22,7 +22,7 @@ pub mod protocol;
 pub mod results;
 pub mod retrieval;
 
-pub use astro::{AstroExam, AstroConfig};
+pub use astro::{AstroConfig, AstroExam};
 pub use protocol::{EvalConfig, EvalRun, Evaluator, ModelEval};
 pub use results::{render_fig, render_table2, render_table3, render_table4, FigureSeries};
 pub use retrieval::RetrievalBundle;

@@ -50,10 +50,7 @@ pub struct ModelEval {
 
 impl ModelEval {
     fn lookup(rows: &[(Condition, Accuracy)], cond: Condition) -> f64 {
-        rows.iter()
-            .find(|(c, _)| *c == cond)
-            .map(|(_, a)| a.value())
-            .unwrap_or(0.0)
+        rows.iter().find(|(c, _)| *c == cond).map(|(_, a)| a.value()).unwrap_or(0.0)
     }
 
     /// Accuracy on the synthetic benchmark under `cond`.
@@ -145,9 +142,8 @@ impl<'a> Evaluator<'a> {
             .par_iter()
             .enumerate()
             .map(|(qi, item)| {
-                let mk = |s: Source| {
-                    mcqa_llm::context::assemble(item, bundle.passages(qi, s), window)
-                };
+                let mk =
+                    |s: Source| mcqa_llm::context::assemble(item, bundle.passages(qi, s), window);
                 [
                     mk(Source::Chunks),
                     mk(Source::Traces(TraceMode::Detailed)),
@@ -226,10 +222,8 @@ impl<'a> Evaluator<'a> {
                                 Condition::Baseline => None,
                                 Condition::RagChunks => Some(&contexts[i][0]),
                                 Condition::RagTraces(m) => {
-                                    let mi = TraceMode::ALL
-                                        .iter()
-                                        .position(|x| x == m)
-                                        .expect("mode");
+                                    let mi =
+                                        TraceMode::ALL.iter().position(|x| x == m).expect("mode");
                                     Some(&contexts[i][1 + mi])
                                 }
                             };
@@ -324,11 +318,7 @@ mod tests {
             let base = m.synth_accuracy(Condition::Baseline);
             let chunks = m.synth_accuracy(Condition::RagChunks);
             let rt = m.synth_best_rt();
-            assert!(
-                chunks > base - 0.03,
-                "{}: chunks {chunks:.3} vs baseline {base:.3}",
-                m.name
-            );
+            assert!(chunks > base - 0.03, "{}: chunks {chunks:.3} vs baseline {base:.3}", m.name);
             assert!(rt > chunks - 0.03, "{}: rt {rt:.3} vs chunks {chunks:.3}", m.name);
             assert!(rt > base, "{}: rt {rt:.3} vs baseline {base:.3}", m.name);
         }

@@ -248,8 +248,16 @@ mod tests {
                     name: c.name.to_string(),
                     rates: mcqa_llm::PipelineRates::nominal(),
                     calibration: mcqa_llm::resolve(c, &mcqa_llm::PipelineRates::nominal()),
-                    synth: conds.iter().zip(synth_vals).map(|(c, v)| (*c, mk_acc(v, 1000))).collect(),
-                    astro_all: conds.iter().zip(astro_vals).map(|(c, v)| (*c, mk_acc(v, 335))).collect(),
+                    synth: conds
+                        .iter()
+                        .zip(synth_vals)
+                        .map(|(c, v)| (*c, mk_acc(v, 1000)))
+                        .collect(),
+                    astro_all: conds
+                        .iter()
+                        .zip(astro_vals)
+                        .map(|(c, v)| (*c, mk_acc(v, 335)))
+                        .collect(),
                     astro_nomath: conds
                         .iter()
                         .zip(nomath_vals)
@@ -317,7 +325,9 @@ mod tests {
     #[test]
     fn figures_render_with_bars() {
         let run = fake_run();
-        for fig in [FigureSeries::Fig4Synthetic, FigureSeries::Fig5AstroAll, FigureSeries::Fig6AstroNoMath] {
+        for fig in
+            [FigureSeries::Fig4Synthetic, FigureSeries::Fig5AstroAll, FigureSeries::Fig6AstroNoMath]
+        {
             let text = render_fig(&run, fig);
             assert!(text.contains("Figure"));
             assert!(text.contains('%'));

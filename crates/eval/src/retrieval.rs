@@ -57,10 +57,7 @@ impl RetrievalBundle {
         // TRK2 questions, which is the knowledge-transfer channel the
         // paper attributes reasoning-trace retrieval's exam gains to).
         let subject_of = |fact_id: u64| -> Option<u32> {
-            output
-                .ontology
-                .fact(mcqa_ontology::FactId(fact_id))
-                .map(|f| f.subject.0)
+            output.ontology.fact(mcqa_ontology::FactId(fact_id)).map(|f| f.subject.0)
         };
 
         let passages: Vec<[Vec<Passage>; 4]> = items
@@ -97,8 +94,7 @@ impl RetrievalBundle {
                             .get(&hit.id)
                             .filter(|f| {
                                 **f == item.fact.0
-                                    || (item_subject.is_some()
-                                        && subject_of(**f) == item_subject)
+                                    || (item_subject.is_some() && subject_of(**f) == item_subject)
                             })
                             .map(|_| item.fact);
                         per_source[1 + si].push(Passage {
@@ -139,11 +135,8 @@ impl RetrievalBundle {
             return 0.0;
         }
         let si = Source::ALL.iter().position(|s| *s == source).expect("source");
-        let hits = self
-            .passages
-            .iter()
-            .filter(|p| p[si].iter().any(|x| x.supports.is_some()))
-            .count();
+        let hits =
+            self.passages.iter().filter(|p| p[si].iter().any(|x| x.supports.is_some())).count();
         hits as f64 / self.passages.len() as f64
     }
 }

@@ -171,7 +171,9 @@ mod tests {
         let dim = 64;
         let mk = |seed: u64| -> Vec<f32> {
             let mut v: Vec<f32> = (0..dim)
-                .map(|j| (mcqa_util::splitmix64(seed * 1000 + j as u64) as f32 / u64::MAX as f32) - 0.5)
+                .map(|j| {
+                    (mcqa_util::splitmix64(seed * 1000 + j as u64) as f32 / u64::MAX as f32) - 0.5
+                })
                 .collect();
             let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
             v.iter_mut().for_each(|x| *x /= n);

@@ -92,10 +92,16 @@ impl HnswIndex {
 
     /// Beam search on one layer starting from `entries`; returns up to `ef`
     /// best (score, node) pairs, best-first.
-    fn search_layer(&self, query: &[f32], entries: &[usize], ef: usize, layer: usize) -> Vec<Scored> {
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entries: &[usize],
+        ef: usize,
+        layer: usize,
+    ) -> Vec<Scored> {
         let mut visited: std::collections::HashSet<usize> = entries.iter().copied().collect();
         let mut candidates: BinaryHeap<Scored> = BinaryHeap::new(); // max-heap by score
-        // Result set as a min-heap via Reverse.
+                                                                    // Result set as a min-heap via Reverse.
         let mut results: BinaryHeap<std::cmp::Reverse<Scored>> = BinaryHeap::new();
 
         for &e in entries {
@@ -185,7 +191,12 @@ impl VectorStore for HnswIndex {
         // Greedy descent through layers above `level`.
         let mut layer = self.max_layer;
         while layer > level {
-            let found = self.search_layer(vector, &[entry], 1, layer.min(self.nodes[entry].neighbours.len() - 1));
+            let found = self.search_layer(
+                vector,
+                &[entry],
+                1,
+                layer.min(self.nodes[entry].neighbours.len() - 1),
+            );
             if let Some(best) = found.first() {
                 entry = best.node;
             }
@@ -200,11 +211,8 @@ impl VectorStore for HnswIndex {
         let top = level.min(self.max_layer);
         for l in (0..=top).rev() {
             // Restrict entries to nodes that exist on layer l.
-            let eff_entries: Vec<usize> = entries
-                .iter()
-                .copied()
-                .filter(|&n| self.nodes[n].neighbours.len() > l)
-                .collect();
+            let eff_entries: Vec<usize> =
+                entries.iter().copied().filter(|&n| self.nodes[n].neighbours.len() > l).collect();
             let eff_entries = if eff_entries.is_empty() { vec![entry] } else { eff_entries };
             let found = self.search_layer(vector, &eff_entries, self.config.ef_construction, l);
             let neighbours = Self::select_neighbours(
@@ -288,9 +296,8 @@ mod tests {
 
     fn random_unit(dim: usize, seed: u64) -> Vec<f32> {
         let rng = KeyedStochastic::new(seed);
-        let mut v: Vec<f32> = (0..dim)
-            .map(|j| rng.gaussian(&["v", &j.to_string()]) as f32)
-            .collect();
+        let mut v: Vec<f32> =
+            (0..dim).map(|j| rng.gaussian(&["v", &j.to_string()]) as f32).collect();
         let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
         v.iter_mut().for_each(|x| *x /= n);
         v
@@ -373,7 +380,11 @@ mod tests {
 
     #[test]
     fn duplicate_vectors_handled() {
-        let mut idx = HnswIndex::new(4, Metric::Cosine, HnswConfig { m: 4, ef_construction: 8, ef_search: 8, seed: 0 });
+        let mut idx = HnswIndex::new(
+            4,
+            Metric::Cosine,
+            HnswConfig { m: 4, ef_construction: 8, ef_search: 8, seed: 0 },
+        );
         let v = [0.5f32, 0.5, 0.5, 0.5];
         for i in 0..20u64 {
             idx.add(i, &v);

@@ -50,7 +50,15 @@ impl IvfIndex {
     pub fn new(dim: usize, metric: Metric, config: IvfConfig) -> Self {
         assert!(config.nlist >= 1);
         assert!(config.nprobe >= 1);
-        Self { config, dim, metric, centroids: Vec::new(), lists: Vec::new(), len: 0, trained: false }
+        Self {
+            config,
+            dim,
+            metric,
+            centroids: Vec::new(),
+            lists: Vec::new(),
+            len: 0,
+            trained: false,
+        }
     }
 
     /// True when the coarse quantiser has been trained.
@@ -146,9 +154,7 @@ impl VectorStore for IvfIndex {
             .map(|(i, c)| (i, self.metric.score(query, c)))
             .collect();
         ranked.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
         let mut hits = Vec::new();
         for &(list_idx, _) in ranked.iter().take(self.config.nprobe) {
@@ -268,7 +274,8 @@ mod tests {
 
     #[test]
     fn small_training_shrinks_nlist() {
-        let mut ivf = IvfIndex::new(4, Metric::Cosine, IvfConfig { nlist: 64, ..Default::default() });
+        let mut ivf =
+            IvfIndex::new(4, Metric::Cosine, IvfConfig { nlist: 64, ..Default::default() });
         ivf.train(&[vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]]);
         assert_eq!(ivf.nlist(), 2);
         ivf.add(1, &[1.0, 0.0, 0.0, 0.0]);
@@ -293,7 +300,8 @@ mod tests {
     fn all_vectors_land_in_some_list() {
         let dim = 8;
         let data = clustered(120, 3, dim, 9);
-        let mut ivf = IvfIndex::new(dim, Metric::Cosine, IvfConfig { nlist: 6, ..Default::default() });
+        let mut ivf =
+            IvfIndex::new(dim, Metric::Cosine, IvfConfig { nlist: 6, ..Default::default() });
         ivf.train(&data);
         for (i, v) in data.iter().enumerate() {
             ivf.add(i as u64, v);

@@ -62,9 +62,6 @@ pub trait VectorStore {
 /// ascending id. Shared by all index implementations.
 pub(crate) fn sort_hits(hits: &mut [SearchResult]) {
     hits.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.id.cmp(&b.id))
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
     });
 }

@@ -116,7 +116,7 @@ impl ResolvedModel {
         context: Option<&AssembledContext>,
         seed: u64,
     ) -> AnswerOutcome {
-        let ks = KeyedStochastic::new(seed ^ 0x5117_A25);
+        let ks = KeyedStochastic::new(seed ^ 0x0511_7A25);
         let q = item.qid.to_string();
         let c = cond.label();
         let key = |what: &str| -> [String; 4] {
@@ -138,11 +138,8 @@ impl ResolvedModel {
         // Math questions run a separate (empirically calibrated) channel.
         if item.is_math {
             let correct = bern("math", self.math_accuracy(cond));
-            let chosen = if correct {
-                item.correct
-            } else {
-                wrong_option(item, pick("math-wrong", n - 1))
-            };
+            let chosen =
+                if correct { item.correct } else { wrong_option(item, pick("math-wrong", n - 1)) };
             return AnswerOutcome {
                 chosen: Some(chosen),
                 text: format!("Answer: {}", OPTION_LETTERS[chosen]),
@@ -192,11 +189,7 @@ impl ResolvedModel {
             (guess_correct(&ks, &key("guess"), self.card.guess_prob(n)), false)
         };
 
-        let chosen = if correct {
-            item.correct
-        } else {
-            wrong_option(item, pick("wrong", n - 1))
-        };
+        let chosen = if correct { item.correct } else { wrong_option(item, pick("wrong", n - 1)) };
         AnswerOutcome {
             chosen: Some(chosen),
             text: format!("Answer: {}", OPTION_LETTERS[chosen]),
@@ -374,7 +367,8 @@ mod tests {
     #[test]
     fn irrelevant_context_hurts_distractible_models() {
         let olmo = model(0); // distraction 0.85
-        let baseline = mc_accuracy(&olmo, BenchKind::AstroExam, Condition::Baseline, |_| None, 15_000);
+        let baseline =
+            mc_accuracy(&olmo, BenchKind::AstroExam, Condition::Baseline, |_| None, 15_000);
         let distracted = mc_accuracy(
             &olmo,
             BenchKind::AstroExam,
@@ -403,7 +397,8 @@ mod tests {
             if m.answer(&it, Condition::Baseline, None, 1).chosen == Some(it.correct) {
                 base += 1;
             }
-            if m.answer(&it, Condition::RagTraces(TraceMode::Focused), Some(&ctx(true, 5)), 1).chosen
+            if m.answer(&it, Condition::RagTraces(TraceMode::Focused), Some(&ctx(true, 5)), 1)
+                .chosen
                 == Some(it.correct)
             {
                 rt += 1;

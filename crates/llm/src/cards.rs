@@ -26,7 +26,7 @@ pub const ASTRO_NOMATH: usize = 189;
 pub const ASTRO_MATH: usize = ASTRO_EVALUATED - ASTRO_NOMATH;
 
 /// GPT-4's reference accuracy on the 2023 Astro exam, from the paper's
-/// cited comparison (Beattie et al. 2024 [5]). The paper claims several
+/// cited comparison (Beattie et al. 2024 \[5\]). The paper claims several
 /// SLMs with reasoning-trace RAG "surpass GPT-4"; this constant draws that
 /// reference line in the Table 3 reproduction.
 pub const GPT4_ASTRO_REFERENCE: f64 = 0.60;

@@ -68,7 +68,9 @@ impl JudgeModel {
         let rng = KeyedStochastic::new(self.seed ^ 0x10D6_E5EE);
         let key = format!("{}:{}", q.fact.0, mcqa_util::fnv1a(q.stem.as_bytes()));
 
-        let mut score = 2.0 + 2.0 * salience + 2.4 * q.distractor_plausibility
+        let mut score = 2.0
+            + 2.0 * salience
+            + 2.4 * q.distractor_plausibility
             + 1.6 * rng.gaussian(&["noise", &key]);
         let mut notes: Vec<&str> = Vec::new();
         for d in &q.defects {

@@ -41,11 +41,11 @@ pub mod teacher;
 pub mod trace;
 
 pub use answer::{AnswerOutcome, ResolvedModel};
-pub use cards::{ModelCard, BenchTargets, MODEL_CARDS, GPT4_ASTRO_REFERENCE};
+pub use cards::{BenchTargets, ModelCard, GPT4_ASTRO_REFERENCE, MODEL_CARDS};
 pub use context::{AssembledContext, Passage, PassageSource};
 pub use judge::{GradeResult, JudgeModel, QualityJudgment};
 pub use math_classifier::MathClassifier;
 pub use mcq::{BenchKind, McqItem, OPTION_LETTERS};
-pub use solver::{PipelineRates, resolve};
+pub use solver::{resolve, PipelineRates};
 pub use teacher::{GeneratedQuestion, QuestionDefect, TeacherModel};
 pub use trace::TraceMode;

@@ -6,9 +6,20 @@ use crate::mcq::McqItem;
 
 /// Keyword evidence for quantitative reasoning.
 const MATH_KEYWORDS: &[&str] = &[
-    "calculate", "compute", "what is the dose", "what is its activity", "surviving fraction",
-    "bed", "eqd2", "half-life", "dose rate", "oer of", "fractions of", "activity of",
-    "how many", "what dose",
+    "calculate",
+    "compute",
+    "what is the dose",
+    "what is its activity",
+    "surviving fraction",
+    "bed",
+    "eqd2",
+    "half-life",
+    "dose rate",
+    "oer of",
+    "fractions of",
+    "activity of",
+    "how many",
+    "what dose",
 ];
 
 /// Units that almost always mark a numeric answer.
@@ -146,8 +157,11 @@ mod tests {
         }
         // Non-math items from qualitative facts (exam style).
         for f in ont.facts().iter().take(100) {
-            let (stem, answer) =
-                mcqa_ontology::realize::question(f, ont.registry(), mcqa_ontology::realize::QuestionStyle::Exam);
+            let (stem, answer) = mcqa_ontology::realize::question(
+                f,
+                ont.registry(),
+                mcqa_ontology::realize::QuestionStyle::Exam,
+            );
             let it = item(&stem, vec![&answer, "x1", "x2", "x3", "x4"]);
             total += 1;
             if !c.requires_math(&it) {

@@ -135,7 +135,14 @@ pub fn resolve(card: &ModelCard, rates: &PipelineRates) -> Calibration {
     let (k_exam, r) = solve_k(t.astro_nomath_baseline, card.format_exam, g5);
     record("K[exam]", k_exam, r);
 
-    let (e_sc, r) = solve_e(t.synth_chunks, card.format_synth, rates.synth_chunk, k_synth, card.distraction, g7);
+    let (e_sc, r) = solve_e(
+        t.synth_chunks,
+        card.format_synth,
+        rates.synth_chunk,
+        k_synth,
+        card.distraction,
+        g7,
+    );
     record("E[synth,chunks]", e_sc, r);
 
     let mut e_synth_trace = [0.0f64; 3];
@@ -226,12 +233,7 @@ mod tests {
                 g7,
             );
             // Within clamping, the forward model must hit the target.
-            let resid = cal
-                .solved
-                .iter()
-                .find(|s| s.name == "E[synth,chunks]")
-                .unwrap()
-                .residual;
+            let resid = cal.solved.iter().find(|s| s.name == "E[synth,chunks]").unwrap().residual;
             assert!(
                 (acc - (card.targets.synth_chunks + resid)).abs() < 1e-9,
                 "{}: acc {acc}",
@@ -294,7 +296,14 @@ mod tests {
         // With h=0 the forward accuracy equals the miss branch regardless
         // of E.
         let g7 = card.guess_prob(7);
-        let acc = forward_accuracy(card.format_synth, 0.0, cal.e_synth_chunk, cal.k_synth, card.distraction, g7);
+        let acc = forward_accuracy(
+            card.format_synth,
+            0.0,
+            cal.e_synth_chunk,
+            cal.k_synth,
+            card.distraction,
+            g7,
+        );
         assert!(acc < card.targets.synth_chunks, "unreachable target shows as residual");
     }
 
@@ -309,7 +318,10 @@ mod tests {
         };
         let cal = resolve(card, &rates);
         let chunk_param = cal.solved.iter().find(|s| s.name == "E[synth,chunks]").unwrap();
-        assert!(chunk_param.residual < -0.05, "clamped solve must report shortfall: {chunk_param:?}");
+        assert!(
+            chunk_param.residual < -0.05,
+            "clamped solve must report shortfall: {chunk_param:?}"
+        );
         assert_eq!(chunk_param.value, 1.0, "skill clamps at its ceiling");
     }
 }

@@ -82,7 +82,12 @@ impl TeacherModel {
 
     /// Generate a 7-option MCQ for `fact`. `salt` distinguishes multiple
     /// questions over the same fact (different chunks).
-    pub fn generate_question(&self, ontology: &Ontology, fact: &Fact, salt: &str) -> GeneratedQuestion {
+    pub fn generate_question(
+        &self,
+        ontology: &Ontology,
+        fact: &Fact,
+        salt: &str,
+    ) -> GeneratedQuestion {
         let rng = KeyedStochastic::new(self.config.seed ^ 0x7EAC_4E12);
         let key = format!("{}:{}", fact.id.0, salt);
         let reg = ontology.registry();
@@ -112,7 +117,8 @@ impl TeacherModel {
         let mut recorded_key = true_key;
         if rng.bernoulli(self.config.p_wrong_key, &["wrongkey", &key]) {
             defects.push(QuestionDefect::WrongKey);
-            recorded_key = (true_key + 1 + rng.below(options.len() - 1, &["wk", &key])) % options.len();
+            recorded_key =
+                (true_key + 1 + rng.below(options.len() - 1, &["wk", &key])) % options.len();
         }
 
         let distractor_plausibility = 0.4 + 0.6 * rng.uniform(&["plaus", &key]);
@@ -149,7 +155,9 @@ impl TeacherModel {
                 f.topic.keywords()[0].to_string(),
                 f.relation.verb().to_string(),
             ),
-            None => ("the subject".to_string(), "the mechanism".to_string(), "relates to".to_string()),
+            None => {
+                ("the subject".to_string(), "the mechanism".to_string(), "relates to".to_string())
+            }
         };
 
         // Named eliminations: distractor options only, never the answer.
@@ -181,9 +189,8 @@ impl TeacherModel {
                 t
             }
             TraceMode::Focused => {
-                let mut t = format!(
-                    "Principle: {subject} {verb} a specific partner within {topic_kw}. ",
-                );
+                let mut t =
+                    format!("Principle: {subject} {verb} a specific partner within {topic_kw}. ",);
                 for (letter, opt) in eliminated.iter().take(2) {
                     t.push_str(&format!("Eliminate {letter} ({opt}): wrong class of effect. "));
                 }

@@ -98,30 +98,65 @@ pub struct EntityRegistry {
 /// (Using the real physical categories keeps prose plausible; all *facts*
 /// about them remain synthetic.)
 const MODALITIES: &[&str] = &[
-    "X-rays", "gamma rays", "protons", "carbon ions", "alpha particles",
-    "fast neutrons", "electrons", "helium ions", "pi-mesons", "ultrasoft X-rays",
+    "X-rays",
+    "gamma rays",
+    "protons",
+    "carbon ions",
+    "alpha particles",
+    "fast neutrons",
+    "electrons",
+    "helium ions",
+    "pi-mesons",
+    "ultrasoft X-rays",
 ];
 
 const LESIONS: &[&str] = &[
-    "double-strand breaks", "single-strand breaks", "base oxidation lesions",
-    "interstrand crosslinks", "DNA-protein crosslinks", "clustered lesions",
-    "abasic sites", "replication-blocking adducts", "telomeric breaks",
+    "double-strand breaks",
+    "single-strand breaks",
+    "base oxidation lesions",
+    "interstrand crosslinks",
+    "DNA-protein crosslinks",
+    "clustered lesions",
+    "abasic sites",
+    "replication-blocking adducts",
+    "telomeric breaks",
     "heterochromatic breaks",
 ];
 
 const PROCESSES: &[&str] = &[
-    "apoptosis", "mitotic catastrophe", "replicative senescence", "autophagy",
-    "necroptosis", "immunogenic cell death", "homologous recombination",
-    "non-homologous end joining", "base excision repair", "nucleotide excision repair",
-    "checkpoint adaptation", "reoxygenation", "repopulation", "sublethal damage repair",
-    "bystander signalling", "ferroptosis",
+    "apoptosis",
+    "mitotic catastrophe",
+    "replicative senescence",
+    "autophagy",
+    "necroptosis",
+    "immunogenic cell death",
+    "homologous recombination",
+    "non-homologous end joining",
+    "base excision repair",
+    "nucleotide excision repair",
+    "checkpoint adaptation",
+    "reoxygenation",
+    "repopulation",
+    "sublethal damage repair",
+    "bystander signalling",
+    "ferroptosis",
 ];
 
 const TISSUES: &[&str] = &[
-    "lung epithelium", "breast carcinoma", "prostate carcinoma", "glioblastoma",
-    "colorectal mucosa", "bone marrow", "hepatic parenchyma", "pancreatic carcinoma",
-    "laryngeal mucosa", "spinal cord", "renal cortex", "oesophageal epithelium",
-    "skin basal layer", "small intestine crypts",
+    "lung epithelium",
+    "breast carcinoma",
+    "prostate carcinoma",
+    "glioblastoma",
+    "colorectal mucosa",
+    "bone marrow",
+    "hepatic parenchyma",
+    "pancreatic carcinoma",
+    "laryngeal mucosa",
+    "spinal cord",
+    "renal cortex",
+    "oesophageal epithelium",
+    "skin basal layer",
+    "small intestine crypts",
 ];
 
 impl EntityRegistry {
@@ -134,9 +169,9 @@ impl EntityRegistry {
         let mut used_names = std::collections::HashSet::new();
 
         let push = |entities: &mut Vec<Entity>,
-                        used: &mut std::collections::HashSet<String>,
-                        kind: EntityKind,
-                        name: String| {
+                    used: &mut std::collections::HashSet<String>,
+                    kind: EntityKind,
+                    name: String| {
             if !used.insert(name.clone()) {
                 return false;
             }
@@ -234,10 +269,7 @@ impl EntityRegistry {
 
     /// Ids of entities of `kind` participating in `topic`.
     pub fn of_topic_kind(&self, topic: Topic, kind: EntityKind) -> &[EntityId] {
-        self.by_topic_kind
-            .get(&(topic, kind))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.by_topic_kind.get(&(topic, kind)).map(Vec::as_slice).unwrap_or(&[])
     }
 }
 
@@ -262,15 +294,28 @@ fn synth_name(rng: &KeyedStochastic, kind: EntityKind, attempt: u64) -> String {
         }
         EntityKind::Protein => {
             const STEMS: &[&str] = &[
-                "kin", "pol", "lig", "nucle", "top", "hel", "phosphat", "transferas",
-                "sensor", "clamp", "mediator", "effector",
+                "kin",
+                "pol",
+                "lig",
+                "nucle",
+                "top",
+                "hel",
+                "phosphat",
+                "transferas",
+                "sensor",
+                "clamp",
+                "mediator",
+                "effector",
             ];
             let stem = STEMS[rng.below(STEMS.len(), &["p1", &a])];
             let num = 1 + rng.below(12, &["p2", &a]);
             match rng.below(3, &["p3", &a]) {
                 0 => format!("{stem}ase-{num}"),
                 1 => format!("p{}{stem}", 20 + rng.below(70, &["p4", &a])),
-                _ => format!("{}{stem}in-{num}", ["alpha-", "beta-", "gamma-", ""][rng.below(4, &["p5", &a])]),
+                _ => format!(
+                    "{}{stem}in-{num}",
+                    ["alpha-", "beta-", "gamma-", ""][rng.below(4, &["p5", &a])]
+                ),
             }
         }
         EntityKind::Pathway => {
@@ -279,7 +324,10 @@ fn synth_name(rng: &KeyedStochastic, kind: EntityKind, attempt: u64) -> String {
             const C: &[u8] = b"BDKLMNPRSTVX";
             const V: &[u8] = b"AEIOU";
             const TAILS: &[&str] = &[
-                "signalling pathway", "repair axis", "checkpoint cascade", "stress-response pathway",
+                "signalling pathway",
+                "repair axis",
+                "checkpoint cascade",
+                "stress-response pathway",
                 "survival axis",
             ];
             let head: String = [
@@ -310,7 +358,8 @@ fn synth_name(rng: &KeyedStochastic, kind: EntityKind, attempt: u64) -> String {
                 "delu", "kana", "peri", "zelo",
             ];
             const MID: &[&str] = &["ni", "ra", "lo", "ta", "se", "du", "vi", "mo"];
-            const SUF: &[&str] = &["parib", "tinib", "mumab", "platin", "rubicin", "taxane", "zolamide", "fosine"];
+            const SUF: &[&str] =
+                &["parib", "tinib", "mumab", "platin", "rubicin", "taxane", "zolamide", "fosine"];
             format!(
                 "{}{}{}",
                 PRE[rng.below(PRE.len(), &["d1", &a])],
@@ -327,10 +376,14 @@ fn synth_name(rng: &KeyedStochastic, kind: EntityKind, attempt: u64) -> String {
         EntityKind::Syndrome => {
             const HEADS: &[&str] = &[
                 "Verlan", "Ostheim", "Calder", "Rosmarin", "Tieva", "Quillan", "Marest", "Helvin",
-                "Ardane", "Skellig", "Noviny", "Fairwell", "Grenholm", "Ilsted", "Morvane", "Pelagie",
+                "Ardane", "Skellig", "Noviny", "Fairwell", "Grenholm", "Ilsted", "Morvane",
+                "Pelagie",
             ];
             const TAILS: &[&str] = &[
-                "syndrome", "radiosensitivity disorder", "fragility syndrome", "repair deficiency",
+                "syndrome",
+                "radiosensitivity disorder",
+                "fragility syndrome",
+                "repair deficiency",
             ];
             const ROMAN: &[&str] = &["", " type I", " type II", " type III", " type IV", " type V"];
             format!(
@@ -362,12 +415,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = EntityRegistry::generate(1, 30);
         let b = EntityRegistry::generate(2, 30);
-        let same = a
-            .all()
-            .iter()
-            .zip(b.all())
-            .filter(|(x, y)| x.name == y.name)
-            .count();
+        let same = a.all().iter().zip(b.all()).filter(|(x, y)| x.name == y.name).count();
         assert!(same < a.len() / 2, "seeds should change most names ({same})");
     }
 
@@ -428,10 +476,7 @@ mod tests {
         // MCQs need 6 distractors of the answer's kind (7 options total).
         let reg = EntityRegistry::generate(13, 30);
         for kind in EntityKind::ALL {
-            assert!(
-                reg.of_kind(kind).len() >= 7,
-                "{kind:?} has too few members for 7-option MCQs"
-            );
+            assert!(reg.of_kind(kind).len() >= 7, "{kind:?} has too few members for 7-option MCQs");
         }
     }
 }

@@ -102,10 +102,10 @@ impl QuantFact {
                     answer,
                     unit: "".to_string(),
                     error_answers: vec![
-                        (-(alpha * d)).exp(),              // dropped quadratic term
-                        (-(beta * d * d)).exp(),           // dropped linear term
-                        (-(alpha * d + beta * d)).exp(),   // forgot to square
-                        (-(alpha + beta) * d * d).exp(),   // squared everything
+                        (-(alpha * d)).exp(),            // dropped quadratic term
+                        (-(beta * d * d)).exp(),         // dropped linear term
+                        (-(alpha * d + beta * d)).exp(), // forgot to square
+                        (-(alpha + beta) * d * d).exp(), // squared everything
                     ],
                     difficulty: 0.55,
                 }
@@ -153,10 +153,10 @@ impl QuantFact {
                     answer,
                     unit: "Gy".to_string(),
                     error_answers: vec![
-                        bed,                       // reported BED instead
-                        n * d,                     // total physical dose
-                        bed / (1.0 + ab / 2.0),    // inverted correction
-                        bed * (1.0 + 2.0 / ab),    // multiplied instead of divided
+                        bed,                    // reported BED instead
+                        n * d,                  // total physical dose
+                        bed / (1.0 + ab / 2.0), // inverted correction
+                        bed * (1.0 + 2.0 / ab), // multiplied instead of divided
                     ],
                     difficulty: 0.65,
                 }
@@ -178,10 +178,10 @@ impl QuantFact {
                     answer,
                     unit: "MBq".to_string(),
                     error_answers: vec![
-                        a0 * (1.0 - t / half_life).max(0.05), // linear decay error
+                        a0 * (1.0 - t / half_life).max(0.05),      // linear decay error
                         a0 * (2f64).powf(-half_life / t.max(0.1)), // inverted exponent
-                        a0 / (t / half_life).max(0.3),        // division error
-                        a0 * (0.5f64).powf(t / half_life) * 0.5, // extra halving
+                        a0 / (t / half_life).max(0.3),             // division error
+                        a0 * (0.5f64).powf(t / half_life) * 0.5,   // extra halving
                     ],
                     difficulty: 0.6,
                 }
@@ -203,10 +203,10 @@ impl QuantFact {
                     answer,
                     unit: "cGy/h".to_string(),
                     error_answers: vec![
-                        i1 * r1 / r2,              // forgot to square
+                        i1 * r1 / r2,               // forgot to square
                         i1 * (r2 / r1) * (r2 / r1), // inverted ratio
-                        i1 / (r2 - r1).max(0.5),   // linear falloff
-                        i1 * (r1 / r2),            // same as forgot-square (kept distinct below)
+                        i1 / (r2 - r1).max(0.5),    // linear falloff
+                        i1 * (r1 / r2),             // same as forgot-square (kept distinct below)
                     ],
                     difficulty: 0.45,
                 }
@@ -223,10 +223,10 @@ impl QuantFact {
                     answer,
                     unit: "Gy".to_string(),
                     error_answers: vec![
-                        d_oxic / oer,        // divided instead
-                        d_oxic + oer,        // added
-                        d_oxic * oer * oer,  // squared
-                        d_oxic,              // ignored OER
+                        d_oxic / oer,       // divided instead
+                        d_oxic + oer,       // added
+                        d_oxic * oer * oer, // squared
+                        d_oxic,             // ignored OER
                     ],
                     difficulty: 0.35,
                 }

@@ -30,12 +30,7 @@ pub struct OntologyConfig {
 
 impl Default for OntologyConfig {
     fn default() -> Self {
-        Self {
-            seed: 42,
-            entities_per_kind: 480,
-            qualitative_facts: 6_000,
-            quantitative_facts: 600,
-        }
+        Self { seed: 42, entities_per_kind: 480, qualitative_facts: 6_000, quantitative_facts: 600 }
     }
 }
 
@@ -195,10 +190,7 @@ impl Ontology {
 
     /// Indices of facts in `topic`.
     pub fn facts_in_topic(&self, topic: Topic) -> &[usize] {
-        self.facts_by_topic
-            .get(&topic)
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.facts_by_topic.get(&topic).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Draw `n` distractor entities for `fact`: same kind as the object,
@@ -216,11 +208,8 @@ impl Ontology {
         // Topic-preferred pool, but the subject/object exclusions may eat
         // into it — fall through to the full kind pool to guarantee `n`
         // distractors whenever the kind has enough members at all.
-        let pool: Vec<EntityId> = if pool_topic.len() > n {
-            pool_topic.to_vec()
-        } else {
-            Vec::new()
-        };
+        let pool: Vec<EntityId> =
+            if pool_topic.len() > n { pool_topic.to_vec() } else { Vec::new() };
         let key = format!("{}:{}", fact.id.0, salt);
         let mut out = Vec::with_capacity(n);
         let mut taken: std::collections::HashSet<EntityId> = std::collections::HashSet::new();
@@ -286,10 +275,7 @@ mod tests {
         let ont = small();
         let mut pairs = std::collections::HashSet::new();
         for f in ont.facts() {
-            assert!(
-                pairs.insert((f.subject, f.relation)),
-                "duplicate (subject, relation): {f:?}"
-            );
+            assert!(pairs.insert((f.subject, f.relation)), "duplicate (subject, relation): {f:?}");
         }
     }
 
@@ -351,10 +337,7 @@ mod tests {
     #[test]
     fn topics_partition_facts() {
         let ont = small();
-        let total: usize = Topic::ALL
-            .iter()
-            .map(|t| ont.facts_in_topic(*t).len())
-            .sum();
+        let total: usize = Topic::ALL.iter().map(|t| ont.facts_in_topic(*t).len()).sum();
         assert_eq!(total, ont.facts().len());
         for t in Topic::ALL {
             for &i in ont.facts_in_topic(t) {

@@ -103,7 +103,7 @@ impl RelationKind {
         }
     }
 
-    /// Verb phrase used in declarative statements ("X <verb> Y").
+    /// Verb phrase used in declarative statements ("X `<verb>` Y").
     pub fn verb(self) -> &'static str {
         match self {
             RelationKind::Activates => "activates",
@@ -127,9 +127,15 @@ impl RelationKind {
     /// subject name.
     pub fn question_stem(self) -> &'static str {
         match self {
-            RelationKind::Activates => "Which of the following is activated by {S} following irradiation?",
-            RelationKind::Inhibits => "Which of the following is the principal target inhibited by {S}?",
-            RelationKind::Phosphorylates => "Which substrate is phosphorylated by {S} after radiation exposure?",
+            RelationKind::Activates => {
+                "Which of the following is activated by {S} following irradiation?"
+            }
+            RelationKind::Inhibits => {
+                "Which of the following is the principal target inhibited by {S}?"
+            }
+            RelationKind::Phosphorylates => {
+                "Which substrate is phosphorylated by {S} after radiation exposure?"
+            }
             RelationKind::Sensitizes => "Which of the following is radiosensitised by {S}?",
             RelationKind::Protects => "Which tissue is protected from radiation injury by {S}?",
             RelationKind::UpregulatedBy => "During which process is {S} upregulated?",

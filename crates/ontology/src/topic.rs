@@ -86,57 +86,123 @@ impl Topic {
     pub fn keywords(self) -> &'static [&'static str] {
         match self {
             Topic::DnaDamageResponse => &[
-                "double-strand break", "damage sensing", "checkpoint kinase", "foci formation",
-                "chromatin remodelling", "signal transduction", "phosphorylation cascade",
+                "double-strand break",
+                "damage sensing",
+                "checkpoint kinase",
+                "foci formation",
+                "chromatin remodelling",
+                "signal transduction",
+                "phosphorylation cascade",
                 "genomic instability",
             ],
             Topic::DnaRepair => &[
-                "homologous recombination", "end joining", "repair fidelity", "resection",
-                "strand invasion", "ligation", "repair kinetics", "residual damage",
+                "homologous recombination",
+                "end joining",
+                "repair fidelity",
+                "resection",
+                "strand invasion",
+                "ligation",
+                "repair kinetics",
+                "residual damage",
             ],
             Topic::CellCycle => &[
-                "checkpoint arrest", "mitotic entry", "radiosensitive phase", "synchronisation",
-                "cyclin expression", "restriction point", "polyploidy", "mitotic index",
+                "checkpoint arrest",
+                "mitotic entry",
+                "radiosensitive phase",
+                "synchronisation",
+                "cyclin expression",
+                "restriction point",
+                "polyploidy",
+                "mitotic index",
             ],
             Topic::CellDeath => &[
-                "apoptosis", "mitotic catastrophe", "senescence", "clonogenic survival",
-                "caspase activation", "membrane permeabilisation", "autophagy", "necroptosis",
+                "apoptosis",
+                "mitotic catastrophe",
+                "senescence",
+                "clonogenic survival",
+                "caspase activation",
+                "membrane permeabilisation",
+                "autophagy",
+                "necroptosis",
             ],
             Topic::Fractionation => &[
-                "fraction size", "alpha-beta ratio", "biologically effective dose",
-                "hypofractionation", "repopulation", "sublethal damage repair", "dose rate",
+                "fraction size",
+                "alpha-beta ratio",
+                "biologically effective dose",
+                "hypofractionation",
+                "repopulation",
+                "sublethal damage repair",
+                "dose rate",
                 "isoeffect curve",
             ],
             Topic::Hypoxia => &[
-                "oxygen enhancement", "reoxygenation", "hypoxic fraction", "radioresistance",
-                "oxygen fixation", "perfusion", "necrotic core", "hypoxia-inducible factor",
+                "oxygen enhancement",
+                "reoxygenation",
+                "hypoxic fraction",
+                "radioresistance",
+                "oxygen fixation",
+                "perfusion",
+                "necrotic core",
+                "hypoxia-inducible factor",
             ],
             Topic::Radiosensitizers => &[
-                "sensitiser enhancement ratio", "thiol depletion", "nitroimidazole",
-                "free radical scavenging", "prodrug activation", "therapeutic index",
-                "dose-modifying factor", "combination schedule",
+                "sensitiser enhancement ratio",
+                "thiol depletion",
+                "nitroimidazole",
+                "free radical scavenging",
+                "prodrug activation",
+                "therapeutic index",
+                "dose-modifying factor",
+                "combination schedule",
             ],
             Topic::Immunology => &[
-                "abscopal effect", "antigen presentation", "immunogenic cell death",
-                "checkpoint blockade", "cytokine release", "lymphocyte infiltration",
-                "tumour rejection", "innate sensing",
+                "abscopal effect",
+                "antigen presentation",
+                "immunogenic cell death",
+                "checkpoint blockade",
+                "cytokine release",
+                "lymphocyte infiltration",
+                "tumour rejection",
+                "innate sensing",
             ],
             Topic::NormalTissue => &[
-                "late effects", "fibrosis", "mucositis", "tolerance dose", "organ at risk",
-                "functional subunits", "stem cell depletion", "acute syndrome",
+                "late effects",
+                "fibrosis",
+                "mucositis",
+                "tolerance dose",
+                "organ at risk",
+                "functional subunits",
+                "stem cell depletion",
+                "acute syndrome",
             ],
             Topic::Radionuclides => &[
-                "half-life", "specific activity", "dose rate constant", "afterloading",
-                "seed implantation", "decay chain", "emission spectrum", "shielding",
+                "half-life",
+                "specific activity",
+                "dose rate constant",
+                "afterloading",
+                "seed implantation",
+                "decay chain",
+                "emission spectrum",
+                "shielding",
             ],
             Topic::ParticleTherapy => &[
-                "Bragg peak", "linear energy transfer", "relative biological effectiveness",
-                "spread-out peak", "track structure", "clustered damage", "range uncertainty",
+                "Bragg peak",
+                "linear energy transfer",
+                "relative biological effectiveness",
+                "spread-out peak",
+                "track structure",
+                "clustered damage",
+                "range uncertainty",
                 "ion species",
             ],
             Topic::Microenvironment => &[
-                "stromal signalling", "vascular damage", "extracellular matrix",
-                "fibroblast activation", "angiogenesis", "immune infiltrate", "interstitial pressure",
+                "stromal signalling",
+                "vascular damage",
+                "extracellular matrix",
+                "fibroblast activation",
+                "angiogenesis",
+                "immune infiltrate",
+                "interstitial pressure",
                 "bystander effect",
             ],
         }

@@ -114,14 +114,11 @@ impl AdaptiveParser {
     /// 3. `Salvage` — accepted if quality clears `salvage_quality_bar`.
     pub fn parse(&self, bytes: &[u8]) -> ParseOutcome {
         // Fast path.
-        match parse_with(ParseStrategy::Fast, bytes) {
-            Ok(doc) => {
-                let q = quality::score(&doc);
-                if q.0 >= self.config.fast_quality_bar {
-                    return ParseOutcome::Parsed { doc, strategy: ParseStrategy::Fast, quality: q.0 };
-                }
+        if let Ok(doc) = parse_with(ParseStrategy::Fast, bytes) {
+            let q = quality::score(&doc);
+            if q.0 >= self.config.fast_quality_bar {
+                return ParseOutcome::Parsed { doc, strategy: ParseStrategy::Fast, quality: q.0 };
             }
-            Err(_) => {}
         }
         // Thorough path.
         let thorough_err = match parse_with(ParseStrategy::Thorough, bytes) {
@@ -150,7 +147,10 @@ impl AdaptiveParser {
     }
 
     /// Parse a batch in parallel; outcomes are index-aligned with `blobs`.
-    pub fn parse_batch<B: AsRef<[u8]> + Sync>(&self, blobs: &[B]) -> (Vec<ParseOutcome>, BatchStats) {
+    pub fn parse_batch<B: AsRef<[u8]> + Sync>(
+        &self,
+        blobs: &[B],
+    ) -> (Vec<ParseOutcome>, BatchStats) {
         let timer = mcqa_util::ScopeTimer::start("parse_batch");
         let stats = Mutex::new(BatchStats { total: blobs.len(), ..Default::default() });
         let outcomes: Vec<ParseOutcome> = blobs
@@ -204,9 +204,8 @@ mod tests {
     fn clean_corpus_goes_fast_path() {
         let lib = library(0.0);
         let parser = AdaptiveParser::default();
-        let blobs: Vec<&[u8]> = (0..lib.len() as u32)
-            .map(|i| lib.download(DocId(i)).unwrap())
-            .collect();
+        let blobs: Vec<&[u8]> =
+            (0..lib.len() as u32).map(|i| lib.download(DocId(i)).unwrap()).collect();
         let (outcomes, stats) = parser.parse_batch(&blobs);
         assert_eq!(stats.total, 36);
         assert_eq!(stats.fast, 36, "clean blobs all take the fast path: {stats:?}");
@@ -219,9 +218,8 @@ mod tests {
     fn corrupted_corpus_escalates_but_mostly_recovers() {
         let lib = library(0.5);
         let parser = AdaptiveParser::default();
-        let blobs: Vec<&[u8]> = (0..lib.len() as u32)
-            .map(|i| lib.download(DocId(i)).unwrap())
-            .collect();
+        let blobs: Vec<&[u8]> =
+            (0..lib.len() as u32).map(|i| lib.download(DocId(i)).unwrap()).collect();
         let (outcomes, stats) = parser.parse_batch(&blobs);
         assert!(stats.fast < stats.total, "{stats:?}");
         assert!(stats.salvage > 0, "some docs must need salvage: {stats:?}");
@@ -272,8 +270,7 @@ mod tests {
     fn batch_outcomes_are_index_aligned() {
         let lib = library(0.0);
         let parser = AdaptiveParser::default();
-        let blobs: Vec<&[u8]> =
-            (0..4u32).map(|i| lib.download(DocId(i)).unwrap()).collect();
+        let blobs: Vec<&[u8]> = (0..4u32).map(|i| lib.download(DocId(i)).unwrap()).collect();
         let (outcomes, _) = parser.parse_batch(&blobs);
         for (i, o) in outcomes.iter().enumerate() {
             let meta = o.document().unwrap().meta.as_ref().unwrap();

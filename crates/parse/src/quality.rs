@@ -34,10 +34,7 @@ pub fn score(doc: &ParsedDocument) -> QualityScore {
 
     // Printable ratio.
     let total_chars = text.chars().count().max(1);
-    let printable = text
-        .chars()
-        .filter(|c| !c.is_control() || *c == '\n' || *c == '\t')
-        .count();
+    let printable = text.chars().filter(|c| !c.is_control() || *c == '\n' || *c == '\t').count();
     let printable_ratio = printable as f64 / total_chars as f64;
 
     // Sentence shape.
@@ -45,10 +42,7 @@ pub fn score(doc: &ParsedDocument) -> QualityScore {
     let sentence_score = if sentences.is_empty() {
         0.0
     } else {
-        let mean_len = sentences
-            .iter()
-            .map(|s| mcqa_text::token_count(s) as f64)
-            .sum::<f64>()
+        let mean_len = sentences.iter().map(|s| mcqa_text::token_count(s) as f64).sum::<f64>()
             / sentences.len() as f64;
         // Clean scientific prose averages ~8–40 tokens/sentence.
         if (4.0..=60.0).contains(&mean_len) {

@@ -56,10 +56,9 @@ impl ParsedDocument {
     /// Split a raw text-object payload (`"Title\n\nbody"`) into a section.
     pub fn section_from_payload(payload: &str) -> ParsedSection {
         match payload.split_once("\n\n") {
-            Some((title, body)) => ParsedSection {
-                title: title.trim().to_string(),
-                text: body.trim().to_string(),
-            },
+            Some((title, body)) => {
+                ParsedSection { title: title.trim().to_string(), text: body.trim().to_string() }
+            }
             None => ParsedSection { title: String::new(), text: payload.trim().to_string() },
         }
     }

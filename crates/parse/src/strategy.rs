@@ -73,10 +73,7 @@ pub fn parse_with(strategy: ParseStrategy, bytes: &[u8]) -> Result<ParsedDocumen
             // Salvage machinery without checksum enforcement, but *any*
             // issue disqualifies the fast path — escalation will decide.
             let r = SpdfReader::salvage(bytes);
-            let only_checksum_skip = r
-                .issues
-                .iter()
-                .all(|i| i.contains("checksum")); // fast path ignores checksums
+            let only_checksum_skip = r.issues.iter().all(|i| i.contains("checksum")); // fast path ignores checksums
             if !r.issues.is_empty() && !only_checksum_skip {
                 return Err(ParseError::Container(SpdfError::BadTrailer));
             }
@@ -167,9 +164,6 @@ mod tests {
             mcqa_corpus::spdf::ObjectKind::Meta,
             br#"{"id":1,"kind":"paper","title":"t","authors":[],"year":2020,"venue":"v","topic":"DnaRepair","keywords":[]}"#,
         )]);
-        assert!(matches!(
-            parse_with(ParseStrategy::Thorough, &meta_only),
-            Err(ParseError::NoText)
-        ));
+        assert!(matches!(parse_with(ParseStrategy::Thorough, &meta_only), Err(ParseError::NoText)));
     }
 }

@@ -208,9 +208,8 @@ mod tests {
             let tx = tx.clone();
             pool.submit(move || tx.send(i).unwrap());
         }
-        let mut got: Vec<i32> = (0..10)
-            .map(|_| rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap())
-            .collect();
+        let mut got: Vec<i32> =
+            (0..10).map(|_| rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap()).collect();
         got.sort_unstable();
         assert_eq!(got, (0..10).collect::<Vec<_>>());
     }

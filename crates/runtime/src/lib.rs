@@ -26,6 +26,6 @@ pub mod stage;
 
 pub use executor::{PoolStats, WorkStealingPool};
 pub use metrics::{RunReport, StageMetrics};
-pub use retry::{RetryPolicy, RetryOutcome};
+pub use retry::{RetryOutcome, RetryPolicy};
 pub use scaling::{ScalingDecision, ScalingPolicy};
 pub use stage::{run_stage, TaskError};

@@ -15,6 +15,10 @@ pub struct StageMetrics {
     pub errors: usize,
     /// Items that panicked (subset of `errors`).
     pub panics: usize,
+    /// Output records emitted by the stage. Equals `ok` for 1:1 stages;
+    /// fan-out stages (e.g. chunking: docs in → chunks out) record the
+    /// output count here so both docs/s and chunks/s are observable.
+    pub produced: usize,
     /// Wall-clock seconds.
     pub elapsed_secs: f64,
 }
@@ -24,6 +28,17 @@ impl StageMetrics {
     pub fn throughput(&self) -> f64 {
         if self.elapsed_secs > 0.0 && self.items > 0 {
             self.items as f64 / self.elapsed_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Output records per second (0 when time is unmeasured or nothing was
+    /// produced). For the chunk stage this is chunks/s where
+    /// [`Self::throughput`] is docs/s.
+    pub fn output_throughput(&self) -> f64 {
+        if self.elapsed_secs > 0.0 && self.produced > 0 {
+            self.produced as f64 / self.elapsed_secs
         } else {
             0.0
         }
@@ -73,20 +88,22 @@ impl RunReport {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<22} {:>9} {:>9} {:>7} {:>10} {:>11}\n",
-            "stage", "items", "ok", "errors", "secs", "items/s"
+            "{:<22} {:>9} {:>9} {:>7} {:>9} {:>10} {:>11} {:>11}\n",
+            "stage", "items", "ok", "errors", "out", "secs", "items/s", "out/s"
         ));
-        out.push_str(&"-".repeat(74));
+        out.push_str(&"-".repeat(95));
         out.push('\n');
         for s in &self.stages {
             out.push_str(&format!(
-                "{:<22} {:>9} {:>9} {:>7} {:>10.3} {:>11.1}\n",
+                "{:<22} {:>9} {:>9} {:>7} {:>9} {:>10.3} {:>11.1} {:>11.1}\n",
                 s.name,
                 s.items,
                 s.ok,
                 s.errors,
+                s.produced,
                 s.elapsed_secs,
-                s.throughput()
+                s.throughput(),
+                s.output_throughput()
             ));
         }
         out.push_str(&format!("total wall-clock: {:.3}s\n", self.total_secs()));
@@ -105,6 +122,7 @@ mod tests {
             ok,
             errors: items - ok,
             panics: 0,
+            produced: ok,
             elapsed_secs: secs,
         }
     }
@@ -113,6 +131,7 @@ mod tests {
     fn throughput_and_success() {
         let s = m("parse", 100, 95, 2.0);
         assert_eq!(s.throughput(), 50.0);
+        assert_eq!(s.output_throughput(), 47.5);
         assert_eq!(s.success_rate(), 0.95);
         let empty = m("x", 0, 0, 0.0);
         assert_eq!(empty.throughput(), 0.0);

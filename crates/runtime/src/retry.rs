@@ -71,7 +71,11 @@ impl RetryPolicy {
     }
 
     /// Run `op` with retries, calling `sleep(ms)` between attempts.
-    pub fn run_with_sleeper<T, E, Op, Sleep>(&self, mut op: Op, mut sleep: Sleep) -> RetryOutcome<T, E>
+    pub fn run_with_sleeper<T, E, Op, Sleep>(
+        &self,
+        mut op: Op,
+        mut sleep: Sleep,
+    ) -> RetryOutcome<T, E>
     where
         Op: FnMut(u32) -> Result<T, E>,
         Sleep: FnMut(u64),
@@ -128,8 +132,7 @@ mod tests {
     #[test]
     fn exhaustion_keeps_last_error() {
         let p = RetryPolicy { max_attempts: 3, base_backoff_ms: 1 };
-        let out: RetryOutcome<(), String> =
-            p.run_with_sleeper(|a| Err(format!("err {a}")), |_| {});
+        let out: RetryOutcome<(), String> = p.run_with_sleeper(|a| Err(format!("err {a}")), |_| {});
         assert_eq!(out, RetryOutcome::Exhausted { error: "err 3".into(), attempts: 3 });
         assert!(out.into_result().is_err());
     }
@@ -147,7 +150,7 @@ mod tests {
     #[test]
     fn zero_attempts_clamped() {
         let p = RetryPolicy { max_attempts: 0, base_backoff_ms: 1 };
-        let out = p.run_with_sleeper(|a| Ok::<_, String>(a), |_| {});
+        let out = p.run_with_sleeper(Ok::<_, String>, |_| {});
         assert_eq!(out.attempts(), 1);
     }
 

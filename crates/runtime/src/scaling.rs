@@ -25,7 +25,13 @@ pub struct ScalingPolicy {
 
 impl Default for ScalingPolicy {
     fn default() -> Self {
-        Self { min_workers: 1, max_workers: 16, high_watermark: 8.0, low_watermark: 1.0, patience: 2 }
+        Self {
+            min_workers: 1,
+            max_workers: 16,
+            high_watermark: 8.0,
+            low_watermark: 1.0,
+            patience: 2,
+        }
     }
 }
 
@@ -154,9 +160,6 @@ mod tests {
     #[test]
     #[should_panic]
     fn invalid_policy_rejected() {
-        ScalingController::new(
-            ScalingPolicy { min_workers: 0, ..Default::default() },
-            1,
-        );
+        ScalingController::new(ScalingPolicy { min_workers: 0, ..Default::default() }, 1);
     }
 }

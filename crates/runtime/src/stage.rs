@@ -57,6 +57,11 @@ where
                 Ok(Err(msg)) => Err(TaskError::Failed(msg)),
                 Err(_) => Err(TaskError::Panicked),
             };
+            // Release this task's handle on `f` *before* signalling
+            // completion: once the caller has received every result it may
+            // assume no worker still borrows the closure's captures (e.g.
+            // `Arc`s the caller wants to unwrap).
+            drop(f);
             // The receiver outlives all submissions; a send can only fail
             // if the caller dropped the rx, in which case the result is
             // moot anyway.
@@ -74,16 +79,14 @@ where
         slots.into_iter().map(|s| s.expect("slot filled")).collect();
 
     let ok = results.iter().filter(|r| r.is_ok()).count();
-    let panics = results
-        .iter()
-        .filter(|r| matches!(r, Err(TaskError::Panicked)))
-        .count();
+    let panics = results.iter().filter(|r| matches!(r, Err(TaskError::Panicked))).count();
     let metrics = StageMetrics {
         name: name.to_string(),
         items: n,
         ok,
         errors: n - ok,
         panics,
+        produced: ok,
         elapsed_secs: timer.elapsed_secs(),
     };
     (results, metrics)
@@ -138,16 +141,14 @@ mod tests {
         assert_eq!(metrics.panics, 1);
         assert_eq!(metrics.ok, 9);
         // Subsequent stages still run on the same pool.
-        let (r2, _) = run_stage(&pool, "after", vec![1u32, 2], |x| Ok::<u32, String>(x));
+        let (r2, _) = run_stage(&pool, "after", vec![1u32, 2], Ok::<u32, String>);
         assert!(r2.iter().all(Result::is_ok));
     }
 
     #[test]
     fn empty_stage() {
         let pool = WorkStealingPool::new(2);
-        let (results, metrics) = run_stage(&pool, "empty", Vec::<u32>::new(), |x| {
-            Ok::<u32, String>(x)
-        });
+        let (results, metrics) = run_stage(&pool, "empty", Vec::<u32>::new(), Ok::<u32, String>);
         assert!(results.is_empty());
         assert_eq!(metrics.items, 0);
         assert_eq!(metrics.throughput(), 0.0);

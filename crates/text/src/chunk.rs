@@ -78,12 +78,7 @@ pub struct ChunkerConfig {
 
 impl Default for ChunkerConfig {
     fn default() -> Self {
-        Self {
-            max_tokens: 256,
-            min_tokens: 48,
-            drift_threshold: 0.18,
-            window_sentences: 3,
-        }
+        Self { max_tokens: 256, min_tokens: 48, drift_threshold: 0.18, window_sentences: 3 }
     }
 }
 
@@ -132,7 +127,11 @@ impl<'e, E: Encoder> Chunker<'e, E> {
         let mut cur_tokens = 0usize;
         let mut cur_first = 0usize;
 
-        let flush = |chunks: &mut Vec<Chunk>, cur: &mut Vec<&str>, first: usize, last: usize, tokens: usize| {
+        let flush = |chunks: &mut Vec<Chunk>,
+                     cur: &mut Vec<&str>,
+                     first: usize,
+                     last: usize,
+                     tokens: usize| {
             if cur.is_empty() {
                 return;
             }
@@ -284,7 +283,12 @@ mod tests {
         let enc = TfEncoder::new(64);
         let chunker = Chunker::new(
             &enc,
-            ChunkerConfig { max_tokens: 30, min_tokens: 8, drift_threshold: 0.15, window_sentences: 2 },
+            ChunkerConfig {
+                max_tokens: 30,
+                min_tokens: 8,
+                drift_threshold: 0.15,
+                window_sentences: 2,
+            },
         );
         let text = themed_text();
         let n_sentences = split_sentences(&text).len();
@@ -313,7 +317,12 @@ mod tests {
         let enc = TfEncoder::new(8);
         let _ = Chunker::new(
             &enc,
-            ChunkerConfig { max_tokens: 4, min_tokens: 10, drift_threshold: 0.2, window_sentences: 1 },
+            ChunkerConfig {
+                max_tokens: 4,
+                min_tokens: 10,
+                drift_threshold: 0.2,
+                window_sentences: 1,
+            },
         );
     }
 

@@ -26,5 +26,5 @@ pub mod vocab;
 
 pub use chunk::{Chunk, Chunker, ChunkerConfig, Encoder, TfEncoder};
 pub use sentence::split_sentences;
-pub use token::{tokenize, token_count};
+pub use token::{token_count, tokenize};
 pub use vocab::Vocabulary;

@@ -7,8 +7,8 @@
 
 /// Abbreviations that never end a sentence.
 const ABBREVIATIONS: &[&str] = &[
-    "e.g", "i.e", "et al", "cf", "vs", "fig", "figs", "eq", "ref", "refs", "approx",
-    "resp", "ca", "no", "nos", "vol", "dr", "prof", "inc", "etc",
+    "e.g", "i.e", "et al", "cf", "vs", "fig", "figs", "eq", "ref", "refs", "approx", "resp", "ca",
+    "no", "nos", "vol", "dr", "prof", "inc", "etc",
 ];
 
 /// Split `text` into sentences. Whitespace is trimmed from each sentence;

@@ -10,10 +10,7 @@ pub fn sparse_cosine<K: Eq + Hash>(a: &HashMap<K, f64>, b: &HashMap<K, f64>) -> 
     }
     // Iterate the smaller map.
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let dot: f64 = small
-        .iter()
-        .filter_map(|(k, v)| large.get(k).map(|w| v * w))
-        .sum();
+    let dot: f64 = small.iter().filter_map(|(k, v)| large.get(k).map(|w| v * w)).sum();
     let na: f64 = a.values().map(|v| v * v).sum::<f64>().sqrt();
     let nb: f64 = b.values().map(|v| v * v).sum::<f64>().sqrt();
     if na == 0.0 || nb == 0.0 {

@@ -114,10 +114,7 @@ mod tests {
 
     #[test]
     fn hyphens_kept_inside_words() {
-        assert_eq!(
-            tokenize("non-homologous end-joining"),
-            vec!["non-homologous", "end-joining"]
-        );
+        assert_eq!(tokenize("non-homologous end-joining"), vec!["non-homologous", "end-joining"]);
         // Pure dashes are dropped.
         assert_eq!(tokenize("a - b"), vec!["a", "b"]);
     }

@@ -123,11 +123,7 @@ impl Vocabulary {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| self.term(a.0).cmp(&self.term(b.0)))
         });
-        pairs
-            .into_iter()
-            .take(k)
-            .filter_map(|(id, _)| self.term(id))
-            .collect()
+        pairs.into_iter().take(k).filter_map(|(id, _)| self.term(id)).collect()
     }
 }
 

@@ -91,7 +91,7 @@ impl F16 {
                 let exp_field = 113 - shift; // (-14 - shift) + 127
                 sign | (exp_field << 23) | (m2 << 13)
             }
-            (0x1f, 0) => sign | 0x7f80_0000,        // infinity
+            (0x1f, 0) => sign | 0x7f80_0000,             // infinity
             (0x1f, m) => sign | 0x7f80_0000 | (m << 13), // NaN
             (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
         };
@@ -136,15 +136,10 @@ pub fn encode_f16_bytes(values: &[f32]) -> Vec<u8> {
 ///
 /// Returns `None` when the byte length is odd.
 pub fn decode_f16_bytes(bytes: &[u8]) -> Option<Vec<f32>> {
-    if bytes.len() % 2 != 0 {
+    if !bytes.len().is_multiple_of(2) {
         return None;
     }
-    Some(
-        bytes
-            .chunks_exact(2)
-            .map(|c| F16(u16::from_le_bytes([c[0], c[1]])).to_f32())
-            .collect(),
-    )
+    Some(bytes.chunks_exact(2).map(|c| F16(u16::from_le_bytes([c[0], c[1]])).to_f32()).collect())
 }
 
 #[cfg(test)]
@@ -168,7 +163,7 @@ mod tests {
         assert_eq!(F16(0xc000).to_f32(), -2.0);
         assert_eq!(F16(0x7bff).to_f32(), 65504.0);
         assert_eq!(F16(0x0001).to_f32(), 5.9604645e-8); // smallest subnormal
-        assert_eq!(F16(0x0400).to_f32(), 6.103515625e-5); // smallest normal
+        assert_eq!(F16(0x0400).to_f32(), 6.103_515_6e-5); // smallest normal
     }
 
     #[test]

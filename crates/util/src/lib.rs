@@ -8,7 +8,7 @@
 //!   these hashes so that results are reproducible bit-for-bit.
 //! * [`stochastic`] — keyed Bernoulli draws, uniform floats, and categorical
 //!   picks derived from stable hashes.
-//! * [`f16`] — a half-precision (IEEE 754 binary16) codec used by the
+//! * [`mod@f16`] — a half-precision (IEEE 754 binary16) codec used by the
 //!   embedding store, mirroring the paper's FP16 FAISS databases.
 //! * [`stats`] — online mean/variance, accuracy accounting and Wilson score
 //!   intervals used by the evaluation harness.

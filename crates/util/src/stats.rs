@@ -22,13 +22,7 @@ pub struct OnlineStats {
 impl OnlineStats {
     /// An empty accumulator.
     pub fn new() -> Self {
-        Self {
-            n: 0,
-            mean: 0.0,
-            m2: 0.0,
-            min: f64::INFINITY,
-            max: f64::NEG_INFINITY,
-        }
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
     }
 
     /// Add one observation.
@@ -128,10 +122,7 @@ impl WilsonInterval {
         let denom = 1.0 + z2 / n;
         let centre = (p + z2 / (2.0 * n)) / denom;
         let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-        Self {
-            lo: (centre - half).max(0.0),
-            hi: (centre + half).min(1.0),
-        }
+        Self { lo: (centre - half).max(0.0), hi: (centre + half).min(1.0) }
     }
 
     /// True when `p` falls inside the interval (inclusive).

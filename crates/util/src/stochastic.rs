@@ -132,9 +132,8 @@ mod tests {
         let s = KeyedStochastic::new(11);
         for &p in &[0.1, 0.5, 0.9] {
             let n = 20_000;
-            let hits = (0..n)
-                .filter(|i| s.bernoulli(p, &["b", &i.to_string(), &p.to_string()]))
-                .count();
+            let hits =
+                (0..n).filter(|i| s.bernoulli(p, &["b", &i.to_string(), &p.to_string()])).count();
             let freq = hits as f64 / n as f64;
             assert!((freq - p).abs() < 0.02, "p={p} freq={freq}");
         }
@@ -160,10 +159,7 @@ mod tests {
         }
         let expect = trials as f64 / n as f64;
         for (i, &c) in counts.iter().enumerate() {
-            assert!(
-                (c as f64 - expect).abs() < expect * 0.12,
-                "bucket {i}: {c} vs {expect}"
-            );
+            assert!((c as f64 - expect).abs() < expect * 0.12, "bucket {i}: {c} vs {expect}");
         }
     }
 

@@ -20,10 +20,7 @@ pub struct ScopeTimer {
 impl ScopeTimer {
     /// Start timing a named scope.
     pub fn start(label: &'static str) -> Self {
-        Self {
-            label,
-            start: Instant::now(),
-        }
+        Self { label, start: Instant::now() }
     }
 
     /// The scope's label.

@@ -6,7 +6,6 @@
 //! ```
 
 use distllm::eval::results::{render_fig, render_table2, FigureSeries};
-use distllm::prelude::*;
 
 fn main() {
     let mut args = std::env::args().skip(1);

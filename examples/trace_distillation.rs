@@ -27,10 +27,7 @@ fn main() {
         let tokens = distllm::text::token_count(&trace.trace);
         println!("\n--- {} ({tokens} tokens) ---", trace.mode.label());
         println!("{}", trace.trace);
-        assert!(
-            !trace.trace.contains(item.correct_text()),
-            "leakage audit failed"
-        );
+        assert!(!trace.trace.contains(item.correct_text()), "leakage audit failed");
     }
     println!("\nleakage audit: no trace contains the answer string ✓");
 

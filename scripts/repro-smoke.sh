@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Smoke-test the end-to-end paper pipeline: run the `repro` binary over every
+# table/figure at ~1% of paper scale with a fixed seed. Any panic, stage
+# failure, or non-zero exit fails the script (and therefore CI).
+#
+# Usage: scripts/repro-smoke.sh [scale] [seed]
+set -euo pipefail
+
+SCALE="${1:-0.01}"
+SEED="${2:-42}"
+
+cd "$(dirname "$0")/.."
+
+echo "== repro smoke: scale=${SCALE} seed=${SEED} =="
+cargo run --release -q -p mcqa-bench --bin repro -- all --scale "${SCALE}" --seed "${SEED}"
+
+echo "== repro smoke: stage census (fig1) =="
+OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- fig1 --scale "${SCALE}" --seed "${SEED}")"
+echo "${OUT}"
+
+# The workflow must report the paper's Figure-1 stage census, with the
+# throughput columns recorded by the runtime metrics.
+for stage in acquire parse chunk embed-chunks generate+judge traces embed-traces out/s; do
+    if ! grep -qF "${stage}" <<<"${OUT}"; then
+        echo "repro smoke FAILED: stage report is missing '${stage}'" >&2
+        exit 1
+    fi
+done
+
+echo "== repro smoke: OK =="

@@ -1,0 +1,213 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro and builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, throughput,
+//! `Bencher::iter`) with a simple median-of-samples timer instead of
+//! criterion's statistical machinery. Results print one line per benchmark:
+//!
+//! ```text
+//! bench chunker/lexical_encoder      123.4 µs/iter   1.23 Melem/s
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier with a parameter, e.g. `budget/256`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    /// Median seconds per iteration, recorded by `iter`.
+    result_secs: f64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and a rough scale for how many iterations fit a sample.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let rough = warmup_start.elapsed().max(Duration::from_nanos(50));
+        let per_sample_target = Duration::from_millis(10);
+        let iters_per_sample =
+            (per_sample_target.as_nanos() / rough.as_nanos()).clamp(1, 10_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.samples);
+        let budget = Instant::now();
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+            // Hard cap so `cargo bench` stays fast even for slow routines.
+            if budget.elapsed() > Duration::from_millis(500) {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.result_secs = samples[samples.len() / 2];
+    }
+}
+
+fn humanize_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.1} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.1} µs", secs * 1e6)
+    } else {
+        format!("{:.0} ns", secs * 1e9)
+    }
+}
+
+fn humanize_rate(rate: f64, unit: &str) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G{unit}/s", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M{unit}/s", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k{unit}/s", rate / 1e3)
+    } else {
+        format!("{rate:.1} {unit}/s")
+    }
+}
+
+/// A named group of benchmarks sharing sample/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher { samples: self.sample_size, result_secs: 0.0 };
+        f(&mut b);
+        let per_iter = b.result_secs;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("   {}", humanize_rate(n as f64 / per_iter, "elem"))
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("   {}", humanize_rate(n as f64 / per_iter, "B"))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "bench {:<40} {:>12}/iter{rate}",
+            format!("{}/{}", self.name, id),
+            humanize_secs(per_iter)
+        );
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_one(&id, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.to_string();
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.run_one("", f);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

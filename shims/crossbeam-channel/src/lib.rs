@@ -1,0 +1,81 @@
+//! Offline stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
+//!
+//! Covers the bounded-channel subset this workspace uses: `bounded`,
+//! `Sender::send`, `Receiver::recv`/`recv_timeout`, sender cloning. The std
+//! receiver is single-consumer, which matches every call site here.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+/// Sending half of a bounded channel.
+pub struct Sender<T>(mpsc::SyncSender<T>);
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender(self.0.clone())
+    }
+}
+
+impl<T> Sender<T> {
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.0.send(value)
+    }
+}
+
+/// Receiving half of a bounded channel.
+pub struct Receiver<T>(mpsc::Receiver<T>);
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.0.recv()
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.0.recv_timeout(timeout)
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.0.try_recv()
+    }
+
+    pub fn iter(&self) -> mpsc::Iter<'_, T> {
+        self.0.iter()
+    }
+}
+
+impl<T> IntoIterator for Receiver<T> {
+    type Item = T;
+    type IntoIter = mpsc::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+/// Create a bounded channel with the given capacity (0 = rendezvous).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (Sender(tx), Receiver(rx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_send_recv_across_threads() {
+        let (tx, rx) = bounded(4);
+        let handle = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.push(rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        }
+        handle.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for `crossbeam-deque`.
+//!
+//! Same API shape — [`Injector`], [`Worker`], [`Stealer`], [`Steal`] — with
+//! mutex-protected `VecDeque`s instead of lock-free Chase-Lev deques. The
+//! locking discipline means `Steal::Retry` is never produced; callers that
+//! loop on `Retry` simply terminate faster.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Result of a steal attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Steal<T> {
+    Empty,
+    Success(T),
+    Retry,
+}
+
+impl<T> Steal<T> {
+    pub fn is_retry(&self) -> bool {
+        matches!(self, Steal::Retry)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        matches!(self, Steal::Empty)
+    }
+
+    pub fn is_success(&self) -> bool {
+        matches!(self, Steal::Success(_))
+    }
+
+    pub fn success(self) -> Option<T> {
+        match self {
+            Steal::Success(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Global FIFO injector queue.
+pub struct Injector<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> Default for Injector<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Injector<T> {
+    pub fn new() -> Self {
+        Injector { queue: Mutex::new(VecDeque::new()) }
+    }
+
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    /// Move a batch of tasks into `dest`'s local deque and pop one.
+    pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+        let mut q = lock(&self.queue);
+        let Some(first) = q.pop_front() else {
+            return Steal::Empty;
+        };
+        // Take up to half the remaining queue (capped) along with the task.
+        let batch = (q.len() / 2).min(16);
+        if batch > 0 {
+            let mut dest_q = lock(&dest.queue);
+            for _ in 0..batch {
+                match q.pop_front() {
+                    Some(t) => dest_q.push_back(t),
+                    None => break,
+                }
+            }
+        }
+        Steal::Success(first)
+    }
+}
+
+/// A worker's own deque (LIFO pop, like `crossbeam`'s `new_lifo`).
+pub struct Worker<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+    lifo: bool,
+}
+
+impl<T> Worker<T> {
+    pub fn new_lifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())), lifo: true }
+    }
+
+    pub fn new_fifo() -> Self {
+        Worker { queue: Arc::new(Mutex::new(VecDeque::new())), lifo: false }
+    }
+
+    pub fn push(&self, task: T) {
+        lock(&self.queue).push_back(task);
+    }
+
+    pub fn pop(&self) -> Option<T> {
+        let mut q = lock(&self.queue);
+        if self.lifo {
+            q.pop_back()
+        } else {
+            q.pop_front()
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+
+    pub fn stealer(&self) -> Stealer<T> {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+/// Handle through which other workers steal from a [`Worker`]'s deque.
+pub struct Stealer<T> {
+    queue: Arc<Mutex<VecDeque<T>>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { queue: Arc::clone(&self.queue) }
+    }
+}
+
+impl<T> Stealer<T> {
+    /// Steal from the opposite end of the owner's pops (FIFO side).
+    pub fn steal(&self) -> Steal<T> {
+        match lock(&self.queue).pop_front() {
+            Some(t) => Steal::Success(t),
+            None => Steal::Empty,
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        lock(&self.queue).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injector_batch_steal_moves_work() {
+        let inj = Injector::new();
+        for i in 0..40 {
+            inj.push(i);
+        }
+        let local = Worker::new_lifo();
+        let got = inj.steal_batch_and_pop(&local);
+        assert_eq!(got, Steal::Success(0));
+        assert!(!local.is_empty());
+        let mut drained = 0;
+        while local.pop().is_some() {
+            drained += 1;
+        }
+        assert!(drained > 0);
+    }
+
+    #[test]
+    fn worker_lifo_stealer_fifo() {
+        let w = Worker::new_lifo();
+        w.push(1);
+        w.push(2);
+        let s = w.stealer();
+        assert_eq!(s.steal(), Steal::Success(1)); // oldest from the steal side
+        assert_eq!(w.pop(), Some(2)); // newest from the owner side
+        assert_eq!(s.steal(), Steal::Empty);
+    }
+}

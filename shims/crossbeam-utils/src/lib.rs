@@ -1,0 +1,71 @@
+//! Offline stand-in for `crossbeam-utils`: the [`Backoff`] helper.
+
+use std::cell::Cell;
+
+const SPIN_LIMIT: u32 = 6;
+const YIELD_LIMIT: u32 = 10;
+
+/// Exponential backoff for spin loops, API-compatible with
+/// `crossbeam_utils::Backoff`.
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: Cell<u32>,
+}
+
+impl Backoff {
+    pub fn new() -> Self {
+        Backoff { step: Cell::new(0) }
+    }
+
+    pub fn reset(&self) {
+        self.step.set(0);
+    }
+
+    /// Spin briefly, escalating to `yield_now` once spinning stops helping.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= SPIN_LIMIT {
+            for _ in 0..(1u32 << step.min(SPIN_LIMIT)) {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// Spin without escalating the step past the spin phase.
+    pub fn spin(&self) {
+        let step = self.step.get();
+        for _ in 0..(1u32 << step.min(SPIN_LIMIT)) {
+            std::hint::spin_loop();
+        }
+        if step <= SPIN_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+
+    /// True once backing off further would be better served by parking.
+    pub fn is_completed(&self) -> bool {
+        self.step.get() > YIELD_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completes_after_enough_snoozes() {
+        let b = Backoff::new();
+        assert!(!b.is_completed());
+        for _ in 0..32 {
+            b.snooze();
+        }
+        assert!(b.is_completed());
+        b.reset();
+        assert!(!b.is_completed());
+    }
+}

@@ -1,0 +1,336 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the strategy surface this workspace's property tests use:
+//! numeric ranges, `any::<T>()`, `proptest::collection::vec`, and simple
+//! regex-shaped string patterns (`".{0,400}"`, `"[A-Za-z0-9,;. ]{0,400}"`).
+//! Each `proptest!` test runs a fixed number of deterministic cases seeded
+//! from the test name; there is no shrinking — the failing case's inputs are
+//! printed by the panic message instead.
+
+use std::ops::Range;
+
+/// Cases per property (the real proptest defaults to 256 with shrinking).
+pub const CASES: usize = 96;
+
+/// Deterministic splitmix64 generator, seeded per test.
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator. Unlike proptest's `Strategy` there is no value tree
+/// and no shrinking — `generate` returns the final value directly.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+// ---- any::<T>() ------------------------------------------------------------
+
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// `any::<T>()` — the full range of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---- numeric ranges --------------------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        self.start + (self.end - self.start) * rng.unit_f64() as f32
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+// ---- string patterns -------------------------------------------------------
+
+/// Characters `.` may produce: mostly printable ASCII with some multi-byte
+/// UTF-8 so byte-index bugs surface, mirroring proptest's unicode coverage.
+const DOT_EXTRA: &[char] = &['é', 'π', '≈', '樹', '🜚', 'ß', '¶'];
+
+enum CharClass {
+    /// `.` — any character (no newline).
+    Dot,
+    /// `[...]` — an explicit set.
+    Set(Vec<char>),
+}
+
+struct PatternStrategy {
+    class: CharClass,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> PatternStrategy {
+    let (class, rest) = if let Some(rest) = pattern.strip_prefix('.') {
+        (CharClass::Dot, rest)
+    } else if let Some(after) = pattern.strip_prefix('[') {
+        let close = after.find(']').expect("pattern: unterminated char class");
+        let body: Vec<char> = after[..close].chars().collect();
+        let mut set = Vec::new();
+        let mut i = 0;
+        while i < body.len() {
+            if i + 2 < body.len() && body[i + 1] == '-' {
+                let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                for cp in lo..=hi {
+                    if let Some(c) = char::from_u32(cp) {
+                        set.push(c);
+                    }
+                }
+                i += 3;
+            } else {
+                set.push(body[i]);
+                i += 1;
+            }
+        }
+        (CharClass::Set(set), &after[close + 1..])
+    } else {
+        panic!("unsupported pattern strategy: {pattern}");
+    };
+    let (min, max) = if let Some(body) = rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+        match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.parse().expect("pattern: bad min repeat"),
+                hi.parse().expect("pattern: bad max repeat"),
+            ),
+            None => {
+                let n = body.parse().expect("pattern: bad repeat");
+                (n, n)
+            }
+        }
+    } else if rest.is_empty() {
+        (1, 1)
+    } else {
+        panic!("unsupported pattern suffix: {rest}");
+    };
+    PatternStrategy { class, min, max }
+}
+
+impl Strategy for PatternStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+        let mut out = String::new();
+        for _ in 0..len {
+            let c = match &self.class {
+                CharClass::Dot => {
+                    if rng.below(10) == 0 {
+                        DOT_EXTRA[rng.below(DOT_EXTRA.len() as u64) as usize]
+                    } else {
+                        char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ascii")
+                    }
+                }
+                CharClass::Set(set) => set[rng.below(set.len() as u64) as usize],
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        parse_pattern(self).generate(rng)
+    }
+}
+
+// ---- collections -----------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(strategy, len_range)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let len = self.len.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ---- macros ----------------------------------------------------------------
+
+/// Run each embedded test over [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::from_name(stringify!($name));
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let case_info = format!(
+                        concat!("case {}: ", $(stringify!($arg), " = {:?} "),+),
+                        case, $(&$arg),+
+                    );
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(e) = result {
+                        eprintln!("proptest failure in {}: {}", stringify!($name), case_info);
+                        std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!` — plain assert (no shrink-aware error routing).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` — plain assert_eq.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` — plain assert_ne.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let x = (10usize..20).generate(&mut rng);
+            assert!((10..20).contains(&x));
+            let f = (-2.0f32..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn patterns_generate_members() {
+        let mut rng = TestRng::from_name("patterns");
+        for _ in 0..200 {
+            let s = "[A-Ca-c0-2,; ]{1,9}".generate(&mut rng);
+            assert!((1..=9).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| "ABCabc012,; ".contains(c)), "{s}");
+        }
+        let any_len = ".{0,40}".generate(&mut rng);
+        assert!(any_len.chars().count() <= 40);
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        let mut rng = TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = collection::vec(any::<u8>(), 2..5).generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("same");
+        let mut b = TestRng::from_name("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Exposes the slice of the rayon API this workspace uses (`par_iter`,
+//! `into_par_iter`, and the map/filter/zip/reduce combinator family). Unlike
+//! rayon's lazy work-stealing drivers, each combinator here executes eagerly
+//! by chunking the realised items across `std::thread::scope` threads; output
+//! order always matches input order, as with rayon's indexed iterators.
+
+/// Execute `f` over `items` in parallel, preserving order.
+fn par_exec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+    if threads <= 1 || n < 2 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+    let mut items = items;
+    while !items.is_empty() {
+        let rest = items.split_off(items.len().min(chunk_len));
+        chunks.push(std::mem::replace(&mut items, rest));
+    }
+    let f = &f;
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("parallel task panicked"));
+        }
+    });
+    out
+}
+
+/// An eager "parallel iterator": items already realised, combinators run
+/// in parallel and return another realised iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync + Send,
+    {
+        ParIter { items: par_exec(self.items, f) }
+    }
+
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync + Send,
+    {
+        let kept = par_exec(self.items, |x| if f(&x) { Some(x) } else { None });
+        ParIter { items: kept.into_iter().flatten().collect() }
+    }
+
+    pub fn filter_map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> Option<U> + Sync + Send,
+    {
+        let kept = par_exec(self.items, f);
+        ParIter { items: kept.into_iter().flatten().collect() }
+    }
+
+    pub fn flat_map<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync + Send,
+    {
+        let nested = par_exec(self.items, |x| f(x).into_iter().collect::<Vec<U>>());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter { items: self.items.into_iter().enumerate().collect() }
+    }
+
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter { items: self.items.into_iter().zip(other.items).collect() }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync + Send,
+    {
+        let _ = par_exec(self.items, f);
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync + Send,
+        OP: Fn(T, T) -> T + Sync + Send,
+    {
+        let n = self.items.len();
+        let threads =
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n.max(1));
+        if threads <= 1 || n < 2 {
+            return self.items.into_iter().fold(identity(), &op);
+        }
+        let chunk_len = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(threads);
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(items.len().min(chunk_len));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let identity = &identity;
+        let op = &op;
+        let mut partials: Vec<T> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| s.spawn(move || chunk.into_iter().fold(identity(), op)))
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("parallel reduce panicked"));
+            }
+        });
+        partials.into_iter().fold(identity(), op)
+    }
+
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// `collection.into_par_iter()` — consuming entry point.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+macro_rules! impl_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<$t> {
+                ParIter { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range!(u16, u32, u64, usize, i32, i64);
+
+/// `collection.par_iter()` — borrowing entry point.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter { items: self.iter().collect() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<u64> = (0u64..10_000).collect();
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0u64..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_map_zip_reduce() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (100..200).collect();
+        let evens: Vec<(u32, u32)> = a
+            .par_iter()
+            .zip(b.par_iter())
+            .filter(|(x, _)| **x % 2 == 0)
+            .map(|(x, y)| (*x, *y))
+            .collect();
+        assert_eq!(evens.len(), 50);
+        assert_eq!(evens[0], (0, 100));
+        let sum = (0u64..1000).into_par_iter().reduce(|| 0, |x, y| x + y);
+        assert_eq!(sum, 499_500);
+    }
+
+    #[test]
+    fn flat_map_flattens_in_order() {
+        let v = vec![1usize, 2, 3];
+        let out: Vec<usize> = v.par_iter().flat_map(|&n| vec![n; n]).collect();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3]);
+    }
+}

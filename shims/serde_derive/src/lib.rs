@@ -1,0 +1,425 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the offline serde
+//! shim.
+//!
+//! The real serde_derive rides on `syn`/`quote`; neither is available in this
+//! offline workspace, so this macro parses the item's token stream by hand.
+//! Supported shapes — exactly the ones the workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtypes serialise transparently, like serde),
+//! * unit structs,
+//! * enums whose variants are unit, tuple, or struct-like (externally
+//!   tagged, like serde's default representation).
+//!
+//! Generic types and serde attributes (`#[serde(...)]`) are not supported
+//! and fail with a compile error naming the offending item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Count comma-separated items at angle-bracket depth 0 in a token list.
+fn count_top_level_items(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut items = 1usize;
+    let mut saw_token_since_comma = false;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                items += 1;
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        items -= 1; // trailing comma
+    }
+    items
+}
+
+/// Extract field names from a named-fields brace group.
+fn parse_named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        names.push(name.to_string());
+        i += 1;
+        // Expect `:`, then skip the type until a top-level comma.
+        debug_assert!(matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'));
+        i += 1;
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(tokens, i);
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else { break };
+        let name = name.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_top_level_items(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_fields(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the separating comma.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!("serde shim derive does not support generics on `{name}`"));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Named(parse_named_fields(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    Fields::Tuple(count_top_level_items(&inner))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body for `{name}`: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                Ok(Item::Enum { name, variants: parse_variants(&inner) })
+            }
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other} {name}`")),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let pairs: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", pairs.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_content(&self.{k})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", elems.join(", "))
+                }
+                Fields::Unit => "::serde::Content::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_content(&self) -> ::serde::Content {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vname}(f0) => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Serialize::to_content(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Seq(vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let pairs: Vec<String> = fs
+                                .iter()
+                                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"))
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(vec![(\"{vname}\".to_string(), ::serde::Content::Map(vec![{}]))]),",
+                                pairs.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_content(&self) -> ::serde::Content {{ \
+                     match self {{ {} }} \
+                   }} \
+                 }}",
+                arms.join(" ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(::serde::field(m, \"{f}\")?) \
+                                 .map_err(|e| ::serde::DeError::in_field(\"{name}.{f}\", e))?,"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let m = match c {{ \
+                           ::serde::Content::Map(m) => m, \
+                           _ => return Err(::serde::DeError::custom(\"{name}: expected map\")), \
+                         }}; \
+                         Ok({name} {{ {} }})",
+                        inits.join(" ")
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_content(c)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|k| {
+                            format!(
+                                "::serde::Deserialize::from_content(xs.get({k}).ok_or_else(|| ::serde::DeError::custom(\"{name}: tuple too short\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let xs = match c {{ \
+                           ::serde::Content::Seq(xs) => xs, \
+                           _ => return Err(::serde::DeError::custom(\"{name}: expected seq\")), \
+                         }}; \
+                         Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("let _ = c; Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!("\"{vname}\" => Ok({name}::{vname}),"),
+                        Fields::Tuple(1) => format!(
+                            "\"{vname}\" => Ok({name}::{vname}(::serde::Deserialize::from_content(v)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|k| {
+                                    format!(
+                                        "::serde::Deserialize::from_content(xs.get({k}).ok_or_else(|| ::serde::DeError::custom(\"{name}::{vname}: tuple too short\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ \
+                                   let xs = match v {{ \
+                                     ::serde::Content::Seq(xs) => xs, \
+                                     _ => return Err(::serde::DeError::custom(\"{name}::{vname}: expected seq\")), \
+                                   }}; \
+                                   Ok({name}::{vname}({})) \
+                                 }},",
+                                inits.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let inits: Vec<String> = fs
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(::serde::field(vm, \"{f}\")?)?,"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "\"{vname}\" => {{ \
+                                   let vm = match v {{ \
+                                     ::serde::Content::Map(vm) => vm, \
+                                     _ => return Err(::serde::DeError::custom(\"{name}::{vname}: expected map\")), \
+                                   }}; \
+                                   Ok({name}::{vname} {{ {} }}) \
+                                 }},",
+                                inits.join(" ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{ \
+                   fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{ \
+                     match c {{ \
+                       ::serde::Content::Str(s) => match s.as_str() {{ \
+                         {} \
+                         other => Err(::serde::DeError::custom(format!(\"{name}: unknown variant {{other}}\"))), \
+                       }}, \
+                       ::serde::Content::Map(m) if m.len() == 1 => {{ \
+                         let (k, v) = &m[0]; \
+                         let _ = v; \
+                         match k.as_str() {{ \
+                           {} \
+                           other => Err(::serde::DeError::custom(format!(\"{name}: unknown variant {{other}}\"))), \
+                         }} \
+                       }}, \
+                       _ => Err(::serde::DeError::custom(\"{name}: expected variant\")), \
+                     }} \
+                   }} \
+                 }}",
+                unit_arms.join(" "),
+                tagged_arms.join(" ")
+            )
+        }
+    }
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item).parse().expect("generated impl parses"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().expect("error parses"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

@@ -21,7 +21,15 @@ fn pipeline_stage_census_matches_figure1() {
     let stages: Vec<&str> = output.report.stages().iter().map(|s| s.name.as_str()).collect();
     assert_eq!(
         stages,
-        vec!["acquire", "parse", "chunk", "embed-chunks", "generate+judge", "traces", "embed-traces"],
+        vec![
+            "acquire",
+            "parse",
+            "chunk",
+            "embed-chunks",
+            "generate+judge",
+            "traces",
+            "embed-traces"
+        ],
         "workflow stages must match the paper's Figure 1"
     );
     // Parsing is allowed (and expected) to lose a few corrupt documents,
@@ -41,10 +49,7 @@ fn provenance_chain_is_closed_end_to_end() {
             .iter()
             .find(|c| c.chunk_id == record.provenance.chunk_id)
             .expect("chunk resolves");
-        let doc = output
-            .library
-            .document(chunk.doc)
-            .expect("document resolves");
+        let doc = output.library.document(chunk.doc).expect("document resolves");
         assert_eq!(doc.id.0, record.provenance.doc_id);
 
         if record.relevance_check {
@@ -85,7 +90,7 @@ fn headline_result_emerges() {
         assert!(rt > chunks - 0.03, "{}: {rt:.3} vs {chunks:.3}", m.name);
         assert!(rt > base, "{}", m.name);
     }
-    let fig4 = figure_series(&run, FigureSeries::Fig4Synthetic);
+    let fig4 = figure_series(run, FigureSeries::Fig4Synthetic);
     let tiny = fig4.iter().find(|p| p.model.contains("TinyLlama")).unwrap();
     assert!(
         tiny.rt_vs_baseline_pct > 150.0,
