@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcqa_bench::sample_prose;
 use mcqa_embed::{BioEncoder, EmbedConfig, EmbeddingMatrix, Precision};
+use mcqa_runtime::Executor;
 
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("embed_throughput");
@@ -20,7 +21,7 @@ fn bench_encode(c: &mut Criterion) {
     let batch: Vec<String> = (0..256).map(|i| format!("{} variant {i}", sample_prose(1))).collect();
     group.throughput(Throughput::Elements(batch.len() as u64));
     group.bench_function("encode_batch_256_parallel", |b| {
-        b.iter(|| std::hint::black_box(enc.encode_batch(&batch)));
+        b.iter(|| std::hint::black_box(enc.encode_batch(Executor::global(), &batch)));
     });
     group.finish();
 }

@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mcqa_corpus::{AcquisitionConfig, CorpusLibrary, DocId, SynthConfig};
 use mcqa_ontology::{Ontology, OntologyConfig};
 use mcqa_parse::AdaptiveParser;
+use mcqa_runtime::Executor;
 
 fn libraries() -> (CorpusLibrary, CorpusLibrary) {
     let ont = Ontology::generate(&OntologyConfig {
@@ -22,6 +23,7 @@ fn libraries() -> (CorpusLibrary, CorpusLibrary) {
             corruption_rate: 0.0,
             synth: SynthConfig::default(),
         },
+        Executor::global(),
     );
     let dirty = CorpusLibrary::build(
         &ont,
@@ -32,6 +34,7 @@ fn libraries() -> (CorpusLibrary, CorpusLibrary) {
             corruption_rate: 0.4,
             synth: SynthConfig::default(),
         },
+        Executor::global(),
     );
     (clean, dirty)
 }
@@ -48,10 +51,12 @@ fn bench_parser(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(clean_blobs.len() as u64));
     group.bench_function("clean_batch_64", |b| {
-        b.iter(|| std::hint::black_box(parser.parse_batch(&clean_blobs)).1.fast)
+        b.iter(|| std::hint::black_box(parser.parse_batch(Executor::global(), &clean_blobs)).1.fast)
     });
     group.bench_function("corrupt40pct_batch_64", |b| {
-        b.iter(|| std::hint::black_box(parser.parse_batch(&dirty_blobs)).1.salvage)
+        b.iter(|| {
+            std::hint::black_box(parser.parse_batch(Executor::global(), &dirty_blobs)).1.salvage
+        })
     });
     group.throughput(Throughput::Elements(1));
     group.bench_function("single_clean_doc", |b| {

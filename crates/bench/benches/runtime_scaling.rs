@@ -2,7 +2,7 @@
 //! analogue of the paper's Parsl scaling on ALCF machines).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use mcqa_runtime::{run_stage, WorkStealingPool};
+use mcqa_runtime::{run_stage, run_stage_batched, WorkStealingPool};
 
 /// A CPU-bound task roughly the cost of judging one candidate question.
 fn work_unit(x: u64) -> Result<u64, String> {
@@ -36,18 +36,31 @@ fn bench_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-item vs batched submission on trivial tasks: this isolates the
+/// scheduler's own overhead (boxing + channel send per pool task), which is
+/// exactly what `run_stage_batched` amortises for high-item-count stages
+/// like generate+judge.
 fn bench_submission_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime_overhead");
     group.sample_size(20);
     let pool = WorkStealingPool::new(4);
-    group.throughput(Throughput::Elements(10_000));
-    group.bench_function("10k_trivial_tasks", |b| {
-        b.iter(|| {
-            let items: Vec<u64> = (0..10_000).collect();
-            let (r, _) = run_stage(&pool, "trivial", items, Ok::<u64, String>);
-            std::hint::black_box(r.len())
+    for n in [10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(n));
+        group.bench_with_input(BenchmarkId::new("per_item", n), &n, |b, &n| {
+            b.iter(|| {
+                let items: Vec<u64> = (0..n).collect();
+                let (r, _) = run_stage(&pool, "trivial", items, Ok::<u64, String>);
+                std::hint::black_box(r.len())
+            });
         });
-    });
+        group.bench_with_input(BenchmarkId::new("batched_auto", n), &n, |b, &n| {
+            b.iter(|| {
+                let items: Vec<u64> = (0..n).collect();
+                let (r, _) = run_stage_batched(&pool, "trivial", items, 0, Ok::<u64, String>);
+                std::hint::black_box(r.len())
+            });
+        });
+    }
     group.finish();
 }
 

@@ -113,6 +113,12 @@ fn main() {
             println!("{}", render_fig(&run, FigureSeries::Fig5AstroAll));
             println!("{}", render_fig(&run, FigureSeries::Fig6AstroNoMath));
             print_rates(&run);
+            // Pipeline and evaluation run on one scheduler, so both stage
+            // reports come from the same runtime metrics surface.
+            println!("\nWorkflow stage report (pipeline):\n");
+            print!("{}", output.report.render());
+            println!("\nWorkflow stage report (evaluation, all cards):\n");
+            print!("{}", run.report.render());
         }
         "table2" => println!("{}", render_table2(&run)),
         "table3" => println!("{}", render_table3(&run)),

@@ -9,9 +9,8 @@ use mcqa_index::{FlatIndex, Metric, VectorStore};
 use mcqa_llm::{BenchKind, JudgeModel, McqItem, TeacherModel, TraceMode, OPTION_LETTERS};
 use mcqa_ontology::Ontology;
 use mcqa_parse::{AdaptiveParser, ParsedDocument, ParserConfig};
-use mcqa_runtime::{run_stage, RunReport, StageMetrics, WorkStealingPool};
+use mcqa_runtime::{run_stage, run_stage_batched, Executor, RunReport, StageMetrics};
 use mcqa_util::{KeyedStochastic, ScopeTimer};
-use rayon::prelude::*;
 
 use crate::chunks::ChunkRecord;
 use crate::config::PipelineConfig;
@@ -44,6 +43,10 @@ pub struct PipelineOutput {
     pub trace_indexes: BTreeMap<TraceMode, FlatIndex>,
     /// Per-stage metrics (Figure-1 reproduction).
     pub report: RunReport,
+    /// The scheduler the pipeline ran on. Downstream consumers (the
+    /// evaluator, retrieval bundles, ablations) clone this handle so the
+    /// whole reproduction shares one pool and one metrics surface.
+    pub executor: Executor,
 }
 
 impl PipelineOutput {
@@ -64,29 +67,20 @@ impl Pipeline {
     /// Run every stage and return the full output.
     pub fn run(config: &PipelineConfig) -> PipelineOutput {
         let mut report = RunReport::new();
-        let pool = WorkStealingPool::new(config.effective_workers());
+        let exec = Executor::new(config.effective_workers());
 
-        // Stage 1: ontology + corpus acquisition.
+        // Stage 1: ontology + corpus acquisition (synthesis and SPDF
+        // rendering fan out on the pool inside `CorpusLibrary::build`).
         let t = ScopeTimer::start("acquire");
         let ontology = Arc::new(Ontology::generate(&config.ontology));
-        let library = Arc::new(CorpusLibrary::build(&ontology, &config.acquisition));
-        report.add(StageMetrics {
-            name: "acquire".into(),
-            items: library.len(),
-            ok: library.len(),
-            errors: 0,
-            panics: 0,
-            produced: library.len(),
-            elapsed_secs: t.elapsed_secs(),
-        });
+        let library = Arc::new(CorpusLibrary::build(&ontology, &config.acquisition, &exec));
+        report.add(StageMetrics::single("acquire", library.len(), library.len(), t.elapsed_secs()));
 
         // Stage 2: adaptive parallel parsing (through the runtime pool).
         let doc_ids: Vec<u32> = (0..library.len() as u32).collect();
-        let lib_for_parse = Arc::clone(&library);
-        let parser = Arc::new(AdaptiveParser::new(ParserConfig::default()));
-        let (parse_results, parse_metrics) = run_stage(&pool, "parse", doc_ids, move |id| {
-            let blob =
-                lib_for_parse.download(DocId(id)).ok_or_else(|| format!("doc {id} missing"))?;
+        let parser = AdaptiveParser::new(ParserConfig::default());
+        let (parse_results, parse_metrics) = run_stage(&exec, "parse", doc_ids, |id| {
+            let blob = library.download(DocId(id)).ok_or_else(|| format!("doc {id} missing"))?;
             match parser.parse(blob).document() {
                 Some(doc) => Ok((id, doc.clone())),
                 None => Err(format!("doc {id} unparseable")),
@@ -102,59 +96,54 @@ impl Pipeline {
         // `output_throughput()` is chunks/s.
         let encoder = BioEncoder::new(config.embed.clone());
         let chunker_cfg = config.chunker.clone();
-        let lib_for_chunk = Arc::clone(&library);
-        let chunk_encoder = encoder.clone();
-        let (chunk_results, mut chunk_metrics) =
-            run_stage(&pool, "chunk", parsed, move |(id, pdoc)| {
-                let chunker = mcqa_text::Chunker::new(&chunk_encoder, chunker_cfg.clone());
-                let doc_id = DocId(id);
-                let truth = lib_for_chunk.document(doc_id);
-                let text = pdoc.full_text();
-                let records: Vec<ChunkRecord> = chunker
-                    .chunk(&text)
-                    .into_iter()
-                    .enumerate()
-                    .map(|(ci, c)| {
-                        // Provenance oracle: which fact mentions landed in
-                        // this chunk (verbatim sentence containment).
-                        let mut facts: Vec<mcqa_ontology::FactId> = truth
-                            .map(|d| {
-                                d.mentions
-                                    .iter()
-                                    .filter(|m| c.text.contains(&m.sentence))
-                                    .map(|m| m.fact)
-                                    .collect()
-                            })
-                            .unwrap_or_default();
-                        facts.sort_unstable();
-                        facts.dedup();
-                        ChunkRecord {
-                            chunk_id: ChunkRecord::make_id(doc_id, ci as u32),
-                            doc: doc_id,
-                            index_in_doc: ci as u32,
-                            text: c.text,
-                            tokens: c.tokens,
-                            facts,
-                        }
-                    })
-                    .collect();
-                Ok::<_, String>(records)
-            });
+        let (chunk_results, mut chunk_metrics) = run_stage(&exec, "chunk", parsed, |(id, pdoc)| {
+            let chunker = mcqa_text::Chunker::new(&encoder, chunker_cfg.clone());
+            let doc_id = DocId(id);
+            let truth = library.document(doc_id);
+            let text = pdoc.full_text();
+            let records: Vec<ChunkRecord> = chunker
+                .chunk(&text)
+                .into_iter()
+                .enumerate()
+                .map(|(ci, c)| {
+                    // Provenance oracle: which fact mentions landed in
+                    // this chunk (verbatim sentence containment).
+                    let mut facts: Vec<mcqa_ontology::FactId> = truth
+                        .map(|d| {
+                            d.mentions
+                                .iter()
+                                .filter(|m| c.text.contains(&m.sentence))
+                                .map(|m| m.fact)
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    facts.sort_unstable();
+                    facts.dedup();
+                    ChunkRecord {
+                        chunk_id: ChunkRecord::make_id(doc_id, ci as u32),
+                        doc: doc_id,
+                        index_in_doc: ci as u32,
+                        text: c.text,
+                        tokens: c.tokens,
+                        facts,
+                    }
+                })
+                .collect();
+            Ok::<_, String>(records)
+        });
         let mut chunks: Vec<ChunkRecord> =
             chunk_results.into_iter().filter_map(Result::ok).flatten().collect();
         chunks.sort_by_key(|c| c.chunk_id);
         chunk_metrics.produced = chunks.len();
         report.add(chunk_metrics);
 
-        // Stage 4: embed chunks (one task per chunk on the pool) and build
-        // the chunk vector DB (FP16).
-        let chunks = Arc::new(chunks);
-        let embed_encoder = encoder.clone();
-        let chunks_for_embed = Arc::clone(&chunks);
+        // Stage 4: embed chunks (batched submission — the per-item cost is
+        // one hash-encode, so chunked tasks amortise scheduling overhead)
+        // and build the chunk vector DB (FP16).
         let (embed_results, embed_metrics) =
-            run_stage(&pool, "embed-chunks", (0..chunks.len()).collect(), move |i| {
-                let c = &chunks_for_embed[i];
-                Ok::<_, String>((c.chunk_id, embed_encoder.encode(&c.text)))
+            run_stage_batched(&exec, "embed-chunks", (0..chunks.len()).collect(), 0, |i| {
+                let c = &chunks[i];
+                Ok::<_, String>((c.chunk_id, encoder.encode(&c.text)))
             });
         let mut chunk_index = FlatIndex::new(config.embed.dim, Metric::Cosine, Precision::F16);
         for r in embed_results {
@@ -165,12 +154,11 @@ impl Pipeline {
             chunk_index.add(id, v.as_slice());
         }
         report.add(embed_metrics);
-        let chunks: Vec<ChunkRecord> =
-            Arc::try_unwrap(chunks).expect("embed stage dropped its chunk references");
 
         // Stage 5: question generation (one candidate per chunk) + judge
-        // filtering at the paper's 7/10 threshold.
-        let t = ScopeTimer::start("generate");
+        // filtering at the paper's 7/10 threshold, batched on the pool —
+        // this is the highest-item-count stage, so chunked submission is
+        // where the scheduling overhead matters most.
         let teacher = TeacherModel::new(mcqa_llm::teacher::TeacherConfig {
             seed: config.seed,
             ..Default::default()
@@ -184,9 +172,9 @@ impl Pipeline {
             item_seed: (u64, f64, bool), // fact id, difficulty, relevance
         }
 
-        let accepted: Vec<Accepted> = chunks
-            .par_iter()
-            .filter_map(|chunk| {
+        let (gen_results, gen_metrics) =
+            run_stage_batched(&exec, "generate+judge", (0..candidates).collect(), 0, |ci| {
+                let chunk = &chunks[ci];
                 let ckey = chunk.chunk_id.to_string();
                 // Anchor fact: one stated by the chunk, or (relevance
                 // failure) an arbitrary fact — real pipelines generate from
@@ -197,10 +185,12 @@ impl Pipeline {
                 } else {
                     (chunk.facts[rng.below(chunk.facts.len(), &["anchor", &ckey])], true)
                 };
-                let fact = ontology.fact(fact_id)?;
+                let Some(fact) = ontology.fact(fact_id) else {
+                    return Ok(None);
+                };
                 let q = teacher.generate_question(&ontology, fact, &ckey);
                 if q.options.len() != 7 {
-                    return None; // distractor pool exhausted for this kind
+                    return Ok(None); // distractor pool exhausted for this kind
                 }
 
                 let mut judgment = judge.score_question(&q, fact.salience);
@@ -215,7 +205,7 @@ impl Pipeline {
                 }
                 let passed = judgment.score >= config.quality_threshold;
                 if !passed {
-                    return None;
+                    return Ok(None);
                 }
                 let record = QuestionRecord {
                     question_id: 0, // assigned after the parallel section
@@ -238,12 +228,19 @@ impl Pipeline {
                         passed,
                     },
                 };
-                Some(Accepted { record, item_seed: (fact.id.0, fact.difficulty, relevant) })
-            })
-            .collect();
+                Ok::<_, String>(Some(Accepted {
+                    record,
+                    item_seed: (fact.id.0, fact.difficulty, relevant),
+                }))
+            });
 
-        // Deterministic ordering + id assignment.
-        let mut accepted = accepted;
+        // Deterministic ordering + id assignment. A rejected candidate is
+        // `Ok(None)`; the closure is infallible, so an `Err` slot can only
+        // be a panic — fail loudly rather than silently drop a question.
+        let mut accepted: Vec<Accepted> = gen_results
+            .into_iter()
+            .filter_map(|r| r.expect("generate+judge task cannot fail"))
+            .collect();
         accepted.sort_by_key(|a| a.record.provenance.chunk_id);
         let mut questions = Vec::with_capacity(accepted.len());
         let mut items = Vec::with_capacity(accepted.len());
@@ -265,22 +262,24 @@ impl Pipeline {
             });
             questions.push(a.record);
         }
-        report.add(StageMetrics {
-            name: "generate+judge".into(),
-            items: candidates,
-            ok: questions.len(),
-            errors: candidates - questions.len(),
-            panics: 0,
-            produced: questions.len(),
-            elapsed_secs: t.elapsed_secs(),
-        });
+        // The stage ran on the pool, so its wall-clock comes from the
+        // runtime; counts are re-stated post-filter so `ok`/`produced`
+        // reflect *accepted* questions, not completed tasks.
+        report.add(StageMetrics::single(
+            "generate+judge",
+            candidates,
+            questions.len(),
+            gen_metrics.elapsed_secs,
+        ));
 
-        // Stage 6: reasoning-trace distillation (3 modes per question).
-        let t = ScopeTimer::start("traces");
-        let traces: Vec<TraceRecord> = items
-            .par_iter()
-            .zip(questions.par_iter())
-            .flat_map(|(item, record)| {
+        // Stage 6: reasoning-trace distillation — one pool task per
+        // accepted question, each producing every trace mode. Trace ids are
+        // dense: `qid * |modes| + mode_index`, with the stride derived from
+        // `TraceMode::ALL` so adding a mode can never open id gaps.
+        let trace_stride = TraceMode::ALL.len() as u64;
+        let (trace_results, mut trace_metrics) =
+            run_stage(&exec, "traces", (0..items.len()).collect(), |qi| {
+                let (item, record) = (&items[qi], &questions[qi]);
                 // Rebuild the teacher's view of the question for tracing.
                 let fact = ontology.fact(item.fact).expect("fact exists");
                 let gq = mcqa_llm::GeneratedQuestion {
@@ -292,11 +291,11 @@ impl Pipeline {
                     defects: vec![],
                     distractor_plausibility: 1.0,
                 };
-                TraceMode::ALL
+                let records: Vec<TraceRecord> = TraceMode::ALL
                     .iter()
                     .enumerate()
                     .map(|(mi, mode)| TraceRecord {
-                        trace_id: item.qid * 4 + mi as u64,
+                        trace_id: item.qid * trace_stride + mi as u64,
                         question_id: record.question_id,
                         mode: *mode,
                         trace: teacher.generate_trace(&ontology, &gq, *mode),
@@ -304,29 +303,20 @@ impl Pipeline {
                         answer_excluded: true,
                         fact_id: item.fact.0,
                     })
-                    .collect::<Vec<_>>()
-            })
-            .collect();
-        report.add(StageMetrics {
-            name: "traces".into(),
-            items: items.len() * 3,
-            ok: traces.len(),
-            errors: items.len() * 3 - traces.len(),
-            panics: 0,
-            produced: traces.len(),
-            elapsed_secs: t.elapsed_secs(),
-        });
+                    .collect();
+                Ok::<_, String>(records)
+            });
+        let traces: Vec<TraceRecord> =
+            trace_results.into_iter().flat_map(|r| r.expect("trace task cannot fail")).collect();
+        trace_metrics.produced = traces.len();
+        report.add(trace_metrics);
 
-        // Stage 7: embed traces into one DB per mode (one pool task per
-        // trace; the per-mode indexes are assembled from the ordered
-        // results).
-        let traces = Arc::new(traces);
-        let traces_for_embed = Arc::clone(&traces);
-        let trace_encoder = encoder.clone();
+        // Stage 7: embed traces into one DB per mode (batched submission;
+        // the per-mode indexes are assembled from the ordered results).
         let (trace_embed_results, trace_embed_metrics) =
-            run_stage(&pool, "embed-traces", (0..traces.len()).collect(), move |i| {
-                let tr = &traces_for_embed[i];
-                Ok::<_, String>((tr.mode, tr.question_id, trace_encoder.encode(&tr.trace)))
+            run_stage_batched(&exec, "embed-traces", (0..traces.len()).collect(), 0, |i| {
+                let tr = &traces[i];
+                Ok::<_, String>((tr.mode, tr.question_id, encoder.encode(&tr.trace)))
             });
         let mut trace_indexes: BTreeMap<TraceMode, FlatIndex> = BTreeMap::new();
         for mode in TraceMode::ALL {
@@ -340,8 +330,6 @@ impl Pipeline {
             trace_indexes.get_mut(&mode).expect("all modes pre-registered").add(qid, v.as_slice());
         }
         report.add(trace_embed_metrics);
-        let traces: Vec<TraceRecord> =
-            Arc::try_unwrap(traces).expect("embed stage dropped its trace references");
 
         PipelineOutput {
             config: config.clone(),
@@ -356,6 +344,7 @@ impl Pipeline {
             traces,
             trace_indexes,
             report,
+            executor: exec,
         }
     }
 }
@@ -439,6 +428,24 @@ mod tests {
             assert!(q.quality.passed);
             assert!(q.quality.score >= out.config.quality_threshold);
             assert!(!q.quality.reasoning.is_empty());
+        }
+    }
+
+    #[test]
+    fn trace_ids_are_dense() {
+        // The id stride is `TraceMode::ALL.len()`: with n questions and m
+        // modes, ids must be exactly {0, 1, …, n*m − 1} — no phantom gaps
+        // from a stale hard-coded stride.
+        let out = tiny_output();
+        let stride = TraceMode::ALL.len() as u64;
+        let mut ids: Vec<u64> = out.traces.iter().map(|t| t.trace_id).collect();
+        ids.sort_unstable();
+        let expected: Vec<u64> = (0..out.items.len() as u64 * stride).collect();
+        assert_eq!(ids, expected, "trace ids must be dense in [0, n*modes)");
+        for t in &out.traces {
+            assert_eq!(t.trace_id / stride, t.question_id, "id encodes its question");
+            let mi = (t.trace_id % stride) as usize;
+            assert_eq!(t.mode, TraceMode::ALL[mi], "id encodes its mode");
         }
     }
 

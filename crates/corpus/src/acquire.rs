@@ -2,14 +2,14 @@
 //!
 //! The paper downloads 14,115 full texts and 8,433 abstracts by keyword
 //! search. [`CorpusLibrary`] plays that role: it synthesises the whole
-//! document population up front (in parallel), renders each document to
-//! SPDF bytes, optionally corrupts a configurable fraction (real PDF piles
-//! are never clean — this feeds the parser's fallback path), and exposes
-//! keyword search + download.
+//! document population up front (batched over the caller's
+//! [`Executor`]), renders each document to SPDF bytes, optionally corrupts
+//! a configurable fraction (real PDF piles are never clean — this feeds
+//! the parser's fallback path), and exposes keyword search + download.
 
 use mcqa_ontology::Ontology;
+use mcqa_runtime::{run_stage_batched, Executor};
 use mcqa_util::KeyedStochastic;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 use crate::doc::{DocId, DocKind, Document};
@@ -86,29 +86,32 @@ pub struct CorpusLibrary {
     blobs: Vec<Vec<u8>>,
     corruption: Vec<Corruption>,
     config: AcquisitionConfig,
+    exec: Executor,
 }
 
 impl CorpusLibrary {
-    /// Build the library: synthesise every document (parallel), render to
-    /// SPDF, and apply transit corruption deterministically.
-    pub fn build(ontology: &Ontology, config: &AcquisitionConfig) -> Self {
+    /// Build the library on `exec`'s pool: synthesise every document
+    /// (batched), render to SPDF, and apply transit corruption
+    /// deterministically. The executor is retained for later
+    /// [`CorpusLibrary::search`] calls.
+    pub fn build(ontology: &Ontology, config: &AcquisitionConfig, exec: &Executor) -> Self {
         let total = config.full_papers + config.abstracts;
-        let docs: Vec<Document> = (0..total as u32)
-            .into_par_iter()
-            .map(|i| {
+        let (doc_results, _) =
+            run_stage_batched(exec, "synthesize", (0..total as u32).collect(), 0, |i| {
                 let kind = if (i as usize) < config.full_papers {
                     DocKind::FullPaper
                 } else {
                     DocKind::Abstract
                 };
-                synthesize(ontology, &config.synth, DocId(i), kind)
-            })
-            .collect();
+                Ok::<_, String>(synthesize(ontology, &config.synth, DocId(i), kind))
+            });
+        let docs: Vec<Document> =
+            doc_results.into_iter().map(|r| r.expect("synthesis cannot fail")).collect();
 
         let rng = KeyedStochastic::new(config.seed ^ 0xC0_22_06_10);
-        let blobs_and_corruption: Vec<(Vec<u8>, Corruption)> = docs
-            .par_iter()
-            .map(|doc| {
+        let (blob_results, _) =
+            run_stage_batched(exec, "render", (0..docs.len()).collect(), 0, |i| {
+                let doc = &docs[i];
                 let mut bytes = SpdfWriter::write_document(doc);
                 let key = doc.id.0.to_string();
                 let corruption = if rng.bernoulli(config.corruption_rate, &["corrupt?", &key]) {
@@ -134,12 +137,12 @@ impl CorpusLibrary {
                 } else {
                     Corruption::None
                 };
-                (bytes, corruption)
-            })
-            .collect();
+                Ok::<_, String>((bytes, corruption))
+            });
 
-        let (blobs, corruption): (Vec<_>, Vec<_>) = blobs_and_corruption.into_iter().unzip();
-        Self { docs, blobs, corruption, config: config.clone() }
+        let (blobs, corruption): (Vec<_>, Vec<_>) =
+            blob_results.into_iter().map(|r| r.expect("rendering cannot fail")).unzip();
+        Self { docs, blobs, corruption, config: config.clone(), exec: exec.clone() }
     }
 
     /// Number of documents.
@@ -185,17 +188,17 @@ impl CorpusLibrary {
 
     /// Keyword search over titles and keyword lists, Semantic-Scholar
     /// style. Case-insensitive token overlap; results sorted by score then
-    /// id (deterministic).
+    /// id (deterministic). Scoring fans out on the executor the library
+    /// was built with.
     pub fn search(&self, query: &str) -> Vec<SearchHit> {
         let q_tokens: std::collections::HashSet<String> =
             mcqa_text::tokenize(query).into_iter().collect();
         if q_tokens.is_empty() {
             return Vec::new();
         }
-        let mut hits: Vec<SearchHit> = self
-            .docs
-            .par_iter()
-            .filter_map(|doc| {
+        let (score_results, _) =
+            run_stage_batched(&self.exec, "search", (0..self.docs.len()).collect(), 0, |i| {
+                let doc = &self.docs[i];
                 let mut hay: Vec<String> = mcqa_text::tokenize(&doc.title);
                 for k in &doc.keywords {
                     hay.extend(mcqa_text::tokenize(k));
@@ -203,13 +206,13 @@ impl CorpusLibrary {
                 hay.extend(mcqa_text::tokenize(doc.topic.name()));
                 let hay: std::collections::HashSet<String> = hay.into_iter().collect();
                 let overlap = q_tokens.intersection(&hay).count();
-                if overlap == 0 {
-                    None
-                } else {
-                    Some(SearchHit { id: doc.id, score: overlap as f64 / q_tokens.len() as f64 })
-                }
-            })
-            .collect();
+                Ok::<_, String>((overlap > 0).then(|| SearchHit {
+                    id: doc.id,
+                    score: overlap as f64 / q_tokens.len() as f64,
+                }))
+            });
+        let mut hits: Vec<SearchHit> =
+            score_results.into_iter().filter_map(|r| r.expect("scoring cannot fail")).collect();
         hits.sort_by(|a, b| {
             b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
         });
@@ -236,7 +239,7 @@ mod tests {
             corruption_rate: 0.15,
             synth: SynthConfig::default(),
         };
-        let lib = CorpusLibrary::build(&ont, &cfg);
+        let lib = CorpusLibrary::build(&ont, &cfg, Executor::global());
         (ont, lib)
     }
 
@@ -251,7 +254,7 @@ mod tests {
     #[test]
     fn deterministic_across_builds() {
         let (ont, lib) = small_library();
-        let lib2 = CorpusLibrary::build(&ont, lib.config());
+        let lib2 = CorpusLibrary::build(&ont, lib.config(), Executor::global());
         for i in 0..lib.len() as u32 {
             assert_eq!(lib.download(DocId(i)), lib2.download(DocId(i)), "blob {i}");
             assert_eq!(lib.corruption(DocId(i)), lib2.corruption(DocId(i)));

@@ -2,7 +2,7 @@
 //!
 //! Question texts are embedded repeatedly (once per retrieval condition per
 //! model); the cache makes those lookups free and is safe to share across
-//! rayon workers.
+//! pool workers.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;

@@ -1,9 +1,9 @@
 //! The `BioEncoder`: signed feature-hashing text encoder.
 
+use mcqa_runtime::{run_stage_batched, Executor};
 use mcqa_text::stopwords::is_stopword;
 use mcqa_text::tokenize;
 use mcqa_util::StableHasher;
-use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Encoder configuration.
@@ -103,9 +103,18 @@ impl BioEncoder {
         acc
     }
 
-    /// Encode a batch in parallel; rows are index-aligned with `texts`.
-    pub fn encode_batch<S: AsRef<str> + Sync>(&self, texts: &[S]) -> Vec<Vec<f32>> {
-        texts.par_iter().map(|t| self.encode(t.as_ref())).collect()
+    /// Encode a batch on `exec`'s pool; rows are index-aligned with
+    /// `texts`.
+    pub fn encode_batch<S: AsRef<str> + Sync>(
+        &self,
+        exec: &Executor,
+        texts: &[S],
+    ) -> Vec<Vec<f32>> {
+        let (results, _) =
+            run_stage_batched(exec, "encode-batch", (0..texts.len()).collect(), 0, |i| {
+                Ok::<_, String>(self.encode(texts[i].as_ref()))
+            });
+        results.into_iter().map(|r| r.expect("encoding cannot fail")).collect()
     }
 }
 
@@ -190,7 +199,7 @@ mod tests {
             "".to_string(),
             "dose response modelling of late effects".to_string(),
         ];
-        let batch = e.encode_batch(&texts);
+        let batch = e.encode_batch(Executor::global(), &texts);
         for (t, row) in texts.iter().zip(&batch) {
             assert_eq!(row, &e.encode(t));
         }

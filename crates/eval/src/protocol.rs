@@ -1,14 +1,16 @@
 //! The evaluator: rate measurement → card calibration → parallel
 //! answering → judge grading.
 
+use std::sync::Mutex;
+
 use mcqa_core::PipelineOutput;
 use mcqa_llm::answer::Condition;
 use mcqa_llm::{
     resolve, AssembledContext, JudgeModel, McqItem, ModelCard, PipelineRates, ResolvedModel,
     TraceMode, MODEL_CARDS,
 };
+use mcqa_runtime::{run_stage_batched, Executor, RunReport, StageMetrics};
 use mcqa_util::Accuracy;
-use rayon::prelude::*;
 use serde::Serialize;
 
 use crate::astro::{AstroConfig, AstroExam};
@@ -100,9 +102,14 @@ pub struct EvalRun {
     pub astro_questions: usize,
     /// Astro no-math subset size (paper: 189).
     pub astro_nomath_questions: usize,
+    /// Runtime stage metrics for the evaluation itself (retrieve, assemble,
+    /// answer+grade), aggregated across model cards.
+    pub report: RunReport,
 }
 
-/// The evaluator.
+/// The evaluator. Runs every fan-out — retrieval, context assembly, the
+/// answer+grade loop — on the pipeline's own [`Executor`], so evaluation
+/// stages land on the same scheduler and metrics surface as the pipeline.
 pub struct Evaluator<'a> {
     output: &'a PipelineOutput,
     config: EvalConfig,
@@ -110,16 +117,74 @@ pub struct Evaluator<'a> {
     synth_bundle: RetrievalBundle,
     astro_bundle: RetrievalBundle,
     judge: JudgeModel,
+    exec: Executor,
+    report: Mutex<RunReport>,
+    /// Snapshot of the report right after construction: the one-time
+    /// retrieval prep, attributed in full to every run's report.
+    prep_report: RunReport,
 }
 
 impl<'a> Evaluator<'a> {
     /// Prepare retrieval for both benchmarks.
     pub fn new(output: &'a PipelineOutput, config: EvalConfig) -> Self {
         let exam = AstroExam::generate(&output.ontology, &config.astro);
-        let synth_bundle = RetrievalBundle::build(output, &output.items, config.retrieval_k);
-        let astro_bundle = RetrievalBundle::build(output, &exam.items, config.retrieval_k);
+        let (synth_bundle, synth_m) =
+            RetrievalBundle::build_metered(output, &output.items, config.retrieval_k);
+        let (astro_bundle, astro_m) =
+            RetrievalBundle::build_metered(output, &exam.items, config.retrieval_k);
+        let mut report = RunReport::new();
+        report.absorb(synth_m);
+        report.absorb(astro_m);
         let judge = JudgeModel::new(config.seed);
-        Self { output, config, exam, synth_bundle, astro_bundle, judge }
+        Self {
+            output,
+            config,
+            exam,
+            synth_bundle,
+            astro_bundle,
+            judge,
+            exec: output.executor.clone(),
+            prep_report: report.clone(),
+            report: Mutex::new(report),
+        }
+    }
+
+    /// Fold one stage execution into the evaluation report.
+    fn absorb(&self, m: StageMetrics) {
+        self.report.lock().expect("report lock").absorb(m);
+    }
+
+    /// The evaluation stage report accumulated so far (retrieve, assemble,
+    /// answer+grade rows) — **cumulative** across every card this evaluator
+    /// has evaluated. [`Evaluator::run_cards`] attaches a per-run view to
+    /// its `EvalRun` instead.
+    pub fn report(&self) -> RunReport {
+        self.report.lock().expect("report lock").clone()
+    }
+
+    /// One run's stage report: the one-time prep rows (`prep`, retrieval)
+    /// in full, plus — for every other stage — the strict `after − before`
+    /// delta. Stages the run never touched contribute nothing, so repeated
+    /// runs on one evaluator cannot inherit each other's work.
+    fn report_delta(prep: &RunReport, after: &RunReport, before: &RunReport) -> RunReport {
+        let mut out = prep.clone();
+        for s in after.stages() {
+            let zero = StageMetrics::single(&s.name, 0, 0, 0.0);
+            let p = before.stages().iter().find(|p| p.name == s.name).unwrap_or(&zero);
+            let d = StageMetrics {
+                name: s.name.clone(),
+                items: s.items - p.items,
+                ok: s.ok - p.ok,
+                errors: s.errors - p.errors,
+                panics: s.panics - p.panics,
+                produced: s.produced - p.produced,
+                elapsed_secs: s.elapsed_secs - p.elapsed_secs,
+            };
+            if d.items > 0 || d.produced > 0 || d.elapsed_secs > 0.0 {
+                out.absorb(d);
+            }
+        }
+        out
     }
 
     /// The generated exam.
@@ -134,24 +199,25 @@ impl<'a> Evaluator<'a> {
 
     /// Assemble contexts for every (item, source) under one window size.
     fn assemble_all(
+        &self,
         items: &[McqItem],
         bundle: &RetrievalBundle,
         window: usize,
     ) -> Vec<[AssembledContext; 4]> {
-        items
-            .par_iter()
-            .enumerate()
-            .map(|(qi, item)| {
+        let (results, metrics) =
+            run_stage_batched(&self.exec, "eval-assemble", (0..items.len()).collect(), 0, |qi| {
+                let item = &items[qi];
                 let mk =
                     |s: Source| mcqa_llm::context::assemble(item, bundle.passages(qi, s), window);
-                [
+                Ok::<_, String>([
                     mk(Source::Chunks),
                     mk(Source::Traces(TraceMode::Detailed)),
                     mk(Source::Traces(TraceMode::Focused)),
                     mk(Source::Traces(TraceMode::Efficient)),
-                ]
-            })
-            .collect()
+                ])
+            });
+        self.absorb(metrics);
+        results.into_iter().map(|r| r.expect("assembly cannot fail")).collect()
     }
 
     /// Usable-hit rates over a set of assembled contexts (optionally
@@ -186,8 +252,8 @@ impl<'a> Evaluator<'a> {
     /// Evaluate one model card.
     pub fn evaluate_card(&self, card: &ModelCard) -> ModelEval {
         let window = card.context_window;
-        let synth_ctx = Self::assemble_all(&self.output.items, &self.synth_bundle, window);
-        let astro_ctx = Self::assemble_all(&self.exam.items, &self.astro_bundle, window);
+        let synth_ctx = self.assemble_all(&self.output.items, &self.synth_bundle, window);
+        let astro_ctx = self.assemble_all(&self.exam.items, &self.astro_bundle, window);
 
         // Measured usable-hit rates (the solver's h values).
         let synth_rates = Self::hit_rates(&synth_ctx, None);
@@ -213,11 +279,11 @@ impl<'a> Evaluator<'a> {
             conditions
                 .iter()
                 .map(|cond| {
-                    let acc = items
-                        .par_iter()
-                        .enumerate()
-                        .filter(|(i, _)| mask.map(|m| m[*i]).unwrap_or(true))
-                        .map(|(i, item)| {
+                    let picked: Vec<usize> =
+                        (0..items.len()).filter(|i| mask.map(|m| m[*i]).unwrap_or(true)).collect();
+                    let (grades, metrics) =
+                        run_stage_batched(&self.exec, "eval-answer", picked, 0, |i| {
+                            let item = &items[i];
                             let ctx = match cond {
                                 Condition::Baseline => None,
                                 Condition::RagChunks => Some(&contexts[i][0]),
@@ -230,14 +296,13 @@ impl<'a> Evaluator<'a> {
                             let out = model.answer(item, *cond, ctx, seed);
                             let grade =
                                 self.judge.grade(&out.text, item.correct, item.options.len());
-                            let mut a = Accuracy::new();
-                            a.record(grade.correct);
-                            a
-                        })
-                        .reduce(Accuracy::new, |mut a, b| {
-                            a.merge(&b);
-                            a
+                            Ok::<_, String>(grade.correct)
                         });
+                    self.absorb(metrics);
+                    let mut acc = Accuracy::new();
+                    for g in grades {
+                        acc.record(g.expect("answering cannot fail"));
+                    }
                     (*cond, acc)
                 })
                 .collect()
@@ -262,14 +327,18 @@ impl<'a> Evaluator<'a> {
         self.run_cards(&MODEL_CARDS)
     }
 
-    /// Evaluate a custom card list.
+    /// Evaluate a custom card list. The attached report covers *this*
+    /// run's stage work (plus the shared retrieval prep), so repeated runs
+    /// on one evaluator don't inflate each other's numbers.
     pub fn run_cards(&self, cards: &[ModelCard]) -> EvalRun {
+        let before = self.report();
         let models = cards.iter().map(|c| self.evaluate_card(c)).collect();
         EvalRun {
             models,
             synth_questions: self.output.items.len(),
             astro_questions: self.exam.items.len(),
             astro_nomath_questions: self.exam.no_math_items().len(),
+            report: Self::report_delta(&self.prep_report, &self.report(), &before),
         }
     }
 }
@@ -308,6 +377,47 @@ mod tests {
                 assert_eq!(acc.total as usize, run.astro_nomath_questions);
             }
         }
+    }
+
+    #[test]
+    fn report_delta_isolates_one_run() {
+        let m =
+            |name: &str, items: usize, secs: f64| StageMetrics::single(name, items, items, secs);
+        let mut prep = RunReport::new();
+        prep.absorb(m("eval-retrieve", 100, 1.0));
+        // A first run already happened before this run's snapshot.
+        let mut before = prep.clone();
+        before.absorb(m("eval-assemble", 40, 0.1));
+        before.absorb(m("eval-answer", 500, 2.0));
+        // This run answers again but never assembles.
+        let mut after = before.clone();
+        after.absorb(m("eval-answer", 500, 2.5));
+        let delta = Evaluator::report_delta(&prep, &after, &before);
+        let get = |n: &str| delta.stages().iter().find(|s| s.name == n);
+        assert_eq!(get("eval-retrieve").unwrap().items, 100, "prep carried over whole");
+        let answer = get("eval-answer").unwrap();
+        assert_eq!(answer.items, 500, "only this run's answering counted");
+        assert!((answer.elapsed_secs - 2.5).abs() < 1e-12);
+        assert!(get("eval-assemble").is_none(), "untouched stages contribute nothing");
+        // A run that did no work reports prep only.
+        let empty = Evaluator::report_delta(&prep, &after, &after);
+        assert_eq!(empty.stages().len(), 1);
+        assert_eq!(empty.stages()[0].name, "eval-retrieve");
+    }
+
+    #[test]
+    fn eval_report_covers_runtime_stages() {
+        // Evaluation runs on the pipeline's scheduler, so its stages must
+        // appear on the same metrics surface as the pipeline's.
+        let (run, n_items) = eval_run();
+        let names: Vec<&str> = run.report.stages().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["eval-retrieve", "eval-assemble", "eval-answer"]);
+        let answer = run.report.stages().iter().find(|s| s.name == "eval-answer").unwrap();
+        // 8 cards × 5 conditions × (synth + astro-all + astro-nomath).
+        let expected = 8 * 5 * (n_items + run.astro_questions + run.astro_nomath_questions);
+        assert_eq!(answer.items, expected);
+        assert_eq!(answer.errors, 0);
+        assert!(answer.throughput() > 0.0, "elapsed must be recorded");
     }
 
     #[test]

@@ -266,7 +266,13 @@ mod tests {
                 }
             })
             .collect();
-        EvalRun { models, synth_questions: 1000, astro_questions: 335, astro_nomath_questions: 189 }
+        EvalRun {
+            models,
+            synth_questions: 1000,
+            astro_questions: 335,
+            astro_nomath_questions: 189,
+            report: mcqa_runtime::RunReport::new(),
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use mcqa_core::PipelineOutput;
 use mcqa_index::VectorStore;
 use mcqa_llm::{McqItem, Passage, PassageSource, TraceMode};
-use rayon::prelude::*;
+use mcqa_runtime::{run_stage_batched, StageMetrics};
 
 /// A retrieval source key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -35,13 +35,25 @@ pub struct RetrievalBundle {
 }
 
 impl RetrievalBundle {
-    /// Run retrieval for `items` over the pipeline's stores.
+    /// Run retrieval for `items` over the pipeline's stores, fanned out on
+    /// the pipeline's own executor.
     ///
     /// Relevance labelling (ground truth, used by the simulator only):
     /// * a chunk passage supports the question's fact iff the chunk's
     ///   provenance fact list contains it;
     /// * a trace passage supports it iff the trace's source fact matches.
     pub fn build(output: &PipelineOutput, items: &[McqItem], k: usize) -> Self {
+        Self::build_metered(output, items, k).0
+    }
+
+    /// [`RetrievalBundle::build`], also returning the fan-out's runtime
+    /// [`StageMetrics`] so the evaluator can fold retrieval into its stage
+    /// report instead of re-timing the same work.
+    pub fn build_metered(
+        output: &PipelineOutput,
+        items: &[McqItem],
+        k: usize,
+    ) -> (Self, StageMetrics) {
         // chunk_id → position in output.chunks
         let chunk_pos: HashMap<u64, usize> =
             output.chunks.iter().enumerate().map(|(i, c)| (c.chunk_id, i)).collect();
@@ -60,9 +72,13 @@ impl RetrievalBundle {
             output.ontology.fact(mcqa_ontology::FactId(fact_id)).map(|f| f.subject.0)
         };
 
-        let passages: Vec<[Vec<Passage>; 4]> = items
-            .par_iter()
-            .map(|item| {
+        let (retrieve_results, metrics) = run_stage_batched(
+            &output.executor,
+            "eval-retrieve",
+            (0..items.len()).collect(),
+            0,
+            |qi| {
+                let item = &items[qi];
                 // Query = the stem. Including the options would inject six
                 // same-kind distractor names that pull retrieval toward
                 // unrelated chunks (measured: −20 points of hit rate).
@@ -105,11 +121,13 @@ impl RetrievalBundle {
                         });
                     }
                 }
-                per_source
-            })
-            .collect();
+                Ok::<_, String>(per_source)
+            },
+        );
+        let passages: Vec<[Vec<Passage>; 4]> =
+            retrieve_results.into_iter().map(|r| r.expect("retrieval cannot fail")).collect();
 
-        Self { passages }
+        (Self { passages }, metrics)
     }
 
     /// Retrieved passages for question index `q` from `source`.

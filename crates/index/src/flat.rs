@@ -1,7 +1,7 @@
 //! Exact brute-force index over an [`EmbeddingMatrix`].
 
 use mcqa_embed::{EmbeddingMatrix, Precision};
-use rayon::prelude::*;
+use mcqa_runtime::{run_stage_batched, Executor};
 
 use crate::metric::Metric;
 use crate::{sort_hits, SearchResult, VectorStore};
@@ -31,9 +31,19 @@ impl FlatIndex {
         self.matrix.payload_bytes()
     }
 
-    /// Parallel batch search; results are index-aligned with `queries`.
-    pub fn search_batch(&self, queries: &[Vec<f32>], k: usize) -> Vec<Vec<SearchResult>> {
-        queries.par_iter().map(|q| self.search(q, k)).collect()
+    /// Batch search fanned out on `exec`'s pool; results are index-aligned
+    /// with `queries`.
+    pub fn search_batch(
+        &self,
+        exec: &Executor,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> Vec<Vec<SearchResult>> {
+        let (results, _) =
+            run_stage_batched(exec, "search-batch", (0..queries.len()).collect(), 0, |i| {
+                Ok::<_, String>(self.search(&queries[i], k))
+            });
+        results.into_iter().map(|r| r.expect("search cannot fail")).collect()
     }
 
     /// Serialise (matrix bytes + ids).
@@ -206,7 +216,7 @@ mod tests {
             idx.add(i as u64, &unit(8, i % 8));
         }
         let queries: Vec<Vec<f32>> = (0..8).map(|i| unit(8, i)).collect();
-        let batch = idx.search_batch(&queries, 3);
+        let batch = idx.search_batch(Executor::global(), &queries, 3);
         for (q, hits) in queries.iter().zip(&batch) {
             assert_eq!(hits, &idx.search(q, 3));
         }

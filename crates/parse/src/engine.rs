@@ -1,8 +1,7 @@
 //! The adaptive parsing engine: per-document strategy escalation plus a
-//! rayon-parallel batch driver with aggregate statistics.
+//! pool-parallel batch driver with aggregate statistics.
 
-use parking_lot::Mutex;
-use rayon::prelude::*;
+use mcqa_runtime::{run_stage_batched, Executor};
 use serde::{Deserialize, Serialize};
 
 use crate::quality::{self, QualityScore};
@@ -146,30 +145,32 @@ impl AdaptiveParser {
         }
     }
 
-    /// Parse a batch in parallel; outcomes are index-aligned with `blobs`.
+    /// Parse a batch on `exec`'s pool; outcomes are index-aligned with
+    /// `blobs`. Statistics are tallied from the ordered outcomes after the
+    /// fan-out, so no lock is shared between workers.
     pub fn parse_batch<B: AsRef<[u8]> + Sync>(
         &self,
+        exec: &Executor,
         blobs: &[B],
     ) -> (Vec<ParseOutcome>, BatchStats) {
         let timer = mcqa_util::ScopeTimer::start("parse_batch");
-        let stats = Mutex::new(BatchStats { total: blobs.len(), ..Default::default() });
-        let outcomes: Vec<ParseOutcome> = blobs
-            .par_iter()
-            .map(|b| {
-                let o = self.parse(b.as_ref());
-                let mut s = stats.lock();
-                match &o {
-                    ParseOutcome::Parsed { strategy, .. } => match strategy {
-                        ParseStrategy::Fast => s.fast += 1,
-                        ParseStrategy::Thorough => s.thorough += 1,
-                        ParseStrategy::Salvage => s.salvage += 1,
-                    },
-                    ParseOutcome::Failed { .. } => s.failed += 1,
-                }
-                o
-            })
-            .collect();
-        let mut s = stats.into_inner();
+        let (results, _) =
+            run_stage_batched(exec, "parse-batch", (0..blobs.len()).collect(), 0, |i| {
+                Ok::<_, String>(self.parse(blobs[i].as_ref()))
+            });
+        let outcomes: Vec<ParseOutcome> =
+            results.into_iter().map(|r| r.expect("parse cannot fail the task")).collect();
+        let mut s = BatchStats { total: outcomes.len(), ..Default::default() };
+        for o in &outcomes {
+            match o {
+                ParseOutcome::Parsed { strategy, .. } => match strategy {
+                    ParseStrategy::Fast => s.fast += 1,
+                    ParseStrategy::Thorough => s.thorough += 1,
+                    ParseStrategy::Salvage => s.salvage += 1,
+                },
+                ParseOutcome::Failed { .. } => s.failed += 1,
+            }
+        }
         s.elapsed_secs = timer.elapsed_secs();
         (outcomes, s)
     }
@@ -197,6 +198,7 @@ mod tests {
                 corruption_rate,
                 synth: SynthConfig::default(),
             },
+            Executor::global(),
         )
     }
 
@@ -206,7 +208,7 @@ mod tests {
         let parser = AdaptiveParser::default();
         let blobs: Vec<&[u8]> =
             (0..lib.len() as u32).map(|i| lib.download(DocId(i)).unwrap()).collect();
-        let (outcomes, stats) = parser.parse_batch(&blobs);
+        let (outcomes, stats) = parser.parse_batch(Executor::global(), &blobs);
         assert_eq!(stats.total, 36);
         assert_eq!(stats.fast, 36, "clean blobs all take the fast path: {stats:?}");
         assert_eq!(stats.failed, 0);
@@ -220,7 +222,7 @@ mod tests {
         let parser = AdaptiveParser::default();
         let blobs: Vec<&[u8]> =
             (0..lib.len() as u32).map(|i| lib.download(DocId(i)).unwrap()).collect();
-        let (outcomes, stats) = parser.parse_batch(&blobs);
+        let (outcomes, stats) = parser.parse_batch(Executor::global(), &blobs);
         assert!(stats.fast < stats.total, "{stats:?}");
         assert!(stats.salvage > 0, "some docs must need salvage: {stats:?}");
         // Recovery: a majority of documents still produce text.
@@ -259,7 +261,7 @@ mod tests {
     #[test]
     fn empty_batch() {
         let parser = AdaptiveParser::default();
-        let (outcomes, stats) = parser.parse_batch::<Vec<u8>>(&[]);
+        let (outcomes, stats) = parser.parse_batch::<Vec<u8>>(Executor::global(), &[]);
         assert!(outcomes.is_empty());
         assert_eq!(stats.total, 0);
         assert_eq!(stats.throughput(), stats.throughput()); // finite, no panic
@@ -271,7 +273,7 @@ mod tests {
         let lib = library(0.0);
         let parser = AdaptiveParser::default();
         let blobs: Vec<&[u8]> = (0..4u32).map(|i| lib.download(DocId(i)).unwrap()).collect();
-        let (outcomes, _) = parser.parse_batch(&blobs);
+        let (outcomes, _) = parser.parse_batch(Executor::global(), &blobs);
         for (i, o) in outcomes.iter().enumerate() {
             let meta = o.document().unwrap().meta.as_ref().unwrap();
             assert_eq!(meta.id, i as u32, "outcome order must match input order");

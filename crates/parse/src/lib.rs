@@ -13,8 +13,9 @@
 //!   result is acceptable or the document must be re-parsed thoroughly
 //!   (AdaParse's quality predictor).
 //! * [`engine`] — the adaptive driver: per-document strategy escalation,
-//!   rayon-parallel batch parsing, an error taxonomy, and aggregate
-//!   statistics (documents/second, strategy mix, failure census).
+//!   batch parsing fanned out on the caller's `mcqa_runtime::Executor`, an
+//!   error taxonomy, and aggregate statistics (documents/second, strategy
+//!   mix, failure census).
 //! * [`record`] — the parsed-output record (metadata + section texts),
 //!   serialisable to JSONL exactly like AdaParse's JSON output.
 

@@ -14,10 +14,10 @@
 use crossbeam_deque::{Injector, Stealer, Worker};
 use crossbeam_utils::Backoff;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
 
 /// Counters describing pool activity since construction.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -26,12 +26,15 @@ pub struct PoolStats {
     pub executed_per_worker: Vec<u64>,
     /// Steal operations per worker (tasks taken from a peer).
     pub steals_per_worker: Vec<u64>,
+    /// Jobs executed inline by blocked stage callers assisting the pool
+    /// while they wait for their own stage's results.
+    pub assisted: u64,
 }
 
 impl PoolStats {
-    /// Total executed jobs.
+    /// Total executed jobs (worker-run plus caller-assisted).
     pub fn total_executed(&self) -> u64 {
-        self.executed_per_worker.iter().sum()
+        self.executed_per_worker.iter().sum::<u64>() + self.assisted
     }
 
     /// Total steals.
@@ -46,6 +49,7 @@ struct Shared {
     shutdown: AtomicBool,
     executed: Vec<AtomicU64>,
     steals: Vec<AtomicU64>,
+    assisted: AtomicU64,
 }
 
 /// The pool.
@@ -67,6 +71,7 @@ impl WorkStealingPool {
             shutdown: AtomicBool::new(false),
             executed: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             steals: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            assisted: AtomicU64::new(0),
         });
 
         let handles = worker_deques
@@ -94,6 +99,51 @@ impl WorkStealingPool {
         self.shared.injector.push(Box::new(job));
     }
 
+    /// Submit an already-boxed job without re-boxing it.
+    pub(crate) fn submit_boxed(&self, job: Job) {
+        self.shared.injector.push(job);
+    }
+
+    /// Execute one queued job on the *calling* thread, if any is available.
+    ///
+    /// This is the work-assist hook the stage driver uses while it waits
+    /// for results: a caller blocked on a stage drains the queue instead of
+    /// parking, which (a) adds the calling thread as an extra execution
+    /// context and (b) makes *nested* stages on one pool deadlock-free —
+    /// a stage closure may itself fan out on the same executor (e.g. a
+    /// future pipeline stage calling `CorpusLibrary::search` or a batch
+    /// API) even on a 1-worker pool.
+    pub(crate) fn try_execute_one(&self) -> bool {
+        // Fresh submissions land in the global injector…
+        loop {
+            match self.shared.injector.steal() {
+                crossbeam_deque::Steal::Success(job) => {
+                    self.shared.assisted.fetch_add(1, Ordering::Relaxed);
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                    return true;
+                }
+                crossbeam_deque::Steal::Retry => continue,
+                crossbeam_deque::Steal::Empty => break,
+            }
+        }
+        // …but a job may sit in a worker's local deque (batch-stolen there)
+        // while that worker is itself blocked in a nested stage.
+        for stealer in &self.shared.stealers {
+            loop {
+                match stealer.steal() {
+                    crossbeam_deque::Steal::Success(job) => {
+                        self.shared.assisted.fetch_add(1, Ordering::Relaxed);
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                        return true;
+                    }
+                    crossbeam_deque::Steal::Retry => continue,
+                    crossbeam_deque::Steal::Empty => break,
+                }
+            }
+        }
+        false
+    }
+
     /// Snapshot activity counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
@@ -109,6 +159,7 @@ impl WorkStealingPool {
                 .iter()
                 .map(|a| a.load(Ordering::Relaxed))
                 .collect(),
+            assisted: self.shared.assisted.load(Ordering::Relaxed),
         }
     }
 }
@@ -119,6 +170,60 @@ impl Drop for WorkStealingPool {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
+    }
+}
+
+/// A cheaply-clonable, `Arc`-backed view of a [`WorkStealingPool`].
+///
+/// This is the handle library crates accept: the owner of the pool (the
+/// pipeline, a test, a bench) creates one `Executor` and passes `&Executor`
+/// down, so every batch API — encoding, index search, parsing, corpus
+/// synthesis — fans out on the *caller's* scheduler instead of spawning its
+/// own threads. Cloning is an `Arc` bump; the pool shuts down when the last
+/// clone (and the global handle, if taken) is gone.
+///
+/// `Executor` derefs to [`WorkStealingPool`], so it can be passed anywhere a
+/// `&WorkStealingPool` is expected (e.g. [`crate::run_stage`]).
+#[derive(Clone)]
+pub struct Executor {
+    pool: Arc<WorkStealingPool>,
+}
+
+impl Executor {
+    /// Spawn a fresh pool with `workers` threads (0 is clamped to 1) and
+    /// wrap it in a shareable handle.
+    pub fn new(workers: usize) -> Self {
+        Self::from_pool(WorkStealingPool::new(workers))
+    }
+
+    /// Wrap an existing pool.
+    pub fn from_pool(pool: WorkStealingPool) -> Self {
+        Self { pool: Arc::new(pool) }
+    }
+
+    /// The process-wide default executor (one worker per core), spawned on
+    /// first use. This is the ambient scheduler for call sites that have no
+    /// pipeline pool in scope — standalone library use, tests, benches.
+    pub fn global() -> &'static Executor {
+        static GLOBAL: OnceLock<Executor> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+            Executor::new(workers)
+        })
+    }
+}
+
+impl std::ops::Deref for Executor {
+    type Target = WorkStealingPool;
+
+    fn deref(&self) -> &WorkStealingPool {
+        &self.pool
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Executor").field("workers", &self.pool.workers()).finish()
     }
 }
 
@@ -245,6 +350,34 @@ mod tests {
         let (tx, rx) = crossbeam_channel::bounded(1);
         pool.submit(move || tx.send(42).unwrap());
         assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(), 42);
+    }
+
+    #[test]
+    fn executor_clones_share_one_pool() {
+        let exec = Executor::new(2);
+        let clone = exec.clone();
+        let (tx, rx) = crossbeam_channel::bounded(2);
+        let tx2 = tx.clone();
+        exec.submit(move || tx.send(1u32).unwrap());
+        clone.submit(move || tx2.send(2u32).unwrap());
+        let mut got: Vec<u32> =
+            (0..2).map(|_| rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        // Both handles observe the same counters (same underlying pool).
+        assert_eq!(exec.stats(), clone.stats());
+        assert_eq!(exec.stats().total_executed(), 2);
+    }
+
+    #[test]
+    fn global_executor_is_a_singleton() {
+        let a = Executor::global();
+        let b = Executor::global();
+        assert!(std::ptr::eq(a, b));
+        assert!(a.workers() >= 1);
+        let (tx, rx) = crossbeam_channel::bounded(1);
+        a.submit(move || tx.send(7u32).unwrap());
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(), 7);
     }
 
     #[test]

@@ -7,10 +7,17 @@
 //!
 //! * [`executor`] — a persistent work-stealing thread pool
 //!   (crossbeam-deque): per-worker deques + a global injector, task panics
-//!   isolated per task, per-worker execution/steal counters.
-//! * [`stage`] — `run_stage`: an ordered parallel map over a task list
-//!   with error isolation and a [`metrics::StageMetrics`] record — the
-//!   building block `mcqa-core` assembles its workflow from.
+//!   isolated per task, per-worker execution/steal counters. The
+//!   [`Executor`] handle is the `Arc`-backed view library crates accept so
+//!   their batch APIs run on the caller's pool; [`Executor::global`] is the
+//!   ambient default for call sites with no pipeline pool in scope.
+//! * [`stage`] — `run_stage` / `run_stage_batched`: ordered parallel maps
+//!   over a task list with error isolation and a
+//!   [`metrics::StageMetrics`] record — the building blocks `mcqa-core`
+//!   and `mcqa-eval` assemble their workflows from. The batched variant
+//!   submits chunks of items per pool task (granularity picked by
+//!   [`scaling::auto_batch_size`]), the perf lever for high-item-count
+//!   stages.
 //! * [`retry`] — bounded-attempt retry with injectable backoff (Parsl's
 //!   retry handler).
 //! * [`scaling`] — an elastic worker-count policy driven by queue depth
@@ -24,8 +31,8 @@ pub mod retry;
 pub mod scaling;
 pub mod stage;
 
-pub use executor::{PoolStats, WorkStealingPool};
+pub use executor::{Executor, PoolStats, WorkStealingPool};
 pub use metrics::{RunReport, StageMetrics};
 pub use retry::{RetryOutcome, RetryPolicy};
-pub use scaling::{ScalingDecision, ScalingPolicy};
-pub use stage::{run_stage, TaskError};
+pub use scaling::{auto_batch_size, ScalingDecision, ScalingPolicy};
+pub use stage::{run_stage, run_stage_batched, TaskError};

@@ -24,6 +24,23 @@ pub struct StageMetrics {
 }
 
 impl StageMetrics {
+    /// Metrics for a stage measured as one timed block rather than
+    /// per-task: `produced` of `items` inputs yielded an output record, the
+    /// rest were filtered out, and nothing panicked. Prefer this over a
+    /// field-by-field struct literal so call sites don't drift as
+    /// `StageMetrics` grows.
+    pub fn single(name: &str, items: usize, produced: usize, elapsed_secs: f64) -> Self {
+        Self {
+            name: name.into(),
+            items,
+            ok: produced.min(items),
+            errors: items.saturating_sub(produced),
+            panics: 0,
+            produced,
+            elapsed_secs,
+        }
+    }
+
     /// Items per second (0 when time is unmeasured or no items ran).
     pub fn throughput(&self) -> f64 {
         if self.elapsed_secs > 0.0 && self.items > 0 {
@@ -72,6 +89,24 @@ impl RunReport {
     /// Append a stage record.
     pub fn add(&mut self, m: StageMetrics) {
         self.stages.push(m);
+    }
+
+    /// Merge `m` into an existing stage of the same name (summing counts
+    /// and elapsed time) or append it. This is how repeated stage
+    /// executions — e.g. one answering pass per model card — aggregate into
+    /// a single report row.
+    pub fn absorb(&mut self, m: StageMetrics) {
+        match self.stages.iter_mut().find(|s| s.name == m.name) {
+            Some(s) => {
+                s.items += m.items;
+                s.ok += m.ok;
+                s.errors += m.errors;
+                s.panics += m.panics;
+                s.produced += m.produced;
+                s.elapsed_secs += m.elapsed_secs;
+            }
+            None => self.stages.push(m),
+        }
     }
 
     /// The recorded stages in order.
@@ -151,6 +186,37 @@ mod tests {
         assert!(text.contains("items/s"));
         assert!((r.total_secs() - 5.4).abs() < 1e-9);
         assert_eq!(r.stages().len(), 3);
+    }
+
+    #[test]
+    fn single_constructor_matches_hand_rolled_shape() {
+        let s = StageMetrics::single("generate+judge", 1000, 96, 2.0);
+        assert_eq!(s.items, 1000);
+        assert_eq!(s.ok, 96);
+        assert_eq!(s.errors, 904);
+        assert_eq!(s.panics, 0);
+        assert_eq!(s.produced, 96);
+        assert_eq!(s.throughput(), 500.0);
+        assert_eq!(s.output_throughput(), 48.0);
+        // 1:1 stages: produced == items, no errors.
+        let a = StageMetrics::single("acquire", 50, 50, 1.0);
+        assert_eq!(a.ok, 50);
+        assert_eq!(a.errors, 0);
+    }
+
+    #[test]
+    fn absorb_merges_same_name_and_appends_new() {
+        let mut r = RunReport::new();
+        r.absorb(m("eval-answer", 100, 100, 1.0));
+        r.absorb(m("eval-answer", 50, 40, 0.5));
+        r.absorb(m("eval-assemble", 10, 10, 0.1));
+        assert_eq!(r.stages().len(), 2);
+        let ans = &r.stages()[0];
+        assert_eq!(ans.items, 150);
+        assert_eq!(ans.ok, 140);
+        assert_eq!(ans.errors, 10);
+        assert!((ans.elapsed_secs - 1.5).abs() < 1e-12);
+        assert!((ans.throughput() - 100.0).abs() < 1e-9);
     }
 
     #[test]

@@ -8,6 +8,22 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Pick a batch size for [`crate::run_stage_batched`]'s chunked submission.
+///
+/// The heuristic targets ~8 batches per worker: enough slack for the
+/// work-stealing pool to rebalance uneven batches (the last worker to start
+/// is never stuck behind one giant chunk), while still amortising the
+/// per-task boxing + channel cost that dominates high-item-count stages of
+/// cheap items. The cap bounds per-batch latency for very large stages so a
+/// single batch never monopolises a worker for long.
+pub fn auto_batch_size(items: usize, workers: usize) -> usize {
+    if items == 0 {
+        return 1;
+    }
+    let workers = workers.max(1);
+    items.div_ceil(workers * 8).clamp(1, 1024)
+}
+
 /// Scaling policy parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ScalingPolicy {
@@ -103,6 +119,36 @@ impl ScalingController {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn auto_batch_size_small_stages_stay_per_item() {
+        // Fewer items than task slots: one item per task, no batching win.
+        assert_eq!(auto_batch_size(0, 4), 1);
+        assert_eq!(auto_batch_size(1, 4), 1);
+        assert_eq!(auto_batch_size(32, 4), 1);
+        assert_eq!(auto_batch_size(10, 0), 2, "zero workers clamped to one");
+    }
+
+    #[test]
+    fn auto_batch_size_amortises_large_stages() {
+        // 100k items on 4 workers: 32 task slots → batches of ~3125.
+        let bs = auto_batch_size(100_000, 4);
+        assert!(bs > 1_000, "large stages must batch aggressively: {bs}");
+        assert!(bs <= 1024 || 100_000usize.div_ceil(bs) >= 4 * 8);
+        // The cap holds for astronomically large stages.
+        assert_eq!(auto_batch_size(10_000_000, 1), 1024);
+    }
+
+    #[test]
+    fn auto_batch_size_covers_all_items() {
+        for items in [1usize, 7, 64, 1_000, 99_999] {
+            for workers in [1usize, 2, 8, 64] {
+                let bs = auto_batch_size(items, workers);
+                assert!(bs >= 1);
+                assert!(items.div_ceil(bs) * bs >= items, "coverage {items}/{workers}");
+            }
+        }
+    }
 
     #[test]
     fn scales_out_under_sustained_backlog() {

@@ -1,13 +1,24 @@
-//! `run_stage` — an ordered, fault-isolated parallel map with metrics.
+//! `run_stage` / `run_stage_batched` — ordered, fault-isolated parallel
+//! maps with metrics.
 //!
-//! This is the unit `mcqa-core` composes its workflow from: every pipeline
-//! stage (parse, chunk, embed, generate, judge, trace) is one `run_stage`
-//! call, which mirrors how the paper expresses stages as Parsl app fleets.
+//! These are the units `mcqa-core` and `mcqa-eval` compose their workflows
+//! from: every pipeline stage (parse, chunk, embed, generate, judge, trace,
+//! retrieve, answer) is one stage call, which mirrors how the paper
+//! expresses stages as Parsl app fleets.
+//!
+//! Both entry points drive the same scoped core, so closures may borrow
+//! from the caller's stack (no `'static` bound): the core guarantees —
+//! including on unwind — that every submitted task has finished before it
+//! returns. `run_stage` submits one pool task per item (lowest latency to
+//! first result); `run_stage_batched` submits chunks of items per task,
+//! amortising the boxing + channel cost that dominates high-item-count
+//! stages of trivial per-item work.
 
-use std::sync::Arc;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use crate::executor::WorkStealingPool;
+use crate::executor::{Job, WorkStealingPool};
 use crate::metrics::StageMetrics;
+use crate::scaling::auto_batch_size;
 
 /// A task-level failure inside a stage.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,51 +40,179 @@ impl std::fmt::Display for TaskError {
 
 impl std::error::Error for TaskError {}
 
-/// Run `f` over `items` on `pool`, returning per-item results **in input
-/// order** plus stage metrics. Individual failures and panics are isolated
-/// into `Err` slots; the stage always completes.
-pub fn run_stage<T, U, F>(
+/// A `*const F` that may cross threads. Safe to send precisely because the
+/// stage core never lets the pointee die before every user of the pointer
+/// has finished (see the completion guard in [`stage_core`]).
+struct SharedFn<F>(*const F);
+
+impl<F> SharedFn<F> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `SharedFn` — edition-2021 disjoint capture would otherwise
+    /// grab the bare `*const F` field, which is not `Send`.
+    fn ptr(&self) -> *const F {
+        self.0
+    }
+}
+
+impl<F> Clone for SharedFn<F> {
+    fn clone(&self) -> Self {
+        Self(self.0)
+    }
+}
+
+// SAFETY: the pointee is only shared (`&F` use), so `F: Sync` is the real
+// requirement; the pointer's validity across the send is guaranteed by the
+// completion guard blocking until all tasks are done.
+unsafe impl<F: Sync> Send for SharedFn<F> {}
+
+/// Blocks — on the normal path *and* on unwind — until every submitted
+/// batch has signalled completion. This is what makes lifetime erasure in
+/// [`stage_core`] sound: no task can outlive the stack frame whose data it
+/// borrows, because that frame cannot be left while a task is outstanding.
+///
+/// While waiting, the guard *assists* the pool (executes queued jobs on the
+/// calling thread), so a stage nested inside another stage's closure on the
+/// same pool always makes progress — even with a single worker.
+struct Completion<'a, R> {
+    rx: &'a crossbeam_channel::Receiver<R>,
+    pool: &'a WorkStealingPool,
+    outstanding: usize,
+}
+
+impl<R> Completion<'_, R> {
+    fn recv_assisting(&mut self) -> R {
+        loop {
+            match self.rx.try_recv() {
+                Ok(r) => {
+                    self.outstanding -= 1;
+                    return r;
+                }
+                Err(crossbeam_channel::TryRecvError::Empty) => {
+                    if !self.pool.try_execute_one() {
+                        // Nothing to assist with: all remaining work is
+                        // in flight on worker threads. Block briefly.
+                        if let Ok(r) = self.rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                            self.outstanding -= 1;
+                            return r;
+                        }
+                    }
+                }
+                Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                    unreachable!("every submitted batch sends exactly once")
+                }
+            }
+        }
+    }
+}
+
+impl<R> Drop for Completion<'_, R> {
+    fn drop(&mut self) {
+        while self.outstanding > 0 {
+            match self.rx.try_recv() {
+                Ok(_) => self.outstanding -= 1,
+                Err(crossbeam_channel::TryRecvError::Empty) => {
+                    if !self.pool.try_execute_one()
+                        && self.rx.recv_timeout(std::time::Duration::from_millis(1)).is_ok()
+                    {
+                        self.outstanding -= 1;
+                    }
+                }
+                // A disconnect means every sender is gone: all tasks have
+                // finished (a task holds its sender until its closure
+                // returns, panicking or not), so nothing still borrows the
+                // caller.
+                Err(crossbeam_channel::TryRecvError::Disconnected) => break,
+            }
+        }
+    }
+}
+
+/// One batch's results. Single-item batches (per-item submission) skip the
+/// `Vec` so `run_stage` costs no more per task than a bare result send.
+enum BatchOut<U> {
+    One(Result<U, TaskError>),
+    Many(Vec<Result<U, TaskError>>),
+}
+
+/// The shared driver behind [`run_stage`] and [`run_stage_batched`]:
+/// submits `items` in chunks of `batch_size` to the pool, isolates each
+/// item's panic/error into its own result slot, and blocks until every
+/// chunk has completed.
+fn stage_core<'env, T, U, F>(
     pool: &WorkStealingPool,
     name: &str,
     items: Vec<T>,
-    f: F,
+    batch_size: usize,
+    f: &F,
 ) -> (Vec<Result<U, TaskError>>, StageMetrics)
 where
-    T: Send + 'static,
-    U: Send + 'static,
-    F: Fn(T) -> Result<U, String> + Send + Sync + 'static,
+    T: Send + 'env,
+    U: Send + 'env,
+    F: Fn(T) -> Result<U, String> + Sync + 'env,
 {
     let timer = mcqa_util::ScopeTimer::start("stage");
     let n = items.len();
-    let f = Arc::new(f);
-    let (tx, rx) = crossbeam_channel::bounded::<(usize, Result<U, TaskError>)>(n.max(1));
+    let batch_size = batch_size.max(1);
+    let n_batches = n.div_ceil(batch_size);
+    let (tx, rx) = crossbeam_channel::bounded::<(usize, BatchOut<U>)>(n_batches.max(1));
 
-    for (i, item) in items.into_iter().enumerate() {
-        let f = Arc::clone(&f);
+    // The guard exists before the first submission so that any unwind past
+    // this frame first drains every outstanding task.
+    let mut completion = Completion { rx: &rx, pool, outstanding: 0 };
+    let shared_f = SharedFn(f as *const F);
+
+    let mut iter = items.into_iter();
+    let mut start = 0usize;
+    while start < n {
+        let batch: Vec<T> = iter.by_ref().take(batch_size).collect();
+        let len = batch.len();
         let tx = tx.clone();
-        pool.submit(move || {
-            let result = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+        let shared_f = shared_f.clone();
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            // SAFETY: `f` outlives this task — the caller cannot leave
+            // `stage_core`'s frame (even by panic) until this task's send
+            // has been received or its sender dropped, and the call to `f`
+            // happens before either.
+            let f = unsafe { &*shared_f.ptr() };
+            let run_one = |item: T| match catch_unwind(AssertUnwindSafe(|| f(item))) {
                 Ok(Ok(u)) => Ok(u),
                 Ok(Err(msg)) => Err(TaskError::Failed(msg)),
                 Err(_) => Err(TaskError::Panicked),
             };
-            // Release this task's handle on `f` *before* signalling
-            // completion: once the caller has received every result it may
-            // assume no worker still borrows the closure's captures (e.g.
-            // `Arc`s the caller wants to unwrap).
-            drop(f);
-            // The receiver outlives all submissions; a send can only fail
-            // if the caller dropped the rx, in which case the result is
-            // moot anyway.
-            let _ = tx.send((i, result));
+            let mut batch = batch;
+            let out = if batch.len() == 1 {
+                BatchOut::One(run_one(batch.pop().expect("len checked")))
+            } else {
+                BatchOut::Many(batch.into_iter().map(run_one).collect())
+            };
+            // The receiver normally outlives all senders; a failed send can
+            // only mean the caller is unwinding, and then the guard's drain
+            // counts the disconnect instead of the message.
+            let _ = tx.send((start, out));
         });
+        // SAFETY: erasing `'env` to `'static` is sound because the
+        // completion guard above pins this frame until the job has run to
+        // completion; the job therefore never observes `'env` data after
+        // its end of life. (The classic scoped-task argument.)
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        completion.outstanding += 1;
+        pool.submit_boxed(job);
+        start += len;
     }
     drop(tx);
 
     let mut slots: Vec<Option<Result<U, TaskError>>> = (0..n).map(|_| None).collect();
-    for _ in 0..n {
-        let (i, r) = rx.recv().expect("all tasks send exactly once");
-        slots[i] = Some(r);
+    while completion.outstanding > 0 {
+        match completion.recv_assisting() {
+            (base, BatchOut::One(r)) => slots[base] = Some(r),
+            (base, BatchOut::Many(results)) => {
+                for (off, r) in results.into_iter().enumerate() {
+                    slots[base + off] = Some(r);
+                }
+            }
+        }
     }
     let results: Vec<Result<U, TaskError>> =
         slots.into_iter().map(|s| s.expect("slot filled")).collect();
@@ -90,6 +229,48 @@ where
         elapsed_secs: timer.elapsed_secs(),
     };
     (results, metrics)
+}
+
+/// Run `f` over `items` on `pool`, one pool task per item, returning
+/// per-item results **in input order** plus stage metrics. Individual
+/// failures and panics are isolated into `Err` slots; the stage always
+/// completes. `f` may borrow from the caller's stack; it is dropped before
+/// the call returns, so captured `Arc`s can be unwrapped afterwards.
+pub fn run_stage<T, U, F>(
+    pool: &WorkStealingPool,
+    name: &str,
+    items: Vec<T>,
+    f: F,
+) -> (Vec<Result<U, TaskError>>, StageMetrics)
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> Result<U, String> + Sync,
+{
+    stage_core(pool, name, items, 1, &f)
+}
+
+/// [`run_stage`] with chunked submission: items are submitted to the pool
+/// in batches of `batch_size` (0 picks a size automatically via
+/// [`auto_batch_size`]), cutting per-task boxing and channel traffic by
+/// `batch_size`×. Results, ordering, and error/panic isolation are
+/// **identical** to `run_stage` — a panic inside a mid-batch item poisons
+/// only that item's slot, never its batch.
+pub fn run_stage_batched<T, U, F>(
+    pool: &WorkStealingPool,
+    name: &str,
+    items: Vec<T>,
+    batch_size: usize,
+    f: F,
+) -> (Vec<Result<U, TaskError>>, StageMetrics)
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> Result<U, String> + Sync,
+{
+    let batch_size =
+        if batch_size == 0 { auto_batch_size(items.len(), pool.workers()) } else { batch_size };
+    stage_core(pool, name, items, batch_size, &f)
 }
 
 #[cfg(test)]
@@ -164,5 +345,96 @@ mod tests {
             r.into_iter().map(Result::unwrap).collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(8), "determinism across parallelism");
+    }
+
+    #[test]
+    fn closures_may_borrow_the_callers_stack() {
+        // The scoped core removes the old `'static` bound: stages can read
+        // caller-owned data without Arc plumbing.
+        let pool = WorkStealingPool::new(4);
+        let corpus: Vec<String> = (0..64).map(|i| format!("doc-{i}")).collect();
+        let (results, _) = run_stage(&pool, "borrow", (0..corpus.len()).collect(), |i| {
+            Ok::<usize, String>(corpus[i].len())
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), corpus[i].len());
+        }
+        // `corpus` is still usable: every task finished before return.
+        assert_eq!(corpus.len(), 64);
+    }
+
+    #[test]
+    fn batched_matches_per_item_results() {
+        let pool = WorkStealingPool::new(4);
+        let items: Vec<u64> = (0..1000).collect();
+        let (per_item, m1) =
+            run_stage(&pool, "s", items.clone(), |x| Ok::<u64, String>(x.wrapping_mul(7)));
+        for bs in [1usize, 3, 64, 1000, 5000] {
+            let (batched, m2) = run_stage_batched(&pool, "s", items.clone(), bs, |x| {
+                Ok::<u64, String>(x.wrapping_mul(7))
+            });
+            assert_eq!(per_item, batched, "batch_size {bs}");
+            assert_eq!(m1.ok, m2.ok);
+        }
+    }
+
+    #[test]
+    fn batched_auto_size_runs_all_items() {
+        let pool = WorkStealingPool::new(3);
+        let (results, metrics) =
+            run_stage_batched(&pool, "auto", (0..10_000u64).collect(), 0, |x| {
+                Ok::<u64, String>(x + 1)
+            });
+        assert_eq!(metrics.items, 10_000);
+        assert_eq!(metrics.ok, 10_000);
+        assert_eq!(results[9_999], Ok(10_000));
+    }
+
+    #[test]
+    fn batched_panic_isolates_to_one_item() {
+        let pool = WorkStealingPool::new(2);
+        let items: Vec<u32> = (0..30).collect();
+        let (results, metrics) = run_stage_batched(&pool, "mid-batch", items, 10, |x| {
+            if x == 15 {
+                panic!("poison mid-batch");
+            }
+            Ok::<u32, String>(x)
+        });
+        assert_eq!(metrics.panics, 1);
+        assert_eq!(metrics.ok, 29);
+        for (i, r) in results.iter().enumerate() {
+            if i == 15 {
+                assert_eq!(*r, Err(TaskError::Panicked));
+            } else {
+                assert_eq!(*r, Ok(i as u32), "batch-mates of the panicking item survive");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_stage_on_same_pool_does_not_deadlock() {
+        // A stage closure may itself fan out on the same executor (the
+        // Executor-threaded batch APIs invite exactly this); even with one
+        // worker, blocked callers assist the queue instead of parking.
+        let exec = crate::executor::Executor::new(1);
+        let inner_exec = exec.clone();
+        let (results, metrics) = run_stage(&exec, "outer", vec![10u32, 20], move |x| {
+            let (inner, _) =
+                run_stage(&inner_exec, "inner", (0..5u32).collect(), Ok::<u32, String>);
+            let sum: u32 = inner.into_iter().map(Result::unwrap).sum();
+            Ok::<u32, String>(x + sum)
+        });
+        assert_eq!(metrics.ok, 2);
+        assert_eq!(results[0], Ok(20), "10 + (0+1+2+3+4)");
+        assert_eq!(results[1], Ok(30));
+    }
+
+    #[test]
+    fn batched_empty_stage() {
+        let pool = WorkStealingPool::new(2);
+        let (results, metrics) =
+            run_stage_batched(&pool, "empty", Vec::<u32>::new(), 0, Ok::<u32, String>);
+        assert!(results.is_empty());
+        assert_eq!(metrics.items, 0);
     }
 }

@@ -11,8 +11,18 @@ SEED="${2:-42}"
 
 cd "$(dirname "$0")/.."
 
+echo "== repro smoke: no second scheduler =="
+# One scheduler everywhere: a rayon dependency or import reappearing would
+# split stages off the runtime metrics surface.
+if grep -rn --include='Cargo.toml' --exclude-dir=target 'rayon' . ||
+    grep -rn --exclude-dir=target 'use rayon' crates src tests examples; then
+    echo "repro smoke FAILED: rayon reappeared in the workspace" >&2
+    exit 1
+fi
+
 echo "== repro smoke: scale=${SCALE} seed=${SEED} =="
-cargo run --release -q -p mcqa-bench --bin repro -- all --scale "${SCALE}" --seed "${SEED}"
+ALL_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- all --scale "${SCALE}" --seed "${SEED}")"
+echo "${ALL_OUT}"
 
 echo "== repro smoke: stage census (fig1) =="
 OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- fig1 --scale "${SCALE}" --seed "${SEED}")"
@@ -23,6 +33,16 @@ echo "${OUT}"
 for stage in acquire parse chunk embed-chunks generate+judge traces embed-traces out/s; do
     if ! grep -qF "${stage}" <<<"${OUT}"; then
         echo "repro smoke FAILED: stage report is missing '${stage}'" >&2
+        exit 1
+    fi
+done
+
+# The evaluation runs on the same scheduler: `repro all` must surface both
+# the pipeline stages (generate+judge included) and the eval stages via
+# runtime StageMetrics.
+for stage in generate+judge eval-retrieve eval-assemble eval-answer out/s; do
+    if ! grep -qF "${stage}" <<<"${ALL_OUT}"; then
+        echo "repro smoke FAILED: 'repro all' stage report is missing '${stage}'" >&2
         exit 1
     fi
 done

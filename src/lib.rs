@@ -50,6 +50,7 @@ pub mod prelude {
     pub use mcqa_eval::{AstroConfig, AstroExam, EvalConfig, EvalRun, Evaluator};
     pub use mcqa_llm::{answer::Condition, McqItem, ModelCard, TraceMode, MODEL_CARDS};
     pub use mcqa_ontology::{Ontology, OntologyConfig};
+    pub use mcqa_runtime::{run_stage, run_stage_batched, Executor};
 }
 
 /// Run the full pipeline and evaluation at a given corpus scale, returning
