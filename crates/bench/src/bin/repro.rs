@@ -7,15 +7,19 @@
 //! repro table1 | table3 | table4
 //! repro rates                       # measured retrieval rates per model
 //! repro residuals                   # calibration residual census
+//! repro recall                      # ANN recall@k + throughput vs flat
 //! repro ablate-topk                 # accuracy vs retrieval depth
 //! repro ablate-context              # accuracy vs context window
 //! repro ablate-filter               # quality threshold sweep
 //! ```
+//!
+//! Every pipeline-backed command takes `--index flat|hnsw|ivf` to select
+//! the vector-store backend (default `flat`, the exact baseline).
 
 use mcqa_core::{Pipeline, PipelineConfig};
 use mcqa_eval::results::{render_fig, render_table2, render_table3, render_table4, FigureSeries};
 use mcqa_eval::{EvalConfig, Evaluator};
-use mcqa_index::VectorStore;
+use mcqa_index::IndexSpec;
 use mcqa_llm::answer::Condition;
 use mcqa_llm::{cards, TraceMode, MODEL_CARDS};
 
@@ -23,6 +27,7 @@ struct Args {
     command: String,
     scale: f64,
     seed: u64,
+    index: IndexSpec,
 }
 
 fn parse_args() -> Args {
@@ -30,6 +35,7 @@ fn parse_args() -> Args {
     let command = argv.first().cloned().unwrap_or_else(|| "all".to_string());
     let mut scale = 0.1;
     let mut seed = 42;
+    let mut index = IndexSpec::Flat;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -41,13 +47,21 @@ fn parse_args() -> Args {
                 seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(seed);
                 i += 2;
             }
+            "--index" => {
+                let label = argv.get(i + 1).map(String::as_str).unwrap_or("");
+                index = IndexSpec::parse(label).unwrap_or_else(|| {
+                    eprintln!("unknown index backend '{label}' (expected flat|hnsw|ivf)");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
             }
         }
     }
-    Args { command, scale, seed }
+    Args { command, scale, seed, index }
 }
 
 fn main() {
@@ -59,8 +73,18 @@ fn main() {
         return;
     }
 
-    eprintln!("[repro] building pipeline at scale {} (seed {}) ...", args.scale, args.seed);
-    let output = Pipeline::run(&PipelineConfig::at_scale(args.scale, args.seed));
+    let mut config = PipelineConfig::at_scale(args.scale, args.seed);
+    // `recall` rebuilds all three backends itself over the pipeline's
+    // embeddings and never consults the pipeline's own stores, so pin the
+    // cheap exact backend there regardless of --index.
+    config.index = if args.command == "recall" { IndexSpec::Flat } else { args.index.clone() };
+    eprintln!(
+        "[repro] building pipeline at scale {} (seed {}, index {}) ...",
+        args.scale,
+        args.seed,
+        config.index.label()
+    );
+    let output = Pipeline::run(&config);
     eprintln!(
         "[repro] {} docs → {} chunks → {} candidates → {} accepted ({:.1}%)",
         output.library.len(),
@@ -75,11 +99,16 @@ fn main() {
             println!("Figure 1 — workflow overview (stage census)\n");
             print!("{}", output.report.render());
             println!(
-                "\nchunk DB: {} vectors ({} KiB fp16); trace DBs: 3 × {} vectors",
-                output.chunk_index.len(),
-                output.chunk_index.payload_bytes() / 1024,
+                "\n{} store: chunk DB {} vectors ({} KiB); trace DBs: 3 × {} vectors",
+                output.config.index.label(),
+                output.chunk_store().len(),
+                output.chunk_store().payload_bytes() / 1024,
                 output.items.len()
             );
+            return;
+        }
+        "recall" => {
+            print_recall(&output, 5);
             return;
         }
         "fig2" => {
@@ -135,6 +164,98 @@ fn main() {
             eprintln!("unknown command {other}");
             std::process::exit(2);
         }
+    }
+}
+
+/// `repro recall` — build all three backends over the *same* chunk
+/// embeddings and report build/search throughput plus recall@k against
+/// the flat exact baseline (the speed/recall trade the ROADMAP perf
+/// table tracks). Lines are `[recall] key=value ...` so CI can assert
+/// recall floors mechanically.
+fn print_recall(output: &mcqa_core::PipelineOutput, k: usize) {
+    use mcqa_util::ScopeTimer;
+
+    let exec = &output.executor;
+    let dim = output.config.embed.dim;
+    let texts: Vec<&str> = output.chunks.iter().map(|c| c.text.as_str()).collect();
+    let vectors = output.encoder.encode_batch(exec, &texts);
+    let items: Vec<(u64, Vec<f32>)> =
+        output.chunks.iter().map(|c| c.chunk_id).zip(vectors).collect();
+    let stems: Vec<&str> = output.items.iter().map(|i| i.stem.as_str()).collect();
+    let queries = output.encoder.encode_batch(exec, &stems);
+    println!(
+        "Recall vs flat baseline: {} vectors (dim {}), {} queries, k={k}\n",
+        items.len(),
+        dim,
+        queries.len()
+    );
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "backend", "build-secs", "vec/s", "search-secs", "query/s", "recall@k"
+    );
+
+    if queries.is_empty() {
+        // With no stem queries, recall would be 1.0 for every backend by
+        // definition — a vacuously passing floor check. Fail loudly.
+        eprintln!("[repro] recall needs at least one accepted question (got 0 stem queries)");
+        std::process::exit(1);
+    }
+
+    let mut truth: Option<Vec<Vec<u64>>> = None;
+    for spec in IndexSpec::all_defaults() {
+        let t = ScopeTimer::start("build");
+        let store = mcqa_index::build_store_from_vectors(
+            &spec,
+            dim,
+            mcqa_index::Metric::Cosine,
+            mcqa_embed::Precision::F16,
+            exec,
+            &items,
+        );
+        let build_secs = t.elapsed_secs();
+
+        let t = ScopeTimer::start("search");
+        let results = store.search_batch(exec, &queries, k);
+        let search_secs = t.elapsed_secs();
+
+        let ids: Vec<Vec<u64>> =
+            results.iter().map(|hits| hits.iter().map(|h| h.id).collect()).collect();
+        // The first backend in `all_defaults` is flat: it becomes the
+        // exact baseline, the ANN backends score against it.
+        let recall = match &truth {
+            None => {
+                truth = Some(ids);
+                1.0
+            }
+            Some(exact_all) => {
+                let (mut hit, mut total) = (0usize, 0usize);
+                for (approx, exact) in ids.iter().zip(exact_all) {
+                    hit += approx.iter().filter(|id| exact.contains(id)).count();
+                    total += exact.len();
+                }
+                if total == 0 {
+                    1.0
+                } else {
+                    hit as f64 / total as f64
+                }
+            }
+        };
+        println!(
+            "{:<8} {:>12.3} {:>12.0} {:>12.3} {:>12.0} {:>10.3}",
+            spec.label(),
+            build_secs,
+            items.len() as f64 / build_secs.max(1e-9),
+            search_secs,
+            queries.len() as f64 / search_secs.max(1e-9),
+            recall
+        );
+        println!(
+            "[recall] backend={} build_secs={:.3} search_secs={:.3} recall_at_{k}={:.4}",
+            spec.label(),
+            build_secs,
+            search_secs,
+            recall
+        );
     }
 }
 

@@ -2,6 +2,7 @@
 
 use mcqa_corpus::AcquisitionConfig;
 use mcqa_embed::EmbedConfig;
+use mcqa_index::IndexSpec;
 use mcqa_ontology::OntologyConfig;
 use mcqa_text::ChunkerConfig;
 use serde::{Deserialize, Serialize};
@@ -28,6 +29,11 @@ pub struct PipelineConfig {
     pub retrieval_k: usize,
     /// Worker threads for the runtime pool (0 = one per core).
     pub workers: usize,
+    /// Vector-store backend for every database the pipeline builds
+    /// (chunks + one per trace mode). Flat is exact and the paper's
+    /// effective configuration; HNSW/IVF trade recall for speed
+    /// (`repro recall` measures the trade).
+    pub index: IndexSpec,
 }
 
 impl PipelineConfig {
@@ -57,6 +63,7 @@ impl PipelineConfig {
             quality_threshold: 7,
             retrieval_k: 8,
             workers: 0,
+            index: IndexSpec::Flat,
         }
     }
 
@@ -125,5 +132,17 @@ mod tests {
         let s = serde_json::to_string(&c).unwrap();
         let back: PipelineConfig = serde_json::from_str(&s).unwrap();
         assert_eq!(back, c);
+    }
+
+    #[test]
+    fn index_backend_is_a_config_choice() {
+        // Flat is the exact default; ANN backends swap in by value, and
+        // the choice survives serialisation (it is part of provenance).
+        let mut c = PipelineConfig::default();
+        assert_eq!(c.index, IndexSpec::Flat);
+        c.index = IndexSpec::parse("hnsw").unwrap();
+        let back: PipelineConfig =
+            serde_json::from_str(&serde_json::to_string(&c).unwrap()).unwrap();
+        assert_eq!(back.index.label(), "hnsw");
     }
 }

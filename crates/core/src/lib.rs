@@ -31,5 +31,5 @@ pub mod schema;
 
 pub use chunks::ChunkRecord;
 pub use config::PipelineConfig;
-pub use pipeline::{Pipeline, PipelineOutput};
+pub use pipeline::{Pipeline, PipelineOutput, CHUNKS_STORE};
 pub use schema::{QuestionRecord, TraceRecord};

@@ -1,11 +1,10 @@
 //! The orchestrated end-to-end pipeline.
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use mcqa_corpus::{CorpusLibrary, DocId};
 use mcqa_embed::{BioEncoder, Precision};
-use mcqa_index::{FlatIndex, Metric, VectorStore};
+use mcqa_index::{build_store_from_vectors, IndexRegistry, Metric, VectorStore};
 use mcqa_llm::{BenchKind, JudgeModel, McqItem, TeacherModel, TraceMode, OPTION_LETTERS};
 use mcqa_ontology::Ontology;
 use mcqa_parse::{AdaptiveParser, ParsedDocument, ParserConfig};
@@ -15,6 +14,10 @@ use mcqa_util::{KeyedStochastic, ScopeTimer};
 use crate::chunks::ChunkRecord;
 use crate::config::PipelineConfig;
 use crate::schema::{Provenance, QualityBlock, QuestionRecord, TraceRecord};
+
+/// Registry name of the chunk vector database. The per-mode trace
+/// databases are named by [`TraceMode::db_name`] (`traces-<mode>`).
+pub const CHUNKS_STORE: &str = "chunks";
 
 /// Everything the pipeline produces, ready for evaluation.
 pub struct PipelineOutput {
@@ -28,8 +31,6 @@ pub struct PipelineOutput {
     pub chunks: Vec<ChunkRecord>,
     /// The shared encoder.
     pub encoder: BioEncoder,
-    /// Chunk vector database (FP16, cosine) — external id = `chunk_id`.
-    pub chunk_index: FlatIndex,
     /// Accepted question records (Figure-2 schema).
     pub questions: Vec<QuestionRecord>,
     /// Accepted questions in evaluation form (index-aligned with
@@ -39,8 +40,11 @@ pub struct PipelineOutput {
     pub candidates: usize,
     /// Reasoning-trace records (Figure-3 schema), 3 per accepted question.
     pub traces: Vec<TraceRecord>,
-    /// One trace vector database per mode — external id = `question_id`.
-    pub trace_indexes: BTreeMap<TraceMode, FlatIndex>,
+    /// The paper's four vector databases behind one registry, all built
+    /// with the backend `config.index` selects: [`CHUNKS_STORE`] keyed by
+    /// `chunk_id` plus one [`TraceMode::db_name`] store per mode keyed by
+    /// `question_id`.
+    pub indexes: IndexRegistry,
     /// Per-stage metrics (Figure-1 reproduction).
     pub report: RunReport,
     /// The scheduler the pipeline ran on. Downstream consumers (the
@@ -57,6 +61,16 @@ impl PipelineOutput {
         } else {
             self.items.len() as f64 / self.candidates as f64
         }
+    }
+
+    /// The chunk vector database. Panics when absent (a wiring bug).
+    pub fn chunk_store(&self) -> &dyn VectorStore {
+        self.indexes.expect_store(CHUNKS_STORE)
+    }
+
+    /// The trace vector database for `mode`. Panics when absent.
+    pub fn trace_store(&self, mode: TraceMode) -> &dyn VectorStore {
+        self.indexes.expect_store(mode.db_name())
     }
 }
 
@@ -138,22 +152,39 @@ impl Pipeline {
         report.add(chunk_metrics);
 
         // Stage 4: embed chunks (batched submission — the per-item cost is
-        // one hash-encode, so chunked tasks amortise scheduling overhead)
-        // and build the chunk vector DB (FP16).
+        // one hash-encode, so chunked tasks amortise scheduling overhead),
+        // then build the chunk vector DB (FP16) with the configured
+        // backend, bulk-loaded through the store's parallel `add_batch`.
         let (embed_results, embed_metrics) =
             run_stage_batched(&exec, "embed-chunks", (0..chunks.len()).collect(), 0, |i| {
                 let c = &chunks[i];
                 Ok::<_, String>((c.chunk_id, encoder.encode(&c.text)))
             });
-        let mut chunk_index = FlatIndex::new(config.embed.dim, Metric::Cosine, Precision::F16);
-        for r in embed_results {
-            // The embed closure is infallible, so an Err slot can only be a
-            // panic; a silently missing vector would skew retrieval, so fail
-            // loudly instead.
-            let (id, v) = r.expect("embed-chunks task cannot fail");
-            chunk_index.add(id, v.as_slice());
-        }
+        // The embed closure is infallible, so an Err slot can only be a
+        // panic; a silently missing vector would skew retrieval, so fail
+        // loudly instead.
+        let chunk_vectors: Vec<(u64, Vec<f32>)> =
+            embed_results.into_iter().map(|r| r.expect("embed-chunks task cannot fail")).collect();
         report.add(embed_metrics);
+
+        let mut indexes = IndexRegistry::new();
+        let t = ScopeTimer::start("index-chunks");
+        let chunk_store = build_store_from_vectors(
+            &config.index,
+            config.embed.dim,
+            Metric::Cosine,
+            Precision::F16,
+            &exec,
+            &chunk_vectors,
+        );
+        report.add(StageMetrics::single(
+            "index-chunks",
+            chunk_vectors.len(),
+            chunk_store.len(),
+            t.elapsed_secs(),
+        ));
+        indexes.insert(CHUNKS_STORE, chunk_store);
+        drop(chunk_vectors);
 
         // Stage 5: question generation (one candidate per chunk) + judge
         // filtering at the paper's 7/10 threshold, batched on the pool —
@@ -311,25 +342,44 @@ impl Pipeline {
         trace_metrics.produced = traces.len();
         report.add(trace_metrics);
 
-        // Stage 7: embed traces into one DB per mode (batched submission;
-        // the per-mode indexes are assembled from the ordered results).
+        // Stage 7: embed traces (batched submission), then build one DB
+        // per mode with the configured backend. Per-mode vectors keep
+        // question order, so every backend sees the same insertion
+        // sequence a serial build would.
         let (trace_embed_results, trace_embed_metrics) =
             run_stage_batched(&exec, "embed-traces", (0..traces.len()).collect(), 0, |i| {
                 let tr = &traces[i];
                 Ok::<_, String>((tr.mode, tr.question_id, encoder.encode(&tr.trace)))
             });
-        let mut trace_indexes: BTreeMap<TraceMode, FlatIndex> = BTreeMap::new();
-        for mode in TraceMode::ALL {
-            trace_indexes
-                .insert(mode, FlatIndex::new(config.embed.dim, Metric::Cosine, Precision::F16));
-        }
+        let mut mode_vectors: Vec<Vec<(u64, Vec<f32>)>> =
+            (0..TraceMode::ALL.len()).map(|_| Vec::with_capacity(items.len())).collect();
         for r in trace_embed_results {
             // Infallible closure: an Err slot is a panic — fail loudly
             // rather than leave a trace unretrievable.
             let (mode, qid, v) = r.expect("embed-traces task cannot fail");
-            trace_indexes.get_mut(&mode).expect("all modes pre-registered").add(qid, v.as_slice());
+            let mi = TraceMode::ALL.iter().position(|m| *m == mode).expect("known mode");
+            mode_vectors[mi].push((qid, v));
         }
         report.add(trace_embed_metrics);
+
+        for (mode, vectors) in TraceMode::ALL.iter().zip(&mode_vectors) {
+            let t = ScopeTimer::start("index-traces");
+            let store = build_store_from_vectors(
+                &config.index,
+                config.embed.dim,
+                Metric::Cosine,
+                Precision::F16,
+                &exec,
+                vectors,
+            );
+            report.add(StageMetrics::single(
+                &format!("index-{}", mode.db_name()),
+                vectors.len(),
+                store.len(),
+                t.elapsed_secs(),
+            ));
+            indexes.insert(mode.db_name(), store);
+        }
 
         PipelineOutput {
             config: config.clone(),
@@ -337,12 +387,11 @@ impl Pipeline {
             library,
             chunks,
             encoder,
-            chunk_index,
             questions,
             items,
             candidates,
             traces,
-            trace_indexes,
+            indexes,
             report,
             executor: exec,
         }
@@ -366,11 +415,16 @@ mod tests {
         assert!(!out.items.is_empty(), "no questions survived the filter");
         assert_eq!(out.items.len(), out.questions.len());
         assert_eq!(out.traces.len(), out.items.len() * 3);
-        assert_eq!(out.chunk_index.len(), out.chunks.len());
+        assert_eq!(out.chunk_store().len(), out.chunks.len());
         for mode in TraceMode::ALL {
-            assert_eq!(out.trace_indexes[&mode].len(), out.items.len());
+            assert_eq!(out.trace_store(mode).len(), out.items.len());
         }
-        // Figure-1 stage census.
+        // The paper's four stores, all registered under canonical names.
+        assert_eq!(
+            out.indexes.names(),
+            vec![CHUNKS_STORE, "traces-detailed", "traces-efficient", "traces-focused"]
+        );
+        // Figure-1 stage census, including one build row per store.
         let names: Vec<&str> = out.report.stages().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
@@ -379,9 +433,13 @@ mod tests {
                 "parse",
                 "chunk",
                 "embed-chunks",
+                "index-chunks",
                 "generate+judge",
                 "traces",
-                "embed-traces"
+                "embed-traces",
+                "index-traces-detailed",
+                "index-traces-focused",
+                "index-traces-efficient",
             ]
         );
     }
@@ -462,6 +520,26 @@ mod tests {
                 tr.trace_id
             );
             assert_eq!(tr.fact_id, item.fact.0);
+        }
+    }
+
+    #[test]
+    fn ann_backends_produce_identical_artifacts() {
+        // The store backend only affects retrieval; every generation
+        // artifact (questions, traces, store cardinalities) must be
+        // identical whichever backend the config selects.
+        let flat = tiny_output();
+        for label in ["hnsw", "ivf"] {
+            let mut cfg = PipelineConfig::tiny(42);
+            cfg.index = mcqa_index::IndexSpec::parse(label).unwrap();
+            let out = Pipeline::run(&cfg);
+            assert_eq!(out.config.index.label(), label);
+            assert_eq!(out.questions, flat.questions, "{label}");
+            assert_eq!(out.traces, flat.traces, "{label}");
+            assert_eq!(out.chunk_store().len(), flat.chunk_store().len(), "{label}");
+            for mode in TraceMode::ALL {
+                assert_eq!(out.trace_store(mode).len(), flat.trace_store(mode).len(), "{label}");
+            }
         }
     }
 

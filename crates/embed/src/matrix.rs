@@ -55,6 +55,40 @@ impl EmbeddingMatrix {
         self.rows += 1;
     }
 
+    /// Append many rows, fanning the per-row F16 quantisation out on
+    /// `exec`'s pool (the dominant cost of an F16 bulk load). The result
+    /// is byte-identical to pushing the rows sequentially in order, at any
+    /// worker count; F32 appends are plain memcpy and stay serial.
+    pub fn extend_parallel<R: AsRef<[f32]> + Sync>(
+        &mut self,
+        exec: &mcqa_runtime::Executor,
+        rows: &[R],
+    ) {
+        for row in rows {
+            assert_eq!(row.as_ref().len(), self.dim, "row dimension mismatch");
+        }
+        match self.precision {
+            Precision::F32 => {
+                for row in rows {
+                    self.data_f32.extend_from_slice(row.as_ref());
+                }
+            }
+            Precision::F16 => {
+                let (encoded, _) = mcqa_runtime::run_stage_batched(
+                    exec,
+                    "f16-encode",
+                    (0..rows.len()).collect(),
+                    0,
+                    |i| Ok::<_, String>(encode_f16_bytes(rows[i].as_ref())),
+                );
+                for e in encoded {
+                    self.data_f16.extend_from_slice(&e.expect("f16 encode cannot fail"));
+                }
+            }
+        }
+        self.rows += rows.len();
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows
@@ -267,6 +301,26 @@ mod tests {
         assert!(EmbeddingMatrix::from_bytes(&b).is_none(), "length mismatch rejected");
         b[0] = b'X';
         assert!(EmbeddingMatrix::from_bytes(&b).is_none());
+    }
+
+    #[test]
+    fn extend_parallel_matches_sequential_push() {
+        let exec = mcqa_runtime::Executor::global();
+        for precision in [Precision::F32, Precision::F16] {
+            let rows = sample_rows(137, 24);
+            let serial = EmbeddingMatrix::from_rows(24, precision, &rows);
+            let mut parallel = EmbeddingMatrix::new(24, precision);
+            parallel.extend_parallel(exec, &rows);
+            assert_eq!(parallel, serial, "{precision:?}");
+            assert_eq!(parallel.to_bytes(), serial.to_bytes(), "byte-identical {precision:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row dimension mismatch")]
+    fn extend_parallel_checks_dims() {
+        let mut m = EmbeddingMatrix::new(8, Precision::F16);
+        m.extend_parallel(mcqa_runtime::Executor::global(), &[vec![0.0; 7]]);
     }
 
     #[test]

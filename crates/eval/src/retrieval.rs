@@ -3,7 +3,6 @@
 use std::collections::HashMap;
 
 use mcqa_core::PipelineOutput;
-use mcqa_index::VectorStore;
 use mcqa_llm::{McqItem, Passage, PassageSource, TraceMode};
 use mcqa_runtime::{run_stage_batched, StageMetrics};
 
@@ -24,6 +23,32 @@ impl Source {
         Source::Traces(TraceMode::Focused),
         Source::Traces(TraceMode::Efficient),
     ];
+
+    /// Position in [`Source::ALL`] — the per-question array slot this
+    /// source's passages live in. Constant-time (no linear scan).
+    pub fn index(self) -> usize {
+        match self {
+            Source::Chunks => 0,
+            Source::Traces(TraceMode::Detailed) => 1,
+            Source::Traces(TraceMode::Focused) => 2,
+            Source::Traces(TraceMode::Efficient) => 3,
+        }
+    }
+
+    /// The pipeline registry name of this source's vector database.
+    pub fn store_name(self) -> &'static str {
+        match self {
+            Source::Chunks => mcqa_core::CHUNKS_STORE,
+            Source::Traces(mode) => mode.db_name(),
+        }
+    }
+
+    /// The source's vector store out of a pipeline registry. Panics when
+    /// the store is missing — on the evaluation path that is a wiring
+    /// bug, never a condition to skip silently.
+    pub fn store(self, indexes: &mcqa_index::IndexRegistry) -> &dyn mcqa_index::VectorStore {
+        indexes.expect_store(self.store_name())
+    }
 }
 
 /// Precomputed retrieval results for a set of questions: for every
@@ -86,11 +111,12 @@ impl RetrievalBundle {
                 let mut per_source: [Vec<Passage>; 4] =
                     [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
 
-                // Chunks.
-                for hit in output.chunk_index.search(&query, k) {
+                // Chunks. `Source::store` is the loud path: a registry
+                // missing a store is a bug, not a skippable condition.
+                for hit in Source::Chunks.store(&output.indexes).search(&query, k) {
                     let Some(&pos) = chunk_pos.get(&hit.id) else { continue };
                     let chunk = &output.chunks[pos];
-                    per_source[0].push(Passage {
+                    per_source[Source::Chunks.index()].push(Passage {
                         text: chunk.text.clone(),
                         source: PassageSource::Chunk,
                         supports: chunk.facts.contains(&item.fact).then_some(item.fact),
@@ -102,10 +128,11 @@ impl RetrievalBundle {
                 // when it reasons about the same fact, or about another
                 // fact with the same subject entity (knowledge transfer).
                 let item_subject = subject_of(item.fact.0);
-                for (si, mode) in TraceMode::ALL.iter().enumerate() {
-                    let idx = &output.trace_indexes[mode];
+                for mode in TraceMode::ALL {
+                    let source = Source::Traces(mode);
+                    let idx = source.store(&output.indexes);
                     for hit in idx.search(&query, k) {
-                        let Some(text) = trace_text.get(&(hit.id, *mode)) else { continue };
+                        let Some(text) = trace_text.get(&(hit.id, mode)) else { continue };
                         let supports = trace_fact
                             .get(&hit.id)
                             .filter(|f| {
@@ -113,9 +140,9 @@ impl RetrievalBundle {
                                     || (item_subject.is_some() && subject_of(**f) == item_subject)
                             })
                             .map(|_| item.fact);
-                        per_source[1 + si].push(Passage {
+                        per_source[source.index()].push(Passage {
                             text: (*text).to_string(),
-                            source: PassageSource::Trace(*mode),
+                            source: PassageSource::Trace(mode),
                             supports,
                             score: hit.score,
                         });
@@ -132,8 +159,7 @@ impl RetrievalBundle {
 
     /// Retrieved passages for question index `q` from `source`.
     pub fn passages(&self, q: usize, source: Source) -> &[Passage] {
-        let si = Source::ALL.iter().position(|s| *s == source).expect("source");
-        &self.passages[q][si]
+        &self.passages[q][source.index()]
     }
 
     /// Number of questions covered.
@@ -152,7 +178,7 @@ impl RetrievalBundle {
         if self.passages.is_empty() {
             return 0.0;
         }
-        let si = Source::ALL.iter().position(|s| *s == source).expect("source");
+        let si = source.index();
         let hits =
             self.passages.iter().filter(|p| p[si].iter().any(|x| x.supports.is_some())).count();
         hits as f64 / self.passages.len() as f64
@@ -230,5 +256,22 @@ mod tests {
         let bundle = RetrievalBundle::build(out, &[], 5);
         assert!(bundle.is_empty());
         assert_eq!(bundle.raw_hit_rate(Source::Chunks), 0.0);
+    }
+
+    #[test]
+    fn source_index_matches_canonical_order() {
+        for (i, s) in Source::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i, "{s:?}");
+        }
+        assert_eq!(Source::Chunks.store_name(), "chunks");
+        assert_eq!(Source::Traces(TraceMode::Focused).store_name(), "traces-focused");
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn missing_store_is_a_loud_error() {
+        // `Source::store` must never silently skip an absent database.
+        let empty = mcqa_index::IndexRegistry::new();
+        Source::Chunks.store(&empty);
     }
 }

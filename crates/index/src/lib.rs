@@ -2,7 +2,7 @@
 //!
 //! The paper keeps four FAISS databases: one over paper chunks and one per
 //! reasoning-trace mode. This crate supplies the same capability with three
-//! index families exposing one trait:
+//! index families behind **one backend-agnostic trait**, [`VectorStore`]:
 //!
 //! * [`flat`] — exact brute-force search (ground truth; what the paper's
 //!   small FP16 databases effectively use).
@@ -11,10 +11,22 @@
 //! * [`hnsw`] — a hierarchical navigable-small-world graph for logarithmic
 //!   search, the standard high-recall ANN structure.
 //! * [`metric`] — cosine / dot / L2 metrics shared by all indexes.
+//! * [`spec`] — [`IndexSpec`] (the *configuration* of a backend) plus the
+//!   [`build_store`] factory and the [`decode_store`] codec, so consumers
+//!   pick a backend by value instead of by type.
 //! * [`registry`] — a named multi-database registry (chunks + three trace
-//!   modes, like the paper's four FAISS stores).
+//!   modes, like the paper's four FAISS stores), round-trippable to bytes.
 //!
-//! All indexes are deterministic given their seeds, and IVF/HNSW recall is
+//! The trait surface covers the whole store lifecycle: [`VectorStore::train`]
+//! (a no-op for everything but IVF), [`VectorStore::add`] /
+//! [`VectorStore::add_batch`] (parallel build on a caller-supplied
+//! [`Executor`]), [`VectorStore::search`] / [`VectorStore::search_batch`],
+//! and [`VectorStore::to_bytes`] persistence (decoded back through
+//! [`decode_store`], which dispatches on each format's magic tag).
+//!
+//! All indexes are deterministic given their seeds — `add_batch` and
+//! `search_batch` produce bit-identical stores/results to their sequential
+//! counterparts at any worker count — and IVF/HNSW recall is
 //! property-tested against the flat ground truth.
 
 pub mod flat;
@@ -22,13 +34,18 @@ pub mod hnsw;
 pub mod ivf;
 pub mod metric;
 pub mod registry;
+pub mod spec;
+
+pub(crate) mod codec;
 
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::{IvfConfig, IvfIndex};
 pub use metric::Metric;
 pub use registry::IndexRegistry;
+pub use spec::{build_store, build_store_from_vectors, decode_store, IndexSpec};
 
+use mcqa_runtime::{run_stage_batched, Executor};
 use serde::{Deserialize, Serialize};
 
 /// One search hit: an external id and a similarity score (higher = better
@@ -41,21 +58,81 @@ pub struct SearchResult {
     pub score: f32,
 }
 
-/// The common vector-store interface.
-pub trait VectorStore {
-    /// Add a vector under an external id.
+/// The common vector-store interface. Everything downstream of this crate
+/// (the pipeline, the evaluator, the `repro` binary) programs against
+/// `dyn VectorStore`, so the backend is a configuration choice
+/// ([`IndexSpec`]) rather than a type.
+///
+/// `Send + Sync` are supertraits: stores are built once and then shared
+/// read-only across the runtime pool's workers.
+pub trait VectorStore: Send + Sync {
+    /// Add a vector under an external id. For trainable backends (IVF)
+    /// this panics until [`VectorStore::train`] has run.
     fn add(&mut self, id: u64, vector: &[f32]);
+
     /// Top-`k` most similar vectors to `query`, best first. Deterministic:
     /// ties break by ascending id.
     fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult>;
+
     /// Number of stored vectors.
     fn len(&self) -> usize;
+
     /// True when no vectors are stored.
     fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
     /// The metric in use.
     fn metric(&self) -> Metric;
+
+    /// Dimensionality every vector must have.
+    fn dim(&self) -> usize;
+
+    /// True when the store must see [`VectorStore::train`] before
+    /// [`VectorStore::add`]. Only IVF returns true.
+    fn needs_training(&self) -> bool {
+        false
+    }
+
+    /// Fit any coarse structure on a training sample. A no-op for
+    /// backends without one (flat, HNSW).
+    fn train(&mut self, _sample: &[Vec<f32>]) {}
+
+    /// Bulk insertion fanned out on `exec`'s pool where the backend
+    /// permits (flat parallelises row encoding, IVF parallelises centroid
+    /// assignment; HNSW inserts serially — its graph updates are
+    /// order-dependent). The resulting store is **bit-identical** to
+    /// sequential [`VectorStore::add`] calls in `items` order, at any
+    /// worker count.
+    fn add_batch(&mut self, exec: &Executor, items: &[(u64, Vec<f32>)]) {
+        let _ = exec;
+        for (id, v) in items {
+            self.add(*id, v);
+        }
+    }
+
+    /// Batch search fanned out on `exec`'s pool; results are index-aligned
+    /// with `queries` and bit-identical to per-query [`VectorStore::search`].
+    fn search_batch(
+        &self,
+        exec: &Executor,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> Vec<Vec<SearchResult>> {
+        let (results, _) =
+            run_stage_batched(exec, "search-batch", (0..queries.len()).collect(), 0, |i| {
+                Ok::<_, String>(self.search(&queries[i], k))
+            });
+        results.into_iter().map(|r| r.expect("search cannot fail")).collect()
+    }
+
+    /// Payload bytes of the backing storage (vectors + graph/list
+    /// structure), for capacity reporting.
+    fn payload_bytes(&self) -> usize;
+
+    /// Serialise the store (self-describing: a 4-byte magic tag selects
+    /// the decoder in [`decode_store`]).
+    fn to_bytes(&self) -> Vec<u8>;
 }
 
 /// Deterministically order candidate hits: descending score, then

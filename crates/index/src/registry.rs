@@ -2,32 +2,48 @@
 //!
 //! The paper's evaluation keeps four FAISS stores side by side: the chunk
 //! database plus one per reasoning-trace mode (detailed / focused /
-//! efficient). [`IndexRegistry`] holds that family behind names.
+//! efficient). [`IndexRegistry`] holds that family behind names — the
+//! pipeline registers `chunks` and `traces-<mode>`, the evaluator looks
+//! them up — and round-trips the whole family to bytes via each store's
+//! self-describing [`VectorStore::to_bytes`] format.
 
 use std::collections::BTreeMap;
 
-use crate::{SearchResult, VectorStore};
+use crate::codec::{put_u32, Reader};
+use crate::{decode_store, SearchResult, VectorStore};
 
 /// A registry of named vector stores.
 #[derive(Default)]
 pub struct IndexRegistry {
-    stores: BTreeMap<String, Box<dyn VectorStore + Send + Sync>>,
+    stores: BTreeMap<String, Box<dyn VectorStore>>,
 }
 
 impl IndexRegistry {
+    /// Magic tag opening the serialised registry format.
+    const MAGIC: &'static [u8; 4] = b"REGY";
+
     /// Create an empty registry.
     pub fn new() -> Self {
         Self::default()
     }
 
     /// Register a store under `name`, replacing any existing one.
-    pub fn insert(&mut self, name: &str, store: Box<dyn VectorStore + Send + Sync>) {
+    pub fn insert(&mut self, name: &str, store: Box<dyn VectorStore>) {
         self.stores.insert(name.to_string(), store);
     }
 
-    /// Borrow a store by name.
-    pub fn get(&self, name: &str) -> Option<&(dyn VectorStore + Send + Sync)> {
+    /// Borrow a store by name. Prefer [`IndexRegistry::expect_store`] on
+    /// paths where the store's absence is a bug.
+    pub fn get(&self, name: &str) -> Option<&dyn VectorStore> {
         self.stores.get(name).map(|b| b.as_ref())
+    }
+
+    /// Borrow a store that must exist. Panics with the registered names
+    /// when it doesn't — a missing store on the evaluation path is a
+    /// wiring bug, never a condition to skip silently.
+    pub fn expect_store(&self, name: &str) -> &dyn VectorStore {
+        self.get(name)
+            .unwrap_or_else(|| panic!("store '{name}' not registered (have: {:?})", self.names()))
     }
 
     /// Search a named store. `None` when the store does not exist.
@@ -40,6 +56,11 @@ impl IndexRegistry {
         self.stores.keys().map(String::as_str).collect()
     }
 
+    /// Iterate `(name, store)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &dyn VectorStore)> {
+        self.stores.iter().map(|(n, s)| (n.as_str(), s.as_ref()))
+    }
+
     /// Number of stores.
     pub fn len(&self) -> usize {
         self.stores.len()
@@ -49,6 +70,53 @@ impl IndexRegistry {
     pub fn is_empty(&self) -> bool {
         self.stores.is_empty()
     }
+
+    /// Total payload bytes across every registered store.
+    pub fn payload_bytes(&self) -> usize {
+        self.stores.values().map(|s| s.payload_bytes()).sum()
+    }
+
+    /// Serialise every store (name-tagged, in name order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(Self::MAGIC);
+        put_u32(&mut out, self.stores.len());
+        for (name, store) in &self.stores {
+            let b = store.to_bytes();
+            put_u32(&mut out, name.len());
+            out.extend_from_slice(name.as_bytes());
+            put_u32(&mut out, b.len());
+            out.extend_from_slice(&b);
+        }
+        out
+    }
+
+    /// Deserialise a registry written by [`IndexRegistry::to_bytes`].
+    /// `None` on any corruption (unknown store tag, truncation, garbage).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        r.expect_magic(Self::MAGIC)?;
+        let n = r.count(8)?;
+        let mut reg = Self::new();
+        for _ in 0..n {
+            let name_len = r.count(1)?;
+            let name = std::str::from_utf8(r.take(name_len)?).ok()?.to_string();
+            let store_len = r.count(1)?;
+            let store = decode_store(r.take(store_len)?)?;
+            reg.stores.insert(name, store);
+        }
+        r.exhausted().then_some(reg)
+    }
+}
+
+impl std::fmt::Debug for IndexRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_map();
+        for (name, store) in &self.stores {
+            d.entry(&name, &format_args!("{} vectors (dim {})", store.len(), store.dim()));
+        }
+        d.finish()
+    }
 }
 
 #[cfg(test)]
@@ -56,7 +124,9 @@ mod tests {
     use super::*;
     use crate::flat::FlatIndex;
     use crate::metric::Metric;
+    use crate::spec::{build_store_from_vectors, IndexSpec};
     use mcqa_embed::Precision;
+    use mcqa_runtime::Executor;
 
     #[test]
     fn insert_search_names() {
@@ -76,6 +146,23 @@ mod tests {
     }
 
     #[test]
+    fn expect_store_returns_registered() {
+        let mut reg = IndexRegistry::new();
+        let mut a = FlatIndex::new(2, Metric::Cosine, Precision::F32);
+        a.add(10, &[1.0, 0.0]);
+        reg.insert("chunks", Box::new(a));
+        assert_eq!(reg.expect_store("chunks").len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "store 'traces-detailed' not registered")]
+    fn expect_store_panics_loudly_on_missing() {
+        let mut reg = IndexRegistry::new();
+        reg.insert("chunks", Box::new(FlatIndex::new(2, Metric::Cosine, Precision::F32)));
+        reg.expect_store("traces-detailed");
+    }
+
+    #[test]
     fn replacement_overwrites() {
         let mut reg = IndexRegistry::new();
         let mut a = FlatIndex::new(2, Metric::Cosine, Precision::F32);
@@ -86,5 +173,44 @@ mod tests {
         reg.insert("x", Box::new(b));
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.search("x", &[1.0, 0.0], 1).unwrap()[0].id, 20);
+    }
+
+    #[test]
+    fn bytes_roundtrip_mixed_backends() {
+        let items: Vec<(u64, Vec<f32>)> = (0..30)
+            .map(|i| {
+                let mut v = vec![0.0f32; 6];
+                v[i % 6] = 1.0;
+                (i as u64, v)
+            })
+            .collect();
+        let exec = Executor::global();
+        let mut reg = IndexRegistry::new();
+        for spec in IndexSpec::all_defaults() {
+            reg.insert(
+                spec.label(),
+                build_store_from_vectors(&spec, 6, Metric::Cosine, Precision::F16, exec, &items),
+            );
+        }
+        let bytes = reg.to_bytes();
+        let back = IndexRegistry::from_bytes(&bytes).unwrap();
+        assert_eq!(back.names(), reg.names());
+        let q = {
+            let mut v = vec![0.0f32; 6];
+            v[2] = 1.0;
+            v
+        };
+        for (name, store) in back.iter() {
+            let orig = reg.expect_store(name);
+            assert_eq!(store.len(), orig.len(), "{name}");
+            assert_eq!(store.search(&q, 4), orig.search(&q, 4), "{name}");
+        }
+        // Corruption rejected.
+        assert!(IndexRegistry::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(IndexRegistry::from_bytes(b"REGY").is_none());
+        assert!(IndexRegistry::from_bytes(b"nope").is_none());
+        // Empty registry round-trips.
+        let empty = IndexRegistry::new();
+        assert!(IndexRegistry::from_bytes(&empty.to_bytes()).unwrap().is_empty());
     }
 }

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Smoke-test the end-to-end paper pipeline: run the `repro` binary over every
-# table/figure at ~1% of paper scale with a fixed seed. Any panic, stage
-# failure, or non-zero exit fails the script (and therefore CI).
+# table/figure at ~1% of paper scale with a fixed seed, then re-run the fig1
+# smoke under every vector-store backend (flat / hnsw / ivf) and assert the
+# generation artifacts are identical and ANN recall stays above the floor.
+# Any panic, stage failure, or non-zero exit fails the script (and CI).
 #
 # Usage: scripts/repro-smoke.sh [scale] [seed]
 set -euo pipefail
@@ -20,19 +22,63 @@ if grep -rn --include='Cargo.toml' --exclude-dir=target 'rayon' . ||
     exit 1
 fi
 
+echo "== repro smoke: consumers stay backend-agnostic =="
+# The registry redesign's invariant: core and eval program against the
+# VectorStore trait + IndexSpec only. A concrete FlatIndex import coming
+# back would re-pin the hot path to one backend.
+if grep -rn 'FlatIndex' crates/core/src crates/eval/src; then
+    echo "repro smoke FAILED: FlatIndex leaked back into core/eval" >&2
+    exit 1
+fi
+
 echo "== repro smoke: scale=${SCALE} seed=${SEED} =="
 ALL_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- all --scale "${SCALE}" --seed "${SEED}")"
 echo "${ALL_OUT}"
 
-echo "== repro smoke: stage census (fig1) =="
-OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- fig1 --scale "${SCALE}" --seed "${SEED}")"
-echo "${OUT}"
+echo "== repro smoke: stage census (fig1) per index backend =="
+# `repro fig1` under each backend: the generation artifacts (docs, chunks,
+# candidates, accepted questions) must not depend on the store backend.
+declare -A CENSUS
+for backend in flat hnsw ivf; do
+    OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- fig1 --scale "${SCALE}" --seed "${SEED}" --index "${backend}" 2>&1)"
+    echo "${OUT}"
+    # `|| true`: a format drift must reach the diagnostic below, not kill
+    # the script via set -e inside the command substitution.
+    CENSUS[$backend]="$(grep -oE '[0-9]+ docs → [0-9]+ chunks → [0-9]+ candidates → [0-9]+ accepted' <<<"${OUT}" || true)"
+    if [[ -z "${CENSUS[$backend]}" ]]; then
+        echo "repro smoke FAILED: no artifact census under --index ${backend}" >&2
+        exit 1
+    fi
+    # The workflow must report the paper's Figure-1 stage census — now
+    # including one index-build row per store — with the throughput
+    # columns recorded by the runtime metrics.
+    for stage in acquire parse chunk embed-chunks index-chunks generate+judge traces \
+        embed-traces index-traces-detailed index-traces-focused index-traces-efficient out/s; do
+        if ! grep -qF "${stage}" <<<"${OUT}"; then
+            echo "repro smoke FAILED: --index ${backend} stage report is missing '${stage}'" >&2
+            exit 1
+        fi
+    done
+done
+for backend in hnsw ivf; do
+    if [[ "${CENSUS[$backend]}" != "${CENSUS[flat]}" ]]; then
+        echo "repro smoke FAILED: --index ${backend} artifacts (${CENSUS[$backend]}) differ from flat (${CENSUS[flat]})" >&2
+        exit 1
+    fi
+done
 
-# The workflow must report the paper's Figure-1 stage census, with the
-# throughput columns recorded by the runtime metrics.
-for stage in acquire parse chunk embed-chunks generate+judge traces embed-traces out/s; do
-    if ! grep -qF "${stage}" <<<"${OUT}"; then
-        echo "repro smoke FAILED: stage report is missing '${stage}'" >&2
+echo "== repro smoke: ANN recall floor =="
+RECALL_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- recall --scale "${SCALE}" --seed "${SEED}")"
+echo "${RECALL_OUT}"
+for backend in flat hnsw ivf; do
+    LINE="$(grep -F "[recall] backend=${backend} " <<<"${RECALL_OUT}" || true)"
+    RECALL="$(grep -oE 'recall_at_5=[0-9.]+' <<<"${LINE}" | cut -d= -f2 || true)"
+    if [[ -z "${RECALL}" ]]; then
+        echo "repro smoke FAILED: no recall line for ${backend}" >&2
+        exit 1
+    fi
+    if ! awk -v r="${RECALL}" 'BEGIN { exit !(r >= 0.9) }'; then
+        echo "repro smoke FAILED: ${backend} recall@5 ${RECALL} < 0.9 vs flat baseline" >&2
         exit 1
     fi
 done

@@ -48,6 +48,7 @@ pub use mcqa_util as util;
 pub mod prelude {
     pub use mcqa_core::{Pipeline, PipelineConfig, PipelineOutput};
     pub use mcqa_eval::{AstroConfig, AstroExam, EvalConfig, EvalRun, Evaluator};
+    pub use mcqa_index::{IndexRegistry, IndexSpec, VectorStore};
     pub use mcqa_llm::{answer::Condition, McqItem, ModelCard, TraceMode, MODEL_CARDS};
     pub use mcqa_ontology::{Ontology, OntologyConfig};
     pub use mcqa_runtime::{run_stage, run_stage_batched, Executor};

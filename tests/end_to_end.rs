@@ -26,11 +26,15 @@ fn pipeline_stage_census_matches_figure1() {
             "parse",
             "chunk",
             "embed-chunks",
+            "index-chunks",
             "generate+judge",
             "traces",
-            "embed-traces"
+            "embed-traces",
+            "index-traces-detailed",
+            "index-traces-focused",
+            "index-traces-efficient",
         ],
-        "workflow stages must match the paper's Figure 1"
+        "workflow stages must match the paper's Figure 1 (plus a build row per vector DB)"
     );
     // Parsing is allowed (and expected) to lose a few corrupt documents,
     // but must recover the overwhelming majority.
@@ -147,6 +151,21 @@ fn determinism_pipeline_and_eval() {
             assert_eq!(ca.label(), cb.label());
             assert_eq!(aa, ab, "{}: {}", ma.name, ca.label());
         }
+    }
+}
+
+#[test]
+fn index_registry_roundtrips_to_bytes() {
+    // The four vector DBs persist as one self-describing blob and decode
+    // to stores with identical search behaviour — the FAISS-on-disk shape
+    // of the paper's deployment.
+    let (output, _) = fixture();
+    let bytes = output.indexes.to_bytes();
+    let back = distllm::index::IndexRegistry::from_bytes(&bytes).expect("registry decodes");
+    assert_eq!(back.names(), output.indexes.names());
+    let q = output.encoder.encode(&output.items[0].stem);
+    for (name, store) in back.iter() {
+        assert_eq!(store.search(&q, 5), output.indexes.expect_store(name).search(&q, 5), "{name}");
     }
 }
 
