@@ -8,26 +8,30 @@
 //! repro rates                       # measured retrieval rates per model
 //! repro residuals                   # calibration residual census
 //! repro recall                      # ANN recall@k + throughput vs flat
+//! repro models                      # per-role call ledger + cache hit rate
 //! repro ablate-topk                 # accuracy vs retrieval depth
 //! repro ablate-context              # accuracy vs context window
 //! repro ablate-filter               # quality threshold sweep
 //! ```
 //!
 //! Every pipeline-backed command takes `--index flat|hnsw|ivf` to select
-//! the vector-store backend (default `flat`, the exact baseline).
+//! the vector-store backend (default `flat`, the exact baseline) and
+//! `--models sim` to select the model backend behind the `ModelEndpoint`
+//! trait (only the behavioural simulator exists offline).
 
 use mcqa_core::{Pipeline, PipelineConfig};
 use mcqa_eval::results::{render_fig, render_table2, render_table3, render_table4, FigureSeries};
 use mcqa_eval::{EvalConfig, Evaluator};
 use mcqa_index::IndexSpec;
 use mcqa_llm::answer::Condition;
-use mcqa_llm::{cards, TraceMode, MODEL_CARDS};
+use mcqa_llm::{cards, ModelSpec, TraceMode, MODEL_CARDS};
 
 struct Args {
     command: String,
     scale: f64,
     seed: u64,
     index: IndexSpec,
+    models: ModelSpec,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +40,7 @@ fn parse_args() -> Args {
     let mut scale = 0.1;
     let mut seed = 42;
     let mut index = IndexSpec::Flat;
+    let mut models = ModelSpec::Sim;
     let mut i = 1;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -55,13 +60,21 @@ fn parse_args() -> Args {
                 });
                 i += 2;
             }
+            "--models" => {
+                let label = argv.get(i + 1).map(String::as_str).unwrap_or("");
+                models = ModelSpec::parse(label).unwrap_or_else(|| {
+                    eprintln!("unknown model backend '{label}' (expected sim)");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
             }
         }
     }
-    Args { command, scale, seed, index }
+    Args { command, scale, seed, index, models }
 }
 
 fn main() {
@@ -78,11 +91,13 @@ fn main() {
     // embeddings and never consults the pipeline's own stores, so pin the
     // cheap exact backend there regardless of --index.
     config.index = if args.command == "recall" { IndexSpec::Flat } else { args.index.clone() };
+    config.models = args.models;
     eprintln!(
-        "[repro] building pipeline at scale {} (seed {}, index {}) ...",
+        "[repro] building pipeline at scale {} (seed {}, index {}, models {}) ...",
         args.scale,
         args.seed,
-        config.index.label()
+        config.index.label(),
+        config.models.label()
     );
     let output = Pipeline::run(&config);
     eprintln!(
@@ -149,6 +164,7 @@ fn main() {
             println!("\nWorkflow stage report (evaluation, all cards):\n");
             print!("{}", run.report.render());
         }
+        "models" => print_models(&output),
         "table2" => println!("{}", render_table2(&run)),
         "table3" => println!("{}", render_table3(&run)),
         "table4" => println!("{}", render_table4(&run)),
@@ -256,6 +272,53 @@ fn print_recall(output: &mcqa_core::PipelineOutput, k: usize) {
             search_secs,
             recall
         );
+    }
+}
+
+/// `repro models` — the per-role call ledger after a full pipeline + 8-model
+/// evaluation: calls, batch sizes, token in/out estimates, and the response
+/// cache's hit rate. Lines are `[models] key=value ...` so CI can assert the
+/// cost-accounting census mechanically.
+fn print_models(output: &mcqa_core::PipelineOutput) {
+    use mcqa_llm::ModelEndpoint;
+
+    println!(
+        "Model-layer call ledger (backend {}, {} distinct completions cached):\n",
+        output.models.backend(),
+        output.models.cache().len()
+    );
+    println!(
+        "{:<12} {:>10} {:>8} {:>11} {:>11} {:>9} {:>12} {:>12} {:>10}",
+        "role",
+        "calls",
+        "batches",
+        "mean-batch",
+        "cache-hits",
+        "hit-rate",
+        "tokens-in",
+        "tokens-out",
+        "busy-secs"
+    );
+    let mut rows = output.models.ledger().snapshot();
+    rows.retain(|(_, s)| s.calls > 0);
+    let total = output.models.ledger().total();
+    for (role, s) in rows.iter().map(|(r, s)| (r.label(), s)).chain([("total", &total)]) {
+        println!(
+            "{:<12} {:>10} {:>8} {:>11.1} {:>11} {:>9.3} {:>12} {:>12} {:>10.3}",
+            role,
+            s.calls,
+            s.batches,
+            s.mean_batch_size(),
+            s.cache_hits,
+            s.hit_rate(),
+            s.tokens_in,
+            s.tokens_out,
+            s.busy_secs
+        );
+    }
+    println!();
+    for line in output.models.ledger().summary_lines(output.models.backend()) {
+        println!("{line}");
     }
 }
 

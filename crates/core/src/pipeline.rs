@@ -5,7 +5,10 @@ use std::sync::Arc;
 use mcqa_corpus::{CorpusLibrary, DocId};
 use mcqa_embed::{BioEncoder, Precision};
 use mcqa_index::{build_store_from_vectors, IndexRegistry, Metric, VectorStore};
-use mcqa_llm::{BenchKind, JudgeModel, McqItem, TeacherModel, TraceMode, OPTION_LETTERS};
+use mcqa_llm::{
+    build_hub, BenchKind, Judge, McqItem, ModelEndpoint, ModelHub, QuestionPrompt, Teacher,
+    TraceMode, OPTION_LETTERS,
+};
 use mcqa_ontology::Ontology;
 use mcqa_parse::{AdaptiveParser, ParsedDocument, ParserConfig};
 use mcqa_runtime::{run_stage, run_stage_batched, Executor, RunReport, StageMetrics};
@@ -45,7 +48,14 @@ pub struct PipelineOutput {
     /// `chunk_id` plus one [`TraceMode::db_name`] store per mode keyed by
     /// `question_id`.
     pub indexes: IndexRegistry,
-    /// Per-stage metrics (Figure-1 reproduction).
+    /// The model hub that served every model call: the backend
+    /// `config.models` selects, behind the response cache and per-role
+    /// call ledger. The evaluator routes its judge/classifier/answerer
+    /// calls through this same hub, so one ledger accounts for the whole
+    /// reproduction and repeated evaluation passes hit the cache.
+    pub models: Arc<ModelHub>,
+    /// Per-stage metrics (Figure-1 reproduction), including one
+    /// `model-<role>` cost row per model role the pipeline called.
     pub report: RunReport,
     /// The scheduler the pipeline ran on. Downstream consumers (the
     /// evaluator, retrieval bundles, ablations) clone this handle so the
@@ -187,160 +197,163 @@ impl Pipeline {
         drop(chunk_vectors);
 
         // Stage 5: question generation (one candidate per chunk) + judge
-        // filtering at the paper's 7/10 threshold, batched on the pool —
-        // this is the highest-item-count stage, so chunked submission is
-        // where the scheduling overhead matters most.
-        let teacher = TeacherModel::new(mcqa_llm::teacher::TeacherConfig {
-            seed: config.seed,
-            ..Default::default()
-        });
-        let judge = JudgeModel::new(config.seed);
+        // filtering at the paper's 7/10 threshold. Both model roles run
+        // through the endpoint's batched completion API — the highest-call-
+        // count generation stage is exactly where a real deployment batches
+        // its LLM traffic.
+        let models = Arc::new(build_hub(&config.models, config.seed, Arc::clone(&ontology)));
+        let endpoint: Arc<dyn ModelEndpoint> = models.clone();
+        let teacher = Teacher::new(endpoint.clone(), config.seed);
+        let judge = Judge::new(endpoint, config.seed);
         let rng = KeyedStochastic::new(config.seed ^ 0x9E5_71A6);
         let candidates = chunks.len();
 
-        struct Accepted {
-            record: QuestionRecord,
-            item_seed: (u64, f64, bool), // fact id, difficulty, relevance
+        let t = ScopeTimer::start("generate+judge");
+        // Anchor fact per chunk: one stated by the chunk, or (relevance
+        // failure) an arbitrary fact — real pipelines generate from every
+        // chunk and rely on QC to drop the unanchored ones.
+        struct Candidate<'a> {
+            chunk: &'a ChunkRecord,
+            fact_id: mcqa_ontology::FactId,
+            relevant: bool,
         }
-
-        let (gen_results, gen_metrics) =
-            run_stage_batched(&exec, "generate+judge", (0..candidates).collect(), 0, |ci| {
-                let chunk = &chunks[ci];
+        let cands: Vec<Candidate> = chunks
+            .iter()
+            .filter_map(|chunk| {
                 let ckey = chunk.chunk_id.to_string();
-                // Anchor fact: one stated by the chunk, or (relevance
-                // failure) an arbitrary fact — real pipelines generate from
-                // every chunk and rely on QC to drop the unanchored ones.
                 let (fact_id, relevant) = if chunk.facts.is_empty() {
                     let all = ontology.facts();
                     (all[rng.below(all.len(), &["anchor", &ckey])].id, false)
                 } else {
                     (chunk.facts[rng.below(chunk.facts.len(), &["anchor", &ckey])], true)
                 };
-                let Some(fact) = ontology.fact(fact_id) else {
-                    return Ok(None);
-                };
-                let q = teacher.generate_question(&ontology, fact, &ckey);
-                if q.options.len() != 7 {
-                    return Ok(None); // distractor pool exhausted for this kind
-                }
-
-                let mut judgment = judge.score_question(&q, fact.salience);
-                if !relevant {
-                    // The paper's relevance check: the chunk does not state
-                    // the tested fact.
-                    judgment.score = judgment.score.saturating_sub(4).max(1);
-                    judgment.reasoning = format!(
-                        "Relevance check failed: source chunk does not state the tested fact. {}",
-                        judgment.reasoning
-                    );
-                }
-                let passed = judgment.score >= config.quality_threshold;
-                if !passed {
-                    return Ok(None);
-                }
-                let record = QuestionRecord {
-                    question_id: 0, // assigned after the parallel section
-                    question: q.stem.clone(),
-                    options: q.options.clone(),
-                    answer_letter: OPTION_LETTERS[q.recorded_key],
-                    answer_text: q.options[q.recorded_key].clone(),
-                    question_type: "multiple-choice".into(),
-                    topic: fact.topic,
-                    provenance: Provenance {
-                        chunk_id: chunk.chunk_id,
-                        file_path: chunk.file_path(),
-                        doc_id: chunk.doc.0,
-                        fact_id: fact.id.0,
-                    },
-                    relevance_check: relevant,
-                    quality: QualityBlock {
-                        score: judgment.score,
-                        reasoning: judgment.reasoning,
-                        passed,
-                    },
-                };
-                Ok::<_, String>(Some(Accepted {
-                    record,
-                    item_seed: (fact.id.0, fact.difficulty, relevant),
-                }))
-            });
-
-        // Deterministic ordering + id assignment. A rejected candidate is
-        // `Ok(None)`; the closure is infallible, so an `Err` slot can only
-        // be a panic — fail loudly rather than silently drop a question.
-        let mut accepted: Vec<Accepted> = gen_results
-            .into_iter()
-            .filter_map(|r| r.expect("generate+judge task cannot fail"))
+                ontology.fact(fact_id).map(|_| Candidate { chunk, fact_id, relevant })
+            })
             .collect();
-        accepted.sort_by_key(|a| a.record.provenance.chunk_id);
-        let mut questions = Vec::with_capacity(accepted.len());
-        let mut items = Vec::with_capacity(accepted.len());
-        for (i, mut a) in accepted.into_iter().enumerate() {
-            a.record.question_id = i as u64;
-            let (fact_id, difficulty, _rel) = a.item_seed;
+
+        let prompts: Vec<QuestionPrompt> = cands
+            .iter()
+            .map(|c| QuestionPrompt {
+                fact: c.fact_id,
+                salt: c.chunk.chunk_id.to_string(),
+                passage: &c.chunk.text,
+            })
+            .collect();
+        let generated = teacher.generate_question_batch(&exec, &prompts);
+
+        // Candidates whose distractor pool was exhausted (< 7 options)
+        // never reach the judge.
+        let wellformed: Vec<(&Candidate, &mcqa_llm::GeneratedQuestion)> =
+            cands.iter().zip(&generated).filter(|(_, q)| q.options.len() == 7).collect();
+        let score_prompts: Vec<(&mcqa_llm::GeneratedQuestion, f64)> = wellformed
+            .iter()
+            .map(|(c, q)| (*q, ontology.fact(c.fact_id).expect("anchor resolved").salience))
+            .collect();
+        let judgments = judge.score_question_batch(&exec, &score_prompts);
+
+        let mut questions = Vec::new();
+        let mut items = Vec::new();
+        for ((cand, q), mut judgment) in wellformed.into_iter().zip(judgments) {
+            if !cand.relevant {
+                // The paper's relevance check: the chunk does not state the
+                // tested fact.
+                judgment.score = judgment.score.saturating_sub(4).max(1);
+                judgment.reasoning = format!(
+                    "Relevance check failed: source chunk does not state the tested fact. {}",
+                    judgment.reasoning
+                );
+            }
+            let passed = judgment.score >= config.quality_threshold;
+            if !passed {
+                continue;
+            }
+            let fact = ontology.fact(cand.fact_id).expect("anchor resolved");
+            let question_id = questions.len() as u64;
+            let record = QuestionRecord {
+                question_id,
+                question: q.stem.clone(),
+                options: q.options.clone(),
+                answer_letter: OPTION_LETTERS[q.recorded_key],
+                answer_text: q.options[q.recorded_key].clone(),
+                question_type: "multiple-choice".into(),
+                topic: fact.topic,
+                provenance: Provenance {
+                    chunk_id: cand.chunk.chunk_id,
+                    file_path: cand.chunk.file_path(),
+                    doc_id: cand.chunk.doc.0,
+                    fact_id: fact.id.0,
+                },
+                relevance_check: cand.relevant,
+                quality: QualityBlock {
+                    score: judgment.score,
+                    reasoning: judgment.reasoning,
+                    passed,
+                },
+            };
             items.push(McqItem {
-                qid: i as u64,
+                qid: question_id,
                 bench: BenchKind::Synthetic,
-                fact: mcqa_ontology::FactId(fact_id),
-                stem: a.record.question.clone(),
-                options: a.record.options.clone(),
-                correct: OPTION_LETTERS
-                    .iter()
-                    .position(|l| *l == a.record.answer_letter)
-                    .expect("valid letter"),
-                difficulty,
+                fact: fact.id,
+                stem: record.question.clone(),
+                options: record.options.clone(),
+                correct: q.recorded_key,
+                difficulty: fact.difficulty,
                 is_math: false,
             });
-            questions.push(a.record);
+            questions.push(record);
         }
-        // The stage ran on the pool, so its wall-clock comes from the
-        // runtime; counts are re-stated post-filter so `ok`/`produced`
-        // reflect *accepted* questions, not completed tasks.
+        // `chunks` is sorted by chunk id, so acceptance order == chunk-id
+        // order and ids are densely assigned in that order (as before the
+        // endpoint reroute — artifacts are byte-identical).
         report.add(StageMetrics::single(
             "generate+judge",
             candidates,
             questions.len(),
-            gen_metrics.elapsed_secs,
+            t.elapsed_secs(),
         ));
 
-        // Stage 6: reasoning-trace distillation — one pool task per
-        // accepted question, each producing every trace mode. Trace ids are
-        // dense: `qid * |modes| + mode_index`, with the stride derived from
+        // Stage 6: reasoning-trace distillation — every (question, mode)
+        // pair is one batched endpoint request. Trace ids are dense:
+        // `qid * |modes| + mode_index`, with the stride derived from
         // `TraceMode::ALL` so adding a mode can never open id gaps.
+        let t = ScopeTimer::start("traces");
         let trace_stride = TraceMode::ALL.len() as u64;
-        let (trace_results, mut trace_metrics) =
-            run_stage(&exec, "traces", (0..items.len()).collect(), |qi| {
-                let (item, record) = (&items[qi], &questions[qi]);
-                // Rebuild the teacher's view of the question for tracing.
-                let fact = ontology.fact(item.fact).expect("fact exists");
-                let gq = mcqa_llm::GeneratedQuestion {
-                    fact: fact.id,
-                    stem: item.stem.clone(),
-                    options: item.options.clone(),
-                    recorded_key: item.correct,
-                    true_key: item.correct,
-                    defects: vec![],
-                    distractor_plausibility: 1.0,
-                };
-                let records: Vec<TraceRecord> = TraceMode::ALL
-                    .iter()
-                    .enumerate()
-                    .map(|(mi, mode)| TraceRecord {
-                        trace_id: item.qid * trace_stride + mi as u64,
-                        question_id: record.question_id,
-                        mode: *mode,
-                        trace: teacher.generate_trace(&ontology, &gq, *mode),
-                        teacher: "GPT-4.1-sim".into(),
-                        answer_excluded: true,
-                        fact_id: item.fact.0,
-                    })
-                    .collect();
-                Ok::<_, String>(records)
-            });
-        let traces: Vec<TraceRecord> =
-            trace_results.into_iter().flat_map(|r| r.expect("trace task cannot fail")).collect();
-        trace_metrics.produced = traces.len();
-        report.add(trace_metrics);
+        // Rebuild the teacher's view of each accepted question for tracing.
+        let teacher_views: Vec<mcqa_llm::GeneratedQuestion> = items
+            .iter()
+            .map(|item| mcqa_llm::GeneratedQuestion {
+                fact: item.fact,
+                stem: item.stem.clone(),
+                options: item.options.clone(),
+                recorded_key: item.correct,
+                true_key: item.correct,
+                defects: vec![],
+                distractor_plausibility: 1.0,
+            })
+            .collect();
+        let trace_prompts: Vec<(&mcqa_llm::GeneratedQuestion, TraceMode)> = teacher_views
+            .iter()
+            .flat_map(|gq| TraceMode::ALL.iter().map(move |mode| (gq, *mode)))
+            .collect();
+        let trace_texts = teacher.generate_trace_batch(&exec, &trace_prompts);
+        let traces: Vec<TraceRecord> = trace_texts
+            .into_iter()
+            .enumerate()
+            .map(|(i, trace)| {
+                let (qi, mi) = (i / TraceMode::ALL.len(), i % TraceMode::ALL.len());
+                let item = &items[qi];
+                TraceRecord {
+                    trace_id: item.qid * trace_stride + mi as u64,
+                    question_id: questions[qi].question_id,
+                    mode: TraceMode::ALL[mi],
+                    trace,
+                    teacher: "GPT-4.1-sim".into(),
+                    answer_excluded: true,
+                    fact_id: item.fact.0,
+                }
+            })
+            .collect();
+        report.add(StageMetrics::single("traces", items.len(), traces.len(), t.elapsed_secs()));
 
         // Stage 7: embed traces (batched submission), then build one DB
         // per mode with the configured backend. Per-mode vectors keep
@@ -381,6 +394,13 @@ impl Pipeline {
             indexes.insert(mode.db_name(), store);
         }
 
+        // The model layer's cost accounting joins the stage report: one
+        // `model-<role>` row per role the pipeline called (items = calls,
+        // out = completion-token estimate, secs = backend busy time).
+        for row in models.ledger().stage_rows() {
+            report.add(row);
+        }
+
         PipelineOutput {
             config: config.clone(),
             ontology,
@@ -392,6 +412,7 @@ impl Pipeline {
             candidates,
             traces,
             indexes,
+            models,
             report,
             executor: exec,
         }
@@ -424,7 +445,8 @@ mod tests {
             out.indexes.names(),
             vec![CHUNKS_STORE, "traces-detailed", "traces-efficient", "traces-focused"]
         );
-        // Figure-1 stage census, including one build row per store.
+        // Figure-1 stage census, including one build row per store and one
+        // model-layer cost row per role the pipeline called.
         let names: Vec<&str> = out.report.stages().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
@@ -440,7 +462,35 @@ mod tests {
                 "index-traces-detailed",
                 "index-traces-focused",
                 "index-traces-efficient",
+                "model-teacher",
+                "model-judge",
             ]
+        );
+    }
+
+    #[test]
+    fn model_ledger_accounts_for_every_pipeline_call() {
+        let out = tiny_output();
+        let teacher = out.models.ledger().role(mcqa_llm::Role::Teacher);
+        // One generation request per anchored candidate plus one trace
+        // request per (accepted question, mode).
+        assert_eq!(
+            teacher.calls as usize,
+            out.candidates + out.items.len() * TraceMode::ALL.len(),
+            "teacher calls must equal generation + distillation requests"
+        );
+        assert_eq!(teacher.batches, 2, "one generation batch + one trace batch");
+        assert!(teacher.tokens_in > 0 && teacher.tokens_out > 0);
+        let judge = out.models.ledger().role(mcqa_llm::Role::Judge);
+        assert!(judge.calls as usize <= out.candidates);
+        assert!(judge.calls as usize >= out.items.len());
+        // Nothing repeats during generation, so the cache stays cold here
+        // (it pays off at evaluation time).
+        assert_eq!(teacher.cache_hits, 0);
+        assert_eq!(
+            out.models.cache().len() as u64,
+            teacher.calls + judge.calls,
+            "every distinct completion is cached once"
         );
     }
 

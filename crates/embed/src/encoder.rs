@@ -45,51 +45,67 @@ impl BioEncoder {
         &self.config
     }
 
-    /// Add a signed hashed feature to the accumulator. Each feature is
-    /// scattered to two positions with independent signs, halving sketch
-    /// variance vs a single position.
+    /// The two `(index, signed weight)` postings of one hashed feature.
+    /// Each feature is scattered to two positions with independent signs,
+    /// halving sketch variance vs a single position.
     #[inline]
-    fn add_feature(&self, acc: &mut [f32], feature: &str, weight: f32) {
-        for r in 0..2u32 {
+    fn feature_postings(&self, feature: &str, weight: f32) -> [(u32, f32); 2] {
+        let mut out = [(0u32, 0.0f32); 2];
+        for (r, slot) in out.iter_mut().enumerate() {
             let mut h = StableHasher::with_seed(self.config.seed);
-            h.write_u32(r);
+            h.write_u32(r as u32);
             h.write_str(feature);
             let bits = h.finish();
-            let idx = (bits % self.config.dim as u64) as usize;
+            let idx = (bits % self.config.dim as u64) as u32;
             let sign = if bits & (1 << 63) != 0 { -1.0 } else { 1.0 };
-            acc[idx] += sign * weight;
+            *slot = (idx, sign * weight);
+        }
+        out
+    }
+
+    /// Emit one content token's features (unigram, subword trigrams, and
+    /// the bigram joining it to `prev`) in the exact order [`encode`]
+    /// accumulates them. `emit` receives each posting.
+    #[inline]
+    fn token_features(&self, tok: &str, prev: Option<&str>, mut emit: impl FnMut(u32, f32)) {
+        let entity_like = tok.chars().any(|c| c.is_ascii_digit());
+        let w = if entity_like { 2.5 } else { 1.0 };
+        for (idx, pw) in self.feature_postings(tok, w) {
+            emit(idx, pw);
+        }
+        if self.config.char_trigrams && tok.len() >= 5 {
+            let chars: Vec<char> = tok.chars().collect();
+            for win in chars.windows(3) {
+                let tri: String = win.iter().collect();
+                for (idx, pw) in self.feature_postings(&format!("#{tri}"), 0.25) {
+                    emit(idx, pw);
+                }
+            }
+        }
+        if self.config.word_bigrams {
+            if let Some(p) = prev {
+                for (idx, pw) in self.feature_postings(&format!("{p}_{tok}"), 0.5) {
+                    emit(idx, pw);
+                }
+            }
         }
     }
 
     /// Encode one text into a unit-norm `dim`-vector (zero vector for
     /// featureless input).
+    ///
+    /// Unigrams carry the bulk of the signal. Entity-like symbols
+    /// (digit-bearing gene/cell-line names) are the discriminative keys of
+    /// biomedical retrieval — a contextual encoder like PubMedBERT weights
+    /// them heavily, so do we (see `token_features`).
     pub fn encode(&self, text: &str) -> Vec<f32> {
         let mut acc = vec![0.0f32; self.config.dim];
         let tokens = tokenize(text);
 
         let mut prev_content: Option<&str> = None;
         for tok in &tokens {
-            let stop = is_stopword(tok);
-            if !stop {
-                // Unigrams carry the bulk of the signal. Entity-like
-                // symbols (digit-bearing gene/cell-line names) are the
-                // discriminative keys of biomedical retrieval — a contextual
-                // encoder like PubMedBERT weights them heavily, so do we.
-                let entity_like = tok.chars().any(|c| c.is_ascii_digit());
-                let w = if entity_like { 2.5 } else { 1.0 };
-                self.add_feature(&mut acc, tok, w);
-                if self.config.char_trigrams && tok.len() >= 5 {
-                    let chars: Vec<char> = tok.chars().collect();
-                    for w in chars.windows(3) {
-                        let tri: String = w.iter().collect();
-                        self.add_feature(&mut acc, &format!("#{tri}"), 0.25);
-                    }
-                }
-                if self.config.word_bigrams {
-                    if let Some(p) = prev_content {
-                        self.add_feature(&mut acc, &format!("{p}_{tok}"), 0.5);
-                    }
-                }
+            if !is_stopword(tok) {
+                self.token_features(tok, prev_content, |idx, w| acc[idx as usize] += w);
                 prev_content = Some(tok);
             }
         }
@@ -125,6 +141,50 @@ impl mcqa_text::Encoder for BioEncoder {
 
     fn encode(&self, text: &str) -> Vec<f32> {
         BioEncoder::encode(self, text)
+    }
+
+    /// Pre-hash one sentence for the chunker's compositional window
+    /// encoding. Postings are recorded in the exact order
+    /// [`BioEncoder::encode`] would accumulate them, so replaying them —
+    /// with [`mcqa_text::Encoder::bridge_postings`] spliced in after the
+    /// first content token's head at each sentence join — reproduces the
+    /// joined encode bit for bit.
+    fn sentence_postings(&self, text: &str) -> Option<mcqa_text::SentencePostings> {
+        let tokens = tokenize(text);
+        let mut postings: Vec<(u32, f32)> = Vec::new();
+        let mut head_len = 0usize;
+        let mut first_content: Option<&str> = None;
+        let mut prev_content: Option<&str> = None;
+        for tok in &tokens {
+            if is_stopword(tok) {
+                continue;
+            }
+            self.token_features(tok, prev_content, |idx, w| postings.push((idx, w)));
+            if first_content.is_none() {
+                first_content = Some(tok);
+                // The first content token has no in-sentence bigram: its
+                // postings are exactly the head a cross-sentence bridge
+                // splices after.
+                head_len = postings.len();
+            }
+            prev_content = Some(tok);
+        }
+        Some(mcqa_text::SentencePostings {
+            postings,
+            head_len,
+            first_content: first_content.map(str::to_string),
+            last_content: prev_content.map(str::to_string),
+        })
+    }
+
+    /// The word bigram joining two sentences' adjacent content tokens —
+    /// the only feature of [`BioEncoder::encode`] that spans a sentence
+    /// boundary.
+    fn bridge_postings(&self, prev: &str, next: &str) -> Vec<(u32, f32)> {
+        if !self.config.word_bigrams {
+            return Vec::new();
+        }
+        self.feature_postings(&format!("{prev}_{next}"), 0.5).to_vec()
     }
 }
 
@@ -224,6 +284,79 @@ mod tests {
         let without = BioEncoder::new(EmbedConfig { word_bigrams: false, ..Default::default() });
         let t = "homologous recombination repairs breaks";
         assert_ne!(with.encode(t), without.encode(t));
+    }
+
+    /// The BioEncoder minus its compositional API: forces the chunker onto
+    /// the re-encoding fallback for equivalence testing.
+    struct Opaque<'a>(&'a BioEncoder);
+
+    impl mcqa_text::Encoder for Opaque<'_> {
+        fn dim(&self) -> usize {
+            mcqa_text::Encoder::dim(self.0)
+        }
+        fn encode(&self, text: &str) -> Vec<f32> {
+            self.0.encode(text)
+        }
+    }
+
+    fn awkward_sentences() -> Vec<&'static str> {
+        vec![
+            "Radiation induces breaks in tumour DNA strands.",
+            "The HX-29 cell line resists 2.0 Gy fractions.", // entity weights + digits
+            "the of and",                                    // stopword-only: bigram state carries
+            "",                                              // empty sentence
+            "Clustered lesions resist non-homologous end-joining repair.", // trigram-length tokens
+            "Budget revenue reports shaped hospital billing.",
+        ]
+    }
+
+    #[test]
+    fn compose_encode_matches_joined_encode_bitwise() {
+        // The memoisation contract: composition must be *identity*, not
+        // approximation — across entity weighting, char trigrams, word
+        // bigrams (including the cross-sentence bridge), and stopword-only
+        // sentences that carry bigram state through.
+        for cfg in [
+            EmbedConfig::default(),
+            EmbedConfig { word_bigrams: false, ..Default::default() },
+            EmbedConfig { char_trigrams: false, ..Default::default() },
+            EmbedConfig { seed: 7, dim: 64, ..Default::default() },
+        ] {
+            let e = BioEncoder::new(cfg);
+            let sentences = awkward_sentences();
+            for start in 0..sentences.len() {
+                for end in start..=sentences.len() {
+                    let slice = &sentences[start..end];
+                    let composed =
+                        mcqa_text::compose_encode(&e, slice).expect("BioEncoder composes");
+                    assert_eq!(
+                        composed,
+                        e.encode(&slice.join(" ")),
+                        "window {start}..{end} must be bit-identical"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memoised_chunking_matches_reencoding_chunking() {
+        let e = enc();
+        let opaque = Opaque(&e);
+        let cfg = mcqa_text::ChunkerConfig {
+            max_tokens: 48,
+            min_tokens: 8,
+            drift_threshold: 0.15,
+            window_sentences: 3,
+        };
+        let text = awkward_sentences().join(" ")
+            + " Radiation damage triggers repair of DNA breaks. \
+               Hospital billing departments processed budget claims. \
+               Billing committees reviewed hospital budget revenue.";
+        let fast = mcqa_text::Chunker::new(&e, cfg.clone()).chunk(&text);
+        let reference = mcqa_text::Chunker::new(&opaque, cfg).chunk(&text);
+        assert_eq!(fast, reference, "memoisation must not move a single chunk boundary");
+        assert!(fast.len() >= 2, "fixture must exercise boundaries");
     }
 
     #[test]

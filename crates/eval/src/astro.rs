@@ -18,8 +18,9 @@
 //! * 5 options per question;
 //! * facts are drawn salience-weighted: exams test the core curriculum.
 
-use mcqa_llm::{BenchKind, MathClassifier, McqItem};
+use mcqa_llm::{BenchKind, Classifier, McqItem};
 use mcqa_ontology::{realize, Ontology};
+use mcqa_runtime::Executor;
 use mcqa_util::KeyedStochastic;
 use serde::{Deserialize, Serialize};
 
@@ -56,11 +57,17 @@ pub struct AstroExam {
 impl AstroExam {
     /// Generate the exam from the ontology.
     ///
-    /// The `is_math` flag on each item is assigned by the
-    /// [`MathClassifier`] (playing GPT-5's role in the paper); the
-    /// generator's own ground truth is kept in `truth_is_math` so the
-    /// classifier's agreement is measurable.
-    pub fn generate(ontology: &Ontology, config: &AstroConfig) -> Self {
+    /// The `is_math` flag on each item is assigned by the `classifier`
+    /// adapter (playing GPT-5's role in the paper) via one batched
+    /// endpoint call on `exec`'s pool; the generator's own ground truth is
+    /// kept in `truth_is_math` so the classifier's agreement is
+    /// measurable.
+    pub fn generate(
+        ontology: &Ontology,
+        config: &AstroConfig,
+        classifier: &Classifier,
+        exec: &Executor,
+    ) -> Self {
         let rng = KeyedStochastic::new(config.seed ^ 0xA57_20E8);
         let reg = ontology.registry();
         let mut items = Vec::new();
@@ -161,10 +168,11 @@ impl AstroExam {
             })
             .collect();
 
-        // GPT-5's role: classify the evaluated questions.
-        let classifier = MathClassifier::new();
-        for item in items.iter_mut() {
-            item.is_math = classifier.requires_math(item);
+        // GPT-5's role: classify the evaluated questions in one batched
+        // endpoint call.
+        let flags = classifier.classify_batch(exec, &items);
+        for (item, is_math) in items.iter_mut().zip(flags) {
+            item.is_math = is_math;
         }
 
         Self { items, excluded_multimodal, truth_is_math: truth }
@@ -195,20 +203,26 @@ impl AstroExam {
 mod tests {
     use super::*;
     use mcqa_ontology::OntologyConfig;
+    use std::sync::Arc;
 
-    fn ontology() -> Ontology {
-        Ontology::generate(&OntologyConfig {
+    fn ontology() -> Arc<Ontology> {
+        Arc::new(Ontology::generate(&OntologyConfig {
             seed: 42,
             entities_per_kind: 60,
             qualitative_facts: 600,
             quantitative_facts: 150,
-        })
+        }))
+    }
+
+    fn generate(ont: &Arc<Ontology>, config: &AstroConfig) -> AstroExam {
+        let hub = Arc::new(mcqa_llm::build_hub(&mcqa_llm::ModelSpec::Sim, 42, Arc::clone(ont)));
+        AstroExam::generate(ont, config, &Classifier::new(hub, 42), Executor::global())
     }
 
     #[test]
     fn paper_accounting() {
         let ont = ontology();
-        let exam = AstroExam::generate(&ont, &AstroConfig::default());
+        let exam = generate(&ont, &AstroConfig::default());
         assert_eq!(exam.evaluated() + exam.excluded_multimodal.len(), 337);
         assert_eq!(exam.excluded_multimodal.len(), 2);
         // 189 + 146 = 335 (a few recall slots may be skipped if pools run
@@ -224,7 +238,7 @@ mod tests {
     #[test]
     fn questions_structurally_valid() {
         let ont = ontology();
-        let exam = AstroExam::generate(&ont, &AstroConfig::default());
+        let exam = generate(&ont, &AstroConfig::default());
         for item in &exam.items {
             item.validate().unwrap_or_else(|e| panic!("qid {}: {e}", item.qid));
             assert_eq!(item.options.len(), 5);
@@ -235,7 +249,7 @@ mod tests {
     #[test]
     fn classifier_agreement_high() {
         let ont = ontology();
-        let exam = AstroExam::generate(&ont, &AstroConfig::default());
+        let exam = generate(&ont, &AstroConfig::default());
         let agreement = exam.classifier_agreement();
         assert!(agreement >= 0.97, "classifier agreement {agreement:.3}");
     }
@@ -243,8 +257,8 @@ mod tests {
     #[test]
     fn deterministic() {
         let ont = ontology();
-        let a = AstroExam::generate(&ont, &AstroConfig::default());
-        let b = AstroExam::generate(&ont, &AstroConfig::default());
+        let a = generate(&ont, &AstroConfig::default());
+        let b = generate(&ont, &AstroConfig::default());
         assert_eq!(a.items, b.items);
     }
 
@@ -253,7 +267,7 @@ mod tests {
         // Exam stems must not reuse the synthetic question templates
         // (lexical distance is what makes exam retrieval harder).
         let ont = ontology();
-        let exam = AstroExam::generate(&ont, &AstroConfig::default());
+        let exam = generate(&ont, &AstroConfig::default());
         let synth_markers = ["Which of the following is", "By which mechanism"];
         let exam_style = exam
             .items
@@ -268,7 +282,7 @@ mod tests {
     #[test]
     fn salience_weighting_prefers_core_curriculum() {
         let ont = ontology();
-        let exam = AstroExam::generate(&ont, &AstroConfig::default());
+        let exam = generate(&ont, &AstroConfig::default());
         let exam_salience: f64 = exam
             .items
             .iter()
@@ -288,12 +302,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "too small")]
     fn tiny_ontology_rejected() {
-        let ont = Ontology::generate(&OntologyConfig {
+        let ont = Arc::new(Ontology::generate(&OntologyConfig {
             seed: 1,
             entities_per_kind: 20,
             qualitative_facts: 50,
             quantitative_facts: 10,
-        });
-        AstroExam::generate(&ont, &AstroConfig::default());
+        }));
+        generate(&ont, &AstroConfig::default());
     }
 }

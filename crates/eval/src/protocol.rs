@@ -1,13 +1,14 @@
 //! The evaluator: rate measurement → card calibration → parallel
 //! answering → judge grading.
 
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use mcqa_core::PipelineOutput;
+use mcqa_embed::EmbeddingCache;
 use mcqa_llm::answer::Condition;
 use mcqa_llm::{
-    resolve, AssembledContext, JudgeModel, McqItem, ModelCard, PipelineRates, ResolvedModel,
-    TraceMode, MODEL_CARDS,
+    resolve, Answerer, AssembledContext, Classifier, Judge, McqItem, ModelCard, ModelEndpoint,
+    PipelineRates, TraceMode, MODEL_CARDS,
 };
 use mcqa_runtime::{run_stage_batched, Executor, RunReport, StageMetrics};
 use mcqa_util::Accuracy;
@@ -108,16 +109,23 @@ pub struct EvalRun {
 }
 
 /// The evaluator. Runs every fan-out — retrieval, context assembly, the
-/// answer+grade loop — on the pipeline's own [`Executor`], so evaluation
-/// stages land on the same scheduler and metrics surface as the pipeline.
+/// answer+grade loop — on the pipeline's own [`Executor`], and every model
+/// call (classifier, answerers, grading judge) through the pipeline's own
+/// model hub, so evaluation lands on the same scheduler, metrics surface,
+/// response cache, and call ledger as the pipeline.
 pub struct Evaluator<'a> {
     output: &'a PipelineOutput,
     config: EvalConfig,
     exam: AstroExam,
     synth_bundle: RetrievalBundle,
     astro_bundle: RetrievalBundle,
-    judge: JudgeModel,
+    endpoint: Arc<dyn ModelEndpoint>,
+    judge: Judge,
     exec: Executor,
+    /// Query-embedding cache shared by every retrieval bundle this
+    /// evaluator builds; its hit/miss counters surface as the
+    /// `eval-embed-cache` report row.
+    embed_cache: EmbeddingCache<'a>,
     report: Mutex<RunReport>,
     /// Snapshot of the report right after construction: the one-time
     /// retrieval prep, attributed in full to every run's report.
@@ -127,23 +135,41 @@ pub struct Evaluator<'a> {
 impl<'a> Evaluator<'a> {
     /// Prepare retrieval for both benchmarks.
     pub fn new(output: &'a PipelineOutput, config: EvalConfig) -> Self {
-        let exam = AstroExam::generate(&output.ontology, &config.astro);
+        let exec = output.executor.clone();
+        let endpoint: Arc<dyn ModelEndpoint> = output.models.clone();
+        let classifier = Classifier::new(endpoint.clone(), config.seed);
+        let exam = AstroExam::generate(&output.ontology, &config.astro, &classifier, &exec);
+        let embed_cache = EmbeddingCache::new(&output.encoder);
         let (synth_bundle, synth_m) =
-            RetrievalBundle::build_metered(output, &output.items, config.retrieval_k);
+            RetrievalBundle::build_metered(output, &output.items, config.retrieval_k, &embed_cache);
         let (astro_bundle, astro_m) =
-            RetrievalBundle::build_metered(output, &exam.items, config.retrieval_k);
+            RetrievalBundle::build_metered(output, &exam.items, config.retrieval_k, &embed_cache);
         let mut report = RunReport::new();
         report.absorb(synth_m);
         report.absorb(astro_m);
-        let judge = JudgeModel::new(config.seed);
+        // Embedding-cache effectiveness, visible next to stage throughput:
+        // `items` = lookups, `out` = hits served without re-encoding.
+        let (hits, misses) = embed_cache.stats();
+        report.absorb(StageMetrics {
+            name: "eval-embed-cache".into(),
+            items: (hits + misses) as usize,
+            ok: (hits + misses) as usize,
+            errors: 0,
+            panics: 0,
+            produced: hits as usize,
+            elapsed_secs: 0.0,
+        });
+        let judge = Judge::new(endpoint.clone(), config.seed);
         Self {
             output,
             config,
             exam,
             synth_bundle,
             astro_bundle,
+            endpoint,
             judge,
-            exec: output.executor.clone(),
+            exec,
+            embed_cache,
             prep_report: report.clone(),
             report: Mutex::new(report),
         }
@@ -195,6 +221,12 @@ impl<'a> Evaluator<'a> {
     /// The synthetic-benchmark retrieval bundle.
     pub fn synth_bundle(&self) -> &RetrievalBundle {
         &self.synth_bundle
+    }
+
+    /// (hits, misses) of the shared query-embedding cache (also surfaced
+    /// as the `eval-embed-cache` report row).
+    pub fn embed_cache_stats(&self) -> (u64, u64) {
+        self.embed_cache.stats()
     }
 
     /// Assemble contexts for every (item, source) under one window size.
@@ -267,10 +299,14 @@ impl<'a> Evaluator<'a> {
         };
 
         let calibration = resolve(card, &rates);
-        let model = ResolvedModel { card: card.clone(), cal: calibration.clone() };
+        let model = Answerer::new(
+            self.endpoint.clone(),
+            card.clone(),
+            calibration.clone(),
+            self.config.seed,
+        );
 
         let conditions = Condition::all();
-        let seed = self.config.seed;
 
         let run_bench = |items: &[McqItem],
                          contexts: &[[AssembledContext; 4]],
@@ -293,7 +329,7 @@ impl<'a> Evaluator<'a> {
                                     Some(&contexts[i][1 + mi])
                                 }
                             };
-                            let out = model.answer(item, *cond, ctx, seed);
+                            let out = model.answer(item, *cond, ctx);
                             let grade =
                                 self.judge.grade(&out.text, item.correct, item.options.len());
                             Ok::<_, String>(grade.correct)
@@ -348,21 +384,24 @@ mod tests {
     use super::*;
     use mcqa_core::{Pipeline, PipelineConfig};
 
-    fn eval_run() -> &'static (EvalRun, usize) {
-        static OUT: std::sync::OnceLock<(EvalRun, usize)> = std::sync::OnceLock::new();
+    fn eval_run() -> &'static (mcqa_core::PipelineOutput, EvalRun) {
+        static OUT: std::sync::OnceLock<(mcqa_core::PipelineOutput, EvalRun)> =
+            std::sync::OnceLock::new();
         OUT.get_or_init(|| {
             let output = Pipeline::run(&PipelineConfig::tiny(42));
-            let evaluator = Evaluator::new(&output, EvalConfig::default());
-            let run = evaluator.run_cards(&MODEL_CARDS);
-            (run, output.items.len())
+            let run = {
+                let evaluator = Evaluator::new(&output, EvalConfig::default());
+                evaluator.run_cards(&MODEL_CARDS)
+            };
+            (output, run)
         })
     }
 
     #[test]
     fn run_covers_all_models_and_conditions() {
-        let (run, n_items) = eval_run();
+        let (output, run) = eval_run();
         assert_eq!(run.models.len(), 8);
-        assert_eq!(run.synth_questions, *n_items);
+        assert_eq!(run.synth_questions, output.items.len());
         assert_eq!(run.astro_questions, 335);
         for m in &run.models {
             assert_eq!(m.synth.len(), 5);
@@ -409,9 +448,17 @@ mod tests {
     fn eval_report_covers_runtime_stages() {
         // Evaluation runs on the pipeline's scheduler, so its stages must
         // appear on the same metrics surface as the pipeline's.
-        let (run, n_items) = eval_run();
+        let (output, run) = eval_run();
+        let n_items = output.items.len();
         let names: Vec<&str> = run.report.stages().iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(names, vec!["eval-retrieve", "eval-assemble", "eval-answer"]);
+        assert_eq!(
+            names,
+            vec!["eval-retrieve", "eval-embed-cache", "eval-assemble", "eval-answer"]
+        );
+        // The embedding-cache row records one lookup per retrieval query.
+        let cache_row = run.report.stages().iter().find(|s| s.name == "eval-embed-cache").unwrap();
+        assert_eq!(cache_row.items, run.synth_questions + run.astro_questions);
+        assert!(cache_row.produced <= cache_row.items, "hits cannot exceed lookups");
         let answer = run.report.stages().iter().find(|s| s.name == "eval-answer").unwrap();
         // 8 cards × 5 conditions × (synth + astro-all + astro-nomath).
         let expected = 8 * 5 * (n_items + run.astro_questions + run.astro_nomath_questions);
@@ -421,9 +468,41 @@ mod tests {
     }
 
     #[test]
+    fn evaluation_routes_through_the_shared_model_hub() {
+        // Every eval-time model call lands on the pipeline's hub: the
+        // ledger accounts for answerer/classifier traffic, and the
+        // response cache short-circuits the no-math re-answer pass (whose
+        // requests are byte-identical to the full-exam pass's).
+        let (output, run) = eval_run();
+        let ledger = output.models.ledger();
+        let ans = ledger.role(mcqa_llm::Role::Answerer);
+        let expected_answers =
+            8 * 5 * (run.synth_questions + run.astro_questions + run.astro_nomath_questions);
+        assert!(
+            ans.calls as usize >= expected_answers,
+            "answerer calls {} < {expected_answers}",
+            ans.calls
+        );
+        assert!(
+            ans.cache_hits as usize >= 8 * 5 * run.astro_nomath_questions,
+            "no-math pass must be served from the cache: {} hits",
+            ans.cache_hits
+        );
+        let clf = ledger.role(mcqa_llm::Role::Classifier);
+        assert_eq!(clf.calls as usize, run.astro_questions, "one classification per exam item");
+        assert_eq!(clf.batches, 1, "classification is one batched endpoint call");
+        let judge = ledger.role(mcqa_llm::Role::Judge);
+        assert!(judge.calls >= ans.calls, "every answer is graded through the judge role");
+        // The shared embedding cache's lookups are asserted via the
+        // eval-embed-cache report row in eval_report_covers_runtime_stages
+        // (a second Evaluator here would mutate the shared fixture's
+        // ledger and make these assertions order-dependent).
+    }
+
+    #[test]
     fn synthetic_shape_rt_over_chunks_over_baseline() {
         // The paper's headline result must *emerge* from the run.
-        let (run, _) = eval_run();
+        let (_, run) = eval_run();
         for m in &run.models {
             let base = m.synth_accuracy(Condition::Baseline);
             let chunks = m.synth_accuracy(Condition::RagChunks);
@@ -436,7 +515,7 @@ mod tests {
 
     #[test]
     fn synthetic_accuracies_near_paper_targets() {
-        let (run, _) = eval_run();
+        let (_, run) = eval_run();
         for m in &run.models {
             let card = MODEL_CARDS.iter().find(|c| c.name == m.name).unwrap();
             let base = m.synth_accuracy(Condition::Baseline);
@@ -462,7 +541,7 @@ mod tests {
 
     #[test]
     fn small_models_gain_most_from_traces() {
-        let (run, _) = eval_run();
+        let (_, run) = eval_run();
         let gain = |name: &str| {
             let m = run.models.iter().find(|m| m.name == name).unwrap();
             let b = m.synth_accuracy(Condition::Baseline);
@@ -480,7 +559,7 @@ mod tests {
     fn rates_truncation_effect_visible() {
         // A 2k-window model must lose more chunk hits to truncation than a
         // 128k-window model on the same retrievals.
-        let (run, _) = eval_run();
+        let (_, run) = eval_run();
         let olmo = run.models.iter().find(|m| m.name == "OLMo-7B").unwrap();
         let gemma = run.models.iter().find(|m| m.name == "Gemma 3 4B-IT").unwrap();
         assert!(

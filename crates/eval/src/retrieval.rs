@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use mcqa_core::PipelineOutput;
+use mcqa_embed::EmbeddingCache;
 use mcqa_llm::{McqItem, Passage, PassageSource, TraceMode};
 use mcqa_runtime::{run_stage_batched, StageMetrics};
 
@@ -68,16 +69,21 @@ impl RetrievalBundle {
     ///   provenance fact list contains it;
     /// * a trace passage supports it iff the trace's source fact matches.
     pub fn build(output: &PipelineOutput, items: &[McqItem], k: usize) -> Self {
-        Self::build_metered(output, items, k).0
+        let cache = EmbeddingCache::new(&output.encoder);
+        Self::build_metered(output, items, k, &cache).0
     }
 
     /// [`RetrievalBundle::build`], also returning the fan-out's runtime
     /// [`StageMetrics`] so the evaluator can fold retrieval into its stage
-    /// report instead of re-timing the same work.
+    /// report instead of re-timing the same work. Query encoding goes
+    /// through `cache`, so a caller holding one cache across bundles (the
+    /// evaluator does) never re-encodes a stem it has seen — and the
+    /// cache's hit/miss counters become a report row.
     pub fn build_metered(
         output: &PipelineOutput,
         items: &[McqItem],
         k: usize,
+        cache: &EmbeddingCache<'_>,
     ) -> (Self, StageMetrics) {
         // chunk_id → position in output.chunks
         let chunk_pos: HashMap<u64, usize> =
@@ -107,7 +113,7 @@ impl RetrievalBundle {
                 // Query = the stem. Including the options would inject six
                 // same-kind distractor names that pull retrieval toward
                 // unrelated chunks (measured: −20 points of hit rate).
-                let query = output.encoder.encode(&item.stem);
+                let query = cache.encode(&item.stem);
                 let mut per_source: [Vec<Passage>; 4] =
                     [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
 
@@ -248,6 +254,19 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn shared_cache_skips_reencoding_across_bundles() {
+        let out = output();
+        let cache = EmbeddingCache::new(&out.encoder);
+        let (b1, _) = RetrievalBundle::build_metered(out, &out.items, 5, &cache);
+        let (_, misses_after_first) = cache.stats();
+        let (b2, _) = RetrievalBundle::build_metered(out, &out.items, 5, &cache);
+        let (hits, misses) = cache.stats();
+        assert_eq!(misses, misses_after_first, "second identical bundle encodes nothing new");
+        assert!(hits >= out.items.len() as u64, "every repeat query is a hit");
+        assert_eq!(b1.len(), b2.len());
     }
 
     #[test]

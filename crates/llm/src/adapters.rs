@@ -1,0 +1,383 @@
+//! Thin role adapters over `Arc<dyn ModelEndpoint>`.
+//!
+//! These are the only model types `mcqa-core` and `mcqa-eval` see (CI
+//! enforces it): each adapter builds typed [`ModelRequest`]s for its role,
+//! routes them through the endpoint — serially or via the batched API —
+//! and parses the [`crate::RoleOutput`] back into domain types. Swapping the
+//! backend (sim today, remote tomorrow) never touches an adapter's caller.
+
+use std::sync::Arc;
+
+use mcqa_ontology::FactId;
+use mcqa_runtime::Executor;
+
+use crate::answer::{AnswerOutcome, Condition, ResolvedModel};
+use crate::cards::ModelCard;
+use crate::context::AssembledContext;
+use crate::endpoint::{ModelEndpoint, ModelRequest, PromptPart, RequestPayload};
+use crate::judge::{GradeResult, QualityJudgment};
+use crate::mcq::McqItem;
+use crate::solver::Calibration;
+use crate::teacher::GeneratedQuestion;
+use crate::trace::TraceMode;
+
+/// One question-generation prompt: the anchor fact plus the source
+/// passage the teacher reads.
+pub struct QuestionPrompt<'a> {
+    /// The fact the question must test.
+    pub fact: FactId,
+    /// Distinguishes multiple questions over the same fact.
+    pub salt: String,
+    /// The source chunk's text (context for the teacher; counted in the
+    /// prompt-token estimate, as in a real deployment).
+    pub passage: &'a str,
+}
+
+/// The teacher (GPT-4.1's roles): MCQ generation + trace distillation.
+#[derive(Clone)]
+pub struct Teacher {
+    endpoint: Arc<dyn ModelEndpoint>,
+    seed: u64,
+}
+
+impl Teacher {
+    /// An adapter over `endpoint`.
+    pub fn new(endpoint: Arc<dyn ModelEndpoint>, seed: u64) -> Self {
+        Self { endpoint, seed }
+    }
+
+    fn question_request(&self, p: &QuestionPrompt<'_>) -> ModelRequest {
+        ModelRequest::new(
+            vec![
+                PromptPart::system(
+                    "Generate one self-contained 7-option multiple-choice question grounded \
+                     in the passage. Mark the correct option.",
+                ),
+                PromptPart::context(p.passage),
+                PromptPart::user(format!("Write question {} for this passage.", p.salt)),
+            ],
+            RequestPayload::GenerateQuestion { fact: p.fact, salt: p.salt.clone() },
+            self.seed,
+        )
+    }
+
+    fn trace_request(&self, question: &GeneratedQuestion, mode: TraceMode) -> ModelRequest {
+        ModelRequest::new(
+            vec![
+                PromptPart::system(format!(
+                    "Distil a {} reasoning trace for the question. Withhold the final answer.",
+                    mode.label()
+                )),
+                PromptPart::user(format!("{}\n{}", question.stem, question.options.join("\n"))),
+            ],
+            RequestPayload::DistillTrace { question: question.clone(), mode },
+            self.seed,
+        )
+    }
+
+    /// Generate one MCQ.
+    pub fn generate_question(&self, prompt: &QuestionPrompt<'_>) -> GeneratedQuestion {
+        self.endpoint.complete(&self.question_request(prompt)).output.expect_question()
+    }
+
+    /// Generate MCQs for a whole batch of prompts on `exec`'s pool
+    /// (index-aligned, bit-identical to the serial path).
+    pub fn generate_question_batch(
+        &self,
+        exec: &Executor,
+        prompts: &[QuestionPrompt<'_>],
+    ) -> Vec<GeneratedQuestion> {
+        let reqs: Vec<ModelRequest> = prompts.iter().map(|p| self.question_request(p)).collect();
+        self.endpoint
+            .complete_batch(exec, &reqs)
+            .into_iter()
+            .map(|r| r.output.expect_question())
+            .collect()
+    }
+
+    /// Distil one trace with the answer withheld.
+    pub fn generate_trace(&self, question: &GeneratedQuestion, mode: TraceMode) -> String {
+        self.endpoint.complete(&self.trace_request(question, mode)).output.expect_trace()
+    }
+
+    /// Distil a batch of traces on `exec`'s pool.
+    pub fn generate_trace_batch(
+        &self,
+        exec: &Executor,
+        prompts: &[(&GeneratedQuestion, TraceMode)],
+    ) -> Vec<String> {
+        let reqs: Vec<ModelRequest> =
+            prompts.iter().map(|(q, m)| self.trace_request(q, *m)).collect();
+        self.endpoint
+            .complete_batch(exec, &reqs)
+            .into_iter()
+            .map(|r| r.output.expect_trace())
+            .collect()
+    }
+}
+
+/// The LLM judge: quality scoring and answer grading.
+#[derive(Clone)]
+pub struct Judge {
+    endpoint: Arc<dyn ModelEndpoint>,
+    seed: u64,
+}
+
+impl Judge {
+    /// An adapter over `endpoint`.
+    pub fn new(endpoint: Arc<dyn ModelEndpoint>, seed: u64) -> Self {
+        Self { endpoint, seed }
+    }
+
+    fn score_request(&self, question: &GeneratedQuestion, salience: f64) -> ModelRequest {
+        ModelRequest::new(
+            vec![
+                PromptPart::system(
+                    "Score the candidate question 1-10 for clarity, accuracy, distractor \
+                     plausibility and educational value.",
+                ),
+                PromptPart::user(format!("{}\n{}", question.stem, question.options.join("\n"))),
+            ],
+            RequestPayload::ScoreQuestion { question: question.clone(), salience },
+            self.seed,
+        )
+    }
+
+    fn grade_request(&self, completion: &str, correct: usize, n_options: usize) -> ModelRequest {
+        ModelRequest::new(
+            vec![
+                PromptPart::system(
+                    "Extract the chosen option letter and grade it against the key.",
+                ),
+                PromptPart::user(completion),
+            ],
+            RequestPayload::GradeAnswer { completion: completion.to_string(), correct, n_options },
+            self.seed,
+        )
+    }
+
+    /// Score one candidate question.
+    pub fn score_question(&self, question: &GeneratedQuestion, salience: f64) -> QualityJudgment {
+        self.endpoint.complete(&self.score_request(question, salience)).output.expect_quality()
+    }
+
+    /// Score a batch of candidates on `exec`'s pool.
+    pub fn score_question_batch(
+        &self,
+        exec: &Executor,
+        prompts: &[(&GeneratedQuestion, f64)],
+    ) -> Vec<QualityJudgment> {
+        let reqs: Vec<ModelRequest> =
+            prompts.iter().map(|(q, s)| self.score_request(q, *s)).collect();
+        self.endpoint
+            .complete_batch(exec, &reqs)
+            .into_iter()
+            .map(|r| r.output.expect_quality())
+            .collect()
+    }
+
+    /// Grade one model completion against the key.
+    pub fn grade(&self, completion: &str, correct: usize, n_options: usize) -> GradeResult {
+        self.endpoint
+            .complete(&self.grade_request(completion, correct, n_options))
+            .output
+            .expect_grade()
+    }
+}
+
+/// The math-question classifier (GPT-5's role).
+#[derive(Clone)]
+pub struct Classifier {
+    endpoint: Arc<dyn ModelEndpoint>,
+    seed: u64,
+}
+
+impl Classifier {
+    /// An adapter over `endpoint`.
+    pub fn new(endpoint: Arc<dyn ModelEndpoint>, seed: u64) -> Self {
+        Self { endpoint, seed }
+    }
+
+    fn request(&self, item: &McqItem) -> ModelRequest {
+        ModelRequest::new(
+            vec![
+                PromptPart::system(
+                    "Does answering require mathematical reasoning or arithmetic tool use?",
+                ),
+                PromptPart::user(item.render()),
+            ],
+            RequestPayload::ClassifyMath { item: item.clone() },
+            self.seed,
+        )
+    }
+
+    /// Classify one item.
+    pub fn requires_math(&self, item: &McqItem) -> bool {
+        self.endpoint.complete(&self.request(item)).output.expect_math_flag()
+    }
+
+    /// Classify a batch of items on `exec`'s pool.
+    pub fn classify_batch(&self, exec: &Executor, items: &[McqItem]) -> Vec<bool> {
+        let reqs: Vec<ModelRequest> = items.iter().map(|i| self.request(i)).collect();
+        self.endpoint
+            .complete_batch(exec, &reqs)
+            .into_iter()
+            .map(|r| r.output.expect_math_flag())
+            .collect()
+    }
+}
+
+/// One evaluated SLM: a behaviour card joined with its calibration,
+/// answering through the endpoint.
+#[derive(Clone)]
+pub struct Answerer {
+    endpoint: Arc<dyn ModelEndpoint>,
+    model: ResolvedModel,
+    seed: u64,
+}
+
+impl Answerer {
+    /// An adapter answering as `card` under `calibration`.
+    pub fn new(
+        endpoint: Arc<dyn ModelEndpoint>,
+        card: ModelCard,
+        calibration: Calibration,
+        seed: u64,
+    ) -> Self {
+        Self { endpoint, model: ResolvedModel { card, cal: calibration }, seed }
+    }
+
+    /// The behaviour card this adapter answers as.
+    pub fn card(&self) -> &ModelCard {
+        &self.model.card
+    }
+
+    fn request(
+        &self,
+        item: &McqItem,
+        condition: Condition,
+        context: Option<&AssembledContext>,
+    ) -> ModelRequest {
+        ModelRequest::new(
+            vec![
+                PromptPart::system("Answer the multiple-choice question with a single letter."),
+                PromptPart::user(item.render()),
+            ],
+            RequestPayload::Answer {
+                model: self.model.clone(),
+                item: item.clone(),
+                condition,
+                context: context.cloned(),
+            },
+            self.seed,
+        )
+    }
+
+    /// Answer one item under `condition`.
+    pub fn answer(
+        &self,
+        item: &McqItem,
+        condition: Condition,
+        context: Option<&AssembledContext>,
+    ) -> AnswerOutcome {
+        self.endpoint.complete(&self.request(item, condition, context)).output.expect_answer()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cards::MODEL_CARDS;
+    use crate::solver::{resolve, PipelineRates};
+    use crate::spec::{build_hub, ModelSpec};
+    use mcqa_ontology::{Ontology, OntologyConfig};
+
+    fn setup() -> (Arc<Ontology>, Arc<dyn ModelEndpoint>) {
+        let ontology = Arc::new(Ontology::generate(&OntologyConfig {
+            seed: 42,
+            entities_per_kind: 30,
+            qualitative_facts: 400,
+            quantitative_facts: 20,
+        }));
+        let hub: Arc<dyn ModelEndpoint> =
+            Arc::new(build_hub(&ModelSpec::Sim, 42, Arc::clone(&ontology)));
+        (ontology, hub)
+    }
+
+    #[test]
+    fn teacher_adapter_matches_direct_simulator() {
+        let (ontology, ep) = setup();
+        let teacher = Teacher::new(ep, 42);
+        let direct = crate::teacher::TeacherModel::new(crate::teacher::TeacherConfig {
+            seed: 42,
+            ..Default::default()
+        });
+        let f = &ontology.facts()[5];
+        let via = teacher.generate_question(&QuestionPrompt {
+            fact: f.id,
+            salt: "c1".into(),
+            passage: "The passage.",
+        });
+        assert_eq!(via, direct.generate_question(&ontology, f, "c1"));
+        for mode in TraceMode::ALL {
+            assert_eq!(
+                teacher.generate_trace(&via, mode),
+                direct.generate_trace(&ontology, &via, mode)
+            );
+        }
+    }
+
+    #[test]
+    fn batch_apis_match_serial() {
+        let (ontology, ep) = setup();
+        let teacher = Teacher::new(ep.clone(), 42);
+        let prompts: Vec<QuestionPrompt> = ontology
+            .facts()
+            .iter()
+            .take(12)
+            .map(|f| QuestionPrompt { fact: f.id, salt: "c0".into(), passage: "p" })
+            .collect();
+        let exec = Executor::global();
+        let batch = teacher.generate_question_batch(exec, &prompts);
+        let serial: Vec<GeneratedQuestion> =
+            prompts.iter().map(|p| teacher.generate_question(p)).collect();
+        assert_eq!(batch, serial);
+
+        let judge = Judge::new(ep.clone(), 42);
+        let scored: Vec<(&GeneratedQuestion, f64)> = batch.iter().map(|q| (q, 0.5)).collect();
+        let js = judge.score_question_batch(exec, &scored);
+        assert_eq!(js.len(), 12);
+        for (j, (q, s)) in js.iter().zip(&scored) {
+            assert_eq!(j, &judge.score_question(q, *s));
+        }
+    }
+
+    #[test]
+    fn answerer_routes_the_calibrated_cascade() {
+        let (_, ep) = setup();
+        let card = MODEL_CARDS[3].clone();
+        let cal = resolve(&card, &PipelineRates::nominal());
+        let direct = ResolvedModel { card: card.clone(), cal: cal.clone() };
+        let answerer = Answerer::new(ep, card, cal, 42);
+        let item = crate::mcq::test_item();
+        let via = answerer.answer(&item, Condition::Baseline, None);
+        assert_eq!(via, direct.answer(&item, Condition::Baseline, None, 42));
+        assert_eq!(answerer.card().name, "SmolLM3-3B");
+    }
+
+    #[test]
+    fn classifier_and_judge_adapters_work() {
+        let (_, ep) = setup();
+        let classifier = Classifier::new(ep.clone(), 42);
+        let item = crate::mcq::test_item();
+        assert!(!classifier.requires_math(&item));
+        assert_eq!(
+            classifier.classify_batch(Executor::global(), std::slice::from_ref(&item)),
+            vec![false]
+        );
+
+        let judge = Judge::new(ep, 42);
+        let g = judge.grade("Answer: C", 2, 7);
+        assert!(g.correct);
+    }
+}

@@ -1,0 +1,441 @@
+//! The provider-style model API: one [`ModelEndpoint`] trait for every
+//! model role in the paper.
+//!
+//! The paper's pipeline is, end to end, a choreography of LLM calls —
+//! GPT-4.1 generating questions and distilling traces, an LLM judge
+//! filtering and grading, GPT-5 classifying math items, and eight SLMs
+//! answering under five retrieval conditions. Here every one of those
+//! calls travels through the same typed envelope:
+//!
+//! * [`ModelRequest`] — role, prompt parts, decode params, seed, and a
+//!   structured [`RequestPayload`] (what a remote backend would serialise
+//!   into the prompt, and what the simulator interprets directly);
+//! * [`ModelResponse`] — the raw text payload, a structured
+//!   [`RoleOutput`], and token-count estimates for cost accounting.
+//!
+//! Backends implement [`ModelEndpoint::complete`]; the batched entry point
+//! [`ModelEndpoint::complete_batch`] fans out on the runtime pool and is
+//! bit-identical to sequential completion (property-tested). Consumers
+//! never see a backend type: they hold `Arc<dyn ModelEndpoint>` and go
+//! through the thin role adapters in [`crate::adapters`].
+
+use mcqa_ontology::FactId;
+use mcqa_runtime::{run_stage_batched, Executor};
+use serde::Serialize;
+
+use crate::answer::{AnswerOutcome, Condition, ResolvedModel};
+use crate::context::AssembledContext;
+use crate::judge::{GradeResult, QualityJudgment};
+use crate::mcq::McqItem;
+use crate::teacher::GeneratedQuestion;
+use crate::trace::TraceMode;
+
+/// The model roles the paper's workflow employs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Role {
+    /// GPT-4.1: question generation and reasoning-trace distillation.
+    Teacher,
+    /// The LLM judge: quality scoring and answer grading.
+    Judge,
+    /// GPT-5: math-question classification.
+    Classifier,
+    /// An evaluated SLM answering one MCQ.
+    Answerer,
+}
+
+impl Role {
+    /// All roles in canonical order.
+    pub const ALL: [Role; 4] = [Role::Teacher, Role::Judge, Role::Classifier, Role::Answerer];
+
+    /// Lowercase label used in ledger lines and metrics rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Teacher => "teacher",
+            Role::Judge => "judge",
+            Role::Classifier => "classifier",
+            Role::Answerer => "answerer",
+        }
+    }
+
+    /// Position in [`Role::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Role::Teacher => 0,
+            Role::Judge => 1,
+            Role::Classifier => 2,
+            Role::Answerer => 3,
+        }
+    }
+}
+
+/// What a prompt part is for (system scaffold, retrieved context, or the
+/// user turn).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum PartKind {
+    /// Instructions / scaffold.
+    System,
+    /// Retrieved or source material.
+    Context,
+    /// The task itself.
+    User,
+}
+
+/// One part of the prompt a backend would assemble.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PromptPart {
+    /// What the part is.
+    pub kind: PartKind,
+    /// The part's text.
+    pub text: String,
+}
+
+impl PromptPart {
+    /// A system part.
+    pub fn system(text: impl Into<String>) -> Self {
+        Self { kind: PartKind::System, text: text.into() }
+    }
+
+    /// A context part.
+    pub fn context(text: impl Into<String>) -> Self {
+        Self { kind: PartKind::Context, text: text.into() }
+    }
+
+    /// A user part.
+    pub fn user(text: impl Into<String>) -> Self {
+        Self { kind: PartKind::User, text: text.into() }
+    }
+}
+
+/// Decoding parameters (part of the request identity: a different
+/// temperature is a different completion).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct DecodeParams {
+    /// Sampling temperature (the whole reproduction decodes greedily).
+    pub temperature: f64,
+    /// Completion-length cap.
+    pub max_tokens: usize,
+}
+
+impl Default for DecodeParams {
+    fn default() -> Self {
+        Self { temperature: 0.0, max_tokens: 1024 }
+    }
+}
+
+/// The structured operation behind a request. A remote backend would
+/// render this into prompt text; the simulator interprets it directly —
+/// either way the payload *is* the request's semantic identity, which is
+/// what makes content-addressed caching sound.
+// The Answer variant dominates the size (card + calibration travel in the
+// request); boxing it would complicate the serde-shim derive for no win on
+// this hot path, where requests are built once and moved.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum RequestPayload {
+    /// Teacher: generate one 7-option MCQ grounded in `fact`.
+    GenerateQuestion {
+        /// The anchor fact (resolved against the backend's ontology).
+        fact: FactId,
+        /// Distinguishes multiple questions over the same fact.
+        salt: String,
+    },
+    /// Teacher: distil one reasoning trace for `question` in `mode`.
+    DistillTrace {
+        /// The accepted question.
+        question: GeneratedQuestion,
+        /// The trace mode.
+        mode: TraceMode,
+    },
+    /// Judge: score a candidate question 1–10.
+    ScoreQuestion {
+        /// The candidate.
+        question: GeneratedQuestion,
+        /// Salience of the tested fact (drives the score model).
+        salience: f64,
+    },
+    /// Judge: grade a model completion against the answer key.
+    GradeAnswer {
+        /// The model's free-text completion.
+        completion: String,
+        /// Correct option index.
+        correct: usize,
+        /// Number of options.
+        n_options: usize,
+    },
+    /// Classifier: does the item require mathematical reasoning?
+    ClassifyMath {
+        /// The exam item.
+        item: McqItem,
+    },
+    /// Answerer: one calibrated SLM answers one MCQ.
+    Answer {
+        /// The behaviour card joined with its calibration.
+        model: ResolvedModel,
+        /// The question.
+        item: McqItem,
+        /// The retrieval condition.
+        condition: Condition,
+        /// The truncated context, if any.
+        context: Option<AssembledContext>,
+    },
+}
+
+impl RequestPayload {
+    /// The role this payload addresses.
+    pub fn role(&self) -> Role {
+        match self {
+            RequestPayload::GenerateQuestion { .. } | RequestPayload::DistillTrace { .. } => {
+                Role::Teacher
+            }
+            RequestPayload::ScoreQuestion { .. } | RequestPayload::GradeAnswer { .. } => {
+                Role::Judge
+            }
+            RequestPayload::ClassifyMath { .. } => Role::Classifier,
+            RequestPayload::Answer { .. } => Role::Answerer,
+        }
+    }
+}
+
+/// One completion request.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ModelRequest {
+    /// Which model role the request addresses.
+    pub role: Role,
+    /// Prompt parts a text backend would assemble, in order.
+    pub parts: Vec<PromptPart>,
+    /// The structured operation.
+    pub payload: RequestPayload,
+    /// Per-request seed (the answer cascade is keyed on it; generation
+    /// backends are seeded at construction and may ignore it).
+    pub seed: u64,
+    /// Decode parameters.
+    pub params: DecodeParams,
+}
+
+impl ModelRequest {
+    /// Build a request, deriving `role` from the payload.
+    pub fn new(parts: Vec<PromptPart>, payload: RequestPayload, seed: u64) -> Self {
+        Self { role: payload.role(), parts, payload, seed, params: DecodeParams::default() }
+    }
+
+    /// The canonical encoding of the request — every field that affects
+    /// the completion, serialised deterministically. Content-addressed
+    /// caching hashes this.
+    pub fn canonical_encoding(&self) -> String {
+        serde_json::to_string(self).expect("model requests serialise")
+    }
+
+    /// Content address: fnv1a over [`ModelRequest::canonical_encoding`]
+    /// (same shape as the embedding cache's key; a 64-bit collision would
+    /// alias two requests — probability ~2⁻⁶⁴ per pair, negligible at any
+    /// realistic call volume).
+    pub fn cache_key(&self) -> u64 {
+        mcqa_util::fnv1a(self.canonical_encoding().as_bytes())
+    }
+
+    /// Prompt-token estimate. For an answer request with an assembled
+    /// context, the context's real post-truncation accounting *is* the
+    /// prompt size (it already covers the rendered question, the prompt
+    /// scaffold, and the surviving passages — adding the parts again would
+    /// double-count the question). Everything else is the parts' token
+    /// counts.
+    pub fn prompt_tokens(&self) -> usize {
+        if let RequestPayload::Answer { context: Some(c), .. } = &self.payload {
+            return c.prompt_tokens;
+        }
+        self.parts.iter().map(|p| mcqa_text::token_count(&p.text)).sum()
+    }
+}
+
+/// The structured result of one completion, by role.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum RoleOutput {
+    /// A generated question.
+    Question(GeneratedQuestion),
+    /// A distilled reasoning trace.
+    Trace(String),
+    /// A quality verdict.
+    Quality(QualityJudgment),
+    /// A grading verdict.
+    Grade(GradeResult),
+    /// The math-classification flag.
+    MathFlag(bool),
+    /// An answer attempt.
+    Answer(AnswerOutcome),
+}
+
+impl RoleOutput {
+    /// Unwrap a question. Panics on role mismatch (a wiring bug).
+    pub fn expect_question(self) -> GeneratedQuestion {
+        match self {
+            RoleOutput::Question(q) => q,
+            other => panic!("expected a Question output, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a trace. Panics on role mismatch.
+    pub fn expect_trace(self) -> String {
+        match self {
+            RoleOutput::Trace(t) => t,
+            other => panic!("expected a Trace output, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a quality verdict. Panics on role mismatch.
+    pub fn expect_quality(self) -> QualityJudgment {
+        match self {
+            RoleOutput::Quality(q) => q,
+            other => panic!("expected a Quality output, got {other:?}"),
+        }
+    }
+
+    /// Unwrap a grading verdict. Panics on role mismatch.
+    pub fn expect_grade(self) -> GradeResult {
+        match self {
+            RoleOutput::Grade(g) => g,
+            other => panic!("expected a Grade output, got {other:?}"),
+        }
+    }
+
+    /// Unwrap the math flag. Panics on role mismatch.
+    pub fn expect_math_flag(self) -> bool {
+        match self {
+            RoleOutput::MathFlag(b) => b,
+            other => panic!("expected a MathFlag output, got {other:?}"),
+        }
+    }
+
+    /// Unwrap an answer. Panics on role mismatch.
+    pub fn expect_answer(self) -> AnswerOutcome {
+        match self {
+            RoleOutput::Answer(a) => a,
+            other => panic!("expected an Answer output, got {other:?}"),
+        }
+    }
+}
+
+/// One completion.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ModelResponse {
+    /// The raw text payload (what a grading judge or a log would see).
+    pub text: String,
+    /// The structured output.
+    pub output: RoleOutput,
+    /// Prompt-token estimate for the request that produced this.
+    pub tokens_in: usize,
+    /// Completion-token estimate.
+    pub tokens_out: usize,
+}
+
+impl ModelResponse {
+    /// Build a response from text + structured output, estimating token
+    /// counts from `req` and the text.
+    pub fn from_output(req: &ModelRequest, text: String, output: RoleOutput) -> Self {
+        let tokens_out = mcqa_text::token_count(&text);
+        Self { text, output, tokens_in: req.prompt_tokens(), tokens_out }
+    }
+}
+
+/// A model backend serving every role behind one completion API.
+///
+/// Implementations must be deterministic functions of the request (plus
+/// construction-time seeds): that is what makes the content-addressed
+/// [`crate::ResponseCache`] and the batched/serial equivalence guarantee
+/// sound.
+pub trait ModelEndpoint: Send + Sync {
+    /// Backend label (`sim`, some day `http`).
+    fn backend(&self) -> &'static str;
+
+    /// Serve one request.
+    fn complete(&self, req: &ModelRequest) -> ModelResponse;
+
+    /// Serve a batch, fanned out on `exec`'s pool. Results are
+    /// index-aligned with `reqs` and bit-identical to calling
+    /// [`ModelEndpoint::complete`] sequentially.
+    fn complete_batch(&self, exec: &Executor, reqs: &[ModelRequest]) -> Vec<ModelResponse> {
+        fan_out_batch(exec, reqs, |r| self.complete(r))
+    }
+}
+
+/// The one fan-out behind every `complete_batch`: auto-sized chunked
+/// submission on the pool, bit-identical to a sequential map of `serve`.
+/// Shared by the trait default and the hub's cached path so the
+/// batched/serial equivalence guarantee cannot diverge between them.
+pub(crate) fn fan_out_batch(
+    exec: &Executor,
+    reqs: &[ModelRequest],
+    serve: impl Fn(&ModelRequest) -> ModelResponse + Sync,
+) -> Vec<ModelResponse> {
+    let (results, _metrics) =
+        run_stage_batched(exec, "model-batch", (0..reqs.len()).collect(), 0, |i| {
+            Ok::<_, String>(serve(&reqs[i]))
+        });
+    results.into_iter().map(|r| r.expect("model completion cannot fail")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(seed: u64) -> ModelRequest {
+        ModelRequest::new(
+            vec![PromptPart::system("grade"), PromptPart::user("Answer: C")],
+            RequestPayload::GradeAnswer {
+                completion: "Answer: C".into(),
+                correct: 2,
+                n_options: 7,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn role_derived_from_payload() {
+        assert_eq!(req(1).role, Role::Judge);
+        for r in Role::ALL {
+            assert_eq!(Role::ALL[r.index()], r);
+        }
+        let labels: std::collections::HashSet<&str> = Role::ALL.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn cache_key_is_content_addressed() {
+        assert_eq!(req(1).cache_key(), req(1).cache_key());
+        assert_ne!(req(1).cache_key(), req(2).cache_key(), "seed is part of the identity");
+        let mut hotter = req(1);
+        hotter.params.temperature = 0.7;
+        assert_ne!(req(1).cache_key(), hotter.cache_key(), "params are part of the identity");
+    }
+
+    #[test]
+    fn prompt_tokens_count_parts_and_context() {
+        let r = req(1);
+        assert_eq!(r.prompt_tokens(), 1 + 2);
+        let with_ctx = ModelRequest::new(
+            vec![PromptPart::system("answer the question")],
+            RequestPayload::Answer {
+                model: crate::solver::test_resolved_model(),
+                item: crate::mcq::test_item(),
+                condition: Condition::Baseline,
+                context: Some(AssembledContext {
+                    passages_in_window: 2,
+                    passages_total: 5,
+                    relevant_in_window: true,
+                    relevant_retrieved: true,
+                    prompt_tokens: 500,
+                }),
+            },
+            42,
+        );
+        // The assembled context's accounting subsumes the question and
+        // scaffold — parts are not added on top (no double counting).
+        assert_eq!(with_ctx.prompt_tokens(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected a Trace")]
+    fn role_output_mismatch_is_loud() {
+        RoleOutput::MathFlag(true).expect_trace();
+    }
+}

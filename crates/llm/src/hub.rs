@@ -1,0 +1,152 @@
+//! [`ModelHub`]: the cross-cutting services stacked on a backend.
+//!
+//! The hub wraps any [`ModelEndpoint`] with the two services every
+//! deployment needs and no backend should reimplement:
+//!
+//! * the content-addressed [`ResponseCache`] — repeated requests (the
+//!   no-math re-answer pass, repeated `run_cards`, ablations) short-circuit
+//!   without touching the backend;
+//! * the per-role [`CallLedger`] — calls, batch sizes, token estimates,
+//!   cache hit rate.
+//!
+//! The hub itself implements [`ModelEndpoint`], so consumers hold one
+//! `Arc<dyn ModelEndpoint>` and get caching + accounting transparently.
+//! Batched completion instruments every request individually (the batch
+//! fan-out runs the same cached path per item), so serial and batched
+//! execution stay bit-identical *and* identically accounted.
+
+use std::time::Instant;
+
+use mcqa_runtime::Executor;
+
+use crate::endpoint::{fan_out_batch, ModelEndpoint, ModelRequest, ModelResponse, Role};
+use crate::ledger::CallLedger;
+use crate::response_cache::ResponseCache;
+
+/// A backend plus its cache and ledger.
+pub struct ModelHub {
+    endpoint: Box<dyn ModelEndpoint>,
+    cache: ResponseCache,
+    ledger: CallLedger,
+}
+
+impl ModelHub {
+    /// Stack the services on `endpoint`.
+    pub fn new(endpoint: Box<dyn ModelEndpoint>) -> Self {
+        Self { endpoint, cache: ResponseCache::new(), ledger: CallLedger::new() }
+    }
+
+    /// The call ledger.
+    pub fn ledger(&self) -> &CallLedger {
+        &self.ledger
+    }
+
+    /// The response cache.
+    pub fn cache(&self) -> &ResponseCache {
+        &self.cache
+    }
+
+    /// Serve one request through the cache, tallying the ledger.
+    fn cached_complete(&self, req: &ModelRequest) -> ModelResponse {
+        let key = req.cache_key();
+        if let Some(hit) = self.cache.get(key) {
+            self.ledger.record_call(req.role, true, hit.tokens_in, hit.tokens_out, 0);
+            return hit;
+        }
+        let start = Instant::now();
+        let response = self.endpoint.complete(req);
+        let busy = start.elapsed().as_nanos() as u64;
+        self.ledger.record_call(req.role, false, response.tokens_in, response.tokens_out, busy);
+        self.cache.insert(key, response.clone());
+        response
+    }
+}
+
+impl ModelEndpoint for ModelHub {
+    fn backend(&self) -> &'static str {
+        self.endpoint.backend()
+    }
+
+    fn complete(&self, req: &ModelRequest) -> ModelResponse {
+        self.cached_complete(req)
+    }
+
+    fn complete_batch(&self, exec: &Executor, reqs: &[ModelRequest]) -> Vec<ModelResponse> {
+        // Tally the submission per role it contains (a batch is normally
+        // single-role, but the ledger must not depend on that).
+        for role in Role::ALL {
+            let n = reqs.iter().filter(|r| r.role == role).count();
+            if n > 0 {
+                self.ledger.record_batch(role, n);
+            }
+        }
+        fan_out_batch(exec, reqs, |r| self.cached_complete(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{PromptPart, RequestPayload};
+    use crate::sim::SimEndpoint;
+    use crate::spec::{build_endpoint, ModelSpec};
+    use mcqa_ontology::{Ontology, OntologyConfig};
+    use std::sync::Arc;
+
+    fn ontology() -> Arc<Ontology> {
+        Arc::new(Ontology::generate(&OntologyConfig {
+            seed: 42,
+            entities_per_kind: 30,
+            qualitative_facts: 400,
+            quantitative_facts: 20,
+        }))
+    }
+
+    fn grade_req(text: &str) -> ModelRequest {
+        ModelRequest::new(
+            vec![PromptPart::user(text)],
+            RequestPayload::GradeAnswer { completion: text.into(), correct: 0, n_options: 7 },
+            42,
+        )
+    }
+
+    #[test]
+    fn cache_short_circuits_and_matches_backend() {
+        let ont = ontology();
+        let hub = ModelHub::new(build_endpoint(&ModelSpec::Sim, 42, Arc::clone(&ont)));
+        let bare = SimEndpoint::new(42, ont);
+        let req = grade_req("Answer: A");
+
+        let first = hub.complete(&req);
+        assert_eq!(first, bare.complete(&req), "hub must not change completions");
+        assert_eq!(hub.cache().len(), 1);
+        let second = hub.complete(&req);
+        assert_eq!(second, first, "cached response is indistinguishable");
+
+        let judge = hub.ledger().role(crate::Role::Judge);
+        assert_eq!(judge.calls, 2);
+        assert_eq!(judge.cache_hits, 1);
+        assert_eq!(judge.backend_calls(), 1);
+    }
+
+    #[test]
+    fn batch_goes_through_the_same_cached_path() {
+        let hub = ModelHub::new(build_endpoint(&ModelSpec::Sim, 42, ontology()));
+        let reqs: Vec<ModelRequest> =
+            (0..20).map(|i| grade_req(&format!("Answer: {}", ['A', 'B'][i % 2]))).collect();
+        let exec = Executor::global();
+
+        let batched = hub.complete_batch(exec, &reqs);
+        let serial: Vec<ModelResponse> = reqs.iter().map(|r| hub.complete(r)).collect();
+        assert_eq!(batched, serial);
+
+        let judge = hub.ledger().role(crate::Role::Judge);
+        assert_eq!(judge.calls, 40, "20 batched + 20 serial");
+        assert_eq!(judge.batches, 1);
+        assert_eq!(judge.batched_calls, 20);
+        // Only two distinct completions exist; everything else hit the cache.
+        assert_eq!(hub.cache().len(), 2);
+        assert_eq!(judge.backend_calls(), 2);
+        assert_eq!(judge.cache_hits, 38);
+    }
+}

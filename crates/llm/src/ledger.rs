@@ -1,0 +1,278 @@
+//! The per-role call ledger: the cost-accounting surface of the model
+//! layer.
+//!
+//! Every request through a [`crate::ModelHub`] is tallied here — per role:
+//! calls, batch submissions, cache hits, token in/out estimates for the
+//! completions that actually hit the backend, and cumulative backend busy
+//! time. The ledger renders two ways: as [`StageMetrics`] rows folded into
+//! the Figure-1 stage report, and as greppable `[models] key=value` lines
+//! behind the `repro models` subcommand.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use mcqa_runtime::StageMetrics;
+use serde::Serialize;
+
+use crate::endpoint::Role;
+
+/// A snapshot of one role's tallies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct RoleStats {
+    /// Requests served (cache hits included).
+    pub calls: u64,
+    /// Batch submissions that contained at least one request for this role.
+    pub batches: u64,
+    /// Requests that arrived via a batch submission.
+    pub batched_calls: u64,
+    /// Requests short-circuited by the response cache.
+    pub cache_hits: u64,
+    /// Prompt tokens sent to the backend (cache hits excluded — a hit
+    /// costs nothing).
+    pub tokens_in: u64,
+    /// Completion tokens received from the backend (cache hits excluded).
+    pub tokens_out: u64,
+    /// Cumulative backend busy time in seconds (summed across workers, so
+    /// it can exceed wall-clock on a parallel stage).
+    pub busy_secs: f64,
+}
+
+impl RoleStats {
+    /// Requests that reached the backend.
+    pub fn backend_calls(&self) -> u64 {
+        self.calls - self.cache_hits
+    }
+
+    /// Cache hit rate in `[0, 1]` (0 for an idle role).
+    pub fn hit_rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.calls as f64
+        }
+    }
+
+    /// Mean requests per batch submission (0 when nothing was batched).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_calls as f64 / self.batches as f64
+        }
+    }
+
+    fn merge(&mut self, other: &RoleStats) {
+        self.calls += other.calls;
+        self.batches += other.batches;
+        self.batched_calls += other.batched_calls;
+        self.cache_hits += other.cache_hits;
+        self.tokens_in += other.tokens_in;
+        self.tokens_out += other.tokens_out;
+        self.busy_secs += other.busy_secs;
+    }
+}
+
+#[derive(Default)]
+struct RoleCounters {
+    calls: AtomicU64,
+    batches: AtomicU64,
+    batched_calls: AtomicU64,
+    cache_hits: AtomicU64,
+    tokens_in: AtomicU64,
+    tokens_out: AtomicU64,
+    busy_nanos: AtomicU64,
+}
+
+impl RoleCounters {
+    fn snapshot(&self) -> RoleStats {
+        RoleStats {
+            calls: self.calls.load(Relaxed),
+            batches: self.batches.load(Relaxed),
+            batched_calls: self.batched_calls.load(Relaxed),
+            cache_hits: self.cache_hits.load(Relaxed),
+            tokens_in: self.tokens_in.load(Relaxed),
+            tokens_out: self.tokens_out.load(Relaxed),
+            busy_secs: self.busy_nanos.load(Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+/// The ledger: one set of counters per [`Role`], safe to share across pool
+/// workers.
+#[derive(Default)]
+pub struct CallLedger {
+    roles: [RoleCounters; Role::ALL.len()],
+}
+
+impl CallLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one served request.
+    pub fn record_call(
+        &self,
+        role: Role,
+        cached: bool,
+        tokens_in: usize,
+        tokens_out: usize,
+        busy_nanos: u64,
+    ) {
+        let c = &self.roles[role.index()];
+        c.calls.fetch_add(1, Relaxed);
+        if cached {
+            c.cache_hits.fetch_add(1, Relaxed);
+        } else {
+            c.tokens_in.fetch_add(tokens_in as u64, Relaxed);
+            c.tokens_out.fetch_add(tokens_out as u64, Relaxed);
+            c.busy_nanos.fetch_add(busy_nanos, Relaxed);
+        }
+    }
+
+    /// Record a batch submission containing `n` requests for `role`.
+    pub fn record_batch(&self, role: Role, n: usize) {
+        let c = &self.roles[role.index()];
+        c.batches.fetch_add(1, Relaxed);
+        c.batched_calls.fetch_add(n as u64, Relaxed);
+    }
+
+    /// Snapshot one role.
+    pub fn role(&self, role: Role) -> RoleStats {
+        self.roles[role.index()].snapshot()
+    }
+
+    /// Snapshot every role, in canonical order.
+    pub fn snapshot(&self) -> Vec<(Role, RoleStats)> {
+        Role::ALL.iter().map(|r| (*r, self.role(*r))).collect()
+    }
+
+    /// Aggregate across roles.
+    pub fn total(&self) -> RoleStats {
+        let mut total = RoleStats::default();
+        for (_, s) in self.snapshot() {
+            total.merge(&s);
+        }
+        total
+    }
+
+    /// One [`StageMetrics`] row per *active* role (zero-call roles are
+    /// omitted), named `model-<role>`, for the Figure-1 stage report:
+    /// `items` = requests, `ok` = requests, `produced` = completion-token
+    /// estimate, `elapsed` = backend busy time.
+    pub fn stage_rows(&self) -> Vec<StageMetrics> {
+        self.snapshot()
+            .into_iter()
+            .filter(|(_, s)| s.calls > 0)
+            .map(|(role, s)| StageMetrics {
+                name: format!("model-{}", role.label()),
+                items: s.calls as usize,
+                ok: s.calls as usize,
+                errors: 0,
+                panics: 0,
+                produced: s.tokens_out as usize,
+                elapsed_secs: s.busy_secs,
+            })
+            .collect()
+    }
+
+    /// Greppable `[models] key=value` lines: one per active role plus a
+    /// `role=total` aggregate (always emitted, so a census has an anchor
+    /// even before any call).
+    pub fn summary_lines(&self, backend: &str) -> Vec<String> {
+        let line = |role: &str, s: &RoleStats| {
+            format!(
+                "[models] backend={backend} role={role} calls={} batches={} \
+                 mean_batch={:.1} cache_hits={} hit_rate={:.4} tokens_in={} tokens_out={} \
+                 busy_secs={:.3}",
+                s.calls,
+                s.batches,
+                s.mean_batch_size(),
+                s.cache_hits,
+                s.hit_rate(),
+                s.tokens_in,
+                s.tokens_out,
+                s.busy_secs,
+            )
+        };
+        let mut out: Vec<String> = self
+            .snapshot()
+            .iter()
+            .filter(|(_, s)| s.calls > 0)
+            .map(|(r, s)| line(r.label(), s))
+            .collect();
+        out.push(line("total", &self.total()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_per_role() {
+        let ledger = CallLedger::new();
+        ledger.record_call(Role::Teacher, false, 100, 40, 1_000);
+        ledger.record_call(Role::Teacher, true, 100, 40, 0);
+        ledger.record_call(Role::Judge, false, 30, 10, 500);
+        ledger.record_batch(Role::Teacher, 2);
+
+        let t = ledger.role(Role::Teacher);
+        assert_eq!(t.calls, 2);
+        assert_eq!(t.cache_hits, 1);
+        assert_eq!(t.backend_calls(), 1);
+        assert_eq!(t.tokens_in, 100, "cache hits cost no tokens");
+        assert_eq!(t.tokens_out, 40);
+        assert_eq!(t.batches, 1);
+        assert!((t.hit_rate() - 0.5).abs() < 1e-12);
+        assert!((t.mean_batch_size() - 2.0).abs() < 1e-12);
+
+        assert_eq!(ledger.role(Role::Classifier).calls, 0);
+        assert_eq!(ledger.total().calls, 3);
+        assert_eq!(ledger.total().tokens_in, 130);
+    }
+
+    #[test]
+    fn stage_rows_cover_active_roles_only() {
+        let ledger = CallLedger::new();
+        ledger.record_call(Role::Answerer, false, 10, 5, 2_000_000);
+        let rows = ledger.stage_rows();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].name, "model-answerer");
+        assert_eq!(rows[0].items, 1);
+        assert_eq!(rows[0].produced, 5);
+        assert!((rows[0].elapsed_secs - 0.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_lines_are_greppable() {
+        let ledger = CallLedger::new();
+        ledger.record_call(Role::Judge, false, 30, 10, 0);
+        let lines = ledger.summary_lines("sim");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("[models] backend=sim role=judge calls=1 "));
+        assert!(lines[1].contains("role=total"));
+        assert!(lines[0].contains("tokens_in=30"));
+        assert!(lines[0].contains("hit_rate=0.0000"));
+    }
+
+    #[test]
+    fn concurrent_recording_conserves_counts() {
+        let ledger = CallLedger::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let ledger = &ledger;
+                s.spawn(move || {
+                    for i in 0..250 {
+                        ledger.record_call(Role::Answerer, i % 5 == 0, 10, 5, 100);
+                    }
+                });
+            }
+        });
+        let a = ledger.role(Role::Answerer);
+        assert_eq!(a.calls, 1000);
+        assert_eq!(a.cache_hits, 200);
+        assert_eq!(a.backend_calls(), 800);
+        assert_eq!(a.tokens_in, 8000);
+    }
+}

@@ -1,15 +1,24 @@
-//! `mcqa-llm` — the simulated language-model substrate.
+//! `mcqa-llm` — the language-model substrate behind one provider API.
 //!
-//! Nothing in this workspace calls a hosted LLM; every model role in the
-//! paper is played by a deterministic behavioural simulator:
+//! Every model role in the paper travels through the [`ModelEndpoint`]
+//! trait: a typed [`ModelRequest`]/[`ModelResponse`] envelope with a
+//! batched completion API, a content-addressed [`ResponseCache`], and a
+//! per-role [`CallLedger`] (see [`ModelHub`]). Consumers never touch a
+//! backend type — they hold `Arc<dyn ModelEndpoint>` and go through the
+//! thin role adapters:
 //!
-//! | Paper role | Here |
-//! |---|---|
-//! | GPT-4.1 question generation | [`teacher::TeacherModel::generate_question`] |
-//! | GPT-4.1 reasoning-trace distillation (3 modes) | [`teacher::TeacherModel::generate_trace`] |
-//! | LLM judge (quality scoring + grading) | [`judge::JudgeModel`] |
-//! | GPT-5 math-question classifier | [`math_classifier::MathClassifier`] |
-//! | The eight evaluated SLMs (1.1B–14B) | [`cards::ModelCard`] + [`answer::ResolvedModel`] |
+//! | Paper role | Adapter | Sim backend behind it |
+//! |---|---|---|
+//! | GPT-4.1 question generation | [`adapters::Teacher::generate_question`] | [`teacher::TeacherModel`] |
+//! | GPT-4.1 trace distillation (3 modes) | [`adapters::Teacher::generate_trace`] | [`teacher::TeacherModel`] |
+//! | LLM judge (quality scoring + grading) | [`adapters::Judge`] | [`judge::JudgeModel`] |
+//! | GPT-5 math-question classifier | [`adapters::Classifier`] | [`math_classifier::MathClassifier`] |
+//! | The eight evaluated SLMs (1.1B–14B) | [`adapters::Answerer`] | [`cards::ModelCard`] + [`answer::ResolvedModel`] |
+//!
+//! The backend is a config value ([`ModelSpec`] + [`build_endpoint`]),
+//! mirroring the vector-store layer's `IndexSpec`: today's only backend is
+//! the deterministic behavioural simulator ([`sim::SimEndpoint`]); a
+//! remote/HTTP backend is a new variant, not a refactor.
 //!
 //! ## The calibration contract
 //!
@@ -30,22 +39,39 @@
 //! between *calibrated behaviour* (model cards) and *emergent mechanism*
 //! (retrieval, truncation, filtering).
 
+pub mod adapters;
 pub mod answer;
 pub mod cards;
 pub mod context;
+pub mod endpoint;
+pub mod hub;
 pub mod judge;
+pub mod ledger;
 pub mod math_classifier;
 pub mod mcq;
+pub mod response_cache;
+pub mod sim;
 pub mod solver;
+pub mod spec;
 pub mod teacher;
 pub mod trace;
 
-pub use answer::{AnswerOutcome, ResolvedModel};
+pub use adapters::{Answerer, Classifier, Judge, QuestionPrompt, Teacher};
+pub use answer::{AnswerOutcome, Condition, ResolvedModel};
 pub use cards::{BenchTargets, ModelCard, GPT4_ASTRO_REFERENCE, MODEL_CARDS};
 pub use context::{AssembledContext, Passage, PassageSource};
+pub use endpoint::{
+    DecodeParams, ModelEndpoint, ModelRequest, ModelResponse, PartKind, PromptPart, RequestPayload,
+    Role, RoleOutput,
+};
+pub use hub::ModelHub;
 pub use judge::{GradeResult, JudgeModel, QualityJudgment};
+pub use ledger::{CallLedger, RoleStats};
 pub use math_classifier::MathClassifier;
 pub use mcq::{BenchKind, McqItem, OPTION_LETTERS};
+pub use response_cache::ResponseCache;
+pub use sim::SimEndpoint;
 pub use solver::{resolve, PipelineRates};
+pub use spec::{build_endpoint, build_hub, ModelSpec};
 pub use teacher::{GeneratedQuestion, QuestionDefect, TeacherModel};
 pub use trace::TraceMode;

@@ -97,6 +97,21 @@ impl McqItem {
     }
 }
 
+/// A structurally valid synthetic item for this crate's unit tests.
+#[cfg(test)]
+pub(crate) fn test_item() -> McqItem {
+    McqItem {
+        qid: 7,
+        bench: BenchKind::Synthetic,
+        fact: FactId(3),
+        stem: "Which pathway does TRK2 activate after irradiation?".into(),
+        options: (0..7).map(|i| format!("candidate {i}")).collect(),
+        correct: 2,
+        difficulty: 0.4,
+        is_math: false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,173 @@
+//! The first [`ModelEndpoint`] backend: the calibrated behavioural
+//! simulators, behind the provider API.
+//!
+//! `SimEndpoint` owns the simulated teacher, judge, and classifier (all
+//! seeded at construction, like a pinned deployment) plus the ontology the
+//! teacher grounds questions in. Answer requests carry their own
+//! [`crate::answer::ResolvedModel`] — calibration is an evaluation-time
+//! artefact, not backend state — and their own seed.
+
+use std::sync::Arc;
+
+use mcqa_ontology::Ontology;
+
+use crate::endpoint::{ModelEndpoint, ModelRequest, ModelResponse, RequestPayload, RoleOutput};
+use crate::judge::JudgeModel;
+use crate::math_classifier::MathClassifier;
+use crate::teacher::{TeacherConfig, TeacherModel};
+
+/// The simulator backend.
+pub struct SimEndpoint {
+    ontology: Arc<Ontology>,
+    teacher: TeacherModel,
+    judge: JudgeModel,
+    classifier: MathClassifier,
+}
+
+impl SimEndpoint {
+    /// Create the backend over `ontology`, seeding every simulated role
+    /// from `seed` (the pipeline's master seed).
+    pub fn new(seed: u64, ontology: Arc<Ontology>) -> Self {
+        Self {
+            ontology,
+            teacher: TeacherModel::new(TeacherConfig { seed, ..Default::default() }),
+            judge: JudgeModel::new(seed),
+            classifier: MathClassifier::new(),
+        }
+    }
+}
+
+impl ModelEndpoint for SimEndpoint {
+    fn backend(&self) -> &'static str {
+        "sim"
+    }
+
+    fn complete(&self, req: &ModelRequest) -> ModelResponse {
+        let (text, output) = match &req.payload {
+            RequestPayload::GenerateQuestion { fact, salt } => {
+                let f = self
+                    .ontology
+                    .fact(*fact)
+                    .unwrap_or_else(|| panic!("sim teacher: unknown fact {}", fact.0));
+                let q = self.teacher.generate_question(&self.ontology, f, salt);
+                (q.stem.clone(), RoleOutput::Question(q))
+            }
+            RequestPayload::DistillTrace { question, mode } => {
+                let t = self.teacher.generate_trace(&self.ontology, question, *mode);
+                (t.clone(), RoleOutput::Trace(t))
+            }
+            RequestPayload::ScoreQuestion { question, salience } => {
+                let j = self.judge.score_question(question, *salience);
+                (j.reasoning.clone(), RoleOutput::Quality(j))
+            }
+            RequestPayload::GradeAnswer { completion, correct, n_options } => {
+                let g = self.judge.grade(completion, *correct, *n_options);
+                (g.reasoning.clone(), RoleOutput::Grade(g))
+            }
+            RequestPayload::ClassifyMath { item } => {
+                let is_math = self.classifier.requires_math(item);
+                (format!("requires_math: {is_math}"), RoleOutput::MathFlag(is_math))
+            }
+            RequestPayload::Answer { model, item, condition, context } => {
+                let a = model.answer(item, *condition, context.as_ref(), req.seed);
+                (a.text.clone(), RoleOutput::Answer(a))
+            }
+        };
+        ModelResponse::from_output(req, text, output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::endpoint::{PromptPart, Role};
+    use mcqa_ontology::OntologyConfig;
+
+    fn endpoint() -> SimEndpoint {
+        let ontology = Arc::new(Ontology::generate(&OntologyConfig {
+            seed: 42,
+            entities_per_kind: 30,
+            qualitative_facts: 400,
+            quantitative_facts: 20,
+        }));
+        SimEndpoint::new(42, ontology)
+    }
+
+    #[test]
+    fn serves_every_role_deterministically() {
+        let ep = endpoint();
+        let fact = ep.ontology.facts()[0].id;
+        let gen = ModelRequest::new(
+            vec![PromptPart::user("generate a question")],
+            RequestPayload::GenerateQuestion { fact, salt: "c0".into() },
+            42,
+        );
+        let a = ep.complete(&gen);
+        let b = ep.complete(&gen);
+        assert_eq!(a, b);
+        assert_eq!(a.output.clone().expect_question().options.len(), 7);
+        assert!(a.tokens_out > 0);
+        assert_eq!(gen.role, Role::Teacher);
+
+        let q = a.output.expect_question();
+        let salience = ep.ontology.facts()[0].salience;
+        let score = ModelRequest::new(
+            vec![PromptPart::user("score it")],
+            RequestPayload::ScoreQuestion { question: q.clone(), salience },
+            42,
+        );
+        let s = ep.complete(&score);
+        assert!((1..=10).contains(&s.output.expect_quality().score));
+
+        let trace = ModelRequest::new(
+            vec![PromptPart::user("distil")],
+            RequestPayload::DistillTrace { question: q.clone(), mode: crate::TraceMode::Focused },
+            42,
+        );
+        let t = ep.complete(&trace);
+        assert!(!t.output.expect_trace().contains(&q.options[q.true_key]));
+
+        let grade = ModelRequest::new(
+            vec![PromptPart::user("grade")],
+            RequestPayload::GradeAnswer {
+                completion: "Answer: A".into(),
+                correct: 0,
+                n_options: 7,
+            },
+            42,
+        );
+        assert!(ep.complete(&grade).output.expect_grade().correct);
+    }
+
+    #[test]
+    fn matches_direct_simulator_output() {
+        // The backend is a reroute, not a reimplementation: outputs must
+        // equal the wrapped simulators' exactly.
+        let ep = endpoint();
+        let f = &ep.ontology.facts()[3];
+        let direct = ep.teacher.generate_question(&ep.ontology, f, "salt");
+        let via = ep
+            .complete(&ModelRequest::new(
+                vec![],
+                RequestPayload::GenerateQuestion { fact: f.id, salt: "salt".into() },
+                42,
+            ))
+            .output
+            .expect_question();
+        assert_eq!(via, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown fact")]
+    fn unknown_fact_is_loud() {
+        let ep = endpoint();
+        ep.complete(&ModelRequest::new(
+            vec![],
+            RequestPayload::GenerateQuestion {
+                fact: mcqa_ontology::FactId(u64::MAX),
+                salt: "x".into(),
+            },
+            42,
+        ));
+    }
+}

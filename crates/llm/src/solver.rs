@@ -197,6 +197,14 @@ pub fn resolve(card: &ModelCard, rates: &PipelineRates) -> Calibration {
     }
 }
 
+/// A nominally-calibrated model for this crate's unit tests.
+#[cfg(test)]
+pub(crate) fn test_resolved_model() -> crate::answer::ResolvedModel {
+    let card = crate::cards::MODEL_CARDS[0].clone();
+    let cal = resolve(&card, &PipelineRates::nominal());
+    crate::answer::ResolvedModel { card, cal }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

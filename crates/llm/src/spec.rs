@@ -1,0 +1,105 @@
+//! Backend selection by value: [`ModelSpec`] + the [`build_endpoint`]
+//! factory — the model-layer mirror of `mcqa-index`'s `IndexSpec`.
+//!
+//! Consumers (the pipeline config, the `repro` binary's `--models` flag)
+//! carry a `ModelSpec` instead of a concrete backend type; the factory
+//! turns it into a `Box<dyn ModelEndpoint>`. A future remote/HTTP backend
+//! is one new variant + one factory arm — a config value, not a refactor.
+
+use std::sync::Arc;
+
+use mcqa_ontology::Ontology;
+use serde::{Deserialize, Serialize};
+
+use crate::endpoint::ModelEndpoint;
+use crate::hub::ModelHub;
+use crate::sim::SimEndpoint;
+
+/// Which model backend serves the workspace's roles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// The calibrated behavioural simulators (the only offline backend).
+    Sim,
+}
+
+// Not `#[derive(Default)]`: the offline serde derive shim parses the enum
+// body itself and does not understand the `#[default]` variant attribute.
+#[allow(clippy::derivable_impls)]
+impl Default for ModelSpec {
+    fn default() -> Self {
+        ModelSpec::Sim
+    }
+}
+
+impl ModelSpec {
+    /// The lowercase backend label, as accepted by [`ModelSpec::parse`]
+    /// and the `repro --models` flag.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelSpec::Sim => "sim",
+        }
+    }
+
+    /// Parse a backend label. `None` for unknown labels.
+    pub fn parse(label: &str) -> Option<Self> {
+        match label {
+            "sim" => Some(ModelSpec::Sim),
+            _ => None,
+        }
+    }
+}
+
+/// Build the backend `spec` names. `seed` seeds the generation-side
+/// simulators; `ontology` is the ground truth the sim teacher realises
+/// questions from.
+pub fn build_endpoint(
+    spec: &ModelSpec,
+    seed: u64,
+    ontology: Arc<Ontology>,
+) -> Box<dyn ModelEndpoint> {
+    match spec {
+        ModelSpec::Sim => Box::new(SimEndpoint::new(seed, ontology)),
+    }
+}
+
+/// [`build_endpoint`], with the cross-cutting services (response cache +
+/// call ledger) already stacked on top.
+pub fn build_hub(spec: &ModelSpec, seed: u64, ontology: Arc<Ontology>) -> ModelHub {
+    ModelHub::new(build_endpoint(spec, seed, ontology))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcqa_ontology::OntologyConfig;
+
+    #[test]
+    fn labels_roundtrip() {
+        assert_eq!(ModelSpec::parse("sim"), Some(ModelSpec::Sim));
+        assert_eq!(ModelSpec::Sim.label(), "sim");
+        assert!(ModelSpec::parse("gpt-4.1").is_none());
+        assert_eq!(ModelSpec::default(), ModelSpec::Sim);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = serde_json::to_string(&ModelSpec::Sim).unwrap();
+        let back: ModelSpec = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, ModelSpec::Sim);
+    }
+
+    #[test]
+    fn factory_builds_the_sim_backend() {
+        let ontology = Arc::new(Ontology::generate(&OntologyConfig {
+            seed: 1,
+            entities_per_kind: 30,
+            qualitative_facts: 400,
+            quantitative_facts: 20,
+        }));
+        let ep = build_endpoint(&ModelSpec::Sim, 1, Arc::clone(&ontology));
+        assert_eq!(ep.backend(), "sim");
+        let hub = build_hub(&ModelSpec::Sim, 1, ontology);
+        assert_eq!(crate::ModelEndpoint::backend(&hub), "sim");
+        assert!(hub.cache().is_empty());
+    }
+}

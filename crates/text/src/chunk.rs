@@ -12,15 +12,61 @@ use crate::sentence::split_sentences;
 use crate::similarity::dense_cosine;
 use crate::token::token_count;
 
+/// Pre-hashed accumulator postings for one sentence, composable into
+/// multi-sentence window encodings without re-tokenising or re-hashing.
+///
+/// The contract (property-tested against `encode`): replaying every
+/// sentence's postings in order into a zero accumulator — inserting the
+/// encoder's [`Encoder::bridge_postings`] between each adjacent pair of
+/// content-bearing sentences, right after the head postings of the later
+/// sentence — then normalising, is **bit-identical** to encoding the
+/// space-joined sentence text directly. Identity (not just approximation)
+/// is what lets the chunker memoise per-sentence work without moving a
+/// single chunk boundary.
+#[derive(Debug, Clone)]
+pub struct SentencePostings {
+    /// `(accumulator index, signed weight)` pairs in emission order.
+    pub postings: Vec<(u32, f32)>,
+    /// How many leading postings belong to the first content token (its
+    /// unigram + subword features). A cross-sentence bridge feature is
+    /// replayed immediately after them — exactly where the joined encode
+    /// would emit it.
+    pub head_len: usize,
+    /// The first non-stopword token, if any.
+    pub first_content: Option<String>,
+    /// The last non-stopword token, if any (carried across stopword-only
+    /// sentences, as a running encode's bigram state would be).
+    pub last_content: Option<String>,
+}
+
 /// Anything that can embed a piece of text into a dense vector.
 ///
 /// `mcqa-embed`'s `BioEncoder` (the PubMedBERT stand-in) implements this;
 /// tests use the lexical [`TfEncoder`].
+///
+/// Encoders may additionally implement the compositional API
+/// ([`Encoder::sentence_postings`] / [`Encoder::bridge_postings`]): the
+/// chunker then hashes each sentence once per document and replays cheap
+/// `+=` postings per candidate boundary instead of re-encoding every
+/// window. The default implementation opts out (`None`), which keeps the
+/// trait trivially implementable.
 pub trait Encoder {
     /// Embedding dimensionality.
     fn dim(&self) -> usize;
     /// Encode one text into a dense `dim()`-length vector.
     fn encode(&self, text: &str) -> Vec<f32>;
+    /// Pre-hash one sentence for compositional window encoding, or `None`
+    /// when the encoder does not support it.
+    fn sentence_postings(&self, text: &str) -> Option<SentencePostings> {
+        let _ = text;
+        None
+    }
+    /// Postings for features spanning a sentence boundary (e.g. the word
+    /// bigram joining `prev`'s last content token to `next`'s first).
+    fn bridge_postings(&self, prev: &str, next: &str) -> Vec<(u32, f32)> {
+        let _ = (prev, next);
+        Vec::new()
+    }
 }
 
 /// A trivial lexical encoder: hashed bag-of-words into a small dense
@@ -60,6 +106,18 @@ impl Encoder for TfEncoder {
         }
         v
     }
+
+    fn sentence_postings(&self, text: &str) -> Option<SentencePostings> {
+        // Pure bag-of-words: no cross-sentence features, so no head/bridge
+        // bookkeeping is needed — replaying all postings in order matches
+        // the joined encode exactly.
+        let postings = crate::token::tokenize(text)
+            .into_iter()
+            .filter(|tok| !crate::stopwords::is_stopword(tok))
+            .map(|tok| ((mcqa_util::fnv1a(tok.as_bytes()) % self.dim as u64) as u32, 1.0))
+            .collect();
+        Some(SentencePostings { postings, head_len: 0, first_content: None, last_content: None })
+    }
 }
 
 /// Chunker configuration.
@@ -95,6 +153,52 @@ pub struct Chunk {
     pub tokens: usize,
 }
 
+/// Replay per-sentence postings into one window embedding, splicing the
+/// encoder's bridge features at each join — the accumulation-order clone
+/// of encoding the space-joined text directly.
+fn replay_postings<'f, E: Encoder + ?Sized>(
+    encoder: &E,
+    feats: impl Iterator<Item = &'f SentencePostings>,
+) -> Vec<f32> {
+    let mut acc = vec![0.0f32; encoder.dim()];
+    let mut prev: Option<&str> = None;
+    for f in feats {
+        let mut start = 0;
+        if let (Some(p), Some(first)) = (prev, f.first_content.as_deref()) {
+            for &(idx, w) in &f.postings[..f.head_len] {
+                acc[idx as usize] += w;
+            }
+            for (idx, w) in encoder.bridge_postings(p, first) {
+                acc[idx as usize] += w;
+            }
+            start = f.head_len;
+        }
+        for &(idx, w) in &f.postings[start..] {
+            acc[idx as usize] += w;
+        }
+        if f.last_content.is_some() {
+            prev = f.last_content.as_deref();
+        }
+    }
+    let norm: f32 = acc.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in &mut acc {
+            *x /= norm;
+        }
+    }
+    acc
+}
+
+/// Encode the space-join of `sentences` through the compositional API, or
+/// `None` when the encoder opts out. Exposed so encoders can pin the
+/// bit-identity contract (`compose_encode(e, s) == e.encode(s.join(" "))`)
+/// in their own test suites.
+pub fn compose_encode<E: Encoder + ?Sized>(encoder: &E, sentences: &[&str]) -> Option<Vec<f32>> {
+    let feats: Option<Vec<SentencePostings>> =
+        sentences.iter().map(|s| encoder.sentence_postings(s)).collect();
+    Some(replay_postings(encoder, feats?.iter()))
+}
+
 /// The semantic chunker.
 pub struct Chunker<'e, E: Encoder> {
     config: ChunkerConfig,
@@ -109,6 +213,23 @@ impl<'e, E: Encoder> Chunker<'e, E> {
         Self { config, encoder }
     }
 
+    /// Encode the space-join of `sentences[range]` by replaying memoised
+    /// per-sentence postings (bit-identical to `encode` on the joined
+    /// text), or `None` when the encoder opts out of composition.
+    fn composed_window(
+        &self,
+        sentences: &[&str],
+        memo: &mut [Option<SentencePostings>],
+        range: std::ops::Range<usize>,
+    ) -> Option<Vec<f32>> {
+        for i in range.clone() {
+            if memo[i].is_none() {
+                memo[i] = Some(self.encoder.sentence_postings(sentences[i])?);
+            }
+        }
+        Some(replay_postings(self.encoder, range.map(|i| memo[i].as_ref().expect("filled above"))))
+    }
+
     /// Chunk a document.
     ///
     /// Invariants (property-tested):
@@ -116,11 +237,22 @@ impl<'e, E: Encoder> Chunker<'e, E> {
     /// * every chunk except possibly one holding a single oversized
     ///   sentence respects `max_tokens`;
     /// * chunk sentence ranges are contiguous and non-overlapping.
+    ///
+    /// Drift detection memoises per-sentence encoder work: with a
+    /// compositional encoder each sentence is tokenised and hashed at most
+    /// once per document, and every candidate-boundary window embedding is
+    /// a cheap posting replay — the chunk boundaries are bit-identical to
+    /// the re-encoding path either way.
     pub fn chunk(&self, text: &str) -> Vec<Chunk> {
         let sentences = split_sentences(text);
         if sentences.is_empty() {
             return Vec::new();
         }
+        // Per-document memo; `compose` latches off permanently if the
+        // encoder ever declines (an encoder either supports composition
+        // for every sentence or for none).
+        let mut memo: Vec<Option<SentencePostings>> = vec![None; sentences.len()];
+        let mut compose = true;
 
         let mut chunks: Vec<Chunk> = Vec::new();
         let mut cur_sents: Vec<&str> = Vec::new();
@@ -168,11 +300,28 @@ impl<'e, E: Encoder> Chunker<'e, E> {
             // vocabulary noise, which a contextual encoder would absorb.
             if cur_tokens >= self.config.min_tokens {
                 let w = self.config.window_sentences.min(cur_sents.len());
-                let window_text = cur_sents[cur_sents.len() - w..].join(" ");
                 let ahead_end = (i + self.config.window_sentences).min(sentences.len());
-                let ahead_text = sentences[i..ahead_end].join(" ");
-                let a = self.encoder.encode(&window_text);
-                let b = self.encoder.encode(&ahead_text);
+                let composed = if compose {
+                    // Trailing window = the last `w` running-chunk
+                    // sentences, i.e. global indices `i-w..i`.
+                    match (
+                        self.composed_window(&sentences, &mut memo, i - w..i),
+                        self.composed_window(&sentences, &mut memo, i..ahead_end),
+                    ) {
+                        (Some(a), Some(b)) => Some((a, b)),
+                        _ => {
+                            compose = false;
+                            None
+                        }
+                    }
+                } else {
+                    None
+                };
+                let (a, b) = composed.unwrap_or_else(|| {
+                    let window_text = cur_sents[cur_sents.len() - w..].join(" ");
+                    let ahead_text = sentences[i..ahead_end].join(" ");
+                    (self.encoder.encode(&window_text), self.encoder.encode(&ahead_text))
+                });
                 if dense_cosine(&a, &b) < self.config.drift_threshold {
                     flush(&mut chunks, &mut cur_sents, cur_first, i - 1, cur_tokens);
                     cur_first = i;
@@ -324,6 +473,53 @@ mod tests {
                 window_sentences: 1,
             },
         );
+    }
+
+    /// An encoder that hides its compositional API, forcing the chunker
+    /// onto the re-encoding fallback.
+    struct Opaque<'a, E: Encoder>(&'a E);
+
+    impl<E: Encoder> Encoder for Opaque<'_, E> {
+        fn dim(&self) -> usize {
+            self.0.dim()
+        }
+        fn encode(&self, text: &str) -> Vec<f32> {
+            self.0.encode(text)
+        }
+    }
+
+    #[test]
+    fn compose_encode_matches_joined_encode() {
+        let enc = TfEncoder::new(64);
+        let sentences = [
+            "Radiation induces breaks in tumour DNA strands.",
+            "the of and", // stopword-only: contributes nothing, breaks no state
+            "Repair kinases mark radiation breaks in DNA.",
+            "",
+            "Billing budgets changed hospital revenue processing.",
+        ];
+        for n in 0..=sentences.len() {
+            let slice = &sentences[..n];
+            let composed = compose_encode(&enc, slice).expect("TfEncoder composes");
+            assert_eq!(composed, enc.encode(&slice.join(" ")), "first {n} sentences");
+        }
+    }
+
+    #[test]
+    fn memoised_chunking_is_bit_identical_to_reencoding() {
+        let enc = TfEncoder::new(128);
+        let opaque = Opaque(&enc);
+        let cfg = ChunkerConfig {
+            max_tokens: 30,
+            min_tokens: 8,
+            drift_threshold: 0.15,
+            window_sentences: 2,
+        };
+        let text = themed_text();
+        let fast = Chunker::new(&enc, cfg.clone()).chunk(&text);
+        let reference = Chunker::new(&opaque, cfg).chunk(&text);
+        assert_eq!(fast, reference, "memoisation must not move a single boundary");
+        assert!(fast.len() >= 2, "fixture must actually exercise boundaries");
     }
 
     #[test]

@@ -24,7 +24,9 @@ pub mod stopwords;
 pub mod token;
 pub mod vocab;
 
-pub use chunk::{Chunk, Chunker, ChunkerConfig, Encoder, TfEncoder};
+pub use chunk::{
+    compose_encode, Chunk, Chunker, ChunkerConfig, Encoder, SentencePostings, TfEncoder,
+};
 pub use sentence::split_sentences;
 pub use token::{token_count, tokenize};
 pub use vocab::Vocabulary;

@@ -30,6 +30,13 @@ if grep -rn 'FlatIndex' crates/core/src crates/eval/src; then
     echo "repro smoke FAILED: FlatIndex leaked back into core/eval" >&2
     exit 1
 fi
+# Same invariant for the model layer: core and eval see only the
+# ModelEndpoint trait and its role adapters. A concrete simulator type
+# reappearing would re-pin the whole call choreography to one backend.
+if grep -rn 'TeacherModel\|JudgeModel\|MathClassifier\|ResolvedModel' crates/core/src crates/eval/src; then
+    echo "repro smoke FAILED: a concrete model type leaked back into core/eval" >&2
+    exit 1
+fi
 
 echo "== repro smoke: scale=${SCALE} seed=${SEED} =="
 ALL_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- all --scale "${SCALE}" --seed "${SEED}")"
@@ -49,11 +56,13 @@ for backend in flat hnsw ivf; do
         echo "repro smoke FAILED: no artifact census under --index ${backend}" >&2
         exit 1
     fi
-    # The workflow must report the paper's Figure-1 stage census — now
-    # including one index-build row per store — with the throughput
-    # columns recorded by the runtime metrics.
+    # The workflow must report the paper's Figure-1 stage census — one
+    # index-build row per store and one model-layer cost row per role the
+    # pipeline called — with the throughput columns recorded by the
+    # runtime metrics.
     for stage in acquire parse chunk embed-chunks index-chunks generate+judge traces \
-        embed-traces index-traces-detailed index-traces-focused index-traces-efficient out/s; do
+        embed-traces index-traces-detailed index-traces-focused index-traces-efficient \
+        model-teacher model-judge out/s; do
         if ! grep -qF "${stage}" <<<"${OUT}"; then
             echo "repro smoke FAILED: --index ${backend} stage report is missing '${stage}'" >&2
             exit 1
@@ -86,11 +95,50 @@ done
 # The evaluation runs on the same scheduler: `repro all` must surface both
 # the pipeline stages (generate+judge included) and the eval stages via
 # runtime StageMetrics.
-for stage in generate+judge eval-retrieve eval-assemble eval-answer out/s; do
+for stage in generate+judge eval-retrieve eval-embed-cache eval-assemble eval-answer out/s; do
     if ! grep -qF "${stage}" <<<"${ALL_OUT}"; then
         echo "repro smoke FAILED: 'repro all' stage report is missing '${stage}'" >&2
         exit 1
     fi
 done
+
+echo "== repro smoke: golden artifact census (scale 0.02, seed 42) =="
+# The golden determinism bar: the sim-backend generation artifacts at the
+# pinned (scale, seed) must stay byte-identical across refactors. Captured
+# from the pre-ModelEndpoint pipeline; the full-artifact hashes behind the
+# same run are pinned in tests/golden.rs at the tiny config.
+GOLDEN_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- fig1 --scale 0.02 --seed 42 2>&1)"
+GOLDEN_CENSUS="451 docs → 3760 chunks → 3760 candidates → 430 accepted"
+if ! grep -qF "${GOLDEN_CENSUS}" <<<"${GOLDEN_OUT}"; then
+    echo "repro smoke FAILED: scale-0.02 census drifted from the golden run (${GOLDEN_CENSUS})" >&2
+    grep -oE '[0-9]+ docs → [0-9]+ chunks → [0-9]+ candidates → [0-9]+ accepted' <<<"${GOLDEN_OUT}" >&2 || true
+    exit 1
+fi
+
+echo "== repro smoke: model-layer call-ledger census =="
+# `repro models` is the cost-accounting surface: every role must report
+# greppable calls / token-estimate / cache-hit-rate key=value lines, and
+# the evaluation must actually exercise the response cache (the no-math
+# re-answer pass is served from it).
+MODELS_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- models --scale "${SCALE}" --seed "${SEED}" 2>&1)"
+echo "${MODELS_OUT}" | grep '\[models\]'
+for role in teacher judge classifier answerer total; do
+    LINE="$(grep -F "[models] backend=sim role=${role} " <<<"${MODELS_OUT}" || true)"
+    if [[ -z "${LINE}" ]]; then
+        echo "repro smoke FAILED: no ledger line for role=${role}" >&2
+        exit 1
+    fi
+    for key in calls= batches= cache_hits= hit_rate= tokens_in= tokens_out=; do
+        if ! grep -qF "${key}" <<<"${LINE}"; then
+            echo "repro smoke FAILED: role=${role} ledger line is missing '${key}'" >&2
+            exit 1
+        fi
+    done
+done
+ANSWER_HITS="$(grep -F '[models] backend=sim role=answerer ' <<<"${MODELS_OUT}" | grep -oE 'cache_hits=[0-9]+' | cut -d= -f2)"
+if [[ "${ANSWER_HITS}" -le 0 ]]; then
+    echo "repro smoke FAILED: the response cache never served an answer (hits=${ANSWER_HITS})" >&2
+    exit 1
+fi
 
 echo "== repro smoke: OK =="

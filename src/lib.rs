@@ -16,7 +16,7 @@
 //! | [`embed`] | the PubMedBERT stand-in encoder + FP16 storage |
 //! | [`index`] | FAISS-style vector stores (Flat / IVF / HNSW) |
 //! | [`runtime`] | Parsl-style work-stealing workflow runtime |
-//! | [`llm`] | simulated teacher (GPT-4.1), judge, math classifier (GPT-5), and the 8 SLM behaviour cards |
+//! | [`llm`] | every model role behind one `ModelEndpoint` trait (batched completions, response cache, call ledger); the sim backend plays GPT-4.1, the judge, GPT-5, and the 8 SLM behaviour cards |
 //! | [`core`] | the end-to-end benchmark-generation pipeline (the paper's contribution) |
 //! | [`eval`] | the three-condition evaluation protocol, Astro exam, tables & figures |
 //!
@@ -49,7 +49,9 @@ pub mod prelude {
     pub use mcqa_core::{Pipeline, PipelineConfig, PipelineOutput};
     pub use mcqa_eval::{AstroConfig, AstroExam, EvalConfig, EvalRun, Evaluator};
     pub use mcqa_index::{IndexRegistry, IndexSpec, VectorStore};
-    pub use mcqa_llm::{answer::Condition, McqItem, ModelCard, TraceMode, MODEL_CARDS};
+    pub use mcqa_llm::{
+        answer::Condition, McqItem, ModelCard, ModelEndpoint, ModelSpec, TraceMode, MODEL_CARDS,
+    };
     pub use mcqa_ontology::{Ontology, OntologyConfig};
     pub use mcqa_runtime::{run_stage, run_stage_batched, Executor};
 }

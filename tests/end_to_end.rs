@@ -33,8 +33,11 @@ fn pipeline_stage_census_matches_figure1() {
             "index-traces-detailed",
             "index-traces-focused",
             "index-traces-efficient",
+            "model-teacher",
+            "model-judge",
         ],
-        "workflow stages must match the paper's Figure 1 (plus a build row per vector DB)"
+        "workflow stages must match the paper's Figure 1 (plus a build row per vector DB \
+         and a model-layer cost row per role the pipeline called)"
     );
     // Parsing is allowed (and expected) to lose a few corrupt documents,
     // but must recover the overwhelming majority.

@@ -1,0 +1,37 @@
+//! Golden determinism: the generation artifacts at a pinned (config, seed)
+//! are byte-identical across refactors.
+//!
+//! The constants below were captured from the pre-`ModelEndpoint` pipeline
+//! (PR 3 state) and re-verified after the model-layer redesign and the
+//! chunker memoisation: the question census and the full serialised
+//! question/trace artifacts hash to the same values. Any PR that moves a
+//! chunk boundary, reorders an id, or changes a simulator's output trips
+//! this test — the same bar the vector-store redesign cleared.
+//!
+//! (The release-build census at scale 0.02 — 451 docs → 3760 chunks →
+//! 3760 candidates → 430 accepted, q_hash 0xb5f207d6fa4a7c92, t_hash
+//! 0xfa0e82468acfb54c — is pinned in `scripts/repro-smoke.sh`, where the
+//! optimized binary makes it cheap.)
+
+use distllm::prelude::*;
+
+#[test]
+fn tiny_seed42_artifacts_are_byte_identical_to_the_pre_redesign_pipeline() {
+    let out = Pipeline::run(&PipelineConfig::tiny(42));
+    assert_eq!(out.chunks.len(), 1863, "chunk census moved");
+    assert_eq!(out.questions.len(), 202, "question census moved");
+    assert_eq!(out.traces.len(), 606, "trace census moved");
+
+    let q_json = serde_json::to_string(&out.questions).expect("serialises");
+    let t_json = serde_json::to_string(&out.traces).expect("serialises");
+    assert_eq!(
+        distllm::util::fnv1a(q_json.as_bytes()),
+        0x7466_4a87_a29b_1388,
+        "question artifacts are no longer byte-identical to the golden run"
+    );
+    assert_eq!(
+        distllm::util::fnv1a(t_json.as_bytes()),
+        0xe2a1_2236_fb88_ef06,
+        "trace artifacts are no longer byte-identical to the golden run"
+    );
+}
