@@ -5,6 +5,9 @@
 //! Everything goes through `IndexSpec` + `build_store_from_vectors` +
 //! `search_batch` — the exact path the pipeline and `repro --index` use —
 //! so these numbers describe the production surface, not a bespoke loop.
+//! `flat_search` additionally sweeps the exact-search kernel matrix
+//! (corpus size × query-batch size × F16/F32) that the ROADMAP "perf
+//! baselines to beat" entry records.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mcqa_bench::random_unit_vectors;
@@ -44,6 +47,47 @@ fn bench_build(c: &mut Criterion) {
     group.finish();
 }
 
+/// The exact-search kernel matrix: flat search throughput across corpus
+/// size × query-batch size × storage precision. Batches >1 exercise the
+/// query-blocked path where one decoded row panel is amortised across the
+/// whole batch; F16 vs F32 isolates the decode cost that amortisation
+/// removes. Throughput is reported in queries/s.
+fn bench_flat_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flat_search");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000] {
+        let items = dataset(n, 13);
+        for precision in [Precision::F16, Precision::F32] {
+            let store = build_store_from_vectors(
+                &IndexSpec::Flat,
+                DIM,
+                Metric::Cosine,
+                precision,
+                Executor::global(),
+                &items,
+            );
+            for batch in [1usize, 8, 64] {
+                let queries = random_unit_vectors(batch, DIM, 99);
+                group.throughput(Throughput::Elements(batch as u64));
+                let label = format!(
+                    "{}v-{}-q{batch}",
+                    n / 1000,
+                    match precision {
+                        Precision::F16 => "f16",
+                        Precision::F32 => "f32",
+                    }
+                );
+                group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                    b.iter(|| {
+                        std::hint::black_box(store.search_batch(Executor::global(), &queries, 5))
+                    })
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
 fn bench_search(c: &mut Criterion) {
     let mut group = c.benchmark_group("index_search");
     group.sample_size(20);
@@ -66,5 +110,5 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_search);
+criterion_group!(benches, bench_build, bench_flat_search, bench_search);
 criterion_main!(benches);

@@ -266,10 +266,11 @@ fn print_recall(output: &mcqa_core::PipelineOutput, k: usize) {
             recall
         );
         println!(
-            "[recall] backend={} build_secs={:.3} search_secs={:.3} recall_at_{k}={:.4}",
+            "[recall] backend={} build_secs={:.3} search_secs={:.3} search_qps={:.0} recall_at_{k}={:.4}",
             spec.label(),
             build_secs,
             search_secs,
+            queries.len() as f64 / search_secs.max(1e-9),
             recall
         );
     }

@@ -27,13 +27,26 @@ pub struct EmbeddingMatrix {
     data_f32: Vec<f32>,
     /// F16 storage as raw little-endian bytes (empty when precision is F32).
     data_f16: Vec<u8>,
+    /// Squared L2 norm of every *stored* row (i.e. of the decoded F16
+    /// values when compressed), maintained at build time via
+    /// [`mcqa_util::kernel::sq_norm`] so cosine search degenerates to a
+    /// dot product per row at query time. Derived data: recomputed on
+    /// deserialisation, never part of the wire format.
+    sq_norms: Vec<f32>,
 }
 
 impl EmbeddingMatrix {
     /// Create an empty matrix.
     pub fn new(dim: usize, precision: Precision) -> Self {
         assert!(dim > 0);
-        Self { dim, rows: 0, precision, data_f32: Vec::new(), data_f16: Vec::new() }
+        Self {
+            dim,
+            rows: 0,
+            precision,
+            data_f32: Vec::new(),
+            data_f16: Vec::new(),
+            sq_norms: Vec::new(),
+        }
     }
 
     /// Build from rows (each must have length `dim`).
@@ -49,8 +62,18 @@ impl EmbeddingMatrix {
     pub fn push(&mut self, row: &[f32]) {
         assert_eq!(row.len(), self.dim, "row dimension mismatch");
         match self.precision {
-            Precision::F32 => self.data_f32.extend_from_slice(row),
-            Precision::F16 => self.data_f16.extend_from_slice(&encode_f16_bytes(row)),
+            Precision::F32 => {
+                self.data_f32.extend_from_slice(row);
+                self.sq_norms.push(mcqa_util::kernel::sq_norm(row));
+            }
+            Precision::F16 => {
+                let bytes = encode_f16_bytes(row);
+                // The cached norm describes the *stored* (quantised) row —
+                // the values search will decode — not the f32 input.
+                let decoded = decode_f16_bytes(&bytes).expect("even length by construction");
+                self.data_f16.extend_from_slice(&bytes);
+                self.sq_norms.push(mcqa_util::kernel::sq_norm(&decoded));
+            }
         }
         self.rows += 1;
     }
@@ -71,6 +94,7 @@ impl EmbeddingMatrix {
             Precision::F32 => {
                 for row in rows {
                     self.data_f32.extend_from_slice(row.as_ref());
+                    self.sq_norms.push(mcqa_util::kernel::sq_norm(row.as_ref()));
                 }
             }
             Precision::F16 => {
@@ -79,10 +103,17 @@ impl EmbeddingMatrix {
                     "f16-encode",
                     (0..rows.len()).collect(),
                     0,
-                    |i| Ok::<_, String>(encode_f16_bytes(rows[i].as_ref())),
+                    |i| {
+                        let bytes = encode_f16_bytes(rows[i].as_ref());
+                        let decoded =
+                            decode_f16_bytes(&bytes).expect("even length by construction");
+                        Ok::<_, String>((bytes, mcqa_util::kernel::sq_norm(&decoded)))
+                    },
                 );
                 for e in encoded {
-                    self.data_f16.extend_from_slice(&e.expect("f16 encode cannot fail"));
+                    let (bytes, norm) = e.expect("f16 encode cannot fail");
+                    self.data_f16.extend_from_slice(&bytes);
+                    self.sq_norms.push(norm);
                 }
             }
         }
@@ -159,6 +190,48 @@ impl EmbeddingMatrix {
         }
     }
 
+    /// The cached squared L2 norm of every stored row, index-aligned with
+    /// the rows. Computed at build time with the same fixed-order kernel
+    /// exact search uses, so a consumer combining them with
+    /// `kernel::dot` reproduces on-the-fly cosine bit-for-bit.
+    pub fn row_sq_norms(&self) -> &[f32] {
+        &self.sq_norms
+    }
+
+    /// Visit the rows in panels of up to `block_rows` rows: `f(start_row,
+    /// panel)` receives a dense row-major `&[f32]` of `panel.len() /
+    /// dim()` consecutive rows starting at `start_row` (the last panel may
+    /// be ragged).
+    ///
+    /// This is the bulk-decode primitive behind blocked search: an F16
+    /// matrix is decoded once per panel into a reused buffer — callers
+    /// scoring many queries against the panel amortise that decode across
+    /// all of them — while an F32 matrix hands out direct sub-slices of the
+    /// backing storage, copy-free.
+    pub fn for_each_block<F: FnMut(usize, &[f32])>(&self, block_rows: usize, mut f: F) {
+        assert!(block_rows > 0, "block_rows must be positive");
+        match self.precision {
+            Precision::F32 => {
+                for start in (0..self.rows).step_by(block_rows) {
+                    let end = (start + block_rows).min(self.rows);
+                    f(start, &self.data_f32[start * self.dim..end * self.dim]);
+                }
+            }
+            Precision::F16 => {
+                let mut panel = vec![0.0f32; block_rows * self.dim];
+                for start in (0..self.rows).step_by(block_rows) {
+                    let end = (start + block_rows).min(self.rows);
+                    let n = (end - start) * self.dim;
+                    let bytes = &self.data_f16[start * self.dim * 2..end * self.dim * 2];
+                    for (dst, c) in panel[..n].iter_mut().zip(bytes.chunks_exact(2)) {
+                        *dst = mcqa_util::F16(u16::from_le_bytes([c[0], c[1]])).to_f32();
+                    }
+                    f(start, &panel[..n]);
+                }
+            }
+        }
+    }
+
     /// Serialise to bytes (header + payload).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.payload_bytes() + 32);
@@ -193,7 +266,7 @@ impl EmbeddingMatrix {
             _ => return None,
         };
         let payload = &bytes[13..];
-        match precision {
+        let mut m = match precision {
             Precision::F32 => {
                 if payload.len() != dim * rows * 4 {
                     return None;
@@ -202,21 +275,28 @@ impl EmbeddingMatrix {
                     .chunks_exact(4)
                     .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                     .collect();
-                Some(Self { dim, rows, precision, data_f32, data_f16: Vec::new() })
+                Self { dim, rows, precision, data_f32, data_f16: Vec::new(), sq_norms: Vec::new() }
             }
             Precision::F16 => {
                 if payload.len() != dim * rows * 2 {
                     return None;
                 }
-                Some(Self {
+                Self {
                     dim,
                     rows,
                     precision,
                     data_f32: Vec::new(),
                     data_f16: payload.to_vec(),
-                })
+                    sq_norms: Vec::new(),
+                }
             }
-        }
+        };
+        // The norm cache is derived data: rebuild it rather than widening
+        // the wire format (the bytes stay byte-compatible both ways).
+        let mut sq_norms = Vec::with_capacity(m.rows);
+        m.for_each_row(|_, row| sq_norms.push(mcqa_util::kernel::sq_norm(row)));
+        m.sq_norms = sq_norms;
+        Some(m)
     }
 }
 
@@ -277,6 +357,43 @@ mod tests {
                 visited += 1;
             });
             assert_eq!(visited, 7);
+        }
+    }
+
+    #[test]
+    fn for_each_block_matches_row_at_every_block_size() {
+        for precision in [Precision::F32, Precision::F16] {
+            let rows = sample_rows(23, 16);
+            let m = EmbeddingMatrix::from_rows(16, precision, &rows);
+            for block_rows in [1usize, 4, 16, 23, 64] {
+                let mut seen = 0usize;
+                m.for_each_block(block_rows, |start, panel| {
+                    assert_eq!(start, seen, "panels are consecutive");
+                    assert_eq!(panel.len() % 16, 0);
+                    let n = panel.len() / 16;
+                    assert!(n <= block_rows);
+                    for (j, row) in panel.chunks_exact(16).enumerate() {
+                        assert_eq!(row, m.row(start + j).unwrap().as_slice(), "{precision:?}");
+                    }
+                    seen += n;
+                });
+                assert_eq!(seen, 23, "{precision:?} block={block_rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_sq_norms_describe_stored_rows_and_survive_roundtrip() {
+        for precision in [Precision::F32, Precision::F16] {
+            let rows = sample_rows(9, 24);
+            let m = EmbeddingMatrix::from_rows(24, precision, &rows);
+            assert_eq!(m.row_sq_norms().len(), 9);
+            for i in 0..9 {
+                let expect = mcqa_util::kernel::sq_norm(&m.row(i).unwrap());
+                assert_eq!(m.row_sq_norms()[i].to_bits(), expect.to_bits(), "{precision:?}");
+            }
+            let back = EmbeddingMatrix::from_bytes(&m.to_bytes()).unwrap();
+            assert_eq!(back.row_sq_norms(), m.row_sq_norms(), "recomputed on decode");
         }
     }
 

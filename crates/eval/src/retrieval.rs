@@ -103,23 +103,48 @@ impl RetrievalBundle {
             output.ontology.fact(mcqa_ontology::FactId(fact_id)).map(|f| f.subject.0)
         };
 
-        let (retrieve_results, metrics) = run_stage_batched(
+        let retrieve_timer = mcqa_util::ScopeTimer::start("eval-retrieve");
+
+        // Queries = the stems. Including the options would inject six
+        // same-kind distractor names that pull retrieval toward unrelated
+        // chunks (measured: −20 points of hit rate). Encoding goes through
+        // the shared cache on the pool.
+        let (encoded, _) = run_stage_batched(
             &output.executor,
-            "eval-retrieve",
+            "eval-retrieve-encode",
+            (0..items.len()).collect(),
+            0,
+            |qi| Ok::<_, String>(cache.encode(&items[qi].stem)),
+        );
+        let queries: Vec<Vec<f32>> =
+            encoded.into_iter().map(|r| r.expect("encoding cannot fail")).collect();
+
+        // One multi-query search per source database: the flat backend's
+        // query-batched kernel amortises each decoded row panel across the
+        // whole query batch instead of re-decoding the matrix per question.
+        // `Source::store` is the loud path: a registry missing a store is a
+        // bug, not a skippable condition.
+        let hits_per_source: [Vec<Vec<mcqa_index::SearchResult>>; 4] = Source::ALL.map(|source| {
+            source.store(&output.indexes).search_batch(&output.executor, &queries, k)
+        });
+
+        // Attach texts and oracle relevance labels per question. A trace
+        // supports the question when it reasons about the same fact, or
+        // about another fact with the same subject entity (knowledge
+        // transfer: a distilled rationale about TRK2's signalling helps
+        // answer other TRK2 questions — the channel the paper attributes
+        // reasoning-trace retrieval's exam gains to).
+        let (labelled, _) = run_stage_batched(
+            &output.executor,
+            "eval-retrieve-label",
             (0..items.len()).collect(),
             0,
             |qi| {
                 let item = &items[qi];
-                // Query = the stem. Including the options would inject six
-                // same-kind distractor names that pull retrieval toward
-                // unrelated chunks (measured: −20 points of hit rate).
-                let query = cache.encode(&item.stem);
                 let mut per_source: [Vec<Passage>; 4] =
                     [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
 
-                // Chunks. `Source::store` is the loud path: a registry
-                // missing a store is a bug, not a skippable condition.
-                for hit in Source::Chunks.store(&output.indexes).search(&query, k) {
+                for hit in &hits_per_source[Source::Chunks.index()][qi] {
                     let Some(&pos) = chunk_pos.get(&hit.id) else { continue };
                     let chunk = &output.chunks[pos];
                     per_source[Source::Chunks.index()].push(Passage {
@@ -130,14 +155,10 @@ impl RetrievalBundle {
                     });
                 }
 
-                // Traces, one DB per mode. A trace supports the question
-                // when it reasons about the same fact, or about another
-                // fact with the same subject entity (knowledge transfer).
                 let item_subject = subject_of(item.fact.0);
                 for mode in TraceMode::ALL {
                     let source = Source::Traces(mode);
-                    let idx = source.store(&output.indexes);
-                    for hit in idx.search(&query, k) {
+                    for hit in &hits_per_source[source.index()][qi] {
                         let Some(text) = trace_text.get(&(hit.id, mode)) else { continue };
                         let supports = trace_fact
                             .get(&hit.id)
@@ -158,7 +179,18 @@ impl RetrievalBundle {
             },
         );
         let passages: Vec<[Vec<Passage>; 4]> =
-            retrieve_results.into_iter().map(|r| r.expect("retrieval cannot fail")).collect();
+            labelled.into_iter().map(|r| r.expect("labelling cannot fail")).collect();
+
+        // One stage row spanning encode + search + label, so the report's
+        // `eval-retrieve` line reports end-to-end questions/s (`items/s`)
+        // and passages/s (`out/s`).
+        let produced: usize = passages.iter().map(|p| p.iter().map(Vec::len).sum::<usize>()).sum();
+        let metrics = StageMetrics::single(
+            "eval-retrieve",
+            items.len(),
+            produced,
+            retrieve_timer.elapsed_secs(),
+        );
 
         (Self { passages }, metrics)
     }

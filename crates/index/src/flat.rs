@@ -1,11 +1,24 @@
-//! Exact brute-force index over an [`EmbeddingMatrix`].
+//! Exact brute-force index over an [`EmbeddingMatrix`], scored by a
+//! blocked, query-batched kernel.
+//!
+//! Search never materialises the full hit list: rows are decoded in
+//! panels ([`EmbeddingMatrix::for_each_block`]), scored by
+//! [`Metric::score_block`] against the matrix's build-time-cached row
+//! norms, and fed into a bounded top-k heap. Batched search additionally
+//! blocks over *queries*, so one F16 panel decode is amortised across a
+//! whole block of queries instead of being repeated per query — the
+//! dominant cost of the old per-row loop, which re-decoded the entire
+//! matrix once per query. Results are bit-identical to scoring each row
+//! with [`Metric::score`] and fully sorting (the property suite in
+//! `tests/kernel.rs` holds every path to that oracle).
 
 use mcqa_embed::{EmbeddingMatrix, Precision};
-use mcqa_runtime::Executor;
+use mcqa_runtime::{auto_batch_size, run_stage, Executor};
+use mcqa_util::kernel;
 
 use crate::codec::{encode_metric, put_u64, Reader};
 use crate::metric::Metric;
-use crate::{sort_hits, SearchResult, VectorStore};
+use crate::{SearchResult, TopK, VectorStore};
 
 /// An exact (non-approximate) vector index. Ground truth for recall tests
 /// and the right default below ~10⁵ vectors.
@@ -36,6 +49,101 @@ impl FlatIndex {
         let ids: Vec<u64> = (0..n).map(|_| r.u64()).collect::<Option<_>>()?;
         r.exhausted().then_some(Self { matrix, ids, metric })
     }
+
+    /// The external id stored at `position` (insertion order). Panics out
+    /// of range.
+    pub fn row_id(&self, position: usize) -> u64 {
+        self.ids[position]
+    }
+
+    /// The stored vector at `position`, decoded to `f32` (i.e. exactly the
+    /// values search scores). Panics out of range.
+    pub fn row(&self, position: usize) -> Vec<f32> {
+        self.matrix.row(position).expect("position out of range")
+    }
+
+    /// Default rows per decoded panel: sized so an f32 panel stays around
+    /// 64 KiB (L2-resident) at any dimensionality.
+    fn default_block_rows(&self) -> usize {
+        (16_384 / self.dim().max(1)).clamp(8, 4096)
+    }
+
+    /// [`VectorStore::search`] with an explicit panel height. Exposed so
+    /// the property suite and benches can sweep block sizes (including
+    /// ragged tails, `len % block_rows != 0`); results are independent of
+    /// `block_rows`.
+    pub fn search_blocked(&self, query: &[f32], k: usize, block_rows: usize) -> Vec<SearchResult> {
+        assert_eq!(query.len(), self.dim(), "query dimension mismatch");
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let q_sq = kernel::sq_norm(query);
+        let mut topk = TopK::new(k);
+        let mut scores = vec![0.0f32; block_rows];
+        let norms = self.matrix.row_sq_norms();
+        self.matrix.for_each_block(block_rows, |start, panel| {
+            let rows = panel.len() / self.dim();
+            let out = &mut scores[..rows];
+            self.metric.score_block(query, q_sq, panel, &norms[start..start + rows], out);
+            for (j, &score) in out.iter().enumerate() {
+                topk.push(SearchResult { id: self.ids[start + j], score });
+            }
+        });
+        topk.into_sorted()
+    }
+
+    /// [`VectorStore::search_batch`] with explicit panel height and
+    /// queries-per-task block. `query_block == 0` picks the size
+    /// automatically (the pool's stage batching heuristic). Results are
+    /// independent of both block sizes and of the worker count.
+    pub fn search_batch_blocked(
+        &self,
+        exec: &Executor,
+        queries: &[Vec<f32>],
+        k: usize,
+        block_rows: usize,
+        query_block: usize,
+    ) -> Vec<Vec<SearchResult>> {
+        for q in queries {
+            assert_eq!(q.len(), self.dim(), "query dimension mismatch");
+        }
+        if k == 0 || self.is_empty() {
+            return vec![Vec::new(); queries.len()];
+        }
+        let query_block = if query_block == 0 {
+            auto_batch_size(queries.len(), exec.workers())
+        } else {
+            query_block
+        };
+        // One pool task per *query block*: inside a task every panel is
+        // decoded once and scored against the whole block of queries, so
+        // the number of full-matrix decodes is `ceil(queries / block)`
+        // rather than `queries`.
+        let ranges: Vec<std::ops::Range<usize>> = (0..queries.len())
+            .step_by(query_block)
+            .map(|s| s..(s + query_block).min(queries.len()))
+            .collect();
+        let (blocks, _metrics) = run_stage(exec, "search-batch", ranges, |range| {
+            let block_queries = &queries[range.start..range.end];
+            let q_sqs: Vec<f32> = block_queries.iter().map(|q| kernel::sq_norm(q)).collect();
+            let mut topks: Vec<TopK> = (0..block_queries.len()).map(|_| TopK::new(k)).collect();
+            let mut scores = vec![0.0f32; block_rows];
+            let norms = self.matrix.row_sq_norms();
+            self.matrix.for_each_block(block_rows, |start, panel| {
+                let rows = panel.len() / self.dim();
+                let row_norms = &norms[start..start + rows];
+                for ((q, &q_sq), topk) in block_queries.iter().zip(&q_sqs).zip(topks.iter_mut()) {
+                    let out = &mut scores[..rows];
+                    self.metric.score_block(q, q_sq, panel, row_norms, out);
+                    for (j, &score) in out.iter().enumerate() {
+                        topk.push(SearchResult { id: self.ids[start + j], score });
+                    }
+                }
+            });
+            Ok::<_, String>(topks.into_iter().map(TopK::into_sorted).collect::<Vec<_>>())
+        });
+        blocks.into_iter().flat_map(|b| b.expect("search cannot fail")).collect()
+    }
 }
 
 impl VectorStore for FlatIndex {
@@ -53,17 +161,16 @@ impl VectorStore for FlatIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
-        assert_eq!(query.len(), self.dim(), "query dimension mismatch");
-        if k == 0 || self.is_empty() {
-            return Vec::new();
-        }
-        let mut hits: Vec<SearchResult> = Vec::with_capacity(self.len());
-        self.matrix.for_each_row(|i, row| {
-            hits.push(SearchResult { id: self.ids[i], score: self.metric.score(query, row) });
-        });
-        sort_hits(&mut hits);
-        hits.truncate(k);
-        hits
+        self.search_blocked(query, k, self.default_block_rows())
+    }
+
+    fn search_batch(
+        &self,
+        exec: &Executor,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> Vec<Vec<SearchResult>> {
+        self.search_batch_blocked(exec, queries, k, self.default_block_rows(), 0)
     }
 
     fn len(&self) -> usize {

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::codec::{encode_metric, put_f32s, put_u32, put_u64, Reader};
 use crate::metric::Metric;
-use crate::{sort_hits, SearchResult, VectorStore};
+use crate::{SearchResult, TopK, VectorStore};
 
 /// IVF configuration.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -227,15 +227,16 @@ impl VectorStore for IvfIndex {
         ranked.sort_by(|a, b| {
             b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
-        let mut hits = Vec::new();
+        // The in-list exact scan shares flat search's machinery: each
+        // candidate is scored by the fixed-order `Metric::score` kernel and
+        // kept in a bounded heap instead of a materialise-then-sort pass.
+        let mut topk = TopK::new(k);
         for &(list_idx, _) in ranked.iter().take(self.config.nprobe) {
             for (id, v) in &self.lists[list_idx] {
-                hits.push(SearchResult { id: *id, score: self.metric.score(query, v) });
+                topk.push(SearchResult { id: *id, score: self.metric.score(query, v) });
             }
         }
-        sort_hits(&mut hits);
-        hits.truncate(k);
-        hits
+        topk.into_sorted()
     }
 
     fn len(&self) -> usize {

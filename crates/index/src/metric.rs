@@ -1,5 +1,13 @@
 //! Similarity metrics shared by all index families.
+//!
+//! Scoring is built on the fixed-order multi-accumulator kernels in
+//! [`mcqa_util::kernel`]: [`Metric::score`] composes them per pair, and
+//! [`Metric::score_block`] sweeps one query across a decoded row panel
+//! using build-time-cached row norms. Both paths call the identical
+//! per-row math, so blocked search is bit-identical to a per-row scalar
+//! oracle (property-tested in `tests/kernel.rs`).
 
+use mcqa_util::kernel;
 use serde::{Deserialize, Serialize};
 
 /// A vector similarity metric. Scores are oriented so that **higher is
@@ -21,22 +29,64 @@ impl Metric {
         debug_assert_eq!(a.len(), b.len());
         match self {
             Metric::Cosine => {
-                let mut dot = 0.0f32;
-                let mut na = 0.0f32;
-                let mut nb = 0.0f32;
-                for (x, y) in a.iter().zip(b) {
-                    dot += x * y;
-                    na += x * x;
-                    nb += y * y;
-                }
+                let dot = kernel::dot(a, b);
+                let na = kernel::sq_norm(a);
+                let nb = kernel::sq_norm(b);
                 if na == 0.0 || nb == 0.0 {
                     0.0
                 } else {
                     dot / (na.sqrt() * nb.sqrt())
                 }
             }
-            Metric::Dot => a.iter().zip(b).map(|(x, y)| x * y).sum(),
-            Metric::L2 => -a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>(),
+            Metric::Dot => kernel::dot(a, b),
+            Metric::L2 => -kernel::l2_sq(a, b),
+        }
+    }
+
+    /// Score `query` against every row of a dense row-major `panel`,
+    /// writing one score per row into `out` (`panel.len() == out.len() *
+    /// query.len()`).
+    ///
+    /// `query_sq_norm` must be `kernel::sq_norm(query)` and `row_sq_norms`
+    /// the rows' cached squared norms (both consulted for Cosine only, so
+    /// Dot/L2 callers may pass `0.0` / `&[]`). Hoisting the query norm and
+    /// caching the row norms turns Cosine into a dot product per row
+    /// without changing a single bit: the expression evaluated here is the
+    /// one [`Metric::score`] evaluates, with the same kernel accumulation
+    /// order.
+    pub fn score_block(
+        self,
+        query: &[f32],
+        query_sq_norm: f32,
+        panel: &[f32],
+        row_sq_norms: &[f32],
+        out: &mut [f32],
+    ) {
+        let dim = query.len();
+        debug_assert_eq!(panel.len(), out.len() * dim);
+        let rows = panel.chunks_exact(dim);
+        match self {
+            Metric::Cosine => {
+                debug_assert_eq!(row_sq_norms.len(), out.len());
+                let qn = query_sq_norm.sqrt();
+                for ((row, s), &nb) in rows.zip(out.iter_mut()).zip(row_sq_norms) {
+                    *s = if query_sq_norm == 0.0 || nb == 0.0 {
+                        0.0
+                    } else {
+                        kernel::dot(query, row) / (qn * nb.sqrt())
+                    };
+                }
+            }
+            Metric::Dot => {
+                for (row, s) in rows.zip(out.iter_mut()) {
+                    *s = kernel::dot(query, row);
+                }
+            }
+            Metric::L2 => {
+                for (row, s) in rows.zip(out.iter_mut()) {
+                    *s = -kernel::l2_sq(query, row);
+                }
+            }
         }
     }
 }
@@ -70,18 +120,56 @@ mod tests {
     }
 
     #[test]
-    fn identical_vectors_maximal_for_all_metrics() {
-        let v = [0.3, -0.4, 0.5];
-        for m in [Metric::Cosine, Metric::Dot, Metric::L2] {
+    fn self_similarity_is_maximal_for_cosine_and_l2() {
+        // Cosine is bounded by 1 (attained at v) and L2 by 0 (attained at
+        // v), so self-similarity dominates any cross-similarity. Dot has no
+        // such bound — score(v, w) > score(v, v) whenever w is a longer
+        // vector in v's direction — so it is excluded.
+        let v = [0.3f32, -0.4, 0.5];
+        let others = [[0.9f32, 0.2, -0.7], [0.3, -0.4, 0.6], [-0.3, 0.4, -0.5]];
+        for m in [Metric::Cosine, Metric::L2] {
             let self_score = m.score(&v, &v);
-            let other = [0.9f32, 0.2, -0.7];
-            // Self-similarity should be at least the cross-similarity for
-            // cosine and L2 (dot has no such guarantee in general but does
-            // here since |other| > |v| is not the case... check explicitly
-            // only for cosine/L2).
-            if m != Metric::Dot {
-                assert!(self_score >= m.score(&v, &other), "{m:?}");
+            for other in &others {
+                assert!(self_score >= m.score(&v, other), "{m:?} vs {other:?}");
             }
         }
+        let longer = [0.6f32, -0.8, 1.0]; // 2·v
+        assert!(Metric::Dot.score(&v, &longer) > Metric::Dot.score(&v, &v));
+    }
+
+    #[test]
+    fn score_block_matches_per_row_score_bitwise() {
+        let dim = 19; // ragged vs the kernel lane width
+        let mk = |seed: u64| -> Vec<f32> {
+            (0..dim)
+                .map(|j| {
+                    (mcqa_util::splitmix64(seed * 97 + j as u64) as f32 / u64::MAX as f32) - 0.5
+                })
+                .collect()
+        };
+        let query = mk(1000);
+        let rows: Vec<Vec<f32>> = (0..7).map(&mk).collect();
+        let mut panel = Vec::new();
+        for r in &rows {
+            panel.extend_from_slice(r);
+        }
+        let norms: Vec<f32> = rows.iter().map(|r| mcqa_util::kernel::sq_norm(r)).collect();
+        let qsq = mcqa_util::kernel::sq_norm(&query);
+        for m in [Metric::Cosine, Metric::Dot, Metric::L2] {
+            let mut out = vec![0.0f32; rows.len()];
+            m.score_block(&query, qsq, &panel, &norms, &mut out);
+            for (row, got) in rows.iter().zip(&out) {
+                assert_eq!(got.to_bits(), m.score(&query, row).to_bits(), "{m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn score_block_zero_vectors_are_defined() {
+        let query = vec![0.0f32; 8];
+        let panel = vec![0.0f32; 16];
+        let mut out = vec![1.0f32; 2];
+        Metric::Cosine.score_block(&query, 0.0, &panel, &[0.0, 0.0], &mut out);
+        assert_eq!(out, vec![0.0, 0.0]);
     }
 }

@@ -1,0 +1,173 @@
+//! Property suite for the blocked, query-batched flat-search kernel: every
+//! (metric × precision × block size × query block × worker count) path must
+//! return **identical ids and scores** to a naive per-row scalar oracle —
+//! score each stored row with `Metric::score`, sort by (score desc, id
+//! asc), truncate to k. Covers ragged tails (`len % block_rows != 0`),
+//! `k >= len`, and duplicate-score ties.
+
+use std::sync::OnceLock;
+
+use mcqa_embed::Precision;
+use mcqa_index::{FlatIndex, Metric, SearchResult, VectorStore};
+use mcqa_runtime::Executor;
+use mcqa_util::KeyedStochastic;
+use proptest::prelude::*;
+
+fn exec() -> &'static Executor {
+    static EXEC: OnceLock<Executor> = OnceLock::new();
+    EXEC.get_or_init(|| Executor::new(4))
+}
+
+/// Deterministic dense vectors keyed on (seed, i); deliberately *not*
+/// normalised so Dot and L2 see a spread of magnitudes.
+fn vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let ks = KeyedStochastic::new(seed);
+    (0..n)
+        .map(|i| {
+            (0..dim).map(|j| ks.gaussian(&["v", &i.to_string(), &j.to_string()]) as f32).collect()
+        })
+        .collect()
+}
+
+/// The scalar oracle: per-row `Metric::score` on the store's own decoded
+/// rows, full sort with the canonical tie-break, truncate.
+fn oracle(idx: &FlatIndex, query: &[f32], k: usize) -> Vec<SearchResult> {
+    let mut hits: Vec<SearchResult> = (0..idx.len())
+        .map(|i| SearchResult { id: idx.row_id(i), score: idx.metric().score(query, &idx.row(i)) })
+        .collect();
+    hits.sort_by(|a, b| {
+        b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
+    });
+    hits.truncate(k);
+    hits
+}
+
+fn build(
+    metric: Metric,
+    precision: Precision,
+    dim: usize,
+    rows: &[Vec<f32>],
+    duplicate_every: usize,
+) -> FlatIndex {
+    let mut idx = FlatIndex::new(dim, metric, precision);
+    for (i, v) in rows.iter().enumerate() {
+        // Duplicated rows under fresh ids force exact score ties, the case
+        // where heap order and sort order could legally diverge if the
+        // tie-break were not total.
+        let v = if duplicate_every > 0 && i % duplicate_every == 0 && i > 0 { &rows[0] } else { v };
+        idx.add(i as u64 * 3, v);
+    }
+    idx
+}
+
+const METRICS: [Metric; 3] = [Metric::Cosine, Metric::Dot, Metric::L2];
+
+proptest! {
+    /// Single-query blocked search equals the scalar oracle bit-for-bit at
+    /// every panel height, including ragged tails and k >= len.
+    #[test]
+    fn blocked_search_matches_scalar_oracle(
+        n in 1usize..90,
+        dim in 1usize..40,
+        k in 0usize..100,
+        seed in 0u64..500,
+        dup in 0usize..6,
+    ) {
+        let rows = vectors(n, dim, seed);
+        let query = vectors(1, dim, seed ^ 0xABCD).pop().unwrap();
+        for metric in METRICS {
+            for precision in [Precision::F32, Precision::F16] {
+                let idx = build(metric, precision, dim, &rows, dup);
+                let expect = oracle(&idx, &query, k);
+                for block_rows in [1usize, 3, 8, n.max(1), n + 7] {
+                    let got = idx.search_blocked(&query, k, block_rows);
+                    prop_assert_eq!(
+                        &got, &expect,
+                        "{:?}/{:?} n={} block={}", metric, precision, n, block_rows
+                    );
+                }
+                // The trait entry point uses the default panel height.
+                prop_assert_eq!(idx.search(&query, k), expect, "{:?}/{:?}", metric, precision);
+            }
+        }
+    }
+
+    /// Query-batched blocked search equals per-query search at every
+    /// (panel height × query block × worker count), i.e. one amortised
+    /// panel decode serves every query bit-identically.
+    #[test]
+    fn batched_search_matches_per_query_search(
+        n in 1usize..70,
+        n_queries in 0usize..12,
+        seed in 0u64..500,
+    ) {
+        let dim = 24;
+        let rows = vectors(n, dim, seed);
+        let queries = vectors(n_queries, dim, seed ^ 0xBEEF);
+        for metric in METRICS {
+            for precision in [Precision::F32, Precision::F16] {
+                let idx = build(metric, precision, dim, &rows, 3);
+                let expect: Vec<Vec<SearchResult>> =
+                    queries.iter().map(|q| oracle(&idx, q, 5)).collect();
+                for workers in [1usize, 4] {
+                    let pool = Executor::new(workers);
+                    for (block_rows, query_block) in [(1, 1), (7, 3), (64, 0), (n.max(1), 2)] {
+                        let got =
+                            idx.search_batch_blocked(&pool, &queries, 5, block_rows, query_block);
+                        prop_assert_eq!(
+                            &got, &expect,
+                            "{:?}/{:?} n={} rb={} qb={} w={}",
+                            metric, precision, n, block_rows, query_block, workers
+                        );
+                    }
+                    prop_assert_eq!(idx.search_batch(&pool, &queries, 5), expect.clone());
+                }
+            }
+        }
+    }
+}
+
+/// All-identical rows: every score ties, so the returned ids must be the k
+/// smallest ids in order — for every metric, precision, and path.
+#[test]
+fn all_ties_rank_by_ascending_id() {
+    let dim = 16;
+    let v = vectors(1, dim, 77).pop().unwrap();
+    for metric in METRICS {
+        for precision in [Precision::F32, Precision::F16] {
+            let mut idx = FlatIndex::new(dim, metric, precision);
+            for id in [9u64, 2, 14, 5, 0, 7] {
+                idx.add(id, &v);
+            }
+            let hits = idx.search_blocked(&v, 4, 4);
+            assert_eq!(
+                hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+                vec![0, 2, 5, 7],
+                "{metric:?}/{precision:?}"
+            );
+            let batched = idx.search_batch_blocked(exec(), &[v.clone(), v.clone()], 4, 2, 1);
+            assert_eq!(batched[0], hits, "{metric:?}/{precision:?} batched");
+            assert_eq!(batched[1], hits, "{metric:?}/{precision:?} batched");
+        }
+    }
+}
+
+/// Degenerate shapes stay total on the blocked paths.
+#[test]
+fn degenerate_blocked_shapes() {
+    let dim = 8;
+    let idx = FlatIndex::new(dim, Metric::Cosine, Precision::F16);
+    assert!(idx.search_blocked(&vec![0.0; dim], 5, 16).is_empty(), "empty index");
+    let out = idx.search_batch_blocked(exec(), &[vec![0.0; dim]], 5, 16, 0);
+    assert_eq!(out, vec![Vec::new()], "empty index, batched");
+
+    let mut idx = FlatIndex::new(dim, Metric::Cosine, Precision::F16);
+    idx.add(1, &vec![1.0; dim]);
+    assert!(idx.search_blocked(&vec![1.0; dim], 0, 16).is_empty(), "k = 0");
+    assert_eq!(idx.search_blocked(&vec![1.0; dim], 10, 16).len(), 1, "k > len");
+    assert_eq!(
+        idx.search_batch_blocked(exec(), &[], 5, 16, 0),
+        Vec::<Vec<SearchResult>>::new(),
+        "no queries"
+    );
+}

@@ -194,6 +194,23 @@ impl RequestPayload {
             RequestPayload::Answer { .. } => Role::Answerer,
         }
     }
+
+    /// Whether the response cache should retain completions for this
+    /// payload. Teacher generation/distillation and judge quality scoring
+    /// are issued exactly once per (fact, salt) / (question, mode) /
+    /// candidate within a run — every such entry would be written and
+    /// never read, pinning ~40% of resident cache memory at paper scale.
+    /// Grading, math classification, and answering *do* repeat (the
+    /// no-math re-answer pass, repeated `run_cards`, ablations), so they
+    /// stay cached.
+    pub fn cacheable(&self) -> bool {
+        !matches!(
+            self,
+            RequestPayload::GenerateQuestion { .. }
+                | RequestPayload::DistillTrace { .. }
+                | RequestPayload::ScoreQuestion { .. }
+        )
+    }
 }
 
 /// One completion request.
@@ -229,8 +246,16 @@ impl ModelRequest {
     /// (same shape as the embedding cache's key; a 64-bit collision would
     /// alias two requests — probability ~2⁻⁶⁴ per pair, negligible at any
     /// realistic call volume).
+    ///
+    /// The encoding is streamed straight into the hasher
+    /// ([`serde_json::to_writer`] over [`mcqa_util::Fnv1aWriter`]), so the
+    /// eval loop's ~270k cache-key computations per run never materialise
+    /// the transient JSON string — the key is bit-identical to hashing
+    /// [`ModelRequest::canonical_encoding`].
     pub fn cache_key(&self) -> u64 {
-        mcqa_util::fnv1a(self.canonical_encoding().as_bytes())
+        let mut hasher = mcqa_util::Fnv1aWriter::new();
+        serde_json::to_writer(&mut hasher, self).expect("model requests serialise");
+        hasher.finish()
     }
 
     /// Prompt-token estimate. For an answer request with an assembled
@@ -406,6 +431,40 @@ mod tests {
         let mut hotter = req(1);
         hotter.params.temperature = 0.7;
         assert_ne!(req(1).cache_key(), hotter.cache_key(), "params are part of the identity");
+    }
+
+    #[test]
+    fn cache_key_streams_the_canonical_encoding() {
+        // The streamed key must equal hashing the materialised canonical
+        // encoding — the content address is unchanged by the zero-alloc
+        // path (the ledger census depends on that).
+        for seed in [1u64, 42, 999] {
+            let r = req(seed);
+            assert_eq!(r.cache_key(), mcqa_util::fnv1a(r.canonical_encoding().as_bytes()));
+        }
+    }
+
+    #[test]
+    fn cache_policy_follows_payload_repetition() {
+        use crate::teacher::GeneratedQuestion;
+        let q = GeneratedQuestion {
+            fact: FactId(7),
+            stem: "Which kinase?".into(),
+            options: vec!["TRK2".into()],
+            recorded_key: 0,
+            true_key: 0,
+            defects: Vec::new(),
+            distractor_plausibility: 0.5,
+        };
+        let once_only = [
+            RequestPayload::GenerateQuestion { fact: FactId(7), salt: "s".into() },
+            RequestPayload::DistillTrace { question: q.clone(), mode: TraceMode::Focused },
+            RequestPayload::ScoreQuestion { question: q, salience: 0.5 },
+        ];
+        for p in once_only {
+            assert!(!p.cacheable(), "{:?} never repeats within a run", p.role());
+        }
+        assert!(req(1).payload.cacheable(), "grading repeats and stays cached");
     }
 
     #[test]

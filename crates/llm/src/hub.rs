@@ -47,17 +47,29 @@ impl ModelHub {
     }
 
     /// Serve one request through the cache, tallying the ledger.
+    ///
+    /// Cache policy is payload-aware ([`RequestPayload::cacheable`]):
+    /// request kinds that are issued exactly once per run — teacher
+    /// generation/distillation, judge quality scoring — bypass the cache
+    /// entirely (no key hashed, nothing retained), since every such entry
+    /// would be written and never read. Their ledger accounting is
+    /// unchanged: a bypassed request is a backend call, exactly as it was
+    /// when it was a guaranteed cache miss.
     fn cached_complete(&self, req: &ModelRequest) -> ModelResponse {
-        let key = req.cache_key();
-        if let Some(hit) = self.cache.get(key) {
-            self.ledger.record_call(req.role, true, hit.tokens_in, hit.tokens_out, 0);
-            return hit;
+        let key = req.payload.cacheable().then(|| req.cache_key());
+        if let Some(key) = key {
+            if let Some(hit) = self.cache.get(key) {
+                self.ledger.record_call(req.role, true, hit.tokens_in, hit.tokens_out, 0);
+                return hit;
+            }
         }
         let start = Instant::now();
         let response = self.endpoint.complete(req);
         let busy = start.elapsed().as_nanos() as u64;
         self.ledger.record_call(req.role, false, response.tokens_in, response.tokens_out, busy);
-        self.cache.insert(key, response.clone());
+        if let Some(key) = key {
+            self.cache.insert(key, response.clone());
+        }
         response
     }
 }
@@ -127,6 +139,39 @@ mod tests {
         assert_eq!(judge.calls, 2);
         assert_eq!(judge.cache_hits, 1);
         assert_eq!(judge.backend_calls(), 1);
+    }
+
+    #[test]
+    fn once_only_payloads_bypass_the_cache_without_changing_completions() {
+        use mcqa_ontology::FactId;
+        let ont = ontology();
+        let hub = ModelHub::new(build_endpoint(&ModelSpec::Sim, 42, Arc::clone(&ont)));
+        let bare = SimEndpoint::new(42, ont);
+        let fact = FactId(3);
+        let req = ModelRequest::new(
+            vec![PromptPart::user("generate")],
+            RequestPayload::GenerateQuestion { fact, salt: "s0".into() },
+            42,
+        );
+
+        let first = hub.complete(&req);
+        assert_eq!(first, bare.complete(&req), "hub must not change completions");
+        assert_eq!(hub.cache().len(), 0, "once-only requests retain nothing");
+        // Serving the same request again is still correct (deterministic
+        // backend), it just pays the backend instead of the cache.
+        let second = hub.complete(&req);
+        assert_eq!(second, first);
+        let teacher = hub.ledger().role(crate::Role::Teacher);
+        assert_eq!(teacher.calls, 2);
+        assert_eq!(teacher.cache_hits, 0);
+        assert_eq!(teacher.backend_calls(), 2);
+
+        // A cacheable payload on the same hub still short-circuits.
+        let grade = grade_req("Answer: B");
+        hub.complete(&grade);
+        hub.complete(&grade);
+        assert_eq!(hub.cache().len(), 1);
+        assert_eq!(hub.ledger().role(crate::Role::Judge).cache_hits, 1);
     }
 
     #[test]

@@ -121,10 +121,17 @@ proptest! {
         // And the cached responses equal the bare backend's.
         let bare: Vec<_> = reqs.iter().map(|r| endpoint().complete(r)).collect();
         prop_assert_eq!(&first, &bare);
-        // Ledger: second pass hit for every request.
+        // Ledger: the second pass hits for every *retained* request kind;
+        // once-only payloads (teacher generation/distillation, quality
+        // scoring) bypass the cache by policy and pay the deterministic
+        // backend again instead.
         let total = hub.ledger().total();
         prop_assert_eq!(total.calls as usize, reqs.len() * 2);
-        prop_assert!(total.cache_hits as usize >= reqs.len(), "every repeat is a hit");
+        let repeatable = reqs.iter().filter(|r| r.payload.cacheable()).count();
+        prop_assert!(
+            total.cache_hits as usize >= repeatable,
+            "every cacheable repeat is a hit ({} < {repeatable})", total.cache_hits
+        );
     }
 
     #[test]
@@ -160,11 +167,16 @@ proptest! {
                 (total.cache_hits + (total.calls - total.cache_hits)) as usize,
                 reqs.len()
             );
-            // The cache holds one entry per *distinct* completion, and the
-            // backend served at least that many (concurrent first-touches
-            // of one key may race, never under-count).
-            let distinct: std::collections::HashSet<u64> =
-                reqs.iter().map(|r| r.cache_key()).collect();
+            // The cache holds one entry per distinct completion of the
+            // *retained* request kinds (once-only payloads are never
+            // stored), and the backend served at least that many
+            // (concurrent first-touches of one key may race, never
+            // under-count).
+            let distinct: std::collections::HashSet<u64> = reqs
+                .iter()
+                .filter(|r| r.payload.cacheable())
+                .map(|r| r.cache_key())
+                .collect();
             prop_assert_eq!(hub.cache().len(), distinct.len(), "shape {}", si);
             prop_assert!(total.calls - total.cache_hits >= distinct.len() as u64);
             // Batch submissions were tallied per role actually present.

@@ -1,0 +1,144 @@
+//! Multi-accumulator scoring kernels shared by the vector stores and the
+//! embedding matrix.
+//!
+//! Exact retrieval is a dense dot-product sweep: at paper scale every query
+//! visits every stored row, so the per-element loop *is* the hot path. A
+//! naive `iter().zip().map().sum()` builds one serial dependency chain of
+//! float adds, which caps the loop at one add per ~4 cycles. These kernels
+//! split the reduction across [`LANES`] independent accumulators over
+//! `chunks_exact` blocks — a shape LLVM's autovectorizer folds into packed
+//! SIMD adds/multiplies — and reduce the lanes in one **fixed** pairwise
+//! tree.
+//!
+//! Determinism contract: every kernel accumulates in a fixed order that
+//! depends only on the slice length, never on block boundaries, worker
+//! counts, or call sites. `Metric::score` in `mcqa-index` and the blocked
+//! panel kernels are built on the same three functions, which is what makes
+//! blocked/batched search bit-identical to the per-row scalar oracle.
+
+/// Independent accumulator lanes per kernel. Eight f32 lanes fill one
+/// AVX2 register (or two NEON registers) and leave the autovectorizer no
+/// reassociation to prove — the source order already is the packed order.
+pub const LANES: usize = 8;
+
+/// Reduce the lanes in a fixed pairwise tree (part of the determinism
+/// contract: the same inputs always reduce in the same order).
+#[inline(always)]
+fn reduce(acc: [f32; LANES]) -> f32 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
+}
+
+/// Dot product with a fixed accumulation order.
+///
+/// Element `i` lands in lane `i % LANES` over full blocks; the ragged tail
+/// continues lane-by-lane from lane 0.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let split = (a.len() / LANES) * LANES;
+    for (ca, cb) in a[..split].chunks_exact(LANES).zip(b[..split].chunks_exact(LANES)) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    for (l, (x, y)) in a[split..].iter().zip(&b[split..]).enumerate() {
+        acc[l] += x * y;
+    }
+    reduce(acc)
+}
+
+/// Squared L2 norm (`Σ xᵢ²`) with the same accumulation order as [`dot`].
+#[inline]
+pub fn sq_norm(a: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let split = (a.len() / LANES) * LANES;
+    for ca in a[..split].chunks_exact(LANES) {
+        for l in 0..LANES {
+            acc[l] += ca[l] * ca[l];
+        }
+    }
+    for (l, x) in a[split..].iter().enumerate() {
+        acc[l] += x * x;
+    }
+    reduce(acc)
+}
+
+/// Squared Euclidean distance (`Σ (xᵢ − yᵢ)²`) with the same accumulation
+/// order as [`dot`].
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let split = (a.len() / LANES) * LANES;
+    for (ca, cb) in a[..split].chunks_exact(LANES).zip(b[..split].chunks_exact(LANES)) {
+        for l in 0..LANES {
+            let d = ca[l] - cb[l];
+            acc[l] += d * d;
+        }
+    }
+    for (l, (x, y)) in a[split..].iter().zip(&b[split..]).enumerate() {
+        let d = x - y;
+        acc[l] += d * d;
+    }
+    reduce(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, seed: u64) -> Vec<f32> {
+        (0..n)
+            .map(|i| (crate::splitmix64(seed ^ i as u64) as f32 / u64::MAX as f32) - 0.5)
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_within_tolerance() {
+        // The kernels reassociate relative to a serial fold, so compare
+        // against f64 ground truth, not bit-for-bit against f32 serial.
+        for n in [0usize, 1, 3, 7, 8, 9, 15, 16, 17, 64, 100, 256, 1000] {
+            let a = sample(n, 1);
+            let b = sample(n, 2);
+            let dot64: f64 = a.iter().zip(&b).map(|(x, y)| *x as f64 * *y as f64).sum();
+            let nrm64: f64 = a.iter().map(|x| (*x as f64) * (*x as f64)).sum();
+            let l264: f64 = a.iter().zip(&b).map(|(x, y)| ((x - y) as f64).powi(2)).sum();
+            let tol = 1e-4 * (n as f64 + 1.0);
+            assert!((dot(&a, &b) as f64 - dot64).abs() < tol, "dot n={n}");
+            assert!((sq_norm(&a) as f64 - nrm64).abs() < tol, "sq_norm n={n}");
+            assert!((l2_sq(&a, &b) as f64 - l264).abs() < tol, "l2_sq n={n}");
+        }
+    }
+
+    #[test]
+    fn fixed_order_is_length_only() {
+        // Scoring a row as part of a longer panel sweep or alone must give
+        // the same bits: the kernels only ever see one row's slice, so
+        // slicing the same data differently upstream cannot change results.
+        let a = sample(37, 3);
+        let b = sample(37, 4);
+        let d1 = dot(&a, &b);
+        let d2 = dot(&a.clone(), &b.clone());
+        assert_eq!(d1.to_bits(), d2.to_bits());
+    }
+
+    #[test]
+    fn empty_and_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(sq_norm(&[]), 0.0);
+        assert_eq!(l2_sq(&[], &[]), 0.0);
+        let z = vec![0.0f32; 19];
+        assert_eq!(sq_norm(&z), 0.0);
+    }
+
+    #[test]
+    fn self_dot_equals_sq_norm_bits() {
+        // dot(a, a) and sq_norm(a) share the accumulation order, so they
+        // agree bit-for-bit — the cached-norms cosine path relies on it.
+        for n in [5usize, 8, 23, 128, 257] {
+            let a = sample(n, 9);
+            assert_eq!(dot(&a, &a).to_bits(), sq_norm(&a).to_bits(), "n={n}");
+        }
+    }
+}

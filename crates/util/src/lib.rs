@@ -10,6 +10,8 @@
 //!   picks derived from stable hashes.
 //! * [`mod@f16`] — a half-precision (IEEE 754 binary16) codec used by the
 //!   embedding store, mirroring the paper's FP16 FAISS databases.
+//! * [`kernel`] — multi-accumulator dot/norm/L2 kernels with a fixed
+//!   accumulation order, the scalar core of exact vector search.
 //! * [`stats`] — online mean/variance, accuracy accounting and Wilson score
 //!   intervals used by the evaluation harness.
 //! * [`timer`] — lightweight wall-clock scopes for the runtime's stage
@@ -17,12 +19,13 @@
 
 pub mod f16;
 pub mod hash;
+pub mod kernel;
 pub mod stats;
 pub mod stochastic;
 pub mod timer;
 
 pub use f16::F16;
-pub use hash::{fnv1a, splitmix64, StableHasher};
+pub use hash::{fnv1a, splitmix64, Fnv1aWriter, StableHasher};
 pub use stats::{Accuracy, OnlineStats, WilsonInterval};
 pub use stochastic::KeyedStochastic;
 pub use timer::ScopeTimer;

@@ -90,7 +90,20 @@ for backend in flat hnsw ivf; do
         echo "repro smoke FAILED: ${backend} recall@5 ${RECALL} < 0.9 vs flat baseline" >&2
         exit 1
     fi
+    # Every [recall] line must also report exact-search throughput, so the
+    # blocked-kernel win stays a greppable regression surface.
+    if ! grep -qE 'search_qps=[0-9]+' <<<"${LINE}"; then
+        echo "repro smoke FAILED: ${backend} recall line reports no search_qps" >&2
+        exit 1
+    fi
 done
+# Flat is the exact baseline: its recall is 1.0 by definition, and anything
+# else means the blocked/batched kernel diverged from ground truth.
+FLAT_RECALL="$(grep -F '[recall] backend=flat ' <<<"${RECALL_OUT}" | grep -oE 'recall_at_5=[0-9.]+' | cut -d= -f2)"
+if ! awk -v r="${FLAT_RECALL}" 'BEGIN { exit !(r == 1.0) }'; then
+    echo "repro smoke FAILED: flat recall@5 ${FLAT_RECALL} != 1.0 (exact search is no longer exact)" >&2
+    exit 1
+fi
 
 # The evaluation runs on the same scheduler: `repro all` must surface both
 # the pipeline stages (generate+judge included) and the eval stages via
@@ -101,6 +114,14 @@ for stage in generate+judge eval-retrieve eval-embed-cache eval-assemble eval-an
         exit 1
     fi
 done
+# The eval-retrieve row must report a measured throughput (questions/s in
+# the items/s column): retrieval goes through the timed multi-query path,
+# not an unmeasured inline loop.
+RETRIEVE_QPS="$(grep -E '^eval-retrieve ' <<<"${ALL_OUT}" | head -1 | awk '{print $7}')"
+if [[ -z "${RETRIEVE_QPS}" ]] || ! awk -v q="${RETRIEVE_QPS}" 'BEGIN { exit !(q > 0) }'; then
+    echo "repro smoke FAILED: eval-retrieve row reports no q/s (got '${RETRIEVE_QPS}')" >&2
+    exit 1
+fi
 
 echo "== repro smoke: golden artifact census (scale 0.02, seed 42) =="
 # The golden determinism bar: the sim-backend generation artifacts at the

@@ -26,85 +26,96 @@ impl From<serde::DeError> for Error {
 
 // ---- serialization ---------------------------------------------------------
 
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
+// The writer is generic over `fmt::Write` so the same code path backs both
+// string serialization and [`to_writer`]'s streaming `io::Write` sinks (a
+// hasher, a file): whatever bytes `to_string` would produce are exactly the
+// bytes a sink receives.
+
+fn escape_into<W: std::fmt::Write>(s: &str, out: &mut W) -> std::fmt::Result {
+    out.write_char('"')?;
     for ch in s.chars() {
         match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
-fn write_f64(x: f64, out: &mut String) {
+fn write_f64<W: std::fmt::Write>(x: f64, out: &mut W) -> std::fmt::Result {
     if x.is_finite() {
         // Rust's shortest-roundtrip formatting keeps values exact on re-parse.
-        out.push_str(&format!("{x}"));
+        write!(out, "{x}")
     } else {
-        out.push_str("null");
+        out.write_str("null")
     }
 }
 
-fn write_content(c: &Content, out: &mut String, indent: Option<usize>) {
+fn write_indent<W: std::fmt::Write>(out: &mut W, level: usize) -> std::fmt::Result {
+    out.write_char('\n')?;
+    for _ in 0..level {
+        out.write_str("  ")?;
+    }
+    Ok(())
+}
+
+fn write_content<W: std::fmt::Write>(
+    c: &Content,
+    out: &mut W,
+    indent: Option<usize>,
+) -> std::fmt::Result {
     match c {
-        Content::Null => out.push_str("null"),
-        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Content::I64(x) => out.push_str(&x.to_string()),
-        Content::U64(x) => out.push_str(&x.to_string()),
+        Content::Null => out.write_str("null"),
+        Content::Bool(b) => out.write_str(if *b { "true" } else { "false" }),
+        Content::I64(x) => write!(out, "{x}"),
+        Content::U64(x) => write!(out, "{x}"),
         Content::F64(x) => write_f64(*x, out),
         Content::Str(s) => escape_into(s, out),
         Content::Seq(xs) => {
-            out.push('[');
+            out.write_char('[')?;
             for (i, x) in xs.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
                 if let Some(level) = indent {
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(level + 1));
+                    write_indent(out, level + 1)?;
                 }
-                write_content(x, out, indent.map(|l| l + 1));
+                write_content(x, out, indent.map(|l| l + 1))?;
             }
             if let Some(level) = indent {
                 if !xs.is_empty() {
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(level));
+                    write_indent(out, level)?;
                 }
             }
-            out.push(']');
+            out.write_char(']')
         }
         Content::Map(m) => {
-            out.push('{');
+            out.write_char('{')?;
             for (i, (k, v)) in m.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
                 if let Some(level) = indent {
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(level + 1));
+                    write_indent(out, level + 1)?;
                 }
-                escape_into(k, out);
-                out.push(':');
+                escape_into(k, out)?;
+                out.write_char(':')?;
                 if indent.is_some() {
-                    out.push(' ');
+                    out.write_char(' ')?;
                 }
-                write_content(v, out, indent.map(|l| l + 1));
+                write_content(v, out, indent.map(|l| l + 1))?;
             }
             if let Some(level) = indent {
                 if !m.is_empty() {
-                    out.push('\n');
-                    out.push_str(&"  ".repeat(level));
+                    write_indent(out, level)?;
                 }
             }
-            out.push('}');
+            out.write_char('}')
         }
     }
 }
@@ -112,20 +123,49 @@ fn write_content(c: &Content, out: &mut String, indent: Option<usize>) {
 /// Serialize to a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_content(&value.to_content(), &mut out, None);
+    write_content(&value.to_content(), &mut out, None).expect("writing to a String cannot fail");
     Ok(out)
 }
 
 /// Serialize to a 2-space-indented JSON string.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_content(&value.to_content(), &mut out, Some(0));
+    write_content(&value.to_content(), &mut out, Some(0)).expect("writing to a String cannot fail");
     Ok(out)
 }
 
 /// Serialize to JSON bytes.
 pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
     to_string(value).map(String::into_bytes)
+}
+
+/// Serialize compact JSON straight into an [`std::io::Write`] sink.
+///
+/// The bytes streamed are exactly [`to_string`]'s output, without ever
+/// materialising that string — the entry point for hot paths that hash or
+/// persist a canonical encoding (e.g. the model layer's content-addressed
+/// cache keys, computed ~270k times per evaluation run).
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    struct IoFmt<W: std::io::Write> {
+        inner: W,
+        error: Option<std::io::Error>,
+    }
+    impl<W: std::io::Write> std::fmt::Write for IoFmt<W> {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            self.inner.write_all(s.as_bytes()).map_err(|e| {
+                self.error = Some(e);
+                std::fmt::Error
+            })
+        }
+    }
+    let mut out = IoFmt { inner: writer, error: None };
+    write_content(&value.to_content(), &mut out, None).map_err(|_| {
+        let io = out.error.take().expect("fmt failure carries the io error");
+        Error(format!("io error: {io}"))
+    })
 }
 
 // ---- parsing ---------------------------------------------------------------
@@ -413,6 +453,31 @@ mod tests {
         let v: Value = from_str(r#"{"a": 1, "b": [true, null]}"#).unwrap();
         assert!(v.get("a").is_some());
         assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn to_writer_streams_to_string_bytes_exactly() {
+        let v: Value =
+            from_str(r#"{"a": 1, "esc": "q\"\\\n\tz", "xs": [1.5, null, true], "neg": -3}"#)
+                .unwrap();
+        let mut streamed = Vec::new();
+        to_writer(&mut streamed, &v).unwrap();
+        assert_eq!(streamed, to_string(&v).unwrap().into_bytes());
+    }
+
+    #[test]
+    fn to_writer_surfaces_io_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("sink closed"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = to_writer(Broken, &42u32).unwrap_err();
+        assert!(err.to_string().contains("sink closed"), "{err}");
     }
 
     #[test]
