@@ -9,72 +9,128 @@
 //! repro residuals                   # calibration residual census
 //! repro recall                      # ANN recall@k + throughput vs flat
 //! repro models                      # per-role call ledger + cache hit rate
+//! repro serve-bench                 # query-service load harness (p50/p95/p99)
 //! repro ablate-topk                 # accuracy vs retrieval depth
 //! repro ablate-context              # accuracy vs context window
 //! repro ablate-filter               # quality threshold sweep
 //! ```
 //!
-//! Every pipeline-backed command takes `--index flat|hnsw|ivf` to select
-//! the vector-store backend (default `flat`, the exact baseline) and
-//! `--models sim` to select the model backend behind the `ModelEndpoint`
-//! trait (only the behavioural simulator exists offline).
+//! Every subcommand shares **one** flag parser ([`RunArgs`]): `--scale`,
+//! `--seed`, `--index flat|hnsw|ivf` (vector-store backend; default
+//! `flat`, the exact baseline), `--models sim` (model backend behind the
+//! `ModelEndpoint` trait; only the behavioural simulator exists offline),
+//! plus the `--serve-*` knobs `serve-bench` reads. An unknown flag or a
+//! malformed value exits 2 with the full flag list.
 
 use mcqa_core::{Pipeline, PipelineConfig};
 use mcqa_eval::results::{render_fig, render_table2, render_table3, render_table4, FigureSeries};
 use mcqa_eval::{EvalConfig, Evaluator};
-use mcqa_index::IndexSpec;
+use mcqa_index::{IndexRegistry, IndexSpec};
 use mcqa_llm::answer::Condition;
 use mcqa_llm::{cards, ModelSpec, TraceMode, MODEL_CARDS};
+use mcqa_serve::{QueryRequest, QueryService, ServeConfig};
 
-struct Args {
+/// Every flag every subcommand accepts, parsed by one parser. Commands
+/// read the subset they care about; there is no per-command flag dialect.
+struct RunArgs {
     command: String,
     scale: f64,
     seed: u64,
     index: IndexSpec,
     models: ModelSpec,
+    serve: ServeArgs,
 }
 
-fn parse_args() -> Args {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let command = argv.first().cloned().unwrap_or_else(|| "all".to_string());
-    let mut scale = 0.1;
-    let mut seed = 42;
-    let mut index = IndexSpec::Flat;
-    let mut models = ModelSpec::Sim;
-    let mut i = 1;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--scale" => {
-                scale = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(scale);
-                i += 2;
-            }
-            "--seed" => {
-                seed = argv.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(seed);
-                i += 2;
-            }
-            "--index" => {
-                let label = argv.get(i + 1).map(String::as_str).unwrap_or("");
-                index = IndexSpec::parse(label).unwrap_or_else(|| {
-                    eprintln!("unknown index backend '{label}' (expected flat|hnsw|ivf)");
-                    std::process::exit(2);
-                });
-                i += 2;
-            }
-            "--models" => {
-                let label = argv.get(i + 1).map(String::as_str).unwrap_or("");
-                models = ModelSpec::parse(label).unwrap_or_else(|| {
-                    eprintln!("unknown model backend '{label}' (expected sim)");
-                    std::process::exit(2);
-                });
-                i += 2;
-            }
-            other => {
-                eprintln!("unknown argument {other}");
-                std::process::exit(2);
-            }
+/// The `--serve-*` knobs (read by `serve-bench`; harmless elsewhere).
+struct ServeArgs {
+    /// Total requests to replay per run (`--serve-requests`).
+    requests: usize,
+    /// Client concurrency levels to sweep (`--serve-concurrency`, comma
+    /// separated).
+    concurrency: Vec<usize>,
+    /// Micro-batch watermark for the batched runs (`--serve-batch`).
+    batch: usize,
+    /// Flush deadline in microseconds (`--serve-deadline-us`).
+    deadline_us: u64,
+    /// Admission queue capacity (`--serve-queue`).
+    queue: usize,
+    /// Per-client arrival rate in q/s; 0 = closed loop (`--serve-rate`).
+    rate: f64,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        Self {
+            requests: 512,
+            concurrency: vec![1, 8, 32],
+            batch: 64,
+            deadline_us: 500,
+            queue: 256,
+            rate: 0.0,
         }
     }
-    Args { command, scale, seed, index, models }
+}
+
+const USAGE: &str = "valid flags: --scale <f64> --seed <u64> --index flat|hnsw|ivf --models sim \
+     --serve-requests <n> --serve-concurrency <n,n,...> --serve-batch <n> \
+     --serve-deadline-us <us> --serve-queue <n> --serve-rate <q/s>";
+
+fn usage_exit(problem: &str) -> ! {
+    eprintln!("{problem}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> RunArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = argv.first().cloned().unwrap_or_else(|| "all".to_string());
+    let mut args = RunArgs {
+        command,
+        scale: 0.1,
+        seed: 42,
+        index: IndexSpec::Flat,
+        models: ModelSpec::Sim,
+        serve: ServeArgs::default(),
+    };
+    // One shared scanner: every flag takes exactly one value, and a
+    // missing or malformed value is an error, never a silent default.
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let raw =
+            argv.get(i + 1).unwrap_or_else(|| usage_exit(&format!("flag {flag} needs a value")));
+        fn val<T: std::str::FromStr>(flag: &str, raw: &str) -> T {
+            raw.parse().unwrap_or_else(|_| usage_exit(&format!("bad value '{raw}' for {flag}")))
+        }
+        match flag {
+            "--scale" => args.scale = val(flag, raw),
+            "--seed" => args.seed = val(flag, raw),
+            "--index" => {
+                args.index = IndexSpec::parse(raw).unwrap_or_else(|| {
+                    usage_exit(&format!("unknown index backend '{raw}' (expected flat|hnsw|ivf)"))
+                });
+            }
+            "--models" => {
+                args.models = ModelSpec::parse(raw).unwrap_or_else(|| {
+                    usage_exit(&format!("unknown model backend '{raw}' (expected sim)"))
+                });
+            }
+            "--serve-requests" => args.serve.requests = val(flag, raw),
+            "--serve-concurrency" => {
+                args.serve.concurrency =
+                    raw.split(',').map(|c| val(flag, c.trim())).filter(|c| *c > 0).collect();
+                if args.serve.concurrency.is_empty() {
+                    usage_exit(&format!("bad value '{raw}' for {flag}"));
+                }
+            }
+            "--serve-batch" => args.serve.batch = val(flag, raw),
+            "--serve-deadline-us" => args.serve.deadline_us = val(flag, raw),
+            "--serve-queue" => args.serve.queue = val(flag, raw),
+            "--serve-rate" => args.serve.rate = val(flag, raw),
+            other => usage_exit(&format!("unknown argument '{other}'")),
+        }
+        i += 2;
+    }
+    args
 }
 
 fn main() {
@@ -124,6 +180,10 @@ fn main() {
         }
         "recall" => {
             print_recall(&output, 5);
+            return;
+        }
+        "serve-bench" => {
+            serve_bench(&output, &args.serve);
             return;
         }
         "fig2" => {
@@ -272,6 +332,188 @@ fn print_recall(output: &mcqa_core::PipelineOutput, k: usize) {
             search_secs,
             queries.len() as f64 / search_secs.max(1e-9),
             recall
+        );
+    }
+}
+
+/// `repro serve-bench` — load-test the in-process query service.
+///
+/// Three phases, all emitting greppable `[serve] key=value` lines:
+///
+/// 1. **Startup**: eager `IndexRegistry::from_bytes` vs lazy
+///    `IndexRegistry::open_bytes` over the pipeline's serialised stores,
+///    so the lazy path's bounded startup cost is measured, not asserted.
+/// 2. **Verification**: a served sample must be bit-identical to direct
+///    `VectorStore::search` calls — exit 1 on any mismatch.
+/// 3. **Load**: replay eval queries (question stems, sources rotated over
+///    every registered store, k=8) from `concurrency` closed-loop client
+///    threads (`--serve-rate` adds per-client pacing), once with
+///    micro-batching disabled (`max_batch=1`, the one-request-at-a-time
+///    baseline) and once with the configured watermark, reporting
+///    p50/p95/p99 latency, throughput, saturation, and the speedup.
+fn serve_bench(output: &mcqa_core::PipelineOutput, serve: &ServeArgs) {
+    use mcqa_util::{percentile, ScopeTimer};
+
+    if output.items.is_empty() {
+        eprintln!("[repro] serve-bench needs at least one accepted question (got 0)");
+        std::process::exit(1);
+    }
+    let sources: Vec<String> = output.indexes.names().iter().map(|s| s.to_string()).collect();
+    let k = 8;
+
+    // Phase 1: startup cost, eager vs lazy open of the same bytes.
+    let bytes = output.indexes.to_bytes();
+    let t = ScopeTimer::start("eager");
+    let eager = IndexRegistry::from_bytes(&bytes).expect("pipeline registry re-opens");
+    let eager_ms = t.elapsed_secs() * 1e3;
+    let t = ScopeTimer::start("lazy");
+    let lazy = IndexRegistry::open_bytes(&bytes).expect("pipeline registry opens lazily");
+    let lazy_ms = t.elapsed_secs() * 1e3;
+    assert_eq!(lazy.names(), output.indexes.names(), "lazy open sees the same stores");
+    // First search on a lazy store pays its deferred decode — measure it
+    // so the startup trade (open now vs decode on first touch) is visible.
+    let t = ScopeTimer::start("first-touch");
+    let probe = output.encoder.encode(&output.items[0].stem);
+    let _ = lazy.expect_store(&sources[0]).search(&probe, k);
+    let first_ms = t.elapsed_secs() * 1e3;
+    println!(
+        "[serve] startup stores={} bytes={} eager_ms={eager_ms:.2} lazy_ms={lazy_ms:.3} \
+         first_search_ms={first_ms:.2}",
+        eager.len(),
+        bytes.len()
+    );
+    drop(eager);
+
+    // Phase 2: served results must be bit-identical to direct searches.
+    // Text queries exercise the full path (service-side encode included);
+    // the direct baseline encodes by hand with the same encoder.
+    let service = QueryService::start(
+        output.indexes.clone(),
+        Some(output.encoder.clone()),
+        output.executor.clone(),
+        ServeConfig::default(),
+    );
+    let mut checked = 0usize;
+    for (qi, item) in output.items.iter().take(8).enumerate() {
+        for source in &sources {
+            let served = service
+                .submit(QueryRequest::text(source.clone(), item.stem.clone(), k))
+                .expect("verification submit admitted")
+                .wait()
+                .unwrap_or_else(|e| {
+                    eprintln!("[serve] verify=failed source={source} err={e}");
+                    std::process::exit(1);
+                });
+            let direct =
+                output.indexes.expect_store(source).search(&output.encoder.encode(&item.stem), k);
+            if served.hits != direct {
+                eprintln!("[serve] verify=mismatch source={source} query={qi}");
+                std::process::exit(1);
+            }
+            checked += 1;
+        }
+    }
+    println!("[serve] verify=ok checked={checked}");
+    service.shutdown();
+
+    // Phase 3: the load sweep. Requests replay the eval stems the way the
+    // evaluator replays them: one contiguous block per source database
+    // (eval queries every store with the full stem list in turn), so
+    // concurrent in-flight requests mostly share a store and the
+    // dispatcher's (source, k) groups stay wide.
+    let stems: Vec<&str> = output.items.iter().map(|i| i.stem.as_str()).collect();
+    let reqs: Vec<QueryRequest> = (0..serve.requests)
+        .map(|i| {
+            QueryRequest::text(
+                sources[i * sources.len() / serve.requests.max(1)].clone(),
+                stems[i % stems.len()],
+                k,
+            )
+        })
+        .collect();
+
+    for &concurrency in &serve.concurrency {
+        // qps[0] is the one-at-a-time baseline, qps[1] the batched run.
+        let mut qps = [0.0f64; 2];
+        // Closed-loop clients never have more than `concurrency` requests
+        // outstanding, so a watermark above that would just burn the flush
+        // deadline waiting for arrivals that cannot come.
+        let watermark = if serve.rate > 0.0 { serve.batch } else { serve.batch.min(concurrency) };
+        for (mode, max_batch) in [("baseline", 1), ("batched", watermark)] {
+            let config = ServeConfig {
+                queue_capacity: serve.queue,
+                max_batch,
+                flush_deadline: std::time::Duration::from_micros(serve.deadline_us),
+            };
+            let service = QueryService::start(
+                output.indexes.clone(),
+                Some(output.encoder.clone()),
+                output.executor.clone(),
+                config,
+            );
+            let t = ScopeTimer::start("load");
+            // Closed-loop clients: each owns a request stripe, submits one,
+            // waits for its reply, moves on. `--serve-rate` inserts pacing.
+            let mut lat_ms: Vec<f64> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..concurrency)
+                    .map(|c| {
+                        let service = &service;
+                        let reqs = &reqs;
+                        s.spawn(move || {
+                            let mut lat = Vec::new();
+                            let pace = (serve.rate > 0.0)
+                                .then(|| std::time::Duration::from_secs_f64(1.0 / serve.rate));
+                            for req in reqs.iter().skip(c).step_by(concurrency) {
+                                let t0 = std::time::Instant::now();
+                                match service.submit(req.clone()) {
+                                    // Rejections count via the ledger; a
+                                    // closed-loop client just moves on.
+                                    Err(_) => continue,
+                                    Ok(ticket) => {
+                                        if ticket.wait().is_ok() {
+                                            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                                        }
+                                    }
+                                }
+                                if let Some(p) = pace {
+                                    std::thread::sleep(p);
+                                }
+                            }
+                            lat
+                        })
+                    })
+                    .collect();
+                handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+            });
+            let wall = t.elapsed_secs();
+            let snap = service.shutdown();
+            lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+            let rate = snap.served_ok as f64 / wall.max(1e-9);
+            qps[usize::from(mode == "batched")] = rate;
+            println!(
+                "[serve] mode={mode} concurrency={concurrency} requests={} submitted={} \
+                 served={} rejected={} qps={rate:.0} p50_ms={:.3} p95_ms={:.3} p99_ms={:.3} \
+                 mean_batch={:.1} saturation={:.3}",
+                serve.requests,
+                snap.admitted + snap.rejected,
+                snap.served(),
+                snap.rejected,
+                percentile(&lat_ms, 50.0),
+                percentile(&lat_ms, 95.0),
+                percentile(&lat_ms, 99.0),
+                snap.mean_batch(),
+                snap.saturation(),
+            );
+            for line in snap.lines() {
+                println!("{line}");
+            }
+        }
+        println!(
+            "[serve] speedup concurrency={concurrency} baseline_qps={:.0} batched_qps={:.0} \
+             ratio={:.2}",
+            qps[0],
+            qps[1],
+            qps[1] / qps[0].max(1e-9)
         );
     }
 }

@@ -46,8 +46,9 @@ pub struct PipelineOutput {
     /// The paper's four vector databases behind one registry, all built
     /// with the backend `config.index` selects: [`CHUNKS_STORE`] keyed by
     /// `chunk_id` plus one [`TraceMode::db_name`] store per mode keyed by
-    /// `question_id`.
-    pub indexes: IndexRegistry,
+    /// `question_id`. `Arc`-shared so the serving layer's dispatcher
+    /// thread can hold the registry without copying the stores.
+    pub indexes: Arc<IndexRegistry>,
     /// The model hub that served every model call: the backend
     /// `config.models` selects, behind the response cache and per-role
     /// call ledger. The evaluator routes its judge/classifier/answerer
@@ -411,7 +412,7 @@ impl Pipeline {
             items,
             candidates,
             traces,
-            indexes,
+            indexes: Arc::new(indexes),
             models,
             report,
             executor: exec,

@@ -11,6 +11,7 @@ use mcqa_llm::{
     PipelineRates, TraceMode, MODEL_CARDS,
 };
 use mcqa_runtime::{run_stage_batched, Executor, RunReport, StageMetrics};
+use mcqa_serve::{QueryService, ServeConfig};
 use mcqa_util::Accuracy;
 use serde::Serialize;
 
@@ -126,6 +127,10 @@ pub struct Evaluator<'a> {
     /// evaluator builds; its hit/miss counters surface as the
     /// `eval-embed-cache` report row.
     embed_cache: EmbeddingCache<'a>,
+    /// The serving front door every retrieval bundle replays through: the
+    /// same admission queue and micro-batching dispatcher online traffic
+    /// uses, over the pipeline's own registry and executor.
+    service: QueryService,
     report: Mutex<RunReport>,
     /// Snapshot of the report right after construction: the one-time
     /// retrieval prep, attributed in full to every run's report.
@@ -140,10 +145,26 @@ impl<'a> Evaluator<'a> {
         let classifier = Classifier::new(endpoint.clone(), config.seed);
         let exam = AstroExam::generate(&output.ontology, &config.astro, &classifier, &exec);
         let embed_cache = EmbeddingCache::new(&output.encoder);
-        let (synth_bundle, synth_m) =
-            RetrievalBundle::build_metered(output, &output.items, config.retrieval_k, &embed_cache);
-        let (astro_bundle, astro_m) =
-            RetrievalBundle::build_metered(output, &exam.items, config.retrieval_k, &embed_cache);
+        let service = QueryService::start(
+            output.indexes.clone(),
+            Some(output.encoder.clone()),
+            exec.clone(),
+            ServeConfig::default(),
+        );
+        let (synth_bundle, synth_m) = RetrievalBundle::build_metered(
+            output,
+            &output.items,
+            config.retrieval_k,
+            &embed_cache,
+            &service,
+        );
+        let (astro_bundle, astro_m) = RetrievalBundle::build_metered(
+            output,
+            &exam.items,
+            config.retrieval_k,
+            &embed_cache,
+            &service,
+        );
         let mut report = RunReport::new();
         report.absorb(synth_m);
         report.absorb(astro_m);
@@ -170,6 +191,7 @@ impl<'a> Evaluator<'a> {
             judge,
             exec,
             embed_cache,
+            service,
             prep_report: report.clone(),
             report: Mutex::new(report),
         }
@@ -227,6 +249,12 @@ impl<'a> Evaluator<'a> {
     /// as the `eval-embed-cache` report row).
     pub fn embed_cache_stats(&self) -> (u64, u64) {
         self.embed_cache.stats()
+    }
+
+    /// Ledger snapshot of the retrieval service every bundle replayed
+    /// through (admission, batch-size, and per-stage time accounting).
+    pub fn serve_stats(&self) -> mcqa_serve::ServiceSnapshot {
+        self.service.stats()
     }
 
     /// Assemble contexts for every (item, source) under one window size.

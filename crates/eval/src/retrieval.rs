@@ -6,6 +6,7 @@ use mcqa_core::PipelineOutput;
 use mcqa_embed::EmbeddingCache;
 use mcqa_llm::{McqItem, Passage, PassageSource, TraceMode};
 use mcqa_runtime::{run_stage_batched, StageMetrics};
+use mcqa_serve::{QueryRequest, QueryService, ServeConfig};
 
 /// A retrieval source key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -70,7 +71,13 @@ impl RetrievalBundle {
     /// * a trace passage supports it iff the trace's source fact matches.
     pub fn build(output: &PipelineOutput, items: &[McqItem], k: usize) -> Self {
         let cache = EmbeddingCache::new(&output.encoder);
-        Self::build_metered(output, items, k, &cache).0
+        let service = QueryService::start(
+            output.indexes.clone(),
+            None,
+            output.executor.clone(),
+            ServeConfig::default(),
+        );
+        Self::build_metered(output, items, k, &cache, &service).0
     }
 
     /// [`RetrievalBundle::build`], also returning the fan-out's runtime
@@ -78,12 +85,16 @@ impl RetrievalBundle {
     /// report instead of re-timing the same work. Query encoding goes
     /// through `cache`, so a caller holding one cache across bundles (the
     /// evaluator does) never re-encodes a stem it has seen — and the
-    /// cache's hit/miss counters become a report row.
+    /// cache's hit/miss counters become a report row. Searches go through
+    /// `service` — the same admission-controlled, micro-batching front
+    /// door online traffic uses — so there is exactly one code path into
+    /// the vector stores.
     pub fn build_metered(
         output: &PipelineOutput,
         items: &[McqItem],
         k: usize,
         cache: &EmbeddingCache<'_>,
+        service: &QueryService,
     ) -> (Self, StageMetrics) {
         // chunk_id → position in output.chunks
         let chunk_pos: HashMap<u64, usize> =
@@ -119,13 +130,26 @@ impl RetrievalBundle {
         let queries: Vec<Vec<f32>> =
             encoded.into_iter().map(|r| r.expect("encoding cannot fail")).collect();
 
-        // One multi-query search per source database: the flat backend's
-        // query-batched kernel amortises each decoded row panel across the
-        // whole query batch instead of re-decoding the matrix per question.
-        // `Source::store` is the loud path: a registry missing a store is a
-        // bug, not a skippable condition.
+        // One flow-controlled replay per source database through the query
+        // service: requests ride the same bounded queue and micro-batching
+        // dispatcher as online traffic, and the dispatcher's grouped
+        // `search_batch` amortises decoded row panels across each batch.
+        // Stems are submitted pre-encoded so the shared eval cache keeps
+        // its hit accounting. A service-side failure here (an unregistered
+        // store) is a wiring bug, not a skippable condition.
         let hits_per_source: [Vec<Vec<mcqa_index::SearchResult>>; 4] = Source::ALL.map(|source| {
-            source.store(&output.indexes).search_batch(&output.executor, &queries, k)
+            let reqs: Vec<QueryRequest> = queries
+                .iter()
+                .map(|q| QueryRequest::vector(source.store_name(), q.clone(), k))
+                .collect();
+            service
+                .query_batch(reqs)
+                .into_iter()
+                .map(|r| match r {
+                    Ok(resp) => resp.hits,
+                    Err(e) => panic!("retrieval from '{}' failed: {e}", source.store_name()),
+                })
+                .collect()
         });
 
         // Attach texts and oracle relevance labels per question. A trace
@@ -292,13 +316,56 @@ mod tests {
     fn shared_cache_skips_reencoding_across_bundles() {
         let out = output();
         let cache = EmbeddingCache::new(&out.encoder);
-        let (b1, _) = RetrievalBundle::build_metered(out, &out.items, 5, &cache);
+        let service = QueryService::start(
+            out.indexes.clone(),
+            None,
+            out.executor.clone(),
+            ServeConfig::default(),
+        );
+        let (b1, _) = RetrievalBundle::build_metered(out, &out.items, 5, &cache, &service);
         let (_, misses_after_first) = cache.stats();
-        let (b2, _) = RetrievalBundle::build_metered(out, &out.items, 5, &cache);
+        let (b2, _) = RetrievalBundle::build_metered(out, &out.items, 5, &cache, &service);
         let (hits, misses) = cache.stats();
         assert_eq!(misses, misses_after_first, "second identical bundle encodes nothing new");
         assert!(hits >= out.items.len() as u64, "every repeat query is a hit");
         assert_eq!(b1.len(), b2.len());
+        // Both bundles' searches rode the service: everything submitted was
+        // admitted (flow control) and answered.
+        let snap = service.shutdown();
+        let expected = 2 * 4 * out.items.len() as u64;
+        assert_eq!(snap.admitted, expected);
+        assert_eq!(snap.served_ok, expected);
+    }
+
+    #[test]
+    fn service_retrieval_is_bit_identical_to_direct_search() {
+        // The reroute through the serving layer must not change a single
+        // hit: compare served results against direct store searches for
+        // every (question, source) pair.
+        let out = output();
+        let cache = EmbeddingCache::new(&out.encoder);
+        let service = QueryService::start(
+            out.indexes.clone(),
+            None,
+            out.executor.clone(),
+            ServeConfig::default(),
+        );
+        let k = 5;
+        for source in Source::ALL {
+            let reqs: Vec<mcqa_serve::QueryRequest> = out
+                .items
+                .iter()
+                .map(|i| {
+                    mcqa_serve::QueryRequest::vector(source.store_name(), cache.encode(&i.stem), k)
+                })
+                .collect();
+            let served = service.query_batch(reqs);
+            let store = source.store(&out.indexes);
+            for (item, res) in out.items.iter().zip(served) {
+                let direct = store.search(&cache.encode(&item.stem), k);
+                assert_eq!(res.expect("served").hits, direct, "{source:?}");
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! `tests/kernel.rs` holds every path to that oracle).
 
 use mcqa_embed::{EmbeddingMatrix, Precision};
-use mcqa_runtime::{auto_batch_size, run_stage, Executor};
+use mcqa_runtime::{run_stage, Executor};
 use mcqa_util::kernel;
 
 use crate::codec::{encode_metric, put_u64, Reader};
@@ -111,7 +111,13 @@ impl FlatIndex {
             return vec![Vec::new(); queries.len()];
         }
         let query_block = if query_block == 0 {
-            auto_batch_size(queries.len(), exec.workers())
+            // One query block per worker, not `auto_batch_size`'s 8 tasks
+            // per worker: search tasks are uniform, so nothing is gained
+            // from finer load balancing, while every extra query in a
+            // block is one less full-matrix panel decode — on few workers
+            // (or a micro-batch from the serving dispatcher) the widest
+            // block is the whole speedup.
+            queries.len().div_ceil(exec.workers().max(1)).max(1)
         } else {
             query_block
         };

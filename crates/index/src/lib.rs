@@ -16,6 +16,9 @@
 //!   pick a backend by value instead of by type.
 //! * [`registry`] — a named multi-database registry (chunks + three trace
 //!   modes, like the paper's four FAISS stores), round-trippable to bytes.
+//! * [`lazy`] — the serving-grade open path: [`IndexRegistry::open_bytes`]
+//!   validates headers now and defers row decoding to first search, so
+//!   startup cost is a header walk instead of a full-corpus decode.
 //!
 //! The trait surface covers the whole store lifecycle: [`VectorStore::train`]
 //! (a no-op for everything but IVF), [`VectorStore::add`] /
@@ -40,6 +43,7 @@
 pub mod flat;
 pub mod hnsw;
 pub mod ivf;
+pub mod lazy;
 pub mod metric;
 pub mod registry;
 pub mod spec;
@@ -49,6 +53,7 @@ pub(crate) mod codec;
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::{IvfConfig, IvfIndex};
+pub use lazy::{peek_store_header, LazyStore, StoreHeader};
 pub use metric::Metric;
 pub use registry::IndexRegistry;
 pub use spec::{build_store, build_store_from_vectors, decode_store, IndexSpec};

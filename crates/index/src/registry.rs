@@ -107,6 +107,31 @@ impl IndexRegistry {
         }
         r.exhausted().then_some(reg)
     }
+
+    /// Open a registry written by [`IndexRegistry::to_bytes`] **lazily**:
+    /// the registry framing and every store header are validated now, but
+    /// each store's row data stays raw bytes until its first search (see
+    /// [`crate::lazy::LazyStore`]). This bounds serving startup to a
+    /// header walk — O(stores), not O(vectors) — while `names`/`len`/
+    /// `dim`/`metric` queries answer immediately from the headers.
+    ///
+    /// `None` on framing corruption or a malformed store header. Body
+    /// corruption beyond the headers is only discovered (as a panic) at
+    /// the first use of the affected store.
+    pub fn open_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        r.expect_magic(Self::MAGIC)?;
+        let n = r.count(8)?;
+        let mut reg = Self::new();
+        for _ in 0..n {
+            let name_len = r.count(1)?;
+            let name = std::str::from_utf8(r.take(name_len)?).ok()?.to_string();
+            let store_len = r.count(1)?;
+            let store = crate::lazy::LazyStore::open(r.take(store_len)?.to_vec())?;
+            reg.stores.insert(name, Box::new(store));
+        }
+        r.exhausted().then_some(reg)
+    }
 }
 
 impl std::fmt::Debug for IndexRegistry {
@@ -212,5 +237,49 @@ mod tests {
         // Empty registry round-trips.
         let empty = IndexRegistry::new();
         assert!(IndexRegistry::from_bytes(&empty.to_bytes()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn open_bytes_lazily_matches_eager_decode() {
+        let items: Vec<(u64, Vec<f32>)> = (0..30)
+            .map(|i| {
+                let mut v = vec![0.0f32; 6];
+                v[i % 6] = 1.0;
+                (i as u64, v)
+            })
+            .collect();
+        let exec = Executor::global();
+        let mut reg = IndexRegistry::new();
+        for spec in IndexSpec::all_defaults() {
+            reg.insert(
+                spec.label(),
+                build_store_from_vectors(&spec, 6, Metric::Cosine, Precision::F16, exec, &items),
+            );
+        }
+        let bytes = reg.to_bytes();
+        let lazy = IndexRegistry::open_bytes(&bytes).unwrap();
+        assert_eq!(lazy.names(), reg.names());
+        // Header facts answer before any row decode.
+        for (name, store) in lazy.iter() {
+            let orig = reg.expect_store(name);
+            assert_eq!(store.len(), orig.len(), "{name}");
+            assert_eq!(store.dim(), orig.dim(), "{name}");
+            assert_eq!(store.metric(), orig.metric(), "{name}");
+        }
+        // Searches force the decode and stay bit-identical, and the
+        // registry re-serialises byte-identically.
+        let q = {
+            let mut v = vec![0.0f32; 6];
+            v[3] = 1.0;
+            v
+        };
+        for (name, store) in lazy.iter() {
+            assert_eq!(store.search(&q, 4), reg.expect_store(name).search(&q, 4), "{name}");
+        }
+        assert_eq!(lazy.to_bytes(), bytes);
+        // Corruption in framing or headers is rejected at open.
+        assert!(IndexRegistry::open_bytes(&bytes[..10]).is_none());
+        assert!(IndexRegistry::open_bytes(b"nope").is_none());
+        assert!(IndexRegistry::open_bytes(&IndexRegistry::new().to_bytes()).unwrap().is_empty());
     }
 }

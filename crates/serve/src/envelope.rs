@@ -1,0 +1,179 @@
+//! The one serving API surface: a typed request/response envelope.
+//!
+//! Mirrors the model layer's `ModelRequest`/`ModelResponse` redesign: one
+//! envelope type carries every retrieval call — batch eval replay and
+//! online serving alike — so there is exactly one code path into the
+//! vector stores. A request names its source database, carries the query
+//! as text (encoded service-side through the shared embedding cache) or a
+//! pre-encoded vector, the retrieval depth `k`, and an optional expected
+//! metric the service validates against the store.
+
+use mcqa_index::{Metric, SearchResult};
+
+/// The query payload: raw text (the service encodes it) or a pre-encoded
+/// embedding (the eval replay path, which owns its own encode cache).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryInput {
+    /// Encode server-side through the service's embedding cache.
+    Text(String),
+    /// Already encoded; must match the store's dimensionality.
+    Vector(Vec<f32>),
+}
+
+/// One retrieval request against a named source database.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Registry name of the source database (`chunks`, `traces-<mode>`).
+    pub source: String,
+    /// The query itself.
+    pub input: QueryInput,
+    /// Retrieval depth: number of hits to return.
+    pub k: usize,
+    /// When set, the store's metric must match or the request fails with
+    /// [`ServeError::MetricMismatch`] — a cheap guard against routing a
+    /// cosine-space query into an L2 store.
+    pub metric: Option<Metric>,
+}
+
+impl QueryRequest {
+    /// A text query against `source`.
+    pub fn text(source: impl Into<String>, text: impl Into<String>, k: usize) -> Self {
+        Self { source: source.into(), input: QueryInput::Text(text.into()), k, metric: None }
+    }
+
+    /// A pre-encoded query against `source`.
+    pub fn vector(source: impl Into<String>, vector: Vec<f32>, k: usize) -> Self {
+        Self { source: source.into(), input: QueryInput::Vector(vector), k, metric: None }
+    }
+
+    /// Set the expected metric (validated by the service).
+    pub fn with_metric(mut self, metric: Metric) -> Self {
+        self.metric = Some(metric);
+        self
+    }
+}
+
+/// Per-stage latency accounting for one served request.
+///
+/// `queue_secs` is this request's own wait between admission and the
+/// dispatcher picking it up; `encode_secs` and `search_secs` are the wall
+/// time of the micro-batch stages the request rode in (shared by every
+/// request in its batch group — the amortisation is the point).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryTiming {
+    /// Admission → dequeue wait (this request's own).
+    pub queue_secs: f64,
+    /// Text-encoding wall time of the request's batch group.
+    pub encode_secs: f64,
+    /// Store-search wall time of the request's batch group.
+    pub search_secs: f64,
+}
+
+/// One served retrieval response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// Top-k hits, best first — bit-identical to a direct
+    /// [`mcqa_index::VectorStore::search`] on the same store.
+    pub hits: Vec<SearchResult>,
+    /// Size of the micro-batch this request was coalesced into.
+    pub batch: usize,
+    /// Per-stage latency accounting.
+    pub timing: QueryTiming,
+}
+
+/// Everything that can go wrong between submission and response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The bounded admission queue is full: the defined backpressure
+    /// signal. Callers shed load or retry; the service never blocks them.
+    Saturated {
+        /// The queue capacity that was exceeded.
+        capacity: usize,
+    },
+    /// The service is draining and no longer admits requests.
+    ShuttingDown,
+    /// The named source database is not in the registry.
+    UnknownStore {
+        /// The requested name.
+        name: String,
+        /// The names that are registered.
+        known: Vec<String>,
+    },
+    /// A pre-encoded vector's length does not match the store.
+    DimMismatch {
+        /// The store that rejected the query.
+        store: String,
+        /// The store's dimensionality.
+        expected: usize,
+        /// The query vector's length.
+        got: usize,
+    },
+    /// The request pinned a metric the store does not use.
+    MetricMismatch {
+        /// The store that rejected the query.
+        store: String,
+        /// The store's metric.
+        expected: Metric,
+        /// The metric the request pinned.
+        got: Metric,
+    },
+    /// A text query reached a service started without an encoder.
+    NoEncoder {
+        /// The source the query named.
+        source: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Saturated { capacity } => {
+                write!(f, "admission queue saturated (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::UnknownStore { name, known } => {
+                write!(f, "unknown source store '{name}' (have: {known:?})")
+            }
+            ServeError::DimMismatch { store, expected, got } => {
+                write!(f, "query dim {got} != store '{store}' dim {expected}")
+            }
+            ServeError::MetricMismatch { store, expected, got } => {
+                write!(f, "requested metric {got:?} != store '{store}' metric {expected:?}")
+            }
+            ServeError::NoEncoder { source } => {
+                write!(f, "text query for '{source}' but the service has no encoder")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_constructors() {
+        let r = QueryRequest::text("chunks", "dose rate", 5);
+        assert_eq!(r.source, "chunks");
+        assert_eq!(r.input, QueryInput::Text("dose rate".into()));
+        assert_eq!(r.k, 5);
+        assert_eq!(r.metric, None);
+
+        let r =
+            QueryRequest::vector("traces-focused", vec![1.0, 0.0], 3).with_metric(Metric::Cosine);
+        assert_eq!(r.metric, Some(Metric::Cosine));
+        assert!(matches!(r.input, QueryInput::Vector(_)));
+    }
+
+    #[test]
+    fn errors_render_actionably() {
+        let e = ServeError::Saturated { capacity: 8 };
+        assert!(e.to_string().contains("capacity 8"));
+        let e = ServeError::UnknownStore { name: "x".into(), known: vec!["chunks".into()] };
+        assert!(e.to_string().contains("chunks"));
+        let e = ServeError::DimMismatch { store: "chunks".into(), expected: 384, got: 4 };
+        assert!(e.to_string().contains("384"));
+    }
+}

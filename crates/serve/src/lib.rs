@@ -1,0 +1,34 @@
+//! `mcqa-serve` — the in-process serving layer.
+//!
+//! The batch pipeline builds the retrieval databases; this crate is the
+//! query-time front door over them. No network, no serialisation — just a
+//! bounded admission queue in front of a dispatcher thread that coalesces
+//! concurrent requests into dynamic micro-batches and drives them through
+//! the same [`VectorStore::search_batch`] kernels the evaluator uses, so
+//! serving amortises panel decodes exactly like batch eval does while
+//! every response stays **bit-identical** to a direct per-query search.
+//!
+//! Three pieces:
+//!
+//! * [`envelope`] — the one API surface: [`QueryRequest`] /
+//!   [`QueryResponse`] (with per-stage [`QueryTiming`]) and the
+//!   [`ServeError`] taxonomy, mirroring the model layer's
+//!   `ModelRequest`/`ModelResponse` redesign.
+//! * [`service`] — [`QueryService`]: non-blocking admission with defined
+//!   backpressure ([`ServeError::Saturated`]), watermark-or-deadline
+//!   micro-batch flushing ([`ServeConfig`]), per-request oneshot replies
+//!   ([`QueryTicket`]), and graceful shutdown that drains every admitted
+//!   request exactly once.
+//! * [`stats`] — the [`ServiceStats`] ledger: admitted/rejected/served
+//!   counters, a batch-size histogram, per-stage (queue/encode/search)
+//!   time accounting, and greppable `[serve] key=value` report lines.
+//!
+//! [`VectorStore::search_batch`]: mcqa_index::VectorStore::search_batch
+
+pub mod envelope;
+pub mod service;
+pub mod stats;
+
+pub use envelope::{QueryInput, QueryRequest, QueryResponse, QueryTiming, ServeError};
+pub use service::{QueryService, QueryTicket, ServeConfig};
+pub use stats::{ServiceSnapshot, ServiceStats, BATCH_BUCKETS, BATCH_BUCKET_LABELS};

@@ -1,0 +1,374 @@
+//! The query service: bounded admission → micro-batching dispatcher →
+//! per-request oneshot replies.
+//!
+//! ```text
+//!  callers ──try_send──▶ [bounded queue] ──▶ dispatcher thread
+//!     ▲                     (reject when        │  coalesce ≤ max_batch
+//!     │                      full: defined      │  (flush on watermark or
+//!     │                      backpressure)      │   flush_deadline)
+//!     └───── oneshot ◀── reply per request ◀────┘  group by (source, k)
+//!                                                  encode → search_batch
+//! ```
+//!
+//! The dispatcher is one thread; parallelism comes from the [`Executor`]
+//! it drives [`VectorStore::search_batch`] on, exactly like the batch
+//! pipeline. Coalescing exists to feed that kernel: the flat backend
+//! decodes each row panel once per *query block*, so a micro-batch of 64
+//! amortises the decode the way `index_bench` measured (~4× at batch 64).
+//! Results are bit-identical to direct per-query searches — batching
+//! changes the schedule, never the answer.
+//!
+//! [`VectorStore::search_batch`]: mcqa_index::VectorStore::search_batch
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
+use mcqa_embed::{BioEncoder, EmbeddingCache};
+use mcqa_index::IndexRegistry;
+use mcqa_runtime::Executor;
+use parking_lot::{Mutex, RwLock};
+
+use crate::envelope::{QueryInput, QueryRequest, QueryResponse, QueryTiming, ServeError};
+use crate::stats::{ServiceSnapshot, ServiceStats};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Admission queue capacity; submissions beyond it fail with
+    /// [`ServeError::Saturated`] instead of blocking.
+    pub queue_capacity: usize,
+    /// Micro-batch watermark: the dispatcher flushes as soon as this many
+    /// requests are in hand. `1` disables coalescing (the one-request-at-
+    /// a-time baseline `repro serve-bench` compares against).
+    pub max_batch: usize,
+    /// How long the dispatcher waits for the batch to fill before
+    /// flushing what it has. Bounds the latency cost of coalescing.
+    pub flush_deadline: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { queue_capacity: 256, max_batch: 64, flush_deadline: Duration::from_micros(500) }
+    }
+}
+
+/// One queued request: the envelope plus its admission timestamp and the
+/// oneshot reply channel.
+struct Pending {
+    req: QueryRequest,
+    admitted: Instant,
+    reply: Sender<Result<QueryResponse, ServeError>>,
+}
+
+/// A claim on a submitted request's eventual response.
+pub struct QueryTicket {
+    rx: Receiver<Result<QueryResponse, ServeError>>,
+}
+
+impl std::fmt::Debug for QueryTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("QueryTicket")
+    }
+}
+
+impl QueryTicket {
+    /// Block until the dispatcher answers. If the service dies without
+    /// replying (dispatcher panic), this resolves to
+    /// [`ServeError::ShuttingDown`] rather than hanging.
+    pub fn wait(self) -> Result<QueryResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// The in-process serving front door over an [`IndexRegistry`].
+///
+/// Construction spawns the dispatcher thread; [`QueryService::shutdown`]
+/// (or drop) stops admitting, drains every already-admitted request, and
+/// joins the thread — in-flight work is never abandoned.
+pub struct QueryService {
+    tx: RwLock<Option<Sender<Pending>>>,
+    worker: Mutex<Option<std::thread::JoinHandle<()>>>,
+    stats: Arc<ServiceStats>,
+    config: ServeConfig,
+}
+
+impl QueryService {
+    /// Start a service over `registry`, encoding text queries through
+    /// `encoder` (pass `None` for a vector-only service), searching on
+    /// `exec`'s pool.
+    pub fn start(
+        registry: Arc<IndexRegistry>,
+        encoder: Option<BioEncoder>,
+        exec: Executor,
+        config: ServeConfig,
+    ) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be nonzero");
+        assert!(config.max_batch > 0, "batch watermark must be nonzero");
+        let (tx, rx) = bounded::<Pending>(config.queue_capacity);
+        let stats = Arc::new(ServiceStats::new());
+        let dispatcher =
+            Dispatcher { registry, encoder, exec, config: config.clone(), stats: stats.clone() };
+        let worker = std::thread::Builder::new()
+            .name("mcqa-serve".into())
+            .spawn(move || dispatcher.run(rx))
+            .expect("spawn serve dispatcher");
+        Self { tx: RwLock::new(Some(tx)), worker: Mutex::new(Some(worker)), stats, config }
+    }
+
+    /// The configuration this service runs with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Submit one request. Non-blocking: a full queue returns
+    /// [`ServeError::Saturated`] immediately (the backpressure contract),
+    /// a draining service returns [`ServeError::ShuttingDown`].
+    pub fn submit(&self, req: QueryRequest) -> Result<QueryTicket, ServeError> {
+        self.try_submit(req).map_err(|(e, _)| e)
+    }
+
+    /// [`QueryService::submit`], returning the request on failure so
+    /// flow-controlled callers can retry without cloning.
+    fn try_submit(&self, req: QueryRequest) -> Result<QueryTicket, (ServeError, QueryRequest)> {
+        let guard = self.tx.read();
+        let Some(tx) = guard.as_ref() else {
+            return Err((ServeError::ShuttingDown, req));
+        };
+        let (reply, rx) = bounded(1);
+        match tx.try_send(Pending { req, admitted: Instant::now(), reply }) {
+            Ok(()) => {
+                self.stats.admit();
+                Ok(QueryTicket { rx })
+            }
+            Err(TrySendError::Full(p)) => {
+                self.stats.reject();
+                Err((ServeError::Saturated { capacity: self.config.queue_capacity }, p.req))
+            }
+            Err(TrySendError::Disconnected(p)) => Err((ServeError::ShuttingDown, p.req)),
+        }
+    }
+
+    /// Replay a whole request list through the service with flow control,
+    /// returning responses index-aligned with `reqs`.
+    ///
+    /// This is the batch-eval path: when admission saturates, the caller
+    /// waits for its own oldest in-flight ticket instead of dropping the
+    /// request, so a replay larger than the queue completes without load
+    /// shedding — while still exercising the same admission queue and
+    /// micro-batching as online traffic.
+    pub fn query_batch(&self, reqs: Vec<QueryRequest>) -> Vec<Result<QueryResponse, ServeError>> {
+        let n = reqs.len();
+        let mut results: Vec<Option<Result<QueryResponse, ServeError>>> =
+            std::iter::repeat_with(|| None).take(n).collect();
+        let mut pending: VecDeque<(usize, QueryTicket)> = VecDeque::new();
+        for (i, mut req) in reqs.into_iter().enumerate() {
+            loop {
+                match self.try_submit(req) {
+                    Ok(ticket) => {
+                        pending.push_back((i, ticket));
+                        break;
+                    }
+                    Err((ServeError::Saturated { .. }, r)) => {
+                        req = r;
+                        match pending.pop_front() {
+                            // Drain our own oldest in-flight request; by the
+                            // time it answered, queue space has turned over.
+                            Some((j, ticket)) => results[j] = Some(ticket.wait()),
+                            // Saturated by other clients: back off and retry.
+                            None => std::thread::yield_now(),
+                        }
+                    }
+                    Err((e, _)) => {
+                        results[i] = Some(Err(e));
+                        break;
+                    }
+                }
+            }
+        }
+        for (j, ticket) in pending {
+            results[j] = Some(ticket.wait());
+        }
+        results.into_iter().map(|r| r.expect("every request resolved")).collect()
+    }
+
+    /// A point-in-time ledger snapshot.
+    pub fn stats(&self) -> ServiceSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stop admitting, drain every admitted request, join the dispatcher,
+    /// and return the final ledger. Idempotent; also runs on drop.
+    ///
+    /// The drain guarantee comes from the channel: dropping the sender
+    /// disconnects it, but the dispatcher still receives every message
+    /// that was queued before the disconnect, so each admitted request is
+    /// answered exactly once before the thread exits.
+    pub fn shutdown(&self) -> ServiceSnapshot {
+        *self.tx.write() = None;
+        if let Some(handle) = self.worker.lock().take() {
+            let _ = handle.join();
+        }
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for QueryService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The dispatcher side: everything the service thread owns.
+struct Dispatcher {
+    registry: Arc<IndexRegistry>,
+    encoder: Option<BioEncoder>,
+    exec: Executor,
+    config: ServeConfig,
+    stats: Arc<ServiceStats>,
+}
+
+impl Dispatcher {
+    fn run(self, rx: Receiver<Pending>) {
+        // The dispatcher's own query-encode cache: repeated text queries
+        // (hot questions, replayed benchmarks) skip the encoder entirely.
+        let cache = self.encoder.as_ref().map(EmbeddingCache::new);
+        loop {
+            // Block for the batch's first request; a disconnected, empty
+            // queue is the drain-complete signal.
+            let first = match rx.recv() {
+                Ok(p) => p,
+                Err(_) => break,
+            };
+            let mut batch = vec![first];
+            // Dynamic micro-batching: keep pulling until the watermark or
+            // the flush deadline, whichever comes first. The deadline is
+            // measured from the first dequeue, so a lone request is never
+            // delayed by more than `flush_deadline`.
+            let deadline = Instant::now() + self.config.flush_deadline;
+            while batch.len() < self.config.max_batch {
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    break;
+                }
+                match rx.recv_timeout(left) {
+                    Ok(p) => batch.push(p),
+                    // Timeout flushes the partial batch; disconnect is
+                    // settled by the outer recv after this batch drains.
+                    Err(_) => break,
+                }
+            }
+            self.process(batch, cache.as_ref());
+        }
+    }
+
+    /// Serve one micro-batch: group by (source store, k), encode text
+    /// queries, validate, search each group through the store's batched
+    /// kernel, and answer every envelope exactly once.
+    fn process(&self, batch: Vec<Pending>, cache: Option<&EmbeddingCache<'_>>) {
+        let dequeued = Instant::now();
+        let size = batch.len();
+        self.stats.record_batch(size);
+
+        let queue_waits: Vec<f64> = batch
+            .iter()
+            .map(|p| dequeued.saturating_duration_since(p.admitted).as_secs_f64())
+            .collect();
+        for w in &queue_waits {
+            self.stats.add_queue_secs(*w);
+        }
+
+        // Group member slots by (source, k): one store search per group
+        // keeps results bit-identical to per-query search (the batched
+        // kernels guarantee it) while amortising panel decodes.
+        let mut groups: BTreeMap<(String, usize), Vec<usize>> = BTreeMap::new();
+        for (i, p) in batch.iter().enumerate() {
+            groups.entry((p.req.source.clone(), p.req.k)).or_default().push(i);
+        }
+        let mut slots: Vec<Option<Pending>> = batch.into_iter().map(Some).collect();
+
+        let answer = |slot: &mut Option<Pending>, result: Result<QueryResponse, ServeError>| {
+            let p = slot.take().expect("each slot answered exactly once");
+            self.stats.record_served(result.is_ok());
+            // A dropped ticket is the caller's choice, not an error here.
+            let _ = p.reply.send(result);
+        };
+
+        for ((source, k), members) in groups {
+            let Some(store) = self.registry.get(&source) else {
+                let known: Vec<String> =
+                    self.registry.names().iter().map(|s| s.to_string()).collect();
+                for i in members {
+                    let err =
+                        ServeError::UnknownStore { name: source.clone(), known: known.clone() };
+                    answer(&mut slots[i], Err(err));
+                }
+                continue;
+            };
+
+            // Encode + validate stage (timed per group).
+            let t_encode = Instant::now();
+            let mut ready: Vec<(usize, Vec<f32>)> = Vec::with_capacity(members.len());
+            let mut failed: Vec<(usize, ServeError)> = Vec::new();
+            for &i in &members {
+                let req = &slots[i].as_ref().expect("slot unanswered").req;
+                if let Some(want) = req.metric {
+                    if want != store.metric() {
+                        let err = ServeError::MetricMismatch {
+                            store: source.clone(),
+                            expected: store.metric(),
+                            got: want,
+                        };
+                        failed.push((i, err));
+                        continue;
+                    }
+                }
+                let query = match &req.input {
+                    QueryInput::Vector(v) => v.clone(),
+                    QueryInput::Text(text) => match cache {
+                        Some(c) => c.encode(text),
+                        None => {
+                            failed.push((i, ServeError::NoEncoder { source: source.clone() }));
+                            continue;
+                        }
+                    },
+                };
+                if query.len() != store.dim() {
+                    let err = ServeError::DimMismatch {
+                        store: source.clone(),
+                        expected: store.dim(),
+                        got: query.len(),
+                    };
+                    failed.push((i, err));
+                    continue;
+                }
+                ready.push((i, query));
+            }
+            let encode_secs = t_encode.elapsed().as_secs_f64();
+            self.stats.add_encode_secs(encode_secs);
+
+            for (i, err) in failed {
+                answer(&mut slots[i], Err(err));
+            }
+            if ready.is_empty() {
+                continue;
+            }
+
+            // Search stage: one batched call per group, fanned out on the
+            // executor — the same kernel path as direct `search_batch`.
+            let (idxs, queries): (Vec<usize>, Vec<Vec<f32>>) = ready.into_iter().unzip();
+            let t_search = Instant::now();
+            let hits = store.search_batch(&self.exec, &queries, k);
+            let search_secs = t_search.elapsed().as_secs_f64();
+            self.stats.add_search_secs(search_secs);
+
+            for (i, h) in idxs.into_iter().zip(hits) {
+                let timing = QueryTiming { queue_secs: queue_waits[i], encode_secs, search_secs };
+                answer(&mut slots[i], Ok(QueryResponse { hits: h, batch: size, timing }));
+            }
+        }
+
+        debug_assert!(slots.iter().all(Option::is_none), "every request answered");
+    }
+}

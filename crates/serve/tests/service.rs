@@ -1,0 +1,338 @@
+//! Property tests for the query service's core contracts:
+//!
+//! * **Bit-identity** — served hits equal direct `VectorStore::search`
+//!   results regardless of arrival order, executor width, or batch
+//!   watermark. Micro-batching changes the schedule, never the answer.
+//! * **Bounded admission** — with a tiny queue, every submission is either
+//!   admitted or rejected with `Saturated`; admitted + rejected equals
+//!   submitted; every admitted request resolves (no hangs, no losses).
+//! * **Graceful drain** — shutdown answers every already-admitted request
+//!   exactly once, then refuses new work with `ShuttingDown`.
+
+use std::sync::{Arc, OnceLock};
+
+use mcqa_embed::Precision;
+use mcqa_index::{FlatIndex, IndexRegistry, Metric, VectorStore};
+use mcqa_runtime::Executor;
+use mcqa_serve::{QueryRequest, QueryService, ServeConfig, ServeError};
+use proptest::prelude::*;
+
+const DIM: usize = 8;
+const SOURCES: [&str; 2] = ["chunks", "traces-focused"];
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn vector(seed: u64) -> Vec<f32> {
+    (0..DIM).map(|j| (splitmix(seed ^ (j as u64) << 17) % 1000) as f32 / 500.0 - 1.0).collect()
+}
+
+/// One registry shared by every test: two flat stores with distinct
+/// contents, built once (the tests never mutate it).
+fn registry() -> &'static Arc<IndexRegistry> {
+    static REG: OnceLock<Arc<IndexRegistry>> = OnceLock::new();
+    REG.get_or_init(|| {
+        let mut reg = IndexRegistry::new();
+        for (s, name) in SOURCES.iter().enumerate() {
+            let mut store = FlatIndex::new(DIM, Metric::Cosine, Precision::F32);
+            for i in 0..60u64 {
+                store.add(i, &vector(splitmix(1000 * (s as u64 + 1) + i)));
+            }
+            reg.insert(name, Box::new(store));
+        }
+        Arc::new(reg)
+    })
+}
+
+/// A deterministic request stream: query vectors, sources, and depths all
+/// derived from `seed`.
+fn requests(n: usize, seed: u64, k: usize) -> Vec<QueryRequest> {
+    (0..n)
+        .map(|i| {
+            let s = splitmix(seed.wrapping_add(i as u64));
+            let source = SOURCES[(s % 2) as usize];
+            QueryRequest::vector(source, vector(s), k)
+        })
+        .collect()
+}
+
+/// What a direct, unbatched call on the store itself returns.
+fn direct_hits(req: &QueryRequest) -> Vec<mcqa_index::SearchResult> {
+    let q = match &req.input {
+        mcqa_serve::QueryInput::Vector(v) => v.clone(),
+        mcqa_serve::QueryInput::Text(_) => unreachable!("fixture uses vector inputs"),
+    };
+    registry().expect_store(&req.source).search(&q, req.k)
+}
+
+proptest! {
+    /// Served hits are bit-identical to direct `search` no matter the
+    /// arrival order, worker count, or batch watermark — and regardless of
+    /// how requests were coalesced (the reported batch size varies; the
+    /// answer must not).
+    #[test]
+    fn served_hits_are_bit_identical_to_direct_search(
+        n in 1usize..32,
+        seed in 0u64..1000,
+        k in 1usize..9,
+        workers_pick in 0usize..2,
+        batch_pick in 0usize..3,
+        shuffle in 0u64..1000,
+    ) {
+        let workers = [1usize, 4][workers_pick];
+        let max_batch = [1usize, 4, 64][batch_pick];
+        let reqs = requests(n, seed, k);
+
+        // A seed-derived permutation of submission order.
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            order.swap(i, (splitmix(shuffle.wrapping_add(i as u64)) as usize) % (i + 1));
+        }
+
+        let service = QueryService::start(
+            registry().clone(),
+            None,
+            Executor::new(workers),
+            ServeConfig {
+                queue_capacity: 64,
+                max_batch,
+                flush_deadline: std::time::Duration::from_micros(200),
+            },
+        );
+        let mut tickets: Vec<Option<mcqa_serve::QueryTicket>> =
+            std::iter::repeat_with(|| None).take(n).collect();
+        for &i in &order {
+            // Queue capacity exceeds n: admission cannot saturate here.
+            tickets[i] = Some(service.submit(reqs[i].clone()).expect("admitted"));
+        }
+        for (i, t) in tickets.into_iter().enumerate() {
+            let resp = t.expect("ticket").wait().expect("served");
+            prop_assert_eq!(&resp.hits, &direct_hits(&reqs[i]), "request {}", i);
+            prop_assert!(resp.batch >= 1 && resp.batch <= max_batch.max(1));
+            prop_assert!(resp.timing.queue_secs >= 0.0);
+        }
+        let snap = service.shutdown();
+        prop_assert_eq!(snap.admitted, n as u64);
+        prop_assert_eq!(snap.served_ok, n as u64);
+        prop_assert_eq!(snap.rejected, 0);
+        prop_assert_eq!(snap.batch_hist.iter().copied().sum::<u64>(), snap.batches);
+    }
+
+    /// `query_batch` returns index-aligned results with per-request errors
+    /// in place: unknown stores and dim mismatches fail exactly where they
+    /// were submitted, valid requests around them still serve bit-identically.
+    #[test]
+    fn query_batch_is_index_aligned_with_inline_errors(
+        n in 1usize..24,
+        seed in 0u64..1000,
+        k in 1usize..6,
+    ) {
+        let mut reqs = requests(n, seed, k);
+        // Corrupt a deterministic subset: every 3rd an unknown store,
+        // every 7th a wrong-dimensional vector.
+        for (i, r) in reqs.iter_mut().enumerate() {
+            if i % 3 == 1 {
+                r.source = "no-such-store".into();
+            } else if i % 7 == 2 {
+                r.input = mcqa_serve::QueryInput::Vector(vec![0.5; DIM + 3]);
+            }
+        }
+        let service = QueryService::start(
+            registry().clone(),
+            None,
+            Executor::new(2),
+            // Capacity below n: exercises the flow-controlled retry path.
+            ServeConfig {
+                queue_capacity: 4,
+                max_batch: 4,
+                flush_deadline: std::time::Duration::from_micros(100),
+            },
+        );
+        let results = service.query_batch(reqs.clone());
+        prop_assert_eq!(results.len(), n);
+        for (i, (req, res)) in reqs.iter().zip(&results).enumerate() {
+            if i % 3 == 1 {
+                match res {
+                    Err(ServeError::UnknownStore { name, known }) => {
+                        prop_assert_eq!(name.as_str(), "no-such-store");
+                        prop_assert_eq!(known.len(), SOURCES.len());
+                    }
+                    other => panic!("request {i}: expected UnknownStore, got {other:?}"),
+                }
+            } else if i % 7 == 2 {
+                match res {
+                    Err(ServeError::DimMismatch { expected, got, .. }) => {
+                        prop_assert_eq!(*expected, DIM);
+                        prop_assert_eq!(*got, DIM + 3);
+                    }
+                    other => panic!("request {i}: expected DimMismatch, got {other:?}"),
+                }
+            } else {
+                let resp = res.as_ref().expect("valid request serves");
+                prop_assert_eq!(&resp.hits, &direct_hits(req), "request {}", i);
+            }
+        }
+        let snap = service.stats();
+        prop_assert_eq!(snap.served(), snap.admitted, "flow control loses nothing");
+    }
+
+    /// Shutdown drains: every admitted request resolves exactly once even
+    /// when shutdown races the dispatcher, and post-shutdown submissions
+    /// are refused.
+    #[test]
+    fn shutdown_drains_every_admitted_request(
+        n in 1usize..32,
+        seed in 0u64..1000,
+        batch_pick in 0usize..3,
+    ) {
+        let max_batch = [1usize, 4, 64][batch_pick];
+        let reqs = requests(n, seed, 4);
+        let service = QueryService::start(
+            registry().clone(),
+            None,
+            Executor::new(2),
+            ServeConfig {
+                queue_capacity: 64,
+                max_batch,
+                flush_deadline: std::time::Duration::from_micros(200),
+            },
+        );
+        let tickets: Vec<_> =
+            reqs.iter().map(|r| service.submit(r.clone()).expect("admitted")).collect();
+        // Immediately drain — many requests are still queued.
+        let snap = service.shutdown();
+        prop_assert_eq!(snap.admitted, n as u64);
+        prop_assert_eq!(snap.served(), n as u64, "drain answers everything");
+        for (t, req) in tickets.into_iter().zip(&reqs) {
+            let resp = t.wait().expect("drained requests still serve");
+            prop_assert_eq!(&resp.hits, &direct_hits(req));
+        }
+        match service.submit(reqs[0].clone()) {
+            Err(ServeError::ShuttingDown) => {}
+            other => panic!("expected ShuttingDown, got {other:?}"),
+        }
+        // Idempotent.
+        let again = service.shutdown();
+        prop_assert_eq!(again.served(), n as u64);
+    }
+}
+
+/// With a capacity-1 queue and a busy dispatcher, a rapid burst must see
+/// `Saturated` rejections, the admitted/rejected split must account for
+/// every submission, and every admitted request must still resolve.
+#[test]
+fn bounded_queue_rejects_without_losing_admitted_work() {
+    // A store big enough that one search takes much longer than a burst of
+    // try_sends, keeping the dispatcher busy while the queue fills.
+    let mut reg = IndexRegistry::new();
+    let mut store = FlatIndex::new(64, Metric::Cosine, Precision::F32);
+    for i in 0..20_000u64 {
+        let v: Vec<f32> = (0..64).map(|j| (splitmix(i * 64 + j) % 1000) as f32 / 500.0).collect();
+        store.add(i, &v);
+    }
+    reg.insert("big", Box::new(store));
+    let reg = Arc::new(reg);
+
+    let service = QueryService::start(
+        reg.clone(),
+        None,
+        Executor::new(2),
+        ServeConfig {
+            queue_capacity: 1,
+            max_batch: 1,
+            flush_deadline: std::time::Duration::from_micros(50),
+        },
+    );
+    let total = 64;
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    for i in 0..total {
+        let q: Vec<f32> = (0..64).map(|j| (splitmix(9_000 + i * 64 + j) % 1000) as f32).collect();
+        match service.submit(QueryRequest::vector("big", q, 5)) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Saturated { capacity }) => {
+                assert_eq!(capacity, 1);
+                rejected += 1;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejected > 0, "a capacity-1 queue under burst load must shed");
+    assert_eq!(tickets.len() as u64 + rejected, total, "every submission accounted for");
+    let admitted = tickets.len() as u64;
+    for t in tickets {
+        let resp = t.wait().expect("admitted requests serve");
+        assert_eq!(resp.hits.len(), 5);
+    }
+    let snap = service.shutdown();
+    assert_eq!(snap.admitted, admitted);
+    assert_eq!(snap.rejected, rejected);
+    assert_eq!(snap.served(), admitted, "no admitted request is lost");
+    assert!(snap.saturation() > 0.0);
+}
+
+/// Text queries encode through the service-side cache and match
+/// encode-then-search done by hand; a service without an encoder refuses
+/// them with `NoEncoder`.
+#[test]
+fn text_queries_encode_service_side() {
+    use mcqa_embed::{BioEncoder, EmbedConfig};
+
+    let encoder = BioEncoder::new(EmbedConfig { dim: 32, ..EmbedConfig::default() });
+    let texts = ["dose rate effects", "fractionation schedule", "proton therapy"];
+    let mut reg = IndexRegistry::new();
+    let mut store = FlatIndex::new(32, Metric::Cosine, Precision::F32);
+    for (i, t) in texts.iter().enumerate() {
+        store.add(i as u64, &encoder.encode(t));
+    }
+    reg.insert("chunks", Box::new(store));
+    let reg = Arc::new(reg);
+
+    let service = QueryService::start(
+        reg.clone(),
+        Some(encoder.clone()),
+        Executor::new(2),
+        ServeConfig::default(),
+    );
+    for t in texts {
+        let resp = service
+            .submit(QueryRequest::text("chunks", t, 2))
+            .unwrap()
+            .wait()
+            .expect("text request serves");
+        let direct = reg.expect_store("chunks").search(&encoder.encode(t), 2);
+        assert_eq!(resp.hits, direct, "text query '{t}'");
+        assert_eq!(resp.hits[0].id, texts.iter().position(|x| *x == t).unwrap() as u64);
+    }
+    service.shutdown();
+
+    let vector_only = QueryService::start(reg, None, Executor::new(1), ServeConfig::default());
+    match vector_only.submit(QueryRequest::text("chunks", "anything", 2)).unwrap().wait() {
+        Err(ServeError::NoEncoder { source }) => assert_eq!(source, "chunks"),
+        other => panic!("expected NoEncoder, got {other:?}"),
+    }
+}
+
+/// A pinned metric that disagrees with the store fails per-request.
+#[test]
+fn metric_pins_are_validated() {
+    let service =
+        QueryService::start(registry().clone(), None, Executor::new(1), ServeConfig::default());
+    let ok = QueryRequest::vector("chunks", vector(7), 3).with_metric(Metric::Cosine);
+    assert!(service.submit(ok).unwrap().wait().is_ok());
+    let bad = QueryRequest::vector("chunks", vector(7), 3).with_metric(Metric::L2);
+    match service.submit(bad).unwrap().wait() {
+        Err(ServeError::MetricMismatch { expected, got, .. }) => {
+            assert_eq!(expected, Metric::Cosine);
+            assert_eq!(got, Metric::L2);
+        }
+        other => panic!("expected MetricMismatch, got {other:?}"),
+    }
+    let snap = service.shutdown();
+    assert_eq!(snap.served_ok, 1);
+    assert_eq!(snap.served_err, 1);
+}

@@ -26,6 +26,6 @@ pub mod timer;
 
 pub use f16::F16;
 pub use hash::{fnv1a, splitmix64, Fnv1aWriter, StableHasher};
-pub use stats::{Accuracy, OnlineStats, WilsonInterval};
+pub use stats::{percentile, Accuracy, OnlineStats, WilsonInterval};
 pub use stochastic::KeyedStochastic;
 pub use timer::ScopeTimer;

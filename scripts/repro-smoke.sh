@@ -37,6 +37,14 @@ if grep -rn 'TeacherModel\|JudgeModel\|MathClassifier\|ResolvedModel' crates/cor
     echo "repro smoke FAILED: a concrete model type leaked back into core/eval" >&2
     exit 1
 fi
+# The serving redesign's invariant: eval retrieval goes through the
+# QueryService envelope, never straight into a store's search_batch. A
+# direct store search reappearing in eval would fork the query path the
+# serving layer unified.
+if grep -rnE '(expect_store|\.store)\([^)]*\)[[:space:]]*\.[[:space:]]*search_batch' crates/eval/src; then
+    echo "repro smoke FAILED: eval bypasses the query service with a direct search_batch" >&2
+    exit 1
+fi
 
 echo "== repro smoke: scale=${SCALE} seed=${SEED} =="
 ALL_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- all --scale "${SCALE}" --seed "${SEED}")"
@@ -122,6 +130,47 @@ if [[ -z "${RETRIEVE_QPS}" ]] || ! awk -v q="${RETRIEVE_QPS}" 'BEGIN { exit !(q 
     echo "repro smoke FAILED: eval-retrieve row reports no q/s (got '${RETRIEVE_QPS}')" >&2
     exit 1
 fi
+
+echo "== repro smoke: serving layer =="
+# `repro serve-bench` drives the query service end to end: the served
+# results must verify bit-identical against direct search, and every mode
+# must report a full percentile line with sane ordering and no lost work.
+SERVE_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- serve-bench --scale "${SCALE}" --seed "${SEED}" --serve-requests 128 --serve-concurrency 1,8 2>&1)"
+echo "${SERVE_OUT}" | grep '\[serve\]'
+if ! grep -qF '[serve] verify=ok' <<<"${SERVE_OUT}"; then
+    echo "repro smoke FAILED: serve-bench verification pass did not report verify=ok" >&2
+    exit 1
+fi
+if ! grep -qE '\[serve\] startup .*lazy_ms=[0-9.]+' <<<"${SERVE_OUT}"; then
+    echo "repro smoke FAILED: serve-bench reports no lazy-open startup timing" >&2
+    exit 1
+fi
+for mode in baseline batched; do
+    while IFS= read -r LINE; do
+        for key in requests= submitted= served= rejected= qps= p50_ms= p95_ms= p99_ms= saturation=; do
+            if ! grep -qF "${key}" <<<"${LINE}"; then
+                echo "repro smoke FAILED: serve-bench ${mode} line is missing '${key}'" >&2
+                exit 1
+            fi
+        done
+        SUBMITTED="$(grep -oE 'submitted=[0-9]+' <<<"${LINE}" | cut -d= -f2)"
+        SERVED="$(grep -oE ' served=[0-9]+' <<<"${LINE}" | grep -oE '[0-9]+')"
+        P50="$(grep -oE 'p50_ms=[0-9.]+' <<<"${LINE}" | cut -d= -f2)"
+        P99="$(grep -oE 'p99_ms=[0-9.]+' <<<"${LINE}" | cut -d= -f2)"
+        if [[ "${SERVED}" != "${SUBMITTED}" ]]; then
+            echo "repro smoke FAILED: serve-bench ${mode} lost work (served=${SERVED} != submitted=${SUBMITTED})" >&2
+            exit 1
+        fi
+        if ! awk -v p50="${P50}" -v p99="${P99}" 'BEGIN { exit !(p99 >= p50 && p50 >= 0) }'; then
+            echo "repro smoke FAILED: serve-bench ${mode} percentiles disordered (p50=${P50} p99=${P99})" >&2
+            exit 1
+        fi
+    done < <(grep -F "[serve] mode=${mode} " <<<"${SERVE_OUT}")
+    if ! grep -qF "[serve] mode=${mode} " <<<"${SERVE_OUT}"; then
+        echo "repro smoke FAILED: serve-bench reports no ${mode} percentile line" >&2
+        exit 1
+    fi
+done
 
 echo "== repro smoke: golden artifact census (scale 0.02, seed 42) =="
 # The golden determinism bar: the sim-backend generation artifacts at the

@@ -1,13 +1,14 @@
 //! Offline stand-in for `crossbeam-channel`, backed by `std::sync::mpsc`.
 //!
 //! Covers the bounded-channel subset this workspace uses: `bounded`,
-//! `Sender::send`, `Receiver::recv`/`recv_timeout`, sender cloning. The std
-//! receiver is single-consumer, which matches every call site here.
+//! `Sender::send`/`try_send`, `Receiver::recv`/`recv_timeout`, sender
+//! cloning. The std receiver is single-consumer, which matches every call
+//! site here.
 
 use std::sync::mpsc;
 use std::time::Duration;
 
-pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 
 /// Sending half of a bounded channel.
 pub struct Sender<T>(mpsc::SyncSender<T>);
@@ -21,6 +22,13 @@ impl<T> Clone for Sender<T> {
 impl<T> Sender<T> {
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
         self.0.send(value)
+    }
+
+    /// Non-blocking send: `Err(TrySendError::Full)` when the channel is at
+    /// capacity (the admission-control path), `Err(Disconnected)` when the
+    /// receiver is gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.0.try_send(value)
     }
 }
 
@@ -77,5 +85,17 @@ mod tests {
         }
         handle.join().unwrap();
         assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_reports_full_without_blocking() {
+        let (tx, rx) = bounded(2);
+        assert!(tx.try_send(1).is_ok());
+        assert!(tx.try_send(2).is_ok());
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert!(tx.try_send(3).is_ok());
+        drop(rx);
+        assert!(matches!(tx.try_send(4), Err(TrySendError::Disconnected(4))));
     }
 }

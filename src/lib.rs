@@ -17,6 +17,7 @@
 //! | [`index`] | FAISS-style vector stores (Flat / IVF / HNSW) |
 //! | [`runtime`] | Parsl-style work-stealing workflow runtime |
 //! | [`llm`] | every model role behind one `ModelEndpoint` trait (batched completions, response cache, call ledger); the sim backend plays GPT-4.1, the judge, GPT-5, and the 8 SLM behaviour cards |
+//! | [`serve`] | the in-process query service (admission control, dynamic micro-batching) |
 //! | [`core`] | the end-to-end benchmark-generation pipeline (the paper's contribution) |
 //! | [`eval`] | the three-condition evaluation protocol, Astro exam, tables & figures |
 //!
@@ -41,6 +42,7 @@ pub use mcqa_llm as llm;
 pub use mcqa_ontology as ontology;
 pub use mcqa_parse as parse;
 pub use mcqa_runtime as runtime;
+pub use mcqa_serve as serve;
 pub use mcqa_text as text;
 pub use mcqa_util as util;
 
@@ -54,6 +56,7 @@ pub mod prelude {
     };
     pub use mcqa_ontology::{Ontology, OntologyConfig};
     pub use mcqa_runtime::{run_stage, run_stage_batched, Executor};
+    pub use mcqa_serve::{QueryRequest, QueryService, ServeConfig};
 }
 
 /// Run the full pipeline and evaluation at a given corpus scale, returning
