@@ -16,7 +16,7 @@
 //! ```
 //!
 //! Every subcommand shares **one** flag parser ([`RunArgs`]): `--scale`,
-//! `--seed`, `--index flat|hnsw|ivf` (vector-store backend; default
+//! `--seed`, `--index flat|hnsw|ivf|pq` (vector-store backend; default
 //! `flat`, the exact baseline), `--models sim` (model backend behind the
 //! `ModelEndpoint` trait; only the behavioural simulator exists offline),
 //! plus the `--serve-*` knobs `serve-bench` reads. An unknown flag or a
@@ -54,7 +54,10 @@ struct ServeArgs {
     deadline_us: u64,
     /// Admission queue capacity (`--serve-queue`).
     queue: usize,
-    /// Per-client arrival rate in q/s; 0 = closed loop (`--serve-rate`).
+    /// Per-client open-loop arrival rate in q/s (`--serve-rate`):
+    /// exponential inter-arrival gaps drawn from the run seed, so load is
+    /// offered on a schedule the service cannot slow down. 0 = closed
+    /// loop (each client waits for its reply before submitting again).
     rate: f64,
 }
 
@@ -71,7 +74,8 @@ impl Default for ServeArgs {
     }
 }
 
-const USAGE: &str = "valid flags: --scale <f64> --seed <u64> --index flat|hnsw|ivf --models sim \
+const USAGE: &str =
+    "valid flags: --scale <f64> --seed <u64> --index flat|hnsw|ivf|pq --models sim \
      --serve-requests <n> --serve-concurrency <n,n,...> --serve-batch <n> \
      --serve-deadline-us <us> --serve-queue <n> --serve-rate <q/s>";
 
@@ -106,7 +110,9 @@ fn parse_args() -> RunArgs {
             "--seed" => args.seed = val(flag, raw),
             "--index" => {
                 args.index = IndexSpec::parse(raw).unwrap_or_else(|| {
-                    usage_exit(&format!("unknown index backend '{raw}' (expected flat|hnsw|ivf)"))
+                    usage_exit(&format!(
+                        "unknown index backend '{raw}' (expected flat|hnsw|ivf|pq)"
+                    ))
                 });
             }
             "--models" => {
@@ -143,7 +149,7 @@ fn main() {
     }
 
     let mut config = PipelineConfig::at_scale(args.scale, args.seed);
-    // `recall` rebuilds all three backends itself over the pipeline's
+    // `recall` rebuilds every backend itself over the pipeline's
     // embeddings and never consults the pipeline's own stores, so pin the
     // cheap exact backend there regardless of --index.
     config.index = if args.command == "recall" { IndexSpec::Flat } else { args.index.clone() };
@@ -183,7 +189,7 @@ fn main() {
             return;
         }
         "serve-bench" => {
-            serve_bench(&output, &args.serve);
+            serve_bench(&output, &args.serve, args.seed);
             return;
         }
         "fig2" => {
@@ -243,11 +249,12 @@ fn main() {
     }
 }
 
-/// `repro recall` — build all three backends over the *same* chunk
-/// embeddings and report build/search throughput plus recall@k against
-/// the flat exact baseline (the speed/recall trade the ROADMAP perf
-/// table tracks). Lines are `[recall] key=value ...` so CI can assert
-/// recall floors mechanically.
+/// `repro recall` — build every backend over the *same* chunk
+/// embeddings and report build/search throughput, recall@k against the
+/// flat exact baseline, and the serialised footprint (`mem_bytes`, the
+/// speed/recall/memory trade the ROADMAP perf table tracks). Lines are
+/// `[recall] key=value ...` so CI can assert recall floors and the
+/// memory column mechanically.
 fn print_recall(output: &mcqa_core::PipelineOutput, k: usize) {
     use mcqa_util::ScopeTimer;
 
@@ -266,8 +273,15 @@ fn print_recall(output: &mcqa_core::PipelineOutput, k: usize) {
         queries.len()
     );
     println!(
-        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10}",
-        "backend", "build-secs", "vec/s", "search-secs", "query/s", "recall@k"
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10} {:>11} {:>7}",
+        "backend",
+        "build-secs",
+        "vec/s",
+        "search-secs",
+        "query/s",
+        "recall@k",
+        "mem-bytes",
+        "B/vec"
     );
 
     if queries.is_empty() {
@@ -316,17 +330,25 @@ fn print_recall(output: &mcqa_core::PipelineOutput, k: usize) {
                 }
             }
         };
+        // Serialised footprint: the bytes a store costs at rest (and, for
+        // the code-carrying backends, roughly in RAM) — the denominator of
+        // the compression claim.
+        let mem_bytes = store.to_bytes().len();
+        let per_vec = mem_bytes as f64 / items.len().max(1) as f64;
         println!(
-            "{:<8} {:>12.3} {:>12.0} {:>12.3} {:>12.0} {:>10.3}",
+            "{:<8} {:>12.3} {:>12.0} {:>12.3} {:>12.0} {:>10.3} {:>11} {:>7.1}",
             spec.label(),
             build_secs,
             items.len() as f64 / build_secs.max(1e-9),
             search_secs,
             queries.len() as f64 / search_secs.max(1e-9),
-            recall
+            recall,
+            mem_bytes,
+            per_vec
         );
         println!(
-            "[recall] backend={} build_secs={:.3} search_secs={:.3} search_qps={:.0} recall_at_{k}={:.4}",
+            "[recall] backend={} build_secs={:.3} search_secs={:.3} search_qps={:.0} \
+             recall_at_{k}={:.4} mem_bytes={mem_bytes} bytes_per_vec={per_vec:.1}",
             spec.label(),
             build_secs,
             search_secs,
@@ -346,13 +368,20 @@ fn print_recall(output: &mcqa_core::PipelineOutput, k: usize) {
 /// 2. **Verification**: a served sample must be bit-identical to direct
 ///    `VectorStore::search` calls — exit 1 on any mismatch.
 /// 3. **Load**: replay eval queries (question stems, sources rotated over
-///    every registered store, k=8) from `concurrency` closed-loop client
-///    threads (`--serve-rate` adds per-client pacing), once with
-///    micro-batching disabled (`max_batch=1`, the one-request-at-a-time
-///    baseline) and once with the configured watermark, reporting
-///    p50/p95/p99 latency, throughput, saturation, and the speedup.
-fn serve_bench(output: &mcqa_core::PipelineOutput, serve: &ServeArgs) {
-    use mcqa_util::{percentile, ScopeTimer};
+///    every registered store, k=8) from `concurrency` client threads,
+///    once with micro-batching disabled (`max_batch=1`, the
+///    one-request-at-a-time baseline) and once with the configured
+///    watermark, reporting p50/p95/p99 latency, throughput, saturation,
+///    and the speedup. Clients are closed-loop by default (submit → wait
+///    → repeat, so offered load self-throttles to service speed);
+///    `--serve-rate R` switches them to open loop — each client offers a
+///    Poisson stream at R q/s (exponential inter-arrival gaps drawn from
+///    the run seed) on a fixed schedule, latency is measured from the
+///    *scheduled* arrival (queueing delay included, no coordination
+///    omission), and every sweep point prints an offered-vs-served
+///    saturation line.
+fn serve_bench(output: &mcqa_core::PipelineOutput, serve: &ServeArgs, seed: u64) {
+    use mcqa_util::{percentile, KeyedStochastic, ScopeTimer};
 
     if output.items.is_empty() {
         eprintln!("[repro] serve-bench needs at least one accepted question (got 0)");
@@ -452,39 +481,76 @@ fn serve_bench(output: &mcqa_core::PipelineOutput, serve: &ServeArgs) {
                 config,
             );
             let t = ScopeTimer::start("load");
-            // Closed-loop clients: each owns a request stripe, submits one,
-            // waits for its reply, moves on. `--serve-rate` inserts pacing.
-            let mut lat_ms: Vec<f64> = std::thread::scope(|s| {
-                let handles: Vec<_> = (0..concurrency)
-                    .map(|c| {
-                        let service = &service;
-                        let reqs = &reqs;
+            let mut lat_ms: Vec<f64> = if serve.rate > 0.0 {
+                // Open-loop clients: each offers a Poisson stream at
+                // `rate` q/s on a schedule fixed before the run — the
+                // service being slow does not slow the arrivals down, it
+                // just grows the queue (or trips admission control). A
+                // scoped waiter thread per ticket records latency from the
+                // scheduled arrival, so queueing delay is charged in full.
+                let rng = KeyedStochastic::new(seed);
+                let lat = std::sync::Mutex::new(Vec::new());
+                std::thread::scope(|s| {
+                    for c in 0..concurrency {
+                        let (service, reqs, rng, lat) = (&service, &reqs, &rng, &lat);
                         s.spawn(move || {
-                            let mut lat = Vec::new();
-                            let pace = (serve.rate > 0.0)
-                                .then(|| std::time::Duration::from_secs_f64(1.0 / serve.rate));
-                            for req in reqs.iter().skip(c).step_by(concurrency) {
-                                let t0 = std::time::Instant::now();
-                                match service.submit(req.clone()) {
-                                    // Rejections count via the ledger; a
-                                    // closed-loop client just moves on.
-                                    Err(_) => continue,
-                                    Ok(ticket) => {
+                            let t0 = std::time::Instant::now();
+                            let mut due = 0.0f64;
+                            for (i, req) in reqs.iter().skip(c).step_by(concurrency).enumerate() {
+                                let u =
+                                    rng.uniform(&["arrival", &c.to_string(), &i.to_string(), mode]);
+                                due += -(1.0 - u).ln() / serve.rate;
+                                let at = t0 + std::time::Duration::from_secs_f64(due);
+                                if let Some(gap) =
+                                    at.checked_duration_since(std::time::Instant::now())
+                                {
+                                    std::thread::sleep(gap);
+                                }
+                                // Rejections count via the ledger; the
+                                // schedule marches on either way.
+                                if let Ok(ticket) = service.submit(req.clone()) {
+                                    s.spawn(move || {
                                         if ticket.wait().is_ok() {
-                                            lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                                            let ms = at.elapsed().as_secs_f64() * 1e3;
+                                            lat.lock().expect("latency sink").push(ms);
+                                        }
+                                    });
+                                }
+                            }
+                        });
+                    }
+                });
+                lat.into_inner().expect("latency sink")
+            } else {
+                // Closed-loop clients: each owns a request stripe, submits
+                // one, waits for its reply, moves on.
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = (0..concurrency)
+                        .map(|c| {
+                            let service = &service;
+                            let reqs = &reqs;
+                            s.spawn(move || {
+                                let mut lat = Vec::new();
+                                for req in reqs.iter().skip(c).step_by(concurrency) {
+                                    let t0 = std::time::Instant::now();
+                                    match service.submit(req.clone()) {
+                                        // Rejections count via the ledger; a
+                                        // closed-loop client just moves on.
+                                        Err(_) => continue,
+                                        Ok(ticket) => {
+                                            if ticket.wait().is_ok() {
+                                                lat.push(t0.elapsed().as_secs_f64() * 1e3);
+                                            }
                                         }
                                     }
                                 }
-                                if let Some(p) = pace {
-                                    std::thread::sleep(p);
-                                }
-                            }
-                            lat
+                                lat
+                            })
                         })
-                    })
-                    .collect();
-                handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
-            });
+                        .collect();
+                    handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+                })
+            };
             let wall = t.elapsed_secs();
             let snap = service.shutdown();
             lat_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
@@ -504,6 +570,17 @@ fn serve_bench(output: &mcqa_core::PipelineOutput, serve: &ServeArgs) {
                 snap.mean_batch(),
                 snap.saturation(),
             );
+            if serve.rate > 0.0 {
+                // Open loop: offered load is fixed by the schedule, so
+                // offered vs served is the saturation verdict — delivered
+                // < 1 means the service sheds or lags this arrival rate.
+                let offered = serve.rate * concurrency as f64;
+                println!(
+                    "[serve] arrivals=open mode={mode} concurrency={concurrency} \
+                     offered_qps={offered:.0} served_qps={rate:.0} delivered={:.3}",
+                    rate / offered.max(1e-9)
+                );
+            }
             for line in snap.lines() {
                 println!("{line}");
             }

@@ -52,6 +52,22 @@ impl<'a> Reader<'a> {
         (n.checked_mul(elem_size.max(1))? <= self.remaining()).then_some(n)
     }
 
+    /// An LEB128 varint (at most 10 bytes for a u64).
+    pub fn varint(&mut self) -> Option<u64> {
+        let mut v = 0u64;
+        for shift in (0..70).step_by(7) {
+            let b = self.u8()?;
+            if shift == 63 && b > 1 {
+                return None; // overflow past 64 bits
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Some(v);
+            }
+        }
+        None
+    }
+
     pub fn f32_vec(&mut self, len: usize) -> Option<Vec<f32>> {
         let raw = self.take(len.checked_mul(4)?)?;
         Some(
@@ -102,6 +118,30 @@ pub(crate) fn put_f32s(out: &mut Vec<u8>, vs: &[f32]) {
     }
 }
 
+/// LEB128 varint: 7 payload bits per byte, low bits first.
+pub(crate) fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Zigzag-fold a signed delta into an unsigned varint payload (small
+/// magnitudes of either sign stay short).
+pub(crate) fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub(crate) fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +168,37 @@ mod tests {
         put_u32(&mut out, u32::MAX as usize);
         let mut r = Reader::new(&out);
         assert_eq!(r.count(8), None, "count larger than remaining bytes rejected");
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        let values =
+            [0u64, 1, 127, 128, 300, 16_383, 16_384, u32::MAX as u64, u64::MAX - 1, u64::MAX];
+        let mut out = Vec::new();
+        for &v in &values {
+            put_varint(&mut out, v);
+        }
+        let mut r = Reader::new(&out);
+        for &v in &values {
+            assert_eq!(r.varint(), Some(v));
+        }
+        assert!(r.exhausted());
+        // Truncated varint rejected.
+        let mut out = Vec::new();
+        put_varint(&mut out, u64::MAX);
+        assert_eq!(Reader::new(&out[..out.len() - 1]).varint(), None);
+        // Unterminated garbage rejected rather than looping.
+        assert_eq!(Reader::new(&[0x80u8; 11]).varint(), None);
+    }
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        // Small magnitudes stay small varints.
+        assert!(zigzag(-1) < 256);
+        assert!(zigzag(1) < 256);
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! benches and by `repro recall`).
 
 use mcqa_runtime::{run_stage_batched, Executor};
-use mcqa_util::KeyedStochastic;
 use serde::{Deserialize, Serialize};
 
 use crate::codec::{encode_metric, put_f32s, put_u32, put_u64, Reader};
+use crate::kmeans;
 use crate::metric::Metric;
 use crate::{SearchResult, TopK, VectorStore};
 
@@ -75,19 +75,6 @@ impl IvfIndex {
         self.trained
     }
 
-    fn nearest_centroid_of(&self, centroids: &[Vec<f32>], v: &[f32]) -> usize {
-        let mut best = 0usize;
-        let mut best_score = f32::NEG_INFINITY;
-        for (i, c) in centroids.iter().enumerate() {
-            let s = self.metric.score(v, c);
-            if s > best_score {
-                best_score = s;
-                best = i;
-            }
-        }
-        best
-    }
-
     /// Number of inverted lists actually in use.
     pub fn nlist(&self) -> usize {
         self.centroids.len()
@@ -142,7 +129,7 @@ impl VectorStore for IvfIndex {
     fn add(&mut self, id: u64, vector: &[f32]) {
         assert!(self.trained, "IvfIndex::add before train()");
         assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
-        let c = self.nearest_centroid_of(&self.centroids, vector);
+        let c = kmeans::nearest(self.metric, &self.centroids, vector);
         self.lists[c].push((id, vector.to_vec()));
         self.len += 1;
     }
@@ -157,7 +144,7 @@ impl VectorStore for IvfIndex {
         // list's contents match sequential `add` calls exactly.
         let (assigned, _) =
             run_stage_batched(exec, "ivf-assign", (0..items.len()).collect(), 0, |i| {
-                Ok::<_, String>(self.nearest_centroid_of(&self.centroids, &items[i].1))
+                Ok::<_, String>(kmeans::nearest(self.metric, &self.centroids, &items[i].1))
             });
         for (c, (id, v)) in assigned.into_iter().zip(items) {
             let c = c.expect("assignment cannot fail");
@@ -166,44 +153,27 @@ impl VectorStore for IvfIndex {
         self.len += items.len();
     }
 
-    /// Train the coarse quantiser with k-means over `training` vectors,
+    /// Train the coarse quantiser with the shared k-means++ trainer
+    /// ([`crate::kmeans::train_centroids`], Lloyd fanned out on `exec`),
     /// after which the index accepts [`VectorStore::add`].
     ///
     /// When fewer training vectors than `nlist` are supplied, the number of
     /// lists shrinks to the training size. Panics on an empty sample.
-    fn train(&mut self, training: &[Vec<f32>]) {
+    fn train(&mut self, exec: &Executor, training: &[Vec<f32>]) {
         assert!(!training.is_empty(), "cannot train on an empty sample");
         for t in training {
             assert_eq!(t.len(), self.dim, "training vector dimension mismatch");
         }
         let k = self.config.nlist.min(training.len());
-        let rng = KeyedStochastic::new(self.config.seed ^ 0x1BF_C3A7);
-
-        // k-means++ style seeding (simplified): random distinct picks.
-        let perm = rng.permutation(training.len(), &["init"]);
-        let mut centroids: Vec<Vec<f32>> = perm[..k].iter().map(|&i| training[i].clone()).collect();
-
-        for _iter in 0..self.config.train_iters {
-            let mut sums: Vec<Vec<f64>> = vec![vec![0.0; self.dim]; k];
-            let mut counts = vec![0usize; k];
-            for v in training {
-                let c = self.nearest_centroid_of(&centroids, v);
-                counts[c] += 1;
-                for (s, x) in sums[c].iter_mut().zip(v) {
-                    *s += *x as f64;
-                }
-            }
-            for (c, centroid) in centroids.iter_mut().enumerate() {
-                if counts[c] == 0 {
-                    continue; // keep the old position for empty clusters
-                }
-                for (ci, s) in centroid.iter_mut().zip(&sums[c]) {
-                    *ci = (*s / counts[c] as f64) as f32;
-                }
-            }
-        }
-
-        self.lists = vec![Vec::new(); k];
+        let centroids = kmeans::train_centroids(
+            exec,
+            self.metric,
+            training,
+            k,
+            self.config.train_iters,
+            self.config.seed,
+        );
+        self.lists = vec![Vec::new(); centroids.len()];
         self.centroids = centroids;
         self.trained = true;
     }
@@ -288,6 +258,7 @@ mod tests {
     use super::*;
     use crate::flat::FlatIndex;
     use mcqa_embed::Precision;
+    use mcqa_util::KeyedStochastic;
 
     /// Clustered synthetic vectors: `n` points around `c` centres.
     fn clustered(n: usize, centres: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
@@ -318,7 +289,7 @@ mod tests {
             Metric::Cosine,
             IvfConfig { nlist: 16, nprobe: 4, train_iters: 6, seed: 3 },
         );
-        ivf.train(&data);
+        ivf.train(Executor::global(), &data);
         for (i, v) in data.iter().enumerate() {
             flat.add(i as u64, v);
             ivf.add(i as u64, v);
@@ -348,7 +319,7 @@ mod tests {
             Metric::Cosine,
             IvfConfig { nlist: 8, nprobe: 8, train_iters: 5, seed: 1 },
         );
-        ivf.train(&data);
+        ivf.train(Executor::global(), &data);
         for (i, v) in data.iter().enumerate() {
             flat.add(i as u64, v);
             ivf.add(i as u64, v);
@@ -366,7 +337,7 @@ mod tests {
         let data = clustered(100, 4, dim, 5);
         let mk = || {
             let mut ivf = IvfIndex::new(dim, Metric::Cosine, IvfConfig::default());
-            ivf.train(&data);
+            ivf.train(Executor::global(), &data);
             for (i, v) in data.iter().enumerate() {
                 ivf.add(i as u64, v);
             }
@@ -386,12 +357,12 @@ mod tests {
         let items: Vec<(u64, Vec<f32>)> =
             data.iter().enumerate().map(|(i, v)| (i as u64 * 3, v.clone())).collect();
         let mut serial = IvfIndex::new(dim, Metric::Cosine, IvfConfig::default());
-        serial.train(&data);
+        serial.train(Executor::global(), &data);
         for (id, v) in &items {
             serial.add(*id, v);
         }
         let mut batched = IvfIndex::new(dim, Metric::Cosine, IvfConfig::default());
-        batched.train(&data);
+        batched.train(Executor::global(), &data);
         batched.add_batch(Executor::global(), &items);
         assert_eq!(batched.to_bytes(), serial.to_bytes());
     }
@@ -400,7 +371,7 @@ mod tests {
     fn small_training_shrinks_nlist() {
         let mut ivf =
             IvfIndex::new(4, Metric::Cosine, IvfConfig { nlist: 64, ..Default::default() });
-        ivf.train(&[vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]]);
+        ivf.train(Executor::global(), &[vec![1.0, 0.0, 0.0, 0.0], vec![0.0, 1.0, 0.0, 0.0]]);
         assert_eq!(ivf.nlist(), 2);
         ivf.add(1, &[1.0, 0.0, 0.0, 0.0]);
         assert_eq!(ivf.search(&[1.0, 0.0, 0.0, 0.0], 1)[0].id, 1);
@@ -424,7 +395,7 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn train_empty_panics() {
         let mut ivf = IvfIndex::new(4, Metric::Cosine, IvfConfig::default());
-        ivf.train(&[]);
+        ivf.train(Executor::global(), &[]);
     }
 
     #[test]
@@ -440,7 +411,7 @@ mod tests {
     #[test]
     fn trained_empty_search_is_empty() {
         let mut ivf = IvfIndex::new(4, Metric::Cosine, IvfConfig::default());
-        ivf.train(&[vec![1.0, 0.0, 0.0, 0.0]]);
+        ivf.train(Executor::global(), &[vec![1.0, 0.0, 0.0, 0.0]]);
         assert!(ivf.search(&[1.0, 0.0, 0.0, 0.0], 5).is_empty());
     }
 
@@ -450,7 +421,7 @@ mod tests {
         let data = clustered(120, 3, dim, 9);
         let mut ivf =
             IvfIndex::new(dim, Metric::Cosine, IvfConfig { nlist: 6, ..Default::default() });
-        ivf.train(&data);
+        ivf.train(Executor::global(), &data);
         for (i, v) in data.iter().enumerate() {
             ivf.add(i as u64, v);
         }
@@ -467,7 +438,7 @@ mod tests {
             Metric::Dot,
             IvfConfig { nlist: 8, nprobe: 3, train_iters: 4, seed: 9 },
         );
-        ivf.train(&data);
+        ivf.train(Executor::global(), &data);
         for (i, v) in data.iter().enumerate() {
             ivf.add(i as u64 + 5, v);
         }

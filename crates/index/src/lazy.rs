@@ -17,13 +17,13 @@ use mcqa_runtime::Executor;
 
 use crate::codec::Reader;
 use crate::metric::Metric;
-use crate::{decode_store, FlatIndex, HnswIndex, IvfIndex, SearchResult, VectorStore};
+use crate::{decode_store, FlatIndex, HnswIndex, IvfIndex, PqIndex, SearchResult, VectorStore};
 
 /// The header-only facts of a serialised store, readable without touching
 /// row data.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreHeader {
-    /// Backend label (`flat` / `hnsw` / `ivf`), from the magic tag.
+    /// Backend label (`flat` / `hnsw` / `ivf` / `pq`), from the magic tag.
     pub backend: &'static str,
     /// Scoring metric.
     pub metric: Metric,
@@ -84,6 +84,35 @@ pub fn peek_store_header(bytes: &[u8]) -> Option<StoreHeader> {
                 len = len.checked_add(entries)?;
             }
             Some(StoreHeader { backend: "ivf", metric, dim, len })
+        }
+        m if m == PqIndex::MAGIC => {
+            r.expect_magic(PqIndex::MAGIC)?;
+            let metric = r.metric()?;
+            let dim = r.u32()? as usize;
+            let _nlist = r.u32()?;
+            let _nprobe = r.u32()?;
+            let _train_iters = r.u32()?;
+            let bits = r.u8()? as usize;
+            let _sub_dim = r.u32()?;
+            let _seed = r.u64()?;
+            let _trained = r.u8()?;
+            let n_sub = r.count(8)?;
+            r.take(n_sub.checked_mul(8)?)?; // scale + bias
+            let n_centroids = r.count(dim * 4)?;
+            r.take(n_centroids.checked_mul(dim.checked_mul(4)?)?)?;
+            // Total length lives in the per-list entry counts; each list
+            // frames its delta-varint ids + packed codes behind an
+            // explicit payload length, so the walk skips blobs whole.
+            let n_lists = r.count(4)?;
+            let code_bytes = dim.checked_mul(bits)?.checked_add(7)? / 8;
+            let mut len = 0usize;
+            for _ in 0..n_lists {
+                let entries = r.count(code_bytes.max(1))?;
+                let payload_len = r.count(1)?;
+                r.take(payload_len)?;
+                len = len.checked_add(entries)?;
+            }
+            Some(StoreHeader { backend: "pq", metric, dim, len })
         }
         _ => None,
     }
@@ -182,12 +211,12 @@ impl VectorStore for LazyStore {
     fn needs_training(&self) -> bool {
         match self.inner.get() {
             Some(inner) => inner.needs_training(),
-            None => self.header.backend == "ivf",
+            None => matches!(self.header.backend, "ivf" | "pq"),
         }
     }
 
-    fn train(&mut self, sample: &[Vec<f32>]) {
-        self.force_mut().train(sample);
+    fn train(&mut self, exec: &Executor, sample: &[Vec<f32>]) {
+        self.force_mut().train(exec, sample);
     }
 
     fn payload_bytes(&self) -> usize {

@@ -1,15 +1,19 @@
 //! `mcqa-index` — vector stores standing in for FAISS.
 //!
 //! The paper keeps four FAISS databases: one over paper chunks and one per
-//! reasoning-trace mode. This crate supplies the same capability with three
+//! reasoning-trace mode. This crate supplies the same capability with four
 //! index families behind **one backend-agnostic trait**, [`VectorStore`]:
 //!
 //! * [`flat`] — exact brute-force search (ground truth; what the paper's
 //!   small FP16 databases effectively use).
 //! * [`ivf`] — inverted-file index with a k-means coarse quantiser and
 //!   `nprobe` search, trading recall for speed on large corpora.
+//! * [`pq`] — quantized IVF: coarse centroids plus 4–8-bit residual codes,
+//!   holding large corpora in a fraction of the flat matrix's memory.
 //! * [`hnsw`] — a hierarchical navigable-small-world graph for logarithmic
 //!   search, the standard high-recall ANN structure.
+//! * [`kmeans`] — the shared k-means++ trainer both coarse quantisers
+//!   fit their centroids through (Lloyd fanned out on the [`Executor`]).
 //! * [`metric`] — cosine / dot / L2 metrics shared by all indexes.
 //! * [`spec`] — [`IndexSpec`] (the *configuration* of a backend) plus the
 //!   [`build_store`] factory and the [`decode_store`] codec, so consumers
@@ -21,7 +25,7 @@
 //!   startup cost is a header walk instead of a full-corpus decode.
 //!
 //! The trait surface covers the whole store lifecycle: [`VectorStore::train`]
-//! (a no-op for everything but IVF), [`VectorStore::add`] /
+//! (a no-op for everything but the coarse quantisers), [`VectorStore::add`] /
 //! [`VectorStore::add_batch`] (parallel build on a caller-supplied
 //! [`Executor`]), [`VectorStore::search`] / [`VectorStore::search_batch`],
 //! and [`VectorStore::to_bytes`] persistence (decoded back through
@@ -43,8 +47,10 @@
 pub mod flat;
 pub mod hnsw;
 pub mod ivf;
+pub mod kmeans;
 pub mod lazy;
 pub mod metric;
+pub mod pq;
 pub mod registry;
 pub mod spec;
 
@@ -53,8 +59,10 @@ pub(crate) mod codec;
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use ivf::{IvfConfig, IvfIndex};
+pub use kmeans::train_centroids;
 pub use lazy::{peek_store_header, LazyStore, StoreHeader};
 pub use metric::Metric;
+pub use pq::{PqConfig, PqIndex, ResidualCodec};
 pub use registry::IndexRegistry;
 pub use spec::{build_store, build_store_from_vectors, decode_store, IndexSpec};
 
@@ -102,14 +110,16 @@ pub trait VectorStore: Send + Sync {
     fn dim(&self) -> usize;
 
     /// True when the store must see [`VectorStore::train`] before
-    /// [`VectorStore::add`]. Only IVF returns true.
+    /// [`VectorStore::add`]. Only the coarse quantisers (IVF, PQ) return
+    /// true.
     fn needs_training(&self) -> bool {
         false
     }
 
-    /// Fit any coarse structure on a training sample. A no-op for
-    /// backends without one (flat, HNSW).
-    fn train(&mut self, _sample: &[Vec<f32>]) {}
+    /// Fit any coarse structure on a training sample, fanning k-means
+    /// iterations out on `exec`'s pool. A no-op for backends without one
+    /// (flat, HNSW). Deterministic at any worker count.
+    fn train(&mut self, _exec: &Executor, _sample: &[Vec<f32>]) {}
 
     /// Bulk insertion fanned out on `exec`'s pool where the backend
     /// permits (flat parallelises row encoding, IVF parallelises centroid

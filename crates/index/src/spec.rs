@@ -10,7 +10,9 @@ use mcqa_embed::Precision;
 use mcqa_runtime::Executor;
 use serde::{Deserialize, Serialize};
 
-use crate::{FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, VectorStore};
+use crate::{
+    FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, Metric, PqConfig, PqIndex, VectorStore,
+};
 
 /// Which index family to build, with its parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -21,6 +23,8 @@ pub enum IndexSpec {
     Hnsw(HnswConfig),
     /// Inverted-file index with a k-means coarse quantiser.
     Ivf(IvfConfig),
+    /// Quantized IVF: coarse centroids + 4–8-bit residual codes.
+    Pq(PqConfig),
 }
 
 // Not `#[derive(Default)]`: the offline serde derive shim parses the enum
@@ -33,13 +37,14 @@ impl Default for IndexSpec {
 }
 
 impl IndexSpec {
-    /// The lowercase backend label (`flat` / `hnsw` / `ivf`), as accepted
-    /// by [`IndexSpec::parse`] and the `repro --index` flag.
+    /// The lowercase backend label (`flat` / `hnsw` / `ivf` / `pq`), as
+    /// accepted by [`IndexSpec::parse`] and the `repro --index` flag.
     pub fn label(&self) -> &'static str {
         match self {
             IndexSpec::Flat => "flat",
             IndexSpec::Hnsw(_) => "hnsw",
             IndexSpec::Ivf(_) => "ivf",
+            IndexSpec::Pq(_) => "pq",
         }
     }
 
@@ -50,17 +55,19 @@ impl IndexSpec {
             "flat" => Some(IndexSpec::Flat),
             "hnsw" => Some(IndexSpec::Hnsw(HnswConfig::default())),
             "ivf" => Some(IndexSpec::Ivf(IvfConfig::default())),
+            "pq" => Some(IndexSpec::Pq(PqConfig::default())),
             _ => None,
         }
     }
 
-    /// All three backends with default parameters, in canonical order
+    /// All four backends with default parameters, in canonical order
     /// (flat first — it is the recall baseline).
-    pub fn all_defaults() -> [IndexSpec; 3] {
+    pub fn all_defaults() -> [IndexSpec; 4] {
         [
             IndexSpec::Flat,
             IndexSpec::Hnsw(HnswConfig::default()),
             IndexSpec::Ivf(IvfConfig::default()),
+            IndexSpec::Pq(PqConfig::default()),
         ]
     }
 }
@@ -78,6 +85,7 @@ pub fn build_store(
         IndexSpec::Flat => Box::new(FlatIndex::new(dim, metric, precision)),
         IndexSpec::Hnsw(cfg) => Box::new(HnswIndex::new(dim, metric, cfg.clone())),
         IndexSpec::Ivf(cfg) => Box::new(IvfIndex::new(dim, metric, cfg.clone())),
+        IndexSpec::Pq(cfg) => Box::new(PqIndex::new(dim, metric, cfg.clone())),
     }
 }
 
@@ -102,7 +110,7 @@ pub fn build_store_from_vectors(
         // order everywhere in the pipeline).
         let cap = training_sample_cap(spec).min(items.len());
         let sample: Vec<Vec<f32>> = items[..cap].iter().map(|(_, v)| v.clone()).collect();
-        store.train(&sample);
+        store.train(exec, &sample);
     }
     store.add_batch(exec, items);
     store
@@ -112,6 +120,7 @@ pub fn build_store_from_vectors(
 fn training_sample_cap(spec: &IndexSpec) -> usize {
     match spec {
         IndexSpec::Ivf(cfg) => (cfg.nlist * 256).max(2_048),
+        IndexSpec::Pq(cfg) => (cfg.nlist * 256).max(2_048),
         _ => usize::MAX,
     }
 }
@@ -123,6 +132,7 @@ pub fn decode_store(bytes: &[u8]) -> Option<Box<dyn VectorStore>> {
         m if m == FlatIndex::MAGIC => Some(Box::new(FlatIndex::from_bytes(bytes)?)),
         m if m == HnswIndex::MAGIC => Some(Box::new(HnswIndex::from_bytes(bytes)?)),
         m if m == IvfIndex::MAGIC => Some(Box::new(IvfIndex::from_bytes(bytes)?)),
+        m if m == PqIndex::MAGIC => Some(Box::new(PqIndex::from_bytes(bytes)?)),
         _ => None,
     }
 }
@@ -161,7 +171,10 @@ mod tests {
             assert_eq!(store.dim(), 8);
             assert_eq!(store.metric(), Metric::Cosine);
             assert!(store.is_empty());
-            assert_eq!(store.needs_training(), matches!(spec, IndexSpec::Ivf(_)));
+            assert_eq!(
+                store.needs_training(),
+                matches!(spec, IndexSpec::Ivf(_) | IndexSpec::Pq(_))
+            );
         }
     }
 

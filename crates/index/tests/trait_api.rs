@@ -86,14 +86,14 @@ proptest! {
         for spec in IndexSpec::all_defaults() {
             let mut serial = mcqa_index::build_store(&spec, dim, Metric::Cosine, Precision::F32);
             if serial.needs_training() {
-                serial.train(&sample);
+                serial.train(exec(), &sample);
             }
             for (id, v) in &data {
                 serial.add(*id, v);
             }
             let mut batched = mcqa_index::build_store(&spec, dim, Metric::Cosine, Precision::F32);
             if batched.needs_training() {
-                batched.train(&sample);
+                batched.train(exec(), &sample);
             }
             batched.add_batch(exec(), &data);
             prop_assert_eq!(batched.to_bytes(), serial.to_bytes(), "{}", spec.label());

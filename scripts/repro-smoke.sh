@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Smoke-test the end-to-end paper pipeline: run the `repro` binary over every
 # table/figure at ~1% of paper scale with a fixed seed, then re-run the fig1
-# smoke under every vector-store backend (flat / hnsw / ivf) and assert the
-# generation artifacts are identical and ANN recall stays above the floor.
+# smoke under every vector-store backend (flat / hnsw / ivf / pq) and assert
+# the generation artifacts are identical and ANN recall stays above the floor.
 # Any panic, stage failure, or non-zero exit fails the script (and CI).
 #
 # Usage: scripts/repro-smoke.sh [scale] [seed]
@@ -46,6 +46,15 @@ if grep -rnE '(expect_store|\.store)\([^)]*\)[[:space:]]*\.[[:space:]]*search_ba
     exit 1
 fi
 
+echo "== repro smoke: one k-means trainer =="
+# Coarse-quantiser training lives in crates/index/src/kmeans.rs (k-means++
+# seeding shared by IVF and PQ). The old ad-hoc permutation seeding
+# reappearing in ivf.rs would fork the trainers again.
+if grep -n 'permutation' crates/index/src/ivf.rs; then
+    echo "repro smoke FAILED: ivf.rs regained an ad-hoc seeding path (permutation)" >&2
+    exit 1
+fi
+
 echo "== repro smoke: scale=${SCALE} seed=${SEED} =="
 ALL_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- all --scale "${SCALE}" --seed "${SEED}")"
 echo "${ALL_OUT}"
@@ -54,7 +63,7 @@ echo "== repro smoke: stage census (fig1) per index backend =="
 # `repro fig1` under each backend: the generation artifacts (docs, chunks,
 # candidates, accepted questions) must not depend on the store backend.
 declare -A CENSUS
-for backend in flat hnsw ivf; do
+for backend in flat hnsw ivf pq; do
     OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- fig1 --scale "${SCALE}" --seed "${SEED}" --index "${backend}" 2>&1)"
     echo "${OUT}"
     # `|| true`: a format drift must reach the diagnostic below, not kill
@@ -77,7 +86,7 @@ for backend in flat hnsw ivf; do
         fi
     done
 done
-for backend in hnsw ivf; do
+for backend in hnsw ivf pq; do
     if [[ "${CENSUS[$backend]}" != "${CENSUS[flat]}" ]]; then
         echo "repro smoke FAILED: --index ${backend} artifacts (${CENSUS[$backend]}) differ from flat (${CENSUS[flat]})" >&2
         exit 1
@@ -87,7 +96,7 @@ done
 echo "== repro smoke: ANN recall floor =="
 RECALL_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- recall --scale "${SCALE}" --seed "${SEED}")"
 echo "${RECALL_OUT}"
-for backend in flat hnsw ivf; do
+for backend in flat hnsw ivf pq; do
     LINE="$(grep -F "[recall] backend=${backend} " <<<"${RECALL_OUT}" || true)"
     RECALL="$(grep -oE 'recall_at_5=[0-9.]+' <<<"${LINE}" | cut -d= -f2 || true)"
     if [[ -z "${RECALL}" ]]; then
@@ -98,13 +107,29 @@ for backend in flat hnsw ivf; do
         echo "repro smoke FAILED: ${backend} recall@5 ${RECALL} < 0.9 vs flat baseline" >&2
         exit 1
     fi
-    # Every [recall] line must also report exact-search throughput, so the
-    # blocked-kernel win stays a greppable regression surface.
+    # Every [recall] line must also report exact-search throughput and the
+    # serialised footprint, so the blocked-kernel win and the compression
+    # claim stay greppable regression surfaces.
     if ! grep -qE 'search_qps=[0-9]+' <<<"${LINE}"; then
         echo "repro smoke FAILED: ${backend} recall line reports no search_qps" >&2
         exit 1
     fi
+    if ! grep -qE 'mem_bytes=[0-9]+' <<<"${LINE}"; then
+        echo "repro smoke FAILED: ${backend} recall line reports no mem_bytes" >&2
+        exit 1
+    fi
 done
+# The quantized backend must actually compress: its serialised store must be
+# at most 55% of the flat store's, even at smoke scale. The bar is loose here
+# because the fixed centroid table (nlist x dim f32s) amortises over only
+# ~2k vectors at scale 0.01; at scale 0.1 the ratio is already 2.3x and the
+# clustered crossover bench enforces >= 4x at 10^5 vectors.
+FLAT_MEM="$(grep -F '[recall] backend=flat ' <<<"${RECALL_OUT}" | grep -oE 'mem_bytes=[0-9]+' | cut -d= -f2)"
+PQ_MEM="$(grep -F '[recall] backend=pq ' <<<"${RECALL_OUT}" | grep -oE 'mem_bytes=[0-9]+' | cut -d= -f2)"
+if ! awk -v f="${FLAT_MEM}" -v p="${PQ_MEM}" 'BEGIN { exit !(p * 100 <= f * 55) }'; then
+    echo "repro smoke FAILED: pq store (${PQ_MEM}B) is not ≤ 55% of the flat store (${FLAT_MEM}B)" >&2
+    exit 1
+fi
 # Flat is the exact baseline: its recall is 1.0 by definition, and anything
 # else means the blocked/batched kernel diverged from ground truth.
 FLAT_RECALL="$(grep -F '[recall] backend=flat ' <<<"${RECALL_OUT}" | grep -oE 'recall_at_5=[0-9.]+' | cut -d= -f2)"

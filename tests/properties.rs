@@ -159,7 +159,7 @@ fn ivf_and_hnsw_recall_against_flat() {
         Metric::Cosine,
         IvfConfig { nlist: 16, nprobe: 6, train_iters: 6, seed: 5 },
     );
-    ivf.train(&data);
+    ivf.train(distllm::runtime::Executor::global(), &data);
     let mut hnsw = HnswIndex::new(dim, Metric::Cosine, HnswConfig::default());
     for (i, v) in data.iter().enumerate() {
         flat.add(i as u64, v);
