@@ -14,6 +14,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use mcqa_bench::{planted_corpus, random_unit_vectors};
 use mcqa_embed::Precision;
 use mcqa_index::{build_store_from_vectors, IndexSpec, Metric, PqConfig, VectorStore};
+use mcqa_lexical::LexicalIndex;
 use mcqa_runtime::Executor;
 
 /// Modest dimensionality keeps the 100k HNSW build inside bench budgets
@@ -119,6 +120,73 @@ fn bench_search(c: &mut Criterion) {
     group.finish();
 }
 
+/// Deterministic pseudo-documents for the lexical bench: ~40 words drawn
+/// Zipf-ishly from a 1000-term vocabulary (rank `r` picked with weight
+/// ∝ 1/(r+1) via inverse-CDF on a harmonic prefix), the frequency profile
+/// postings compression and BM25's idf actually face in prose.
+fn synthetic_docs(n: usize, seed: u64) -> Vec<(u64, String)> {
+    const VOCAB: usize = 1000;
+    let ks = mcqa_util::KeyedStochastic::new(seed);
+    let harmonic: f64 = (0..VOCAB).map(|r| 1.0 / (r + 1) as f64).sum();
+    (0..n)
+        .map(|i| {
+            let words: Vec<String> = (0..40)
+                .map(|j| {
+                    let mut target = ks.uniform(&["w", &i.to_string(), &j.to_string()]) * harmonic;
+                    let mut rank = 0;
+                    while rank + 1 < VOCAB {
+                        target -= 1.0 / (rank + 1) as f64;
+                        if target <= 0.0 {
+                            break;
+                        }
+                        rank += 1;
+                    }
+                    format!("term{rank:03}")
+                })
+                .collect();
+            (i as u64, words.join(" "))
+        })
+        .collect()
+}
+
+/// The lexical channel's build/search throughput and resident footprint,
+/// through the same `add_batch`/`search_batch` surface the pipeline and
+/// the query service use. The printed `[index_bench] backend=lexical`
+/// line keeps the ROADMAP memory table uniform across channels:
+/// `mem_bytes` is `payload_bytes()` — postings + docs table + vocabulary
+/// (the resident structures), not the delta-varint serialisation.
+fn bench_lexical(c: &mut Criterion) {
+    let exec = Executor::global();
+    let mut group = c.benchmark_group("lexical");
+    group.sample_size(10);
+    let n = 10_000usize;
+    let docs = synthetic_docs(n, 17);
+    let queries: Vec<String> = synthetic_docs(64, 91).into_iter().map(|(_, text)| text).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::new("build", n), &n, |b, _| {
+        b.iter(|| {
+            let mut idx = LexicalIndex::default();
+            idx.add_batch(exec, &docs);
+            black_box(idx.len())
+        })
+    });
+    let mut idx = LexicalIndex::default();
+    idx.add_batch(exec, &docs);
+    println!(
+        "[index_bench] backend=lexical n={n} terms={} mem_bytes={} bytes_per_vec={:.1} \
+         serialized_bytes={}",
+        idx.num_terms(),
+        idx.payload_bytes(),
+        idx.payload_bytes() as f64 / n as f64,
+        idx.to_bytes().len()
+    );
+    group.throughput(Throughput::Elements(queries.len() as u64));
+    group.bench_with_input(BenchmarkId::new("search", n), &n, |b, _| {
+        b.iter(|| black_box(idx.search_batch(exec, &queries, 5)))
+    });
+    group.finish();
+}
+
 /// The headline crossover: at 10⁵ clustered vectors the quantized backend
 /// must answer queries *faster* than exact flat search while paying ≥4×
 /// less memory than the flat store's own F16 serialisation (≈8× vs raw
@@ -204,5 +272,12 @@ fn bench_crossover(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_build, bench_flat_search, bench_search, bench_crossover);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_flat_search,
+    bench_search,
+    bench_lexical,
+    bench_crossover
+);
 criterion_main!(benches);

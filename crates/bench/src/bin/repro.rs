@@ -24,11 +24,11 @@
 
 use mcqa_core::{Pipeline, PipelineConfig};
 use mcqa_eval::results::{render_fig, render_table2, render_table3, render_table4, FigureSeries};
-use mcqa_eval::{EvalConfig, Evaluator};
+use mcqa_eval::{EvalConfig, Evaluator, RetrievalBundle, Source};
 use mcqa_index::{IndexRegistry, IndexSpec};
 use mcqa_llm::answer::Condition;
 use mcqa_llm::{cards, ModelSpec, TraceMode, MODEL_CARDS};
-use mcqa_serve::{QueryRequest, QueryService, ServeConfig};
+use mcqa_serve::{QueryMode, QueryRequest, QueryService, ServeConfig};
 
 /// Every flag every subcommand accepts, parsed by one parser. Commands
 /// read the subset they care about; there is no per-command flag dialect.
@@ -38,6 +38,7 @@ struct RunArgs {
     seed: u64,
     index: IndexSpec,
     models: ModelSpec,
+    retrieval: QueryMode,
     serve: ServeArgs,
 }
 
@@ -76,6 +77,7 @@ impl Default for ServeArgs {
 
 const USAGE: &str =
     "valid flags: --scale <f64> --seed <u64> --index flat|hnsw|ivf|pq --models sim \
+     --retrieval dense|lexical|hybrid|hybrid-rerank \
      --serve-requests <n> --serve-concurrency <n,n,...> --serve-batch <n> \
      --serve-deadline-us <us> --serve-queue <n> --serve-rate <q/s>";
 
@@ -93,6 +95,7 @@ fn parse_args() -> RunArgs {
         seed: 42,
         index: IndexSpec::Flat,
         models: ModelSpec::Sim,
+        retrieval: QueryMode::Dense,
         serve: ServeArgs::default(),
     };
     // One shared scanner: every flag takes exactly one value, and a
@@ -119,6 +122,20 @@ fn parse_args() -> RunArgs {
                 args.models = ModelSpec::parse(raw).unwrap_or_else(|| {
                     usage_exit(&format!("unknown model backend '{raw}' (expected sim)"))
                 });
+            }
+            "--retrieval" => {
+                args.retrieval = match raw.as_str() {
+                    "dense" => QueryMode::Dense,
+                    "lexical" => QueryMode::Lexical,
+                    "hybrid" => QueryMode::Hybrid { fusion: Default::default(), rerank: false },
+                    "hybrid-rerank" => {
+                        QueryMode::Hybrid { fusion: Default::default(), rerank: true }
+                    }
+                    other => usage_exit(&format!(
+                        "unknown retrieval mode '{other}' (expected \
+                         dense|lexical|hybrid|hybrid-rerank)"
+                    )),
+                };
             }
             "--serve-requests" => args.serve.requests = val(flag, raw),
             "--serve-concurrency" => {
@@ -186,6 +203,7 @@ fn main() {
         }
         "recall" => {
             print_recall(&output, 5);
+            print_mode_recall(&output, 5);
             return;
         }
         "serve-bench" => {
@@ -209,8 +227,14 @@ fn main() {
         _ => {}
     }
 
-    eprintln!("[repro] evaluating 8 models × 5 conditions × 2 benchmarks ...");
-    let evaluator = Evaluator::new(&output, EvalConfig { seed: args.seed, ..Default::default() });
+    eprintln!(
+        "[repro] evaluating 8 models × 5 conditions × 2 benchmarks (retrieval {}) ...",
+        args.retrieval.label()
+    );
+    let evaluator = Evaluator::new(
+        &output,
+        EvalConfig { seed: args.seed, retrieval: args.retrieval, ..Default::default() },
+    );
     let run = evaluator.run();
 
     match args.command.as_str() {
@@ -355,6 +379,77 @@ fn print_recall(output: &mcqa_core::PipelineOutput, k: usize) {
             queries.len() as f64 / search_secs.max(1e-9),
             recall
         );
+    }
+}
+
+/// The retrieval-mode comparison behind the README's hybrid table: dense
+/// vs lexical vs hybrid (RRF) recall@k over the pipeline's own source
+/// databases, with every query riding the `QueryService` envelope exactly
+/// the way the evaluator's retrieval does. Recall here is the
+/// oracle-labelled hit rate ([`RetrievalBundle::raw_hit_rate`]): the
+/// fraction of questions whose top-k contains a supporting passage.
+/// `mem_bytes` is the channel's resident footprint — the dense store's
+/// serialised bytes, the BM25 sibling's postings + vocabulary
+/// ([`mcqa_lexical::LexicalIndex::payload_bytes`]), or their sum for
+/// hybrid — so the ROADMAP memory table stays uniform across channels.
+/// Lines are `[recall] mode=...` so CI can assert the hybrid floor
+/// mechanically.
+fn print_mode_recall(output: &mcqa_core::PipelineOutput, k: usize) {
+    use mcqa_util::ScopeTimer;
+
+    let modes: [(&str, QueryMode); 3] = [
+        ("dense", QueryMode::Dense),
+        ("lexical", QueryMode::Lexical),
+        ("hybrid", QueryMode::Hybrid { fusion: Default::default(), rerank: false }),
+    ];
+    println!(
+        "\nRetrieval modes over the pipeline stores: {} questions × {} sources, k={k}\n",
+        output.items.len(),
+        Source::ALL.len()
+    );
+    println!(
+        "{:<8} {:<18} {:>10} {:>12} {:>12} {:>9}",
+        "mode", "source", "recall@k", "query/s", "mem-bytes", "B/doc"
+    );
+    for (label, mode) in modes {
+        let t = ScopeTimer::start("mode-recall");
+        let bundle = RetrievalBundle::build_mode(output, &output.items, k, mode);
+        let secs = t.elapsed_secs();
+        // Throughput spans the whole replay (encode + serve + label) over
+        // every (question, source) pair — the end-to-end rate the
+        // evaluator pays per mode, which is what the "hybrid within 2× of
+        // dense" budget constrains.
+        let qps = (Source::ALL.len() * output.items.len()) as f64 / secs.max(1e-9);
+        let mut mean = 0.0;
+        for source in Source::ALL {
+            let recall = bundle.raw_hit_rate(source);
+            mean += recall / Source::ALL.len() as f64;
+            let store = source.store(&output.indexes);
+            let dense_bytes = store.to_bytes().len();
+            let lex =
+                output.indexes.expect_lexical(&IndexRegistry::lexical_sibling(source.store_name()));
+            let (mem_bytes, docs) = match mode {
+                QueryMode::Dense => (dense_bytes, store.len()),
+                QueryMode::Lexical => (lex.payload_bytes(), lex.len()),
+                QueryMode::Hybrid { .. } => (dense_bytes + lex.payload_bytes(), store.len()),
+            };
+            let per_doc = mem_bytes as f64 / docs.max(1) as f64;
+            println!(
+                "{:<8} {:<18} {:>10.4} {:>12.0} {:>12} {:>9.1}",
+                label,
+                source.store_name(),
+                recall,
+                qps,
+                mem_bytes,
+                per_doc
+            );
+            println!(
+                "[recall] mode={label} source={} recall_at_{k}={recall:.4} qps={qps:.0} \
+                 mem_bytes={mem_bytes} bytes_per_vec={per_doc:.1}",
+                source.store_name()
+            );
+        }
+        println!("[recall] mode={label} source=all recall_at_{k}={mean:.4} qps={qps:.0}");
     }
 }
 
@@ -601,6 +696,20 @@ fn serve_bench(output: &mcqa_core::PipelineOutput, serve: &ServeArgs, seed: u64)
 /// cost-accounting census mechanically.
 fn print_models(output: &mcqa_core::PipelineOutput) {
     use mcqa_llm::ModelEndpoint;
+
+    // The default (dense) evaluation never calls the cross-encoder, so
+    // replay a short hybrid+rerank retrieval bundle first: the census then
+    // always carries a `role=reranker` row with real traffic, priced by
+    // the same shared ledger + response cache as every other role.
+    let probe = output.items.len().min(8);
+    if probe > 0 {
+        let _ = RetrievalBundle::build_mode(
+            output,
+            &output.items[..probe],
+            5,
+            QueryMode::Hybrid { fusion: Default::default(), rerank: true },
+        );
+    }
 
     println!(
         "Model-layer call ledger (backend {}, {} distinct completions cached):\n",

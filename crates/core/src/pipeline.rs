@@ -5,6 +5,7 @@ use std::sync::Arc;
 use mcqa_corpus::{CorpusLibrary, DocId};
 use mcqa_embed::{BioEncoder, Precision};
 use mcqa_index::{build_store_from_vectors, IndexRegistry, Metric, VectorStore};
+use mcqa_lexical::LexicalIndex;
 use mcqa_llm::{
     build_hub, BenchKind, Judge, McqItem, ModelEndpoint, ModelHub, QuestionPrompt, Teacher,
     TraceMode, OPTION_LETTERS,
@@ -196,6 +197,23 @@ impl Pipeline {
         ));
         indexes.insert(CHUNKS_STORE, chunk_store);
         drop(chunk_vectors);
+
+        // Lexical sibling: the same chunks indexed by BM25 — the hybrid
+        // retrieval channel's word-level view, one Figure-1 stage row like
+        // any dense build.
+        let t = ScopeTimer::start("index-lex-chunks");
+        let mut chunk_lex = LexicalIndex::new(Default::default());
+        let lex_pairs: Vec<(u64, &str)> =
+            chunks.iter().map(|c| (c.chunk_id, c.text.as_str())).collect();
+        chunk_lex.add_batch(&exec, &lex_pairs);
+        report.add(StageMetrics::single(
+            "index-lex-chunks",
+            lex_pairs.len(),
+            chunk_lex.len(),
+            t.elapsed_secs(),
+        ));
+        indexes.insert_lexical(&IndexRegistry::lexical_sibling(CHUNKS_STORE), chunk_lex);
+        drop(lex_pairs);
 
         // Stage 5: question generation (one candidate per chunk) + judge
         // filtering at the paper's 7/10 threshold. Both model roles run
@@ -393,6 +411,24 @@ impl Pipeline {
                 t.elapsed_secs(),
             ));
             indexes.insert(mode.db_name(), store);
+
+            // BM25 sibling over the same traces, keyed by question id like
+            // the dense store, so both channels retrieve the same ids.
+            let t = ScopeTimer::start("index-lex-traces");
+            let mut lex = LexicalIndex::new(Default::default());
+            let pairs: Vec<(u64, &str)> = traces
+                .iter()
+                .filter(|tr| tr.mode == *mode)
+                .map(|tr| (tr.question_id, tr.trace.as_str()))
+                .collect();
+            lex.add_batch(&exec, &pairs);
+            report.add(StageMetrics::single(
+                &format!("index-lex-{}", mode.db_name()),
+                pairs.len(),
+                lex.len(),
+                t.elapsed_secs(),
+            ));
+            indexes.insert_lexical(&IndexRegistry::lexical_sibling(mode.db_name()), lex);
         }
 
         // The model layer's cost accounting joins the stage report: one
@@ -441,13 +477,25 @@ mod tests {
         for mode in TraceMode::ALL {
             assert_eq!(out.trace_store(mode).len(), out.items.len());
         }
-        // The paper's four stores, all registered under canonical names.
+        // The paper's four stores, all registered under canonical names —
+        // lexical siblings live in their own namespace and never leak in.
         assert_eq!(
             out.indexes.names(),
             vec![CHUNKS_STORE, "traces-detailed", "traces-efficient", "traces-focused"]
         );
-        // Figure-1 stage census, including one build row per store and one
-        // model-layer cost row per role the pipeline called.
+        // Every dense source has a BM25 sibling covering the same docs.
+        assert_eq!(
+            out.indexes.lexical_names(),
+            vec!["lex-chunks", "lex-traces-detailed", "lex-traces-efficient", "lex-traces-focused"]
+        );
+        assert_eq!(out.indexes.expect_lexical("lex-chunks").len(), out.chunks.len());
+        for mode in TraceMode::ALL {
+            let lex = out.indexes.expect_lexical(&IndexRegistry::lexical_sibling(mode.db_name()));
+            assert_eq!(lex.len(), out.items.len());
+        }
+        // Figure-1 stage census, including one build row per store (dense
+        // and lexical) and one model-layer cost row per role the pipeline
+        // called.
         let names: Vec<&str> = out.report.stages().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
@@ -457,12 +505,16 @@ mod tests {
                 "chunk",
                 "embed-chunks",
                 "index-chunks",
+                "index-lex-chunks",
                 "generate+judge",
                 "traces",
                 "embed-traces",
                 "index-traces-detailed",
+                "index-lex-traces-detailed",
                 "index-traces-focused",
+                "index-lex-traces-focused",
                 "index-traces-efficient",
+                "index-lex-traces-efficient",
                 "model-teacher",
                 "model-judge",
             ]

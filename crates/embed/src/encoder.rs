@@ -1,8 +1,7 @@
 //! The `BioEncoder`: signed feature-hashing text encoder.
 
 use mcqa_runtime::{run_stage_batched, Executor};
-use mcqa_text::stopwords::is_stopword;
-use mcqa_text::tokenize;
+use mcqa_text::content_tokens;
 use mcqa_util::StableHasher;
 use serde::{Deserialize, Serialize};
 
@@ -100,14 +99,12 @@ impl BioEncoder {
     /// them heavily, so do we (see `token_features`).
     pub fn encode(&self, text: &str) -> Vec<f32> {
         let mut acc = vec![0.0f32; self.config.dim];
-        let tokens = tokenize(text);
+        let tokens = content_tokens(text);
 
         let mut prev_content: Option<&str> = None;
         for tok in &tokens {
-            if !is_stopword(tok) {
-                self.token_features(tok, prev_content, |idx, w| acc[idx as usize] += w);
-                prev_content = Some(tok);
-            }
+            self.token_features(tok, prev_content, |idx, w| acc[idx as usize] += w);
+            prev_content = Some(tok);
         }
 
         let norm: f32 = acc.iter().map(|x| x * x).sum::<f32>().sqrt();
@@ -150,15 +147,12 @@ impl mcqa_text::Encoder for BioEncoder {
     /// first content token's head at each sentence join — reproduces the
     /// joined encode bit for bit.
     fn sentence_postings(&self, text: &str) -> Option<mcqa_text::SentencePostings> {
-        let tokens = tokenize(text);
+        let tokens = content_tokens(text);
         let mut postings: Vec<(u32, f32)> = Vec::new();
         let mut head_len = 0usize;
         let mut first_content: Option<&str> = None;
         let mut prev_content: Option<&str> = None;
         for tok in &tokens {
-            if is_stopword(tok) {
-                continue;
-            }
             self.token_features(tok, prev_content, |idx, w| postings.push((idx, w)));
             if first_content.is_none() {
                 first_content = Some(tok);

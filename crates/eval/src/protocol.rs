@@ -11,7 +11,7 @@ use mcqa_llm::{
     PipelineRates, TraceMode, MODEL_CARDS,
 };
 use mcqa_runtime::{run_stage_batched, Executor, RunReport, StageMetrics};
-use mcqa_serve::{QueryService, ServeConfig};
+use mcqa_serve::{QueryMode, QueryService, ServeConfig};
 use mcqa_util::Accuracy;
 use serde::Serialize;
 
@@ -25,13 +25,21 @@ pub struct EvalConfig {
     pub seed: u64,
     /// Retrieval depth (passages per query; the pipeline's `retrieval_k`).
     pub retrieval_k: usize,
+    /// Which retrieval channel(s) every bundle queries through — dense
+    /// (the default, the pre-PR-8 behaviour), lexical, or hybrid.
+    pub retrieval: QueryMode,
     /// Astro exam settings.
     pub astro: AstroConfig,
 }
 
 impl Default for EvalConfig {
     fn default() -> Self {
-        Self { seed: 42, retrieval_k: 8, astro: AstroConfig::default() }
+        Self {
+            seed: 42,
+            retrieval_k: 8,
+            retrieval: QueryMode::Dense,
+            astro: AstroConfig::default(),
+        }
     }
 }
 
@@ -145,9 +153,16 @@ impl<'a> Evaluator<'a> {
         let classifier = Classifier::new(endpoint.clone(), config.seed);
         let exam = AstroExam::generate(&output.ontology, &config.astro, &classifier, &exec);
         let embed_cache = EmbeddingCache::new(&output.encoder);
-        let service = QueryService::start(
+        // Rerank-mode retrieval needs the passage texts and the
+        // cross-encoder adapter; wiring the reranker to the pipeline's own
+        // hub puts its calls on the same ledger and response cache as
+        // every other role.
+        let rerank = matches!(config.retrieval, QueryMode::Hybrid { rerank: true, .. });
+        let service = QueryService::start_full(
             output.indexes.clone(),
             Some(output.encoder.clone()),
+            rerank.then(|| crate::retrieval::passage_store(output)),
+            rerank.then(|| mcqa_llm::Reranker::new(endpoint.clone(), config.seed)),
             exec.clone(),
             ServeConfig::default(),
         );
@@ -155,6 +170,7 @@ impl<'a> Evaluator<'a> {
             output,
             &output.items,
             config.retrieval_k,
+            config.retrieval,
             &embed_cache,
             &service,
         );
@@ -162,6 +178,7 @@ impl<'a> Evaluator<'a> {
             output,
             &exam.items,
             config.retrieval_k,
+            config.retrieval,
             &embed_cache,
             &service,
         );

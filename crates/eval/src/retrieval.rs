@@ -6,7 +6,7 @@ use mcqa_core::PipelineOutput;
 use mcqa_embed::EmbeddingCache;
 use mcqa_llm::{McqItem, Passage, PassageSource, TraceMode};
 use mcqa_runtime::{run_stage_batched, StageMetrics};
-use mcqa_serve::{QueryRequest, QueryService, ServeConfig};
+use mcqa_serve::{PassageStore, QueryMode, QueryRequest, QueryService, ServeConfig};
 
 /// A retrieval source key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -53,6 +53,21 @@ impl Source {
     }
 }
 
+/// The passage texts behind every source's doc ids — what the serving
+/// layer's reranker reads when hybrid requests ask for rescoring. Chunk
+/// passages key by chunk id; trace passages key by question id, matching
+/// each store's id space.
+pub fn passage_store(output: &PipelineOutput) -> PassageStore {
+    let mut ps = PassageStore::new();
+    for c in &output.chunks {
+        ps.insert(mcqa_core::CHUNKS_STORE, c.chunk_id, &c.text);
+    }
+    for t in &output.traces {
+        ps.insert(t.mode.db_name(), t.question_id, &t.trace);
+    }
+    ps
+}
+
 /// Precomputed retrieval results for a set of questions: for every
 /// (question, source) the top-k passages with oracle relevance labels and
 /// precomputed token counts (so window assembly is cheap per model).
@@ -70,14 +85,32 @@ impl RetrievalBundle {
     ///   provenance fact list contains it;
     /// * a trace passage supports it iff the trace's source fact matches.
     pub fn build(output: &PipelineOutput, items: &[McqItem], k: usize) -> Self {
+        Self::build_mode(output, items, k, QueryMode::Dense)
+    }
+
+    /// [`RetrievalBundle::build`] under an explicit retrieval mode
+    /// (dense, lexical, or hybrid — every mode rides the same
+    /// [`QueryService`] envelope).
+    pub fn build_mode(
+        output: &PipelineOutput,
+        items: &[McqItem],
+        k: usize,
+        mode: QueryMode,
+    ) -> Self {
         let cache = EmbeddingCache::new(&output.encoder);
-        let service = QueryService::start(
+        let rerank = matches!(mode, QueryMode::Hybrid { rerank: true, .. });
+        let service = QueryService::start_full(
             output.indexes.clone(),
             None,
+            rerank.then(|| passage_store(output)),
+            rerank.then(|| {
+                let endpoint: std::sync::Arc<dyn mcqa_llm::ModelEndpoint> = output.models.clone();
+                mcqa_llm::Reranker::new(endpoint, output.config.seed)
+            }),
             output.executor.clone(),
             ServeConfig::default(),
         );
-        Self::build_metered(output, items, k, &cache, &service).0
+        Self::build_metered(output, items, k, mode, &cache, &service).0
     }
 
     /// [`RetrievalBundle::build`], also returning the fan-out's runtime
@@ -93,6 +126,7 @@ impl RetrievalBundle {
         output: &PipelineOutput,
         items: &[McqItem],
         k: usize,
+        mode: QueryMode,
         cache: &EmbeddingCache<'_>,
         service: &QueryService,
     ) -> (Self, StageMetrics) {
@@ -140,7 +174,17 @@ impl RetrievalBundle {
         let hits_per_source: [Vec<Vec<mcqa_index::SearchResult>>; 4] = Source::ALL.map(|source| {
             let reqs: Vec<QueryRequest> = queries
                 .iter()
-                .map(|q| QueryRequest::vector(source.store_name(), q.clone(), k))
+                .zip(items)
+                .map(|(q, item)| match mode {
+                    // The pre-PR-8 envelope, byte for byte.
+                    QueryMode::Dense => QueryRequest::vector(source.store_name(), q.clone(), k),
+                    // Lexical/hybrid requests also carry the stem text —
+                    // the lexical channel scores words, not vectors.
+                    _ => {
+                        QueryRequest::text_and_vector(source.store_name(), &item.stem, q.clone(), k)
+                            .with_mode(mode)
+                    }
+                })
                 .collect();
             service
                 .query_batch(reqs)
@@ -322,9 +366,11 @@ mod tests {
             out.executor.clone(),
             ServeConfig::default(),
         );
-        let (b1, _) = RetrievalBundle::build_metered(out, &out.items, 5, &cache, &service);
+        let (b1, _) =
+            RetrievalBundle::build_metered(out, &out.items, 5, QueryMode::Dense, &cache, &service);
         let (_, misses_after_first) = cache.stats();
-        let (b2, _) = RetrievalBundle::build_metered(out, &out.items, 5, &cache, &service);
+        let (b2, _) =
+            RetrievalBundle::build_metered(out, &out.items, 5, QueryMode::Dense, &cache, &service);
         let (hits, misses) = cache.stats();
         assert_eq!(misses, misses_after_first, "second identical bundle encodes nothing new");
         assert!(hits >= out.items.len() as u64, "every repeat query is a hit");
@@ -366,6 +412,50 @@ mod tests {
                 assert_eq!(res.expect("served").hits, direct, "{source:?}");
             }
         }
+    }
+
+    #[test]
+    fn lexical_and_hybrid_bundles_cover_all_items() {
+        let out = output();
+        let k = 5;
+        let dense = RetrievalBundle::build(out, &out.items, k);
+        let lexical = RetrievalBundle::build_mode(out, &out.items, k, QueryMode::Lexical);
+        let hybrid = RetrievalBundle::build_mode(
+            out,
+            &out.items,
+            k,
+            QueryMode::Hybrid { fusion: Default::default(), rerank: false },
+        );
+        assert_eq!(lexical.len(), out.items.len());
+        assert_eq!(hybrid.len(), out.items.len());
+        // A question's own trace shares its vocabulary: the lexical
+        // channel must find it nearly always, and fusing both channels
+        // must not give up what either finds alone.
+        for mode in TraceMode::ALL {
+            let s = Source::Traces(mode);
+            assert!(lexical.raw_hit_rate(s) > 0.8, "{mode:?} lexical {}", lexical.raw_hit_rate(s));
+            assert!(
+                hybrid.raw_hit_rate(s) + 0.05 >= dense.raw_hit_rate(s),
+                "{mode:?} hybrid {} vs dense {}",
+                hybrid.raw_hit_rate(s),
+                dense.raw_hit_rate(s)
+            );
+        }
+    }
+
+    #[test]
+    fn rerank_bundles_bill_the_reranker_role() {
+        let out = output();
+        let before = out.models.ledger().role(mcqa_llm::Role::Reranker).calls;
+        let bundle = RetrievalBundle::build_mode(
+            out,
+            &out.items[..20.min(out.items.len())],
+            5,
+            QueryMode::Hybrid { fusion: Default::default(), rerank: true },
+        );
+        assert_eq!(bundle.len(), 20.min(out.items.len()));
+        let after = out.models.ledger().role(mcqa_llm::Role::Reranker).calls;
+        assert!(after > before, "rerank retrieval must land on the shared ledger");
     }
 
     #[test]

@@ -16,7 +16,7 @@ use mcqa_embed::{EmbeddingMatrix, Precision};
 use mcqa_runtime::{run_stage, Executor};
 use mcqa_util::kernel;
 
-use crate::codec::{encode_metric, put_u64, Reader};
+use crate::codec::{encode_metric, put_u64, ReadMetricExt, Reader};
 use crate::metric::Metric;
 use crate::{SearchResult, TopK, VectorStore};
 

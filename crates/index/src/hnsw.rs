@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use crate::codec::{encode_metric, put_f32s, put_u32, put_u64, Reader};
+use crate::codec::{encode_metric, put_f32s, put_u32, put_u64, ReadMetricExt, Reader};
 use crate::metric::Metric;
 use crate::{sort_hits, SearchResult, VectorStore};
 

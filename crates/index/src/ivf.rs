@@ -10,7 +10,7 @@
 use mcqa_runtime::{run_stage_batched, Executor};
 use serde::{Deserialize, Serialize};
 
-use crate::codec::{encode_metric, put_f32s, put_u32, put_u64, Reader};
+use crate::codec::{encode_metric, put_f32s, put_u32, put_u64, ReadMetricExt, Reader};
 use crate::kmeans;
 use crate::metric::Metric;
 use crate::{SearchResult, TopK, VectorStore};

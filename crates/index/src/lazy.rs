@@ -15,7 +15,7 @@ use std::sync::OnceLock;
 
 use mcqa_runtime::Executor;
 
-use crate::codec::Reader;
+use crate::codec::{ReadMetricExt, Reader};
 use crate::metric::Metric;
 use crate::{decode_store, FlatIndex, HnswIndex, IvfIndex, PqIndex, SearchResult, VectorStore};
 

@@ -67,17 +67,13 @@ pub use registry::IndexRegistry;
 pub use spec::{build_store, build_store_from_vectors, decode_store, IndexSpec};
 
 use mcqa_runtime::{run_stage_batched, Executor};
-use serde::{Deserialize, Serialize};
 
-/// One search hit: an external id and a similarity score (higher = better
-/// under every metric; L2 distances are negated).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct SearchResult {
-    /// External id supplied at insertion.
-    pub id: u64,
-    /// Similarity score (metric-dependent; higher is more similar).
-    pub score: f32,
-}
+/// The shared hit type and its canonical ordering now live in
+/// [`mcqa_util::hits`] (the lexical index and fusion layer rank through
+/// the same comparator); re-exported here so downstream paths are
+/// unchanged.
+pub use mcqa_util::hits::SearchResult;
+pub(crate) use mcqa_util::hits::{sort_hits, TopK};
 
 /// The common vector-store interface. Everything downstream of this crate
 /// (the pipeline, the evaluator, the `repro` binary) programs against
@@ -156,106 +152,4 @@ pub trait VectorStore: Send + Sync {
     /// Serialise the store (self-describing: a 4-byte magic tag selects
     /// the decoder in [`decode_store`]).
     fn to_bytes(&self) -> Vec<u8>;
-}
-
-/// The one hit ordering every index family uses: descending score, then
-/// ascending id (`Less` = ranks earlier). Centralised so the full-sort
-/// path and the bounded-heap path cannot disagree on ties.
-#[inline]
-pub(crate) fn cmp_hits(a: &SearchResult, b: &SearchResult) -> std::cmp::Ordering {
-    b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal).then(a.id.cmp(&b.id))
-}
-
-/// Deterministically order candidate hits: descending score, then
-/// ascending id. Shared by all index implementations.
-pub(crate) fn sort_hits(hits: &mut [SearchResult]) {
-    hits.sort_by(cmp_hits);
-}
-
-/// A [`SearchResult`] ordered by [`cmp_hits`] with `Greater` = worse, so a
-/// max-[`std::collections::BinaryHeap`] keeps the worst retained hit at
-/// the root (the same `Ord`-newtype pattern as `hnsw`'s `Scored`).
-struct WorstFirst(SearchResult);
-
-impl PartialEq for WorstFirst {
-    fn eq(&self, other: &Self) -> bool {
-        cmp_hits(&self.0, &other.0) == std::cmp::Ordering::Equal
-    }
-}
-
-impl Eq for WorstFirst {}
-
-impl PartialOrd for WorstFirst {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for WorstFirst {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        cmp_hits(&self.0, &other.0)
-    }
-}
-
-/// A bounded top-k accumulator: keeps the `k` best hits under [`cmp_hits`]
-/// out of an arbitrary stream, O(log k) per pushed improvement and O(1)
-/// per rejected candidate, instead of materialising every hit and sorting
-/// (`O(n log n)` and `n × 12` bytes per query — the old flat-search cost).
-///
-/// Yields exactly what `sort_hits` + `truncate(k)` yields on the same
-/// stream: [`cmp_hits`] is a total order whose ties are value-identical
-/// hits, so which duplicate survives is unobservable.
-pub(crate) struct TopK {
-    k: usize,
-    heap: std::collections::BinaryHeap<WorstFirst>,
-}
-
-impl TopK {
-    pub(crate) fn new(k: usize) -> Self {
-        Self { k, heap: std::collections::BinaryHeap::with_capacity(k.min(1024)) }
-    }
-
-    #[inline]
-    pub(crate) fn push(&mut self, hit: SearchResult) {
-        if self.heap.len() < self.k {
-            self.heap.push(WorstFirst(hit));
-        } else if let Some(mut worst) = self.heap.peek_mut() {
-            if cmp_hits(&hit, &worst.0) == std::cmp::Ordering::Less {
-                *worst = WorstFirst(hit);
-            }
-        }
-    }
-
-    /// The kept hits, best first.
-    pub(crate) fn into_sorted(self) -> Vec<SearchResult> {
-        let mut hits: Vec<SearchResult> = self.heap.into_iter().map(|w| w.0).collect();
-        sort_hits(&mut hits);
-        hits
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn topk_equals_sort_then_truncate() {
-        // Adversarial stream: duplicate scores, duplicate (score, id)
-        // pairs, ascending and descending runs.
-        let mut hits = Vec::new();
-        for i in 0..200u64 {
-            let score = ((i * 7919) % 23) as f32 / 23.0;
-            hits.push(SearchResult { id: i % 40, score });
-        }
-        for k in [0usize, 1, 3, 5, 40, 200, 500] {
-            let mut oracle = hits.clone();
-            sort_hits(&mut oracle);
-            oracle.truncate(k);
-            let mut topk = TopK::new(k);
-            for h in &hits {
-                topk.push(*h);
-            }
-            assert_eq!(topk.into_sorted(), oracle, "k={k}");
-        }
-    }
 }

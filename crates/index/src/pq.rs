@@ -25,7 +25,9 @@ use mcqa_runtime::{run_stage_batched, Executor};
 use mcqa_util::kernel;
 use serde::{Deserialize, Serialize};
 
-use crate::codec::{encode_metric, put_f32s, put_u32, put_varint, unzigzag, zigzag, Reader};
+use crate::codec::{
+    encode_metric, put_f32s, put_u32, put_varint, unzigzag, zigzag, ReadMetricExt, Reader,
+};
 use crate::kmeans;
 use crate::metric::Metric;
 use crate::{SearchResult, TopK, VectorStore};

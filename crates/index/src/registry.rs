@@ -6,16 +6,67 @@
 //! pipeline registers `chunks` and `traces-<mode>`, the evaluator looks
 //! them up — and round-trips the whole family to bytes via each store's
 //! self-describing [`VectorStore::to_bytes`] format.
+//!
+//! Each dense store may carry a **lexical sibling** — a BM25
+//! [`LexicalIndex`] over the same documents, registered under its own
+//! name (the pipeline uses `lex-chunks` / `lex-traces-<mode>`). Siblings
+//! ride the same serialised registry (a trailing lexical section) and the
+//! same lazy-open discipline: [`IndexRegistry::open_bytes`] keeps their
+//! payload as raw bytes until the first lexical search touches them.
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use mcqa_lexical::LexicalIndex;
 
 use crate::codec::{put_u32, Reader};
 use crate::{decode_store, SearchResult, VectorStore};
 
-/// A registry of named vector stores.
+/// A lexical sibling slot: either an already-decoded index or its raw
+/// `LEXI` bytes, decoded once on first touch (the lexical mirror of
+/// [`crate::lazy::LazyStore`]).
+struct LexicalSlot {
+    /// Raw serialised bytes when opened lazily; empty for eager slots.
+    bytes: Vec<u8>,
+    inner: OnceLock<LexicalIndex>,
+}
+
+impl LexicalSlot {
+    fn eager(index: LexicalIndex) -> Self {
+        let inner = OnceLock::new();
+        let _ = inner.set(index);
+        Self { bytes: Vec::new(), inner }
+    }
+
+    fn lazy(bytes: Vec<u8>) -> Self {
+        Self { bytes, inner: OnceLock::new() }
+    }
+
+    /// The decoded index, decoding on first touch. Panics on corrupted
+    /// body bytes — the same contract as [`crate::lazy::LazyStore`]:
+    /// framing is validated at open, body corruption surfaces at first
+    /// use.
+    fn get(&self) -> &LexicalIndex {
+        self.inner.get_or_init(|| {
+            LexicalIndex::from_bytes(&self.bytes).expect("lexical index bytes corrupted")
+        })
+    }
+
+    /// Serialised bytes: raw pass-through for undecoded lazy slots (no
+    /// decode forced just to re-encode), fresh encode otherwise.
+    fn to_bytes(&self) -> Vec<u8> {
+        match self.inner.get() {
+            Some(idx) => idx.to_bytes(),
+            None => self.bytes.clone(),
+        }
+    }
+}
+
+/// A registry of named vector stores plus their lexical siblings.
 #[derive(Default)]
 pub struct IndexRegistry {
     stores: BTreeMap<String, Box<dyn VectorStore>>,
+    lexical: BTreeMap<String, LexicalSlot>,
 }
 
 impl IndexRegistry {
@@ -71,12 +122,53 @@ impl IndexRegistry {
         self.stores.is_empty()
     }
 
-    /// Total payload bytes across every registered store.
+    /// Total payload bytes across every registered dense store (lexical
+    /// siblings report their own [`LexicalIndex::payload_bytes`]).
     pub fn payload_bytes(&self) -> usize {
         self.stores.values().map(|s| s.payload_bytes()).sum()
     }
 
-    /// Serialise every store (name-tagged, in name order).
+    /// The registry name of a dense source's lexical sibling: the one
+    /// naming convention every layer (pipeline build, serving, eval,
+    /// benches) shares, so there is exactly one place to spell it.
+    pub fn lexical_sibling(source: &str) -> String {
+        format!("lex-{source}")
+    }
+
+    /// Register a lexical sibling under `name` (the pipeline pairs each
+    /// dense source with [`IndexRegistry::lexical_sibling`]), replacing
+    /// any existing one.
+    pub fn insert_lexical(&mut self, name: &str, index: LexicalIndex) {
+        self.lexical.insert(name.to_string(), LexicalSlot::eager(index));
+    }
+
+    /// Borrow a lexical sibling by name, decoding a lazily-opened slot on
+    /// first touch. `None` when no sibling is registered under `name`.
+    pub fn lexical(&self, name: &str) -> Option<&LexicalIndex> {
+        self.lexical.get(name).map(LexicalSlot::get)
+    }
+
+    /// Borrow a lexical sibling that must exist; panics with the
+    /// registered names when it doesn't.
+    pub fn expect_lexical(&self, name: &str) -> &LexicalIndex {
+        self.lexical(name).unwrap_or_else(|| {
+            panic!("lexical index '{name}' not registered (have: {:?})", self.lexical_names())
+        })
+    }
+
+    /// Registered lexical sibling names, sorted.
+    pub fn lexical_names(&self) -> Vec<&str> {
+        self.lexical.keys().map(String::as_str).collect()
+    }
+
+    /// Iterate `(name, index)` over lexical siblings in name order
+    /// (forces decode of lazy slots).
+    pub fn lexical_iter(&self) -> impl Iterator<Item = (&str, &LexicalIndex)> {
+        self.lexical.iter().map(|(n, s)| (n.as_str(), s.get()))
+    }
+
+    /// Serialise every store (name-tagged, in name order), then the
+    /// lexical siblings as a trailing section in the same framing.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(Self::MAGIC);
@@ -88,7 +180,43 @@ impl IndexRegistry {
             put_u32(&mut out, b.len());
             out.extend_from_slice(&b);
         }
+        put_u32(&mut out, self.lexical.len());
+        for (name, slot) in &self.lexical {
+            let b = slot.to_bytes();
+            put_u32(&mut out, name.len());
+            out.extend_from_slice(name.as_bytes());
+            put_u32(&mut out, b.len());
+            out.extend_from_slice(&b);
+        }
         out
+    }
+
+    /// Decode the trailing lexical section. An exhausted cursor means a
+    /// pre-section artifact (zero siblings) — accepted for back-compat.
+    /// `validate_eagerly` decides whether each sibling's payload is
+    /// decoded now (`from_bytes`) or kept as raw bytes until first touch
+    /// (`open_bytes` — only the `LEXI` magic is checked upfront).
+    fn decode_lexical_section(&mut self, r: &mut Reader<'_>, validate_eagerly: bool) -> Option<()> {
+        if r.exhausted() {
+            return Some(());
+        }
+        let n = r.count(8)?;
+        for _ in 0..n {
+            let name_len = r.count(1)?;
+            let name = std::str::from_utf8(r.take(name_len)?).ok()?.to_string();
+            let blob_len = r.count(1)?;
+            let blob = r.take(blob_len)?;
+            let slot = if validate_eagerly {
+                LexicalSlot::eager(LexicalIndex::from_bytes(blob)?)
+            } else {
+                if !blob.starts_with(LexicalIndex::MAGIC) {
+                    return None;
+                }
+                LexicalSlot::lazy(blob.to_vec())
+            };
+            self.lexical.insert(name, slot);
+        }
+        Some(())
     }
 
     /// Deserialise a registry written by [`IndexRegistry::to_bytes`].
@@ -105,6 +233,7 @@ impl IndexRegistry {
             let store = decode_store(r.take(store_len)?)?;
             reg.stores.insert(name, store);
         }
+        reg.decode_lexical_section(&mut r, true)?;
         r.exhausted().then_some(reg)
     }
 
@@ -130,6 +259,7 @@ impl IndexRegistry {
             let store = crate::lazy::LazyStore::open(r.take(store_len)?.to_vec())?;
             reg.stores.insert(name, Box::new(store));
         }
+        reg.decode_lexical_section(&mut r, false)?;
         r.exhausted().then_some(reg)
     }
 }
@@ -139,6 +269,9 @@ impl std::fmt::Debug for IndexRegistry {
         let mut d = f.debug_map();
         for (name, store) in &self.stores {
             d.entry(&name, &format_args!("{} vectors (dim {})", store.len(), store.dim()));
+        }
+        for name in self.lexical.keys() {
+            d.entry(&name, &format_args!("lexical (bm25)"));
         }
         d.finish()
     }
@@ -237,6 +370,61 @@ mod tests {
         // Empty registry round-trips.
         let empty = IndexRegistry::new();
         assert!(IndexRegistry::from_bytes(&empty.to_bytes()).unwrap().is_empty());
+    }
+
+    fn sample_lexical() -> LexicalIndex {
+        let mut lex = LexicalIndex::default();
+        lex.add(1, "radiation induces apoptosis in tumour cells");
+        lex.add(2, "hypoxia causes radioresistance");
+        lex.add(3, "hospital billing budget codes");
+        lex
+    }
+
+    #[test]
+    fn lexical_siblings_roundtrip_alongside_stores() {
+        let mut reg = IndexRegistry::new();
+        let mut chunks = FlatIndex::new(4, Metric::Cosine, Precision::F32);
+        chunks.add(1, &[1.0, 0.0, 0.0, 0.0]);
+        reg.insert("chunks", Box::new(chunks));
+        reg.insert_lexical("lex-chunks", sample_lexical());
+
+        // Dense surface unchanged: names() stays dense-only.
+        assert_eq!(reg.names(), vec!["chunks"]);
+        assert_eq!(reg.lexical_names(), vec!["lex-chunks"]);
+        let hits = reg.expect_lexical("lex-chunks").search("radiation tumour", 2);
+        assert_eq!(hits[0].id, 1);
+        assert!(reg.lexical("missing").is_none());
+
+        let bytes = reg.to_bytes();
+        // Eager decode validates and reproduces the sibling.
+        let back = IndexRegistry::from_bytes(&bytes).unwrap();
+        assert_eq!(back.lexical_names(), vec!["lex-chunks"]);
+        assert_eq!(back.expect_lexical("lex-chunks"), reg.expect_lexical("lex-chunks"));
+        assert_eq!(back.to_bytes(), bytes, "re-encode is byte-identical");
+
+        // Lazy open defers the sibling decode but searches identically
+        // and passes raw bytes through on re-encode.
+        let lazy = IndexRegistry::open_bytes(&bytes).unwrap();
+        assert_eq!(lazy.lexical_names(), vec!["lex-chunks"]);
+        assert_eq!(lazy.to_bytes(), bytes, "undecoded slot round-trips raw");
+        assert_eq!(
+            lazy.expect_lexical("lex-chunks").search("radiation tumour", 2),
+            reg.expect_lexical("lex-chunks").search("radiation tumour", 2),
+        );
+
+        // Corrupting the lexical section is caught: eagerly by
+        // from_bytes, at the magic check by open_bytes.
+        let mut corrupt = bytes.clone();
+        let tail = corrupt.len() - 1;
+        corrupt[tail] ^= 0xff;
+        assert!(IndexRegistry::from_bytes(&corrupt).is_none());
+        assert!(IndexRegistry::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "lexical index 'lex-chunks' not registered")]
+    fn expect_lexical_panics_loudly_on_missing() {
+        IndexRegistry::new().expect_lexical("lex-chunks");
     }
 
     #[test]

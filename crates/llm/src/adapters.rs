@@ -227,6 +227,48 @@ impl Classifier {
     }
 }
 
+/// The cross-encoder reranker: rescoring retrieved passages against the
+/// query text (the optional final stage of hybrid retrieval).
+#[derive(Clone)]
+pub struct Reranker {
+    endpoint: Arc<dyn ModelEndpoint>,
+    seed: u64,
+}
+
+impl Reranker {
+    /// An adapter over `endpoint`.
+    pub fn new(endpoint: Arc<dyn ModelEndpoint>, seed: u64) -> Self {
+        Self { endpoint, seed }
+    }
+
+    fn request(&self, query: &str, passages: &[String]) -> ModelRequest {
+        ModelRequest::new(
+            vec![
+                PromptPart::system("Score each passage's relevance to the query on [0, 1]."),
+                PromptPart::user(format!("{query}\n---\n{}", passages.join("\n---\n"))),
+            ],
+            RequestPayload::Rerank { query: query.to_string(), passages: passages.to_vec() },
+            self.seed,
+        )
+    }
+
+    /// Relevance scores for `passages` against `query`, index-aligned.
+    pub fn score(&self, query: &str, passages: &[String]) -> Vec<f64> {
+        self.endpoint.complete(&self.request(query, passages)).output.expect_relevance()
+    }
+
+    /// Score a batch of (query, passages) pairs on `exec`'s pool
+    /// (index-aligned, bit-identical to the serial path).
+    pub fn score_batch(&self, exec: &Executor, prompts: &[(&str, Vec<String>)]) -> Vec<Vec<f64>> {
+        let reqs: Vec<ModelRequest> = prompts.iter().map(|(q, ps)| self.request(q, ps)).collect();
+        self.endpoint
+            .complete_batch(exec, &reqs)
+            .into_iter()
+            .map(|r| r.output.expect_relevance())
+            .collect()
+    }
+}
+
 /// One evaluated SLM: a behaviour card joined with its calibration,
 /// answering through the endpoint.
 #[derive(Clone)]
@@ -363,6 +405,24 @@ mod tests {
         let via = answerer.answer(&item, Condition::Baseline, None);
         assert_eq!(via, direct.answer(&item, Condition::Baseline, None, 42));
         assert_eq!(answerer.card().name, "SmolLM3-3B");
+    }
+
+    #[test]
+    fn reranker_adapter_is_deterministic_and_batches() {
+        let (_, ep) = setup();
+        let reranker = Reranker::new(ep, 42);
+        let passages = vec![
+            "the star formation rate of the galaxy".to_string(),
+            "sourdough starter maintenance".to_string(),
+        ];
+        let serial = reranker.score("star formation in galaxies", &passages);
+        assert_eq!(serial.len(), 2);
+        assert!(serial[0] > serial[1]);
+        let batch = reranker.score_batch(
+            Executor::global(),
+            &vec![("star formation in galaxies", passages.clone()); 3],
+        );
+        assert_eq!(batch, vec![serial.clone(), serial.clone(), serial]);
     }
 
     #[test]

@@ -41,11 +41,14 @@ pub enum Role {
     Classifier,
     /// An evaluated SLM answering one MCQ.
     Answerer,
+    /// The cross-encoder rescoring fused retrieval candidates.
+    Reranker,
 }
 
 impl Role {
     /// All roles in canonical order.
-    pub const ALL: [Role; 4] = [Role::Teacher, Role::Judge, Role::Classifier, Role::Answerer];
+    pub const ALL: [Role; 5] =
+        [Role::Teacher, Role::Judge, Role::Classifier, Role::Answerer, Role::Reranker];
 
     /// Lowercase label used in ledger lines and metrics rows.
     pub fn label(self) -> &'static str {
@@ -54,6 +57,7 @@ impl Role {
             Role::Judge => "judge",
             Role::Classifier => "classifier",
             Role::Answerer => "answerer",
+            Role::Reranker => "reranker",
         }
     }
 
@@ -64,6 +68,7 @@ impl Role {
             Role::Judge => 1,
             Role::Classifier => 2,
             Role::Answerer => 3,
+            Role::Reranker => 4,
         }
     }
 }
@@ -167,6 +172,13 @@ pub enum RequestPayload {
         /// The exam item.
         item: McqItem,
     },
+    /// Reranker: score each passage's relevance to `query` in [0, 1].
+    Rerank {
+        /// The retrieval query (usually a question stem).
+        query: String,
+        /// The candidate passages, in fused rank order.
+        passages: Vec<String>,
+    },
     /// Answerer: one calibrated SLM answers one MCQ.
     Answer {
         /// The behaviour card joined with its calibration.
@@ -191,6 +203,7 @@ impl RequestPayload {
                 Role::Judge
             }
             RequestPayload::ClassifyMath { .. } => Role::Classifier,
+            RequestPayload::Rerank { .. } => Role::Reranker,
             RequestPayload::Answer { .. } => Role::Answerer,
         }
     }
@@ -200,9 +213,9 @@ impl RequestPayload {
     /// are issued exactly once per (fact, salt) / (question, mode) /
     /// candidate within a run — every such entry would be written and
     /// never read, pinning ~40% of resident cache memory at paper scale.
-    /// Grading, math classification, and answering *do* repeat (the
-    /// no-math re-answer pass, repeated `run_cards`, ablations), so they
-    /// stay cached.
+    /// Grading, math classification, reranking, and answering *do*
+    /// repeat (the no-math re-answer pass, repeated `run_cards`,
+    /// per-mode retrieval replays, ablations), so they stay cached.
     pub fn cacheable(&self) -> bool {
         !matches!(
             self,
@@ -285,6 +298,9 @@ pub enum RoleOutput {
     Grade(GradeResult),
     /// The math-classification flag.
     MathFlag(bool),
+    /// Per-passage relevance scores in [0, 1], index-aligned with the
+    /// rerank request's passages.
+    Relevance(Vec<f64>),
     /// An answer attempt.
     Answer(AnswerOutcome),
 }
@@ -327,6 +343,14 @@ impl RoleOutput {
         match self {
             RoleOutput::MathFlag(b) => b,
             other => panic!("expected a MathFlag output, got {other:?}"),
+        }
+    }
+
+    /// Unwrap relevance scores. Panics on role mismatch.
+    pub fn expect_relevance(self) -> Vec<f64> {
+        match self {
+            RoleOutput::Relevance(r) => r,
+            other => panic!("expected a Relevance output, got {other:?}"),
         }
     }
 
@@ -421,7 +445,10 @@ mod tests {
             assert_eq!(Role::ALL[r.index()], r);
         }
         let labels: std::collections::HashSet<&str> = Role::ALL.iter().map(|r| r.label()).collect();
-        assert_eq!(labels.len(), 4);
+        assert_eq!(labels.len(), 5);
+        let rerank = RequestPayload::Rerank { query: "q".into(), passages: vec!["p".into()] };
+        assert_eq!(rerank.role(), Role::Reranker);
+        assert!(rerank.cacheable(), "rerank repeats across retrieval replays");
     }
 
     #[test]

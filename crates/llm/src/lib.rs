@@ -56,7 +56,7 @@ pub mod spec;
 pub mod teacher;
 pub mod trace;
 
-pub use adapters::{Answerer, Classifier, Judge, QuestionPrompt, Teacher};
+pub use adapters::{Answerer, Classifier, Judge, QuestionPrompt, Reranker, Teacher};
 pub use answer::{AnswerOutcome, Condition, ResolvedModel};
 pub use cards::{BenchTargets, ModelCard, GPT4_ASTRO_REFERENCE, MODEL_CARDS};
 pub use context::{AssembledContext, Passage, PassageSource};

@@ -68,6 +68,11 @@ impl ModelEndpoint for SimEndpoint {
                 let is_math = self.classifier.requires_math(item);
                 (format!("requires_math: {is_math}"), RoleOutput::MathFlag(is_math))
             }
+            RequestPayload::Rerank { query, passages } => {
+                let scores = rerank_scores(query, passages);
+                let text = scores.iter().map(|s| format!("{s:.4}")).collect::<Vec<_>>().join(" ");
+                (text, RoleOutput::Relevance(scores))
+            }
             RequestPayload::Answer { model, item, condition, context } => {
                 let a = model.answer(item, *condition, context.as_ref(), req.seed);
                 (a.text.clone(), RoleOutput::Answer(a))
@@ -75,6 +80,30 @@ impl ModelEndpoint for SimEndpoint {
         };
         ModelResponse::from_output(req, text, output)
     }
+}
+
+/// The simulated cross-encoder: per-passage relevance as the overlap
+/// cosine `|q ∩ p| / √(|q|·|p|)` over **distinct content tokens** (the
+/// shared [`mcqa_text::content_tokens`] tokenisation, so the reranker
+/// sees exactly the terms the lexical channel indexed). Calibrated to
+/// [0, 1]: 1 for an identical token set, 0 for no shared content term.
+fn rerank_scores(query: &str, passages: &[String]) -> Vec<f64> {
+    let q: std::collections::HashSet<String> =
+        mcqa_text::content_tokens(query).into_iter().collect();
+    passages
+        .iter()
+        .map(|p| {
+            let pt: std::collections::HashSet<String> =
+                mcqa_text::content_tokens(p).into_iter().collect();
+            let inter = q.intersection(&pt).count() as f64;
+            let denom = ((q.len() * pt.len()) as f64).sqrt();
+            if denom > 0.0 {
+                inter / denom
+            } else {
+                0.0
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -155,6 +184,36 @@ mod tests {
             .output
             .expect_question();
         assert_eq!(via, direct);
+    }
+
+    #[test]
+    fn rerank_scores_are_deterministic_and_calibrated() {
+        let ep = endpoint();
+        let req = ModelRequest::new(
+            vec![PromptPart::user("rerank")],
+            RequestPayload::Rerank {
+                query: "the spectral flux of the nebula".into(),
+                passages: vec![
+                    "the spectral flux of the nebula".into(), // identical content
+                    "spectral measurements of a distant galaxy".into(), // partial overlap
+                    "unrelated culinary text about bread".into(), // no overlap
+                    "".into(),                                // degenerate
+                ],
+            },
+            42,
+        );
+        let a = ep.complete(&req);
+        let b = ep.complete(&req);
+        assert_eq!(a, b);
+        let scores = a.output.expect_relevance();
+        assert_eq!(scores.len(), 4);
+        // Calibration: identical token set scores exactly 1, empty scores 0,
+        // everything lands in [0, 1], and more overlap scores higher.
+        assert_eq!(scores[0], 1.0);
+        assert!(scores[1] > scores[2]);
+        assert_eq!(scores[3], 0.0);
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        assert_eq!(req.role, Role::Reranker);
     }
 
     #[test]

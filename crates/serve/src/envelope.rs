@@ -9,6 +9,8 @@
 //! metric the service validates against the store.
 
 use mcqa_index::{Metric, SearchResult};
+use mcqa_lexical::Fusion;
+use serde::{Deserialize, Serialize};
 
 /// The query payload: raw text (the service encodes it) or a pre-encoded
 /// embedding (the eval replay path, which owns its own encode cache).
@@ -16,39 +18,143 @@ use mcqa_index::{Metric, SearchResult};
 pub enum QueryInput {
     /// Encode server-side through the service's embedding cache.
     Text(String),
-    /// Already encoded; must match the store's dimensionality.
+    /// Already encoded; must match the store's dimensionality. Dense-only:
+    /// the lexical channel needs the query *text*, so [`QueryMode::Lexical`]
+    /// and [`QueryMode::Hybrid`] requests fail with
+    /// [`ServeError::NeedsText`] on this variant.
     Vector(Vec<f32>),
+    /// Both the raw text and its pre-encoded embedding — the eval replay
+    /// path under hybrid retrieval, where the caller owns the encode cache
+    /// but the lexical channel still needs the words.
+    TextAndVector {
+        /// The raw query text (feeds the lexical channel / reranker).
+        text: String,
+        /// The pre-encoded embedding (feeds the dense channel).
+        vector: Vec<f32>,
+    },
+}
+
+impl QueryInput {
+    /// The query text, when this input carries one.
+    pub fn text(&self) -> Option<&str> {
+        match self {
+            QueryInput::Text(t) | QueryInput::TextAndVector { text: t, .. } => Some(t),
+            QueryInput::Vector(_) => None,
+        }
+    }
+}
+
+/// Which retrieval channel(s) a request runs through.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueryMode {
+    /// Vector search against the dense store (the default; the pre-PR-8
+    /// behaviour, byte for byte).
+    Dense,
+    /// BM25 search against the source's lexical sibling
+    /// (`lex-<source>` in the registry).
+    Lexical,
+    /// Both channels over-fetched to [`mcqa_lexical::fuse_depth`], fused
+    /// to top-k, optionally rescored by the service's reranker.
+    Hybrid {
+        /// How the two candidate lists merge.
+        fusion: Fusion,
+        /// Rescore the fused top-k through the cross-encoder reranker.
+        rerank: bool,
+    },
+}
+
+// Not derived: the serde shim's derive can't parse a `#[default]` variant
+// attribute (same situation as IndexSpec / ModelSpec).
+#[allow(clippy::derivable_impls)]
+impl Default for QueryMode {
+    fn default() -> Self {
+        QueryMode::Dense
+    }
+}
+
+impl QueryMode {
+    /// A stable label for logs and bench output.
+    pub fn label(&self) -> String {
+        match self {
+            QueryMode::Dense => "dense".into(),
+            QueryMode::Lexical => "lexical".into(),
+            QueryMode::Hybrid { fusion, rerank } => {
+                format!("hybrid-{}{}", fusion.label(), if *rerank { "+rr" } else { "" })
+            }
+        }
+    }
 }
 
 /// One retrieval request against a named source database.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRequest {
     /// Registry name of the source database (`chunks`, `traces-<mode>`).
+    /// Lexical and hybrid requests still name the *dense* source; the
+    /// service routes to its `lex-` sibling itself — there is no separate
+    /// lexical address space on the wire.
     pub source: String,
     /// The query itself.
     pub input: QueryInput,
     /// Retrieval depth: number of hits to return.
     pub k: usize,
-    /// When set, the store's metric must match or the request fails with
-    /// [`ServeError::MetricMismatch`] — a cheap guard against routing a
-    /// cosine-space query into an L2 store.
+    /// When set, the dense store's metric must match or the request fails
+    /// with [`ServeError::MetricMismatch`] — a cheap guard against routing
+    /// a cosine-space query into an L2 store. Ignored by
+    /// [`QueryMode::Lexical`] (BM25 has no vector metric).
     pub metric: Option<Metric>,
+    /// Which retrieval channel(s) to run.
+    pub mode: QueryMode,
 }
 
 impl QueryRequest {
     /// A text query against `source`.
     pub fn text(source: impl Into<String>, text: impl Into<String>, k: usize) -> Self {
-        Self { source: source.into(), input: QueryInput::Text(text.into()), k, metric: None }
+        Self {
+            source: source.into(),
+            input: QueryInput::Text(text.into()),
+            k,
+            metric: None,
+            mode: QueryMode::Dense,
+        }
     }
 
     /// A pre-encoded query against `source`.
     pub fn vector(source: impl Into<String>, vector: Vec<f32>, k: usize) -> Self {
-        Self { source: source.into(), input: QueryInput::Vector(vector), k, metric: None }
+        Self {
+            source: source.into(),
+            input: QueryInput::Vector(vector),
+            k,
+            metric: None,
+            mode: QueryMode::Dense,
+        }
+    }
+
+    /// A query carrying both text and its pre-encoded embedding (the eval
+    /// replay path for lexical/hybrid modes).
+    pub fn text_and_vector(
+        source: impl Into<String>,
+        text: impl Into<String>,
+        vector: Vec<f32>,
+        k: usize,
+    ) -> Self {
+        Self {
+            source: source.into(),
+            input: QueryInput::TextAndVector { text: text.into(), vector },
+            k,
+            metric: None,
+            mode: QueryMode::Dense,
+        }
     }
 
     /// Set the expected metric (validated by the service).
     pub fn with_metric(mut self, metric: Metric) -> Self {
         self.metric = Some(metric);
+        self
+    }
+
+    /// Set the retrieval mode (default [`QueryMode::Dense`]).
+    pub fn with_mode(mut self, mode: QueryMode) -> Self {
+        self.mode = mode;
         self
     }
 }
@@ -122,6 +228,18 @@ pub enum ServeError {
         /// The source the query named.
         source: String,
     },
+    /// A lexical or hybrid request arrived with a vector-only input: BM25
+    /// scores words, so those modes need the query text on the envelope.
+    NeedsText {
+        /// The source the query named.
+        source: String,
+    },
+    /// A rerank request reached a service started without a reranker (or
+    /// without the passage texts rescoring needs).
+    NoReranker {
+        /// The source the query named.
+        source: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -142,6 +260,12 @@ impl std::fmt::Display for ServeError {
             }
             ServeError::NoEncoder { source } => {
                 write!(f, "text query for '{source}' but the service has no encoder")
+            }
+            ServeError::NeedsText { source } => {
+                write!(f, "lexical/hybrid query for '{source}' needs text, got a vector-only input")
+            }
+            ServeError::NoReranker { source } => {
+                write!(f, "rerank requested for '{source}' but the service has no reranker")
             }
         }
     }
@@ -165,6 +289,15 @@ mod tests {
             QueryRequest::vector("traces-focused", vec![1.0, 0.0], 3).with_metric(Metric::Cosine);
         assert_eq!(r.metric, Some(Metric::Cosine));
         assert!(matches!(r.input, QueryInput::Vector(_)));
+        assert_eq!(r.mode, QueryMode::Dense);
+        assert_eq!(r.input.text(), None);
+
+        let r = QueryRequest::text_and_vector("chunks", "dose rate", vec![0.5], 4)
+            .with_mode(QueryMode::Hybrid { fusion: Fusion::default(), rerank: true });
+        assert_eq!(r.input.text(), Some("dose rate"));
+        assert_eq!(r.mode.label(), "hybrid-rrf60+rr");
+        assert_eq!(QueryMode::Lexical.label(), "lexical");
+        assert_eq!(QueryMode::default().label(), "dense");
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod envelope;
 pub mod service;
 pub mod stats;
 
-pub use envelope::{QueryInput, QueryRequest, QueryResponse, QueryTiming, ServeError};
-pub use service::{QueryService, QueryTicket, ServeConfig};
+pub use envelope::{QueryInput, QueryMode, QueryRequest, QueryResponse, QueryTiming, ServeError};
+pub use service::{PassageStore, QueryService, QueryTicket, ServeConfig};
 pub use stats::{ServiceSnapshot, ServiceStats, BATCH_BUCKETS, BATCH_BUCKET_LABELS};

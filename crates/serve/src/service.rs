@@ -20,18 +20,58 @@
 //!
 //! [`VectorStore::search_batch`]: mcqa_index::VectorStore::search_batch
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, Receiver, Sender, TrySendError};
 use mcqa_embed::{BioEncoder, EmbeddingCache};
 use mcqa_index::IndexRegistry;
+use mcqa_lexical::{fuse_depth, Fusion};
+use mcqa_llm::Reranker;
 use mcqa_runtime::Executor;
+use mcqa_util::sort_hits;
 use parking_lot::{Mutex, RwLock};
 
-use crate::envelope::{QueryInput, QueryRequest, QueryResponse, QueryTiming, ServeError};
+use crate::envelope::{
+    QueryInput, QueryMode, QueryRequest, QueryResponse, QueryTiming, ServeError,
+};
 use crate::stats::{ServiceSnapshot, ServiceStats};
+
+/// Passage texts keyed by (source, doc id): what the reranker reads when
+/// rescoring fused hits. The pipeline fills one from the same chunk/trace
+/// texts it indexed, so rerank scores see exactly the retrieved passages.
+#[derive(Debug, Clone, Default)]
+pub struct PassageStore {
+    map: BTreeMap<String, HashMap<u64, String>>,
+}
+
+impl PassageStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register `text` as the passage behind `id` in `source`.
+    pub fn insert(&mut self, source: &str, id: u64, text: impl Into<String>) {
+        self.map.entry(source.to_string()).or_default().insert(id, text.into());
+    }
+
+    /// The passage behind `id` in `source`, if registered.
+    pub fn get(&self, source: &str, id: u64) -> Option<&str> {
+        self.map.get(source).and_then(|m| m.get(&id)).map(String::as_str)
+    }
+
+    /// Total registered passages across all sources.
+    pub fn len(&self) -> usize {
+        self.map.values().map(HashMap::len).sum()
+    }
+
+    /// True when no passages are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// Service tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,10 +137,26 @@ pub struct QueryService {
 impl QueryService {
     /// Start a service over `registry`, encoding text queries through
     /// `encoder` (pass `None` for a vector-only service), searching on
-    /// `exec`'s pool.
+    /// `exec`'s pool. Dense and lexical modes work; hybrid rerank needs
+    /// [`QueryService::start_full`].
     pub fn start(
         registry: Arc<IndexRegistry>,
         encoder: Option<BioEncoder>,
+        exec: Executor,
+        config: ServeConfig,
+    ) -> Self {
+        Self::start_full(registry, encoder, None, None, exec, config)
+    }
+
+    /// [`QueryService::start`] plus the rerank dependencies: the passage
+    /// texts behind each source's doc ids and the cross-encoder adapter.
+    /// Requests asking for `rerank` on a service missing either fail with
+    /// [`ServeError::NoReranker`].
+    pub fn start_full(
+        registry: Arc<IndexRegistry>,
+        encoder: Option<BioEncoder>,
+        passages: Option<PassageStore>,
+        reranker: Option<Reranker>,
         exec: Executor,
         config: ServeConfig,
     ) -> Self {
@@ -108,8 +164,15 @@ impl QueryService {
         assert!(config.max_batch > 0, "batch watermark must be nonzero");
         let (tx, rx) = bounded::<Pending>(config.queue_capacity);
         let stats = Arc::new(ServiceStats::new());
-        let dispatcher =
-            Dispatcher { registry, encoder, exec, config: config.clone(), stats: stats.clone() };
+        let dispatcher = Dispatcher {
+            registry,
+            encoder,
+            passages,
+            reranker,
+            exec,
+            config: config.clone(),
+            stats: stats.clone(),
+        };
         let worker = std::thread::Builder::new()
             .name("mcqa-serve".into())
             .spawn(move || dispatcher.run(rx))
@@ -131,6 +194,7 @@ impl QueryService {
 
     /// [`QueryService::submit`], returning the request on failure so
     /// flow-controlled callers can retry without cloning.
+    #[allow(clippy::result_large_err)] // the Err *is* the returned request
     fn try_submit(&self, req: QueryRequest) -> Result<QueryTicket, (ServeError, QueryRequest)> {
         let guard = self.tx.read();
         let Some(tx) = guard.as_ref() else {
@@ -224,9 +288,30 @@ impl Drop for QueryService {
 struct Dispatcher {
     registry: Arc<IndexRegistry>,
     encoder: Option<BioEncoder>,
+    passages: Option<PassageStore>,
+    reranker: Option<Reranker>,
     exec: Executor,
     config: ServeConfig,
     stats: Arc<ServiceStats>,
+}
+
+/// A totally ordered stand-in for [`QueryMode`] in the group map: the
+/// variant tag plus the fusion knobs (f32 weight via its bit pattern —
+/// grouping only needs a stable key, not numeric order).
+type ModeKey = (u8, u32, u8);
+
+/// The micro-batch group key: one store search per (source, k, mode).
+type GroupKey = (String, usize, ModeKey);
+
+fn mode_key(mode: &QueryMode) -> ModeKey {
+    match *mode {
+        QueryMode::Dense => (0, 0, 0),
+        QueryMode::Lexical => (1, 0, 0),
+        QueryMode::Hybrid { fusion: Fusion::Rrf { k0 }, rerank } => (2, k0, u8::from(rerank)),
+        QueryMode::Hybrid { fusion: Fusion::Weighted { dense }, rerank } => {
+            (3, dense.to_bits(), u8::from(rerank))
+        }
+    }
 }
 
 impl Dispatcher {
@@ -263,9 +348,9 @@ impl Dispatcher {
         }
     }
 
-    /// Serve one micro-batch: group by (source store, k), encode text
-    /// queries, validate, search each group through the store's batched
-    /// kernel, and answer every envelope exactly once.
+    /// Serve one micro-batch: group by (source store, k, mode), run each
+    /// group through its channel(s), and answer every envelope exactly
+    /// once.
     fn process(&self, batch: Vec<Pending>, cache: Option<&EmbeddingCache<'_>>) {
         let dequeued = Instant::now();
         let size = batch.len();
@@ -279,96 +364,304 @@ impl Dispatcher {
             self.stats.add_queue_secs(*w);
         }
 
-        // Group member slots by (source, k): one store search per group
-        // keeps results bit-identical to per-query search (the batched
-        // kernels guarantee it) while amortising panel decodes.
-        let mut groups: BTreeMap<(String, usize), Vec<usize>> = BTreeMap::new();
+        // Group member slots by (source, k, mode): one store search per
+        // group keeps results bit-identical to per-query search (the
+        // batched kernels guarantee it) while amortising panel decodes.
+        let mut groups: BTreeMap<GroupKey, Vec<usize>> = BTreeMap::new();
         for (i, p) in batch.iter().enumerate() {
-            groups.entry((p.req.source.clone(), p.req.k)).or_default().push(i);
+            groups
+                .entry((p.req.source.clone(), p.req.k, mode_key(&p.req.mode)))
+                .or_default()
+                .push(i);
         }
         let mut slots: Vec<Option<Pending>> = batch.into_iter().map(Some).collect();
 
-        let answer = |slot: &mut Option<Pending>, result: Result<QueryResponse, ServeError>| {
-            let p = slot.take().expect("each slot answered exactly once");
-            self.stats.record_served(result.is_ok());
-            // A dropped ticket is the caller's choice, not an error here.
-            let _ = p.reply.send(result);
-        };
-
-        for ((source, k), members) in groups {
-            let Some(store) = self.registry.get(&source) else {
-                let known: Vec<String> =
-                    self.registry.names().iter().map(|s| s.to_string()).collect();
-                for i in members {
-                    let err =
-                        ServeError::UnknownStore { name: source.clone(), known: known.clone() };
-                    answer(&mut slots[i], Err(err));
+        let mut ctx = GroupCtx { slots: &mut slots, queue_waits: &queue_waits, size };
+        for ((source, k, _), members) in groups {
+            // The key fully encodes the mode, so any member's copy works.
+            let mode = ctx.slots[members[0]].as_ref().expect("slot unanswered").req.mode;
+            match mode {
+                QueryMode::Dense => self.serve_dense(&source, k, &members, cache, &mut ctx),
+                QueryMode::Lexical => self.serve_lexical(&source, k, &members, &mut ctx),
+                QueryMode::Hybrid { fusion, rerank } => {
+                    self.serve_hybrid(&source, k, fusion, rerank, &members, cache, &mut ctx)
                 }
-                continue;
-            };
-
-            // Encode + validate stage (timed per group).
-            let t_encode = Instant::now();
-            let mut ready: Vec<(usize, Vec<f32>)> = Vec::with_capacity(members.len());
-            let mut failed: Vec<(usize, ServeError)> = Vec::new();
-            for &i in &members {
-                let req = &slots[i].as_ref().expect("slot unanswered").req;
-                if let Some(want) = req.metric {
-                    if want != store.metric() {
-                        let err = ServeError::MetricMismatch {
-                            store: source.clone(),
-                            expected: store.metric(),
-                            got: want,
-                        };
-                        failed.push((i, err));
-                        continue;
-                    }
-                }
-                let query = match &req.input {
-                    QueryInput::Vector(v) => v.clone(),
-                    QueryInput::Text(text) => match cache {
-                        Some(c) => c.encode(text),
-                        None => {
-                            failed.push((i, ServeError::NoEncoder { source: source.clone() }));
-                            continue;
-                        }
-                    },
-                };
-                if query.len() != store.dim() {
-                    let err = ServeError::DimMismatch {
-                        store: source.clone(),
-                        expected: store.dim(),
-                        got: query.len(),
-                    };
-                    failed.push((i, err));
-                    continue;
-                }
-                ready.push((i, query));
-            }
-            let encode_secs = t_encode.elapsed().as_secs_f64();
-            self.stats.add_encode_secs(encode_secs);
-
-            for (i, err) in failed {
-                answer(&mut slots[i], Err(err));
-            }
-            if ready.is_empty() {
-                continue;
-            }
-
-            // Search stage: one batched call per group, fanned out on the
-            // executor — the same kernel path as direct `search_batch`.
-            let (idxs, queries): (Vec<usize>, Vec<Vec<f32>>) = ready.into_iter().unzip();
-            let t_search = Instant::now();
-            let hits = store.search_batch(&self.exec, &queries, k);
-            let search_secs = t_search.elapsed().as_secs_f64();
-            self.stats.add_search_secs(search_secs);
-
-            for (i, h) in idxs.into_iter().zip(hits) {
-                let timing = QueryTiming { queue_secs: queue_waits[i], encode_secs, search_secs };
-                answer(&mut slots[i], Ok(QueryResponse { hits: h, batch: size, timing }));
             }
         }
 
         debug_assert!(slots.iter().all(Option::is_none), "every request answered");
     }
+
+    /// Reply to one member slot (exactly once).
+    fn answer(&self, slot: &mut Option<Pending>, result: Result<QueryResponse, ServeError>) {
+        let p = slot.take().expect("each slot answered exactly once");
+        self.stats.record_served(result.is_ok());
+        // A dropped ticket is the caller's choice, not an error here.
+        let _ = p.reply.send(result);
+    }
+
+    /// Fail every member of a group with (a clone of) `err`.
+    fn fail_group(&self, members: &[usize], err: ServeError, ctx: &mut GroupCtx<'_>) {
+        for &i in members {
+            self.answer(&mut ctx.slots[i], Err(err.clone()));
+        }
+    }
+
+    /// The dense channel: encode text queries, validate, one batched
+    /// vector search per group — the pre-PR-8 path, byte for byte.
+    fn serve_dense(
+        &self,
+        source: &str,
+        k: usize,
+        members: &[usize],
+        cache: Option<&EmbeddingCache<'_>>,
+        ctx: &mut GroupCtx<'_>,
+    ) {
+        let Some(store) = self.registry.get(source) else {
+            let known: Vec<String> = self.registry.names().iter().map(|s| s.to_string()).collect();
+            self.fail_group(members, ServeError::UnknownStore { name: source.into(), known }, ctx);
+            return;
+        };
+
+        // Encode + validate stage (timed per group).
+        let t_encode = Instant::now();
+        let mut ready: Vec<(usize, Vec<f32>)> = Vec::with_capacity(members.len());
+        let mut failed: Vec<(usize, ServeError)> = Vec::new();
+        for &i in members {
+            let req = &ctx.slots[i].as_ref().expect("slot unanswered").req;
+            if let Some(want) = req.metric {
+                if want != store.metric() {
+                    let err = ServeError::MetricMismatch {
+                        store: source.to_string(),
+                        expected: store.metric(),
+                        got: want,
+                    };
+                    failed.push((i, err));
+                    continue;
+                }
+            }
+            let query = match &req.input {
+                QueryInput::Vector(v) | QueryInput::TextAndVector { vector: v, .. } => v.clone(),
+                QueryInput::Text(text) => match cache {
+                    Some(c) => c.encode(text),
+                    None => {
+                        failed.push((i, ServeError::NoEncoder { source: source.to_string() }));
+                        continue;
+                    }
+                },
+            };
+            if query.len() != store.dim() {
+                let err = ServeError::DimMismatch {
+                    store: source.to_string(),
+                    expected: store.dim(),
+                    got: query.len(),
+                };
+                failed.push((i, err));
+                continue;
+            }
+            ready.push((i, query));
+        }
+        let encode_secs = t_encode.elapsed().as_secs_f64();
+        self.stats.add_encode_secs(encode_secs);
+
+        for (i, err) in failed {
+            self.answer(&mut ctx.slots[i], Err(err));
+        }
+        if ready.is_empty() {
+            return;
+        }
+
+        // Search stage: one batched call per group, fanned out on the
+        // executor — the same kernel path as direct `search_batch`.
+        let (idxs, queries): (Vec<usize>, Vec<Vec<f32>>) = ready.into_iter().unzip();
+        let t_search = Instant::now();
+        let hits = store.search_batch(&self.exec, &queries, k);
+        let search_secs = t_search.elapsed().as_secs_f64();
+        self.stats.add_search_secs(search_secs);
+
+        for (i, h) in idxs.into_iter().zip(hits) {
+            let timing = QueryTiming { queue_secs: ctx.queue_waits[i], encode_secs, search_secs };
+            self.answer(&mut ctx.slots[i], Ok(QueryResponse { hits: h, batch: ctx.size, timing }));
+        }
+    }
+
+    /// The lexical channel: BM25 against the source's `lex-` sibling. No
+    /// encode stage — the query text *is* the query.
+    fn serve_lexical(&self, source: &str, k: usize, members: &[usize], ctx: &mut GroupCtx<'_>) {
+        let lex_name = IndexRegistry::lexical_sibling(source);
+        let Some(lex) = self.registry.lexical(&lex_name) else {
+            let known: Vec<String> =
+                self.registry.lexical_names().iter().map(|s| s.to_string()).collect();
+            self.fail_group(members, ServeError::UnknownStore { name: lex_name, known }, ctx);
+            return;
+        };
+
+        let mut ready: Vec<(usize, String)> = Vec::with_capacity(members.len());
+        for &i in members {
+            let req = &ctx.slots[i].as_ref().expect("slot unanswered").req;
+            match req.input.text() {
+                Some(t) => ready.push((i, t.to_string())),
+                None => self.answer(
+                    &mut ctx.slots[i],
+                    Err(ServeError::NeedsText { source: source.to_string() }),
+                ),
+            }
+        }
+        if ready.is_empty() {
+            return;
+        }
+
+        let (idxs, texts): (Vec<usize>, Vec<String>) = ready.into_iter().unzip();
+        let t_search = Instant::now();
+        let hits = lex.search_batch(&self.exec, &texts, k);
+        let search_secs = t_search.elapsed().as_secs_f64();
+        self.stats.add_search_secs(search_secs);
+
+        for (i, h) in idxs.into_iter().zip(hits) {
+            let timing =
+                QueryTiming { queue_secs: ctx.queue_waits[i], encode_secs: 0.0, search_secs };
+            self.answer(&mut ctx.slots[i], Ok(QueryResponse { hits: h, batch: ctx.size, timing }));
+        }
+    }
+
+    /// The hybrid channel: both stores over-fetched to
+    /// [`fuse_depth`]`(k)`, fused per query, optionally rescored by the
+    /// reranker. Bit-identical to fusing two direct searches offline.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_hybrid(
+        &self,
+        source: &str,
+        k: usize,
+        fusion: Fusion,
+        rerank: bool,
+        members: &[usize],
+        cache: Option<&EmbeddingCache<'_>>,
+        ctx: &mut GroupCtx<'_>,
+    ) {
+        let Some(store) = self.registry.get(source) else {
+            let known: Vec<String> = self.registry.names().iter().map(|s| s.to_string()).collect();
+            self.fail_group(members, ServeError::UnknownStore { name: source.into(), known }, ctx);
+            return;
+        };
+        let lex_name = IndexRegistry::lexical_sibling(source);
+        let Some(lex) = self.registry.lexical(&lex_name) else {
+            let known: Vec<String> =
+                self.registry.lexical_names().iter().map(|s| s.to_string()).collect();
+            self.fail_group(members, ServeError::UnknownStore { name: lex_name, known }, ctx);
+            return;
+        };
+        if rerank && (self.reranker.is_none() || self.passages.is_none()) {
+            self.fail_group(members, ServeError::NoReranker { source: source.into() }, ctx);
+            return;
+        }
+
+        // Encode + validate stage: every member needs text (lexical side)
+        // and a vector (dense side — carried or encoded here).
+        let t_encode = Instant::now();
+        let mut ready: Vec<(usize, String, Vec<f32>)> = Vec::with_capacity(members.len());
+        let mut failed: Vec<(usize, ServeError)> = Vec::new();
+        for &i in members {
+            let req = &ctx.slots[i].as_ref().expect("slot unanswered").req;
+            if let Some(want) = req.metric {
+                if want != store.metric() {
+                    let err = ServeError::MetricMismatch {
+                        store: source.to_string(),
+                        expected: store.metric(),
+                        got: want,
+                    };
+                    failed.push((i, err));
+                    continue;
+                }
+            }
+            let Some(text) = req.input.text() else {
+                failed.push((i, ServeError::NeedsText { source: source.to_string() }));
+                continue;
+            };
+            let vector = match &req.input {
+                QueryInput::TextAndVector { vector, .. } => vector.clone(),
+                _ => match cache {
+                    Some(c) => c.encode(text),
+                    None => {
+                        failed.push((i, ServeError::NoEncoder { source: source.to_string() }));
+                        continue;
+                    }
+                },
+            };
+            if vector.len() != store.dim() {
+                let err = ServeError::DimMismatch {
+                    store: source.to_string(),
+                    expected: store.dim(),
+                    got: vector.len(),
+                };
+                failed.push((i, err));
+                continue;
+            }
+            ready.push((i, text.to_string(), vector));
+        }
+        let encode_secs = t_encode.elapsed().as_secs_f64();
+        self.stats.add_encode_secs(encode_secs);
+
+        for (i, err) in failed {
+            self.answer(&mut ctx.slots[i], Err(err));
+        }
+        if ready.is_empty() {
+            return;
+        }
+
+        let mut idxs = Vec::with_capacity(ready.len());
+        let mut texts = Vec::with_capacity(ready.len());
+        let mut vectors = Vec::with_capacity(ready.len());
+        for (i, t, v) in ready {
+            idxs.push(i);
+            texts.push(t);
+            vectors.push(v);
+        }
+
+        // Search stage: both channels batched, then fuse per query.
+        let depth = fuse_depth(k);
+        let t_search = Instant::now();
+        let dense_hits = store.search_batch(&self.exec, &vectors, depth);
+        let lex_hits = lex.search_batch(&self.exec, &texts, depth);
+        let mut fused: Vec<Vec<mcqa_index::SearchResult>> =
+            dense_hits.iter().zip(&lex_hits).map(|(d, l)| fusion.fuse(d, l, k)).collect();
+
+        if rerank {
+            let rr = self.reranker.as_ref().expect("checked above");
+            let ps = self.passages.as_ref().expect("checked above");
+            // Missing passages score as empty text (relevance 0) rather
+            // than failing the whole request: ordering stays total.
+            let prompts: Vec<(&str, Vec<String>)> = texts
+                .iter()
+                .zip(&fused)
+                .map(|(t, hits)| {
+                    let passages: Vec<String> = hits
+                        .iter()
+                        .map(|h| ps.get(source, h.id).unwrap_or("").to_string())
+                        .collect();
+                    (t.as_str(), passages)
+                })
+                .collect();
+            let scores = rr.score_batch(&self.exec, &prompts);
+            for (hits, ss) in fused.iter_mut().zip(scores) {
+                for (h, s) in hits.iter_mut().zip(ss) {
+                    h.score = s as f32;
+                }
+                sort_hits(hits);
+            }
+        }
+        let search_secs = t_search.elapsed().as_secs_f64();
+        self.stats.add_search_secs(search_secs);
+
+        for (i, h) in idxs.into_iter().zip(fused) {
+            let timing = QueryTiming { queue_secs: ctx.queue_waits[i], encode_secs, search_secs };
+            self.answer(&mut ctx.slots[i], Ok(QueryResponse { hits: h, batch: ctx.size, timing }));
+        }
+    }
+}
+
+/// Per-micro-batch state shared by the serve paths.
+struct GroupCtx<'a> {
+    slots: &'a mut Vec<Option<Pending>>,
+    queue_waits: &'a [f64],
+    size: usize,
 }

@@ -64,7 +64,7 @@ fn requests(n: usize, seed: u64, k: usize) -> Vec<QueryRequest> {
 fn direct_hits(req: &QueryRequest) -> Vec<mcqa_index::SearchResult> {
     let q = match &req.input {
         mcqa_serve::QueryInput::Vector(v) => v.clone(),
-        mcqa_serve::QueryInput::Text(_) => unreachable!("fixture uses vector inputs"),
+        _ => unreachable!("fixture uses vector inputs"),
     };
     registry().expect_store(&req.source).search(&q, req.k)
 }

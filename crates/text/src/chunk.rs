@@ -91,10 +91,7 @@ impl Encoder for TfEncoder {
 
     fn encode(&self, text: &str) -> Vec<f32> {
         let mut v = vec![0.0f32; self.dim];
-        for tok in crate::token::tokenize(text) {
-            if crate::stopwords::is_stopword(&tok) {
-                continue;
-            }
+        for tok in crate::token::content_tokens(text) {
             let h = mcqa_util::fnv1a(tok.as_bytes());
             v[(h % self.dim as u64) as usize] += 1.0;
         }
@@ -111,9 +108,8 @@ impl Encoder for TfEncoder {
         // Pure bag-of-words: no cross-sentence features, so no head/bridge
         // bookkeeping is needed — replaying all postings in order matches
         // the joined encode exactly.
-        let postings = crate::token::tokenize(text)
+        let postings = crate::token::content_tokens(text)
             .into_iter()
-            .filter(|tok| !crate::stopwords::is_stopword(tok))
             .map(|tok| ((mcqa_util::fnv1a(tok.as_bytes()) % self.dim as u64) as u32, 1.0))
             .collect();
         Some(SentencePostings { postings, head_len: 0, first_content: None, last_content: None })

@@ -28,5 +28,5 @@ pub use chunk::{
     compose_encode, Chunk, Chunker, ChunkerConfig, Encoder, SentencePostings, TfEncoder,
 };
 pub use sentence::split_sentences;
-pub use token::{token_count, tokenize};
-pub use vocab::Vocabulary;
+pub use token::{content_tokens, token_count, tokenize};
+pub use vocab::{TermId, Vocabulary};

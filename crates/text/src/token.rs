@@ -35,6 +35,16 @@ pub fn tokenize(text: &str) -> Vec<String> {
     out
 }
 
+/// The content tokens of `text`: [`tokenize`] minus stopwords.
+///
+/// This is the **one** corpus-side *and* query-side tokenisation every
+/// retrieval channel uses — the vocabulary, the hash embeddings, the BM25
+/// lexical index, and the simulated reranker all call through here, so a
+/// query can never tokenise differently from the corpus it searches.
+pub fn content_tokens(text: &str) -> Vec<String> {
+    tokenize(text).into_iter().filter(|t| !crate::stopwords::is_stopword(t)).collect()
+}
+
 /// Number of tokens in `text` without materialising them.
 pub fn token_count(text: &str) -> usize {
     let mut count = 0usize;
@@ -117,6 +127,36 @@ mod tests {
         assert_eq!(tokenize("non-homologous end-joining"), vec!["non-homologous", "end-joining"]);
         // Pure dashes are dropped.
         assert_eq!(tokenize("a - b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn content_tokens_drop_stopwords_only() {
+        assert_eq!(
+            content_tokens("The HX-29 cell line was irradiated."),
+            vec!["hx-29", "cell", "line", "irradiated"]
+        );
+        assert_eq!(content_tokens("the of and"), Vec::<String>::new());
+        assert_eq!(content_tokens(""), Vec::<String>::new());
+    }
+
+    #[test]
+    fn corpus_and_query_tokenization_agree() {
+        // The contract the lexical index relies on: filtering `tokenize`
+        // by the stopword list is exactly `content_tokens`, for any text —
+        // so a query-side caller and a corpus-side caller can never
+        // diverge.
+        let samples = [
+            "Radiation induces apoptosis in tumour cells.",
+            "EQD2 = BED/(1+2/3)!",
+            "non-homologous end-joining — the of and",
+            "α-kinase führt 5µm Überleben",
+            "",
+        ];
+        for s in samples {
+            let filtered: Vec<String> =
+                tokenize(s).into_iter().filter(|t| !crate::stopwords::is_stopword(t)).collect();
+            assert_eq!(content_tokens(s), filtered, "{s:?}");
+        }
     }
 
     #[test]

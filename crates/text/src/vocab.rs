@@ -4,15 +4,14 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::stopwords::is_stopword;
-use crate::token::tokenize;
+use crate::token::content_tokens;
 
 /// A term id in a [`Vocabulary`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct TermId(pub u32);
 
 /// A corpus vocabulary: term ↔ id mapping plus document frequencies.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Vocabulary {
     terms: Vec<String>,
     ids: HashMap<String, TermId>,
@@ -27,28 +26,70 @@ impl Vocabulary {
     }
 
     /// Add one document's text, updating term ↔ id tables and document
-    /// frequencies. Stopwords are excluded.
+    /// frequencies. Stopwords are excluded (the shared
+    /// [`content_tokens`] tokenisation).
     pub fn add_document(&mut self, text: &str) {
-        self.num_docs += 1;
+        let mut distinct = Vec::new();
         let mut seen = std::collections::HashSet::new();
-        for tok in tokenize(text) {
-            if is_stopword(&tok) {
-                continue;
-            }
-            let id = match self.ids.get(&tok) {
-                Some(&id) => id,
-                None => {
-                    let id = TermId(self.terms.len() as u32);
-                    self.terms.push(tok.clone());
-                    self.ids.insert(tok.clone(), id);
-                    self.doc_freq.push(0);
-                    id
-                }
-            };
+        for tok in content_tokens(text) {
+            let id = self.intern(&tok);
             if seen.insert(id) {
-                self.doc_freq[id.0 as usize] += 1;
+                distinct.push(id);
             }
         }
+        self.record_document(&distinct);
+    }
+
+    /// Get-or-insert the id for `term` (must already be a lowercase
+    /// content token) without touching document statistics. Ids are
+    /// assigned in first-insertion order.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        match self.ids.get(term) {
+            Some(&id) => id,
+            None => {
+                let id = TermId(self.terms.len() as u32);
+                self.terms.push(term.to_string());
+                self.ids.insert(term.to_string(), id);
+                self.doc_freq.push(0);
+                id
+            }
+        }
+    }
+
+    /// Account one document containing exactly the given **distinct**
+    /// interned terms: bumps `num_docs` and each term's document
+    /// frequency. [`Vocabulary::add_document`] is `intern` + this; the
+    /// lexical index calls them separately because it also needs the
+    /// per-document term frequencies.
+    pub fn record_document(&mut self, distinct: &[TermId]) {
+        self.num_docs += 1;
+        for id in distinct {
+            self.doc_freq[id.0 as usize] += 1;
+        }
+    }
+
+    /// Rebuild a vocabulary from its serialised parts: terms in id order,
+    /// index-aligned document frequencies, and the document count.
+    /// `None` when the two tables disagree in length (corrupted artifact).
+    pub fn from_parts(terms: Vec<String>, doc_freq: Vec<u32>, num_docs: u32) -> Option<Self> {
+        if terms.len() != doc_freq.len() {
+            return None;
+        }
+        let ids = terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), TermId(i as u32)))
+            .collect::<HashMap<_, _>>();
+        if ids.len() != terms.len() {
+            return None; // duplicate terms cannot round-trip the id map
+        }
+        Some(Self { terms, ids, doc_freq, num_docs })
+    }
+
+    /// Terms in id order (the serialisation order of
+    /// [`Vocabulary::from_parts`]).
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.terms.iter().map(String::as_str)
     }
 
     /// Term id for `term` (must be lowercase).
@@ -91,10 +132,7 @@ impl Vocabulary {
     /// L2-normalised. Unknown terms are ignored.
     pub fn tfidf(&self, text: &str) -> HashMap<TermId, f64> {
         let mut tf: HashMap<TermId, f64> = HashMap::new();
-        for tok in tokenize(text) {
-            if is_stopword(&tok) {
-                continue;
-            }
+        for tok in content_tokens(text) {
             if let Some(id) = self.id(&tok) {
                 *tf.entry(id).or_insert(0.0) += 1.0;
             }
@@ -189,6 +227,42 @@ mod tests {
         let salient = v.salient_terms("radiation hypoxia tumour", 2);
         assert_eq!(salient.len(), 2);
         assert!(salient.contains(&"hypoxia"), "{salient:?}");
+    }
+
+    #[test]
+    fn add_document_interns_exactly_the_content_tokens() {
+        // Corpus-side ≡ query-side: the terms a document interns are
+        // exactly its shared `content_tokens`, and a query re-tokenised
+        // through the same helper resolves every one of them.
+        let text = "Radiation-induced DNA damage and the repair pathways.";
+        let mut v = Vocabulary::new();
+        v.add_document(text);
+        let toks = content_tokens(text);
+        assert_eq!(v.len(), toks.iter().collect::<std::collections::HashSet<_>>().len());
+        for tok in &toks {
+            let id = v.id(tok).unwrap_or_else(|| panic!("{tok} missing"));
+            assert_eq!(v.doc_freq(id), 1);
+        }
+        assert!(v.id("the").is_none(), "stopwords never interned");
+    }
+
+    #[test]
+    fn from_parts_roundtrips() {
+        let v = sample_vocab();
+        let terms: Vec<String> = v.terms().map(str::to_string).collect();
+        let dfs: Vec<u32> = (0..v.len()).map(|i| v.doc_freq(TermId(i as u32))).collect();
+        let back = Vocabulary::from_parts(terms.clone(), dfs.clone(), v.num_docs()).unwrap();
+        assert_eq!(back.len(), v.len());
+        assert_eq!(back.num_docs(), v.num_docs());
+        for (i, t) in terms.iter().enumerate() {
+            assert_eq!(back.id(t), Some(TermId(i as u32)), "{t} keeps its id");
+            assert_eq!(back.doc_freq(TermId(i as u32)), dfs[i]);
+        }
+        // Corrupted parts rejected.
+        assert!(Vocabulary::from_parts(terms.clone(), dfs[..1].to_vec(), 3).is_none());
+        let mut dup = terms;
+        dup[0] = dup[1].clone();
+        assert!(Vocabulary::from_parts(dup, dfs, 3).is_none());
     }
 
     #[test]

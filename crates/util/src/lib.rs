@@ -12,13 +12,21 @@
 //!   embedding store, mirroring the paper's FP16 FAISS databases.
 //! * [`kernel`] — multi-accumulator dot/norm/L2 kernels with a fixed
 //!   accumulation order, the scalar core of exact vector search.
+//! * [`codec`] — bounds-checked byte cursor, varint/zigzag, and
+//!   little-endian put helpers shared by every serialised artifact format.
+//! * [`hits`] — the shared [`SearchResult`] hit type, its one canonical
+//!   ordering ([`cmp_hits`]: descending score, ascending id), and the
+//!   bounded [`TopK`] accumulator — common to dense, lexical, and fused
+//!   retrieval.
 //! * [`stats`] — online mean/variance, accuracy accounting and Wilson score
 //!   intervals used by the evaluation harness.
 //! * [`timer`] — lightweight wall-clock scopes for the runtime's stage
 //!   metrics.
 
+pub mod codec;
 pub mod f16;
 pub mod hash;
+pub mod hits;
 pub mod kernel;
 pub mod stats;
 pub mod stochastic;
@@ -26,6 +34,7 @@ pub mod timer;
 
 pub use f16::F16;
 pub use hash::{fnv1a, splitmix64, Fnv1aWriter, StableHasher};
+pub use hits::{cmp_hits, sort_hits, SearchResult, TopK};
 pub use stats::{percentile, Accuracy, OnlineStats, WilsonInterval};
 pub use stochastic::KeyedStochastic;
 pub use timer::ScopeTimer;

@@ -45,6 +45,13 @@ if grep -rnE '(expect_store|\.store)\([^)]*\)[[:space:]]*\.[[:space:]]*search_ba
     echo "repro smoke FAILED: eval bypasses the query service with a direct search_batch" >&2
     exit 1
 fi
+# Same invariant for the lexical channel: eval reaches BM25 only through
+# QueryMode on the request envelope, never by touching the registry's
+# lexical siblings directly.
+if grep -rn 'LexicalIndex\|expect_lexical\|lexical_sibling\|\.lexical(' crates/eval/src; then
+    echo "repro smoke FAILED: eval reaches the lexical index outside the query service" >&2
+    exit 1
+fi
 
 echo "== repro smoke: one k-means trainer =="
 # Coarse-quantiser training lives in crates/index/src/kmeans.rs (k-means++
@@ -138,6 +145,34 @@ if ! awk -v r="${FLAT_RECALL}" 'BEGIN { exit !(r == 1.0) }'; then
     exit 1
 fi
 
+echo "== repro smoke: retrieval modes (dense / lexical / hybrid) =="
+# Every retrieval mode must report a greppable per-source recall line plus
+# the source=all aggregate — the surface the README's hybrid table and the
+# ROADMAP memory table read from.
+for mode in dense lexical hybrid; do
+    for source in chunks traces-detailed traces-focused traces-efficient all; do
+        if ! grep -qF "[recall] mode=${mode} source=${source} " <<<"${RECALL_OUT}"; then
+            echo "repro smoke FAILED: no [recall] mode=${mode} line for source=${source}" >&2
+            exit 1
+        fi
+    done
+done
+# The lexical channel reports its resident footprint like every dense
+# backend, so the memory table stays uniform across channels.
+if ! grep -F '[recall] mode=lexical source=chunks ' <<<"${RECALL_OUT}" |
+    grep -qE 'mem_bytes=[0-9]+ bytes_per_vec=[0-9.]+'; then
+    echo "repro smoke FAILED: lexical recall line reports no mem_bytes/bytes_per_vec" >&2
+    exit 1
+fi
+# Fusing the lexical channel in must not lose recall vs dense-only, even
+# at smoke scale.
+DENSE_R="$(grep -F '[recall] mode=dense source=all ' <<<"${RECALL_OUT}" | grep -oE 'recall_at_5=[0-9.]+' | cut -d= -f2)"
+HYBRID_R="$(grep -F '[recall] mode=hybrid source=all ' <<<"${RECALL_OUT}" | grep -oE 'recall_at_5=[0-9.]+' | cut -d= -f2)"
+if ! awk -v d="${DENSE_R}" -v h="${HYBRID_R}" 'BEGIN { exit !(h >= d) }'; then
+    echo "repro smoke FAILED: hybrid recall@5 ${HYBRID_R} < dense-only ${DENSE_R}" >&2
+    exit 1
+fi
+
 # The evaluation runs on the same scheduler: `repro all` must surface both
 # the pipeline stages (generate+judge included) and the eval stages via
 # runtime StageMetrics.
@@ -217,7 +252,10 @@ echo "== repro smoke: model-layer call-ledger census =="
 # re-answer pass is served from it).
 MODELS_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- models --scale "${SCALE}" --seed "${SEED}" 2>&1)"
 echo "${MODELS_OUT}" | grep '\[models\]'
-for role in teacher judge classifier answerer total; do
+# `reranker` rides the same census: `repro models` replays a short
+# hybrid+rerank retrieval bundle so the cross-encoder's traffic is priced
+# by the shared ledger alongside every other role.
+for role in teacher judge classifier answerer reranker total; do
     LINE="$(grep -F "[models] backend=sim role=${role} " <<<"${MODELS_OUT}" || true)"
     if [[ -z "${LINE}" ]]; then
         echo "repro smoke FAILED: no ledger line for role=${role}" >&2

@@ -15,6 +15,7 @@
 //! | [`text`] | tokenisation, sentence splitting, semantic chunking |
 //! | [`embed`] | the PubMedBERT stand-in encoder + FP16 storage |
 //! | [`index`] | FAISS-style vector stores (Flat / IVF / HNSW) |
+//! | [`lexical`] | the BM25 keyword channel + dense/lexical fusion (RRF, weighted) |
 //! | [`runtime`] | Parsl-style work-stealing workflow runtime |
 //! | [`llm`] | every model role behind one `ModelEndpoint` trait (batched completions, response cache, call ledger); the sim backend plays GPT-4.1, the judge, GPT-5, and the 8 SLM behaviour cards |
 //! | [`serve`] | the in-process query service (admission control, dynamic micro-batching) |
@@ -38,6 +39,7 @@ pub use mcqa_corpus as corpus;
 pub use mcqa_embed as embed;
 pub use mcqa_eval as eval;
 pub use mcqa_index as index;
+pub use mcqa_lexical as lexical;
 pub use mcqa_llm as llm;
 pub use mcqa_ontology as ontology;
 pub use mcqa_parse as parse;
@@ -51,12 +53,13 @@ pub mod prelude {
     pub use mcqa_core::{Pipeline, PipelineConfig, PipelineOutput};
     pub use mcqa_eval::{AstroConfig, AstroExam, EvalConfig, EvalRun, Evaluator};
     pub use mcqa_index::{IndexRegistry, IndexSpec, VectorStore};
+    pub use mcqa_lexical::{Fusion, LexicalIndex};
     pub use mcqa_llm::{
         answer::Condition, McqItem, ModelCard, ModelEndpoint, ModelSpec, TraceMode, MODEL_CARDS,
     };
     pub use mcqa_ontology::{Ontology, OntologyConfig};
     pub use mcqa_runtime::{run_stage, run_stage_batched, Executor};
-    pub use mcqa_serve::{QueryRequest, QueryService, ServeConfig};
+    pub use mcqa_serve::{QueryMode, QueryRequest, QueryService, ServeConfig};
 }
 
 /// Run the full pipeline and evaluation at a given corpus scale, returning

@@ -27,17 +27,21 @@ fn pipeline_stage_census_matches_figure1() {
             "chunk",
             "embed-chunks",
             "index-chunks",
+            "index-lex-chunks",
             "generate+judge",
             "traces",
             "embed-traces",
             "index-traces-detailed",
+            "index-lex-traces-detailed",
             "index-traces-focused",
+            "index-lex-traces-focused",
             "index-traces-efficient",
+            "index-lex-traces-efficient",
             "model-teacher",
             "model-judge",
         ],
-        "workflow stages must match the paper's Figure 1 (plus a build row per vector DB \
-         and a model-layer cost row per role the pipeline called)"
+        "workflow stages must match the paper's Figure 1 (plus a build row per vector DB, \
+         its lexical sibling, and a model-layer cost row per role the pipeline called)"
     );
     // Parsing is allowed (and expected) to lose a few corrupt documents,
     // but must recover the overwhelming majority.
