@@ -10,6 +10,7 @@
 //! repro recall                      # ANN recall@k + throughput vs flat
 //! repro models                      # per-role call ledger + cache hit rate
 //! repro serve-bench                 # query-service load harness (p50/p95/p99)
+//! repro ingest --edits 20           # incremental re-ingest vs cold rebuild
 //! repro ablate-topk                 # accuracy vs retrieval depth
 //! repro ablate-context              # accuracy vs context window
 //! repro ablate-filter               # quality threshold sweep
@@ -39,6 +40,12 @@ struct RunArgs {
     index: IndexSpec,
     models: ModelSpec,
     retrieval: QueryMode,
+    /// Hybrid per-channel over-fetch multiplier (`--fuse-depth`; 0 =
+    /// [`mcqa_lexical::DEFAULT_FUSE_DEPTH`]).
+    fuse_depth: usize,
+    /// `ingest`: synthetic edit-batch size (`--edits`; default ≈ 1% of
+    /// the live corpus, minimum 1).
+    edits: Option<usize>,
     serve: ServeArgs,
 }
 
@@ -77,7 +84,7 @@ impl Default for ServeArgs {
 
 const USAGE: &str =
     "valid flags: --scale <f64> --seed <u64> --index flat|hnsw|ivf|pq --models sim \
-     --retrieval dense|lexical|hybrid|hybrid-rerank \
+     --retrieval dense|lexical|hybrid|hybrid-rerank --fuse-depth <n> --edits <n> \
      --serve-requests <n> --serve-concurrency <n,n,...> --serve-batch <n> \
      --serve-deadline-us <us> --serve-queue <n> --serve-rate <q/s>";
 
@@ -96,6 +103,8 @@ fn parse_args() -> RunArgs {
         index: IndexSpec::Flat,
         models: ModelSpec::Sim,
         retrieval: QueryMode::Dense,
+        fuse_depth: 0,
+        edits: None,
         serve: ServeArgs::default(),
     };
     // One shared scanner: every flag takes exactly one value, and a
@@ -127,9 +136,11 @@ fn parse_args() -> RunArgs {
                 args.retrieval = match raw.as_str() {
                     "dense" => QueryMode::Dense,
                     "lexical" => QueryMode::Lexical,
-                    "hybrid" => QueryMode::Hybrid { fusion: Default::default(), rerank: false },
+                    "hybrid" => {
+                        QueryMode::Hybrid { fusion: Default::default(), rerank: false, depth: 0 }
+                    }
                     "hybrid-rerank" => {
-                        QueryMode::Hybrid { fusion: Default::default(), rerank: true }
+                        QueryMode::Hybrid { fusion: Default::default(), rerank: true, depth: 0 }
                     }
                     other => usage_exit(&format!(
                         "unknown retrieval mode '{other}' (expected \
@@ -137,6 +148,8 @@ fn parse_args() -> RunArgs {
                     )),
                 };
             }
+            "--fuse-depth" => args.fuse_depth = val(flag, raw),
+            "--edits" => args.edits = Some(val(flag, raw)),
             "--serve-requests" => args.serve.requests = val(flag, raw),
             "--serve-concurrency" => {
                 args.serve.concurrency =
@@ -153,6 +166,11 @@ fn parse_args() -> RunArgs {
         }
         i += 2;
     }
+    // `--fuse-depth` rides the retrieval mode: flags are order-independent,
+    // so thread it after the scan rather than during it.
+    if let QueryMode::Hybrid { depth, .. } = &mut args.retrieval {
+        *depth = args.fuse_depth;
+    }
     args
 }
 
@@ -166,6 +184,12 @@ fn main() {
     }
 
     let mut config = PipelineConfig::at_scale(args.scale, args.seed);
+    if args.command.as_str() == "ingest" {
+        config.index = args.index.clone();
+        config.models = args.models;
+        ingest_bench(&config, args.edits, args.seed);
+        return;
+    }
     // `recall` rebuilds every backend itself over the pipeline's
     // embeddings and never consults the pipeline's own stores, so pin the
     // cheap exact backend there regardless of --index.
@@ -400,7 +424,7 @@ fn print_mode_recall(output: &mcqa_core::PipelineOutput, k: usize) {
     let modes: [(&str, QueryMode); 3] = [
         ("dense", QueryMode::Dense),
         ("lexical", QueryMode::Lexical),
-        ("hybrid", QueryMode::Hybrid { fusion: Default::default(), rerank: false }),
+        ("hybrid", QueryMode::Hybrid { fusion: Default::default(), rerank: false, depth: 0 }),
     ];
     println!(
         "\nRetrieval modes over the pipeline stores: {} questions × {} sources, k={k}\n",
@@ -690,6 +714,132 @@ fn serve_bench(output: &mcqa_core::PipelineOutput, serve: &ServeArgs, seed: u64)
     }
 }
 
+/// `repro ingest` — the incremental-ingest benchmark: a cold full build,
+/// a seeded synthetic edit batch (`--edits`, default ≈ 1% of the live
+/// corpus), then the incremental re-run against a cold rebuild of the
+/// edited corpus — wall clocks, the planner's skip/re-run census, and a
+/// search-identity verdict, all as greppable `[ingest] key=value` lines.
+///
+/// Verification: every pipeline artifact (chunks, questions, traces,
+/// the ingest manifest) must be equal between the incremental run and
+/// the cold rebuild, on any backend — exit 1 otherwise. Search results
+/// are additionally compared probe by probe: exact for the lexical
+/// siblings always and for dense stores on the default `flat` backend;
+/// ivf/pq retrain their coarse structure on a cold rebuild and hnsw
+/// re-inserts in a different order, so those report top-k overlap
+/// instead of asserting bitwise identity.
+fn ingest_bench(config: &PipelineConfig, edits: Option<usize>, seed: u64) {
+    use mcqa_corpus::EditBatch;
+    use mcqa_index::IndexSpec;
+    use mcqa_util::ScopeTimer;
+    use std::sync::Arc;
+
+    // Phase 1: the cold full build — the baseline the planner must beat.
+    let t = ScopeTimer::start("full");
+    let base = Pipeline::run(config);
+    let full_secs = t.elapsed_secs();
+    eprintln!(
+        "[repro] base build: {} docs → {} chunks → {} questions ({:.2}s)",
+        base.library.len(),
+        base.chunks.len(),
+        base.items.len(),
+        full_secs
+    );
+
+    // Phase 2: a seeded synthetic edit batch against the live corpus.
+    let n = edits.unwrap_or_else(|| (base.library.live_len() / 100).max(1));
+    let mut library = (*base.library).clone();
+    let batch = EditBatch::synthetic(&library, seed, n);
+    let (add, modify, remove) = batch.profile();
+    library.apply_edits(&base.ontology, &batch);
+    println!("[ingest] edits={n} add={add} modify={modify} remove={remove}");
+    let library = Arc::new(library);
+
+    // Phase 3: the incremental re-run over the previous output.
+    let t = ScopeTimer::start("incremental");
+    let inc = Pipeline::run_incremental(config, &base, library.clone());
+    let inc_secs = t.elapsed_secs();
+    for (key, value) in inc.ingest.lines() {
+        println!("[ingest] {key}={value}");
+    }
+
+    // Phase 4: the ground truth — a cold rebuild of the edited corpus.
+    let t = ScopeTimer::start("verify");
+    let cold = Pipeline::run_full(config, base.ontology.clone(), library);
+    let cold_secs = t.elapsed_secs();
+
+    // Artifact identity holds on every backend: the planner re-derives
+    // chunks, questions, traces, and the manifest, not index internals.
+    let mut failed = false;
+    for (what, ok) in [
+        ("chunks", inc.chunks == cold.chunks),
+        ("questions", inc.questions == cold.questions),
+        ("items", inc.items == cold.items),
+        ("traces", inc.traces == cold.traces),
+        ("manifest", inc.manifest == cold.manifest),
+    ] {
+        if !ok {
+            eprintln!("[ingest] verify=mismatch artifact={what}");
+            failed = true;
+        }
+    }
+
+    // Search identity, probe by probe. Lexical siblings mutate
+    // deterministically on every backend; dense stores are bit-identical
+    // only on flat (ivf/pq retrain, hnsw re-inserts on a cold build).
+    let probes = ["proton therapy dose", "gene expression pathway", "tumour margin imaging"];
+    let k = 10;
+    let exact_dense = config.index == IndexSpec::Flat;
+    let (mut compared, mut hit, mut total) = (0usize, 0usize, 0usize);
+    for name in inc.indexes.names() {
+        let store = inc.indexes.expect_store(name);
+        let other = cold.indexes.expect_store(name);
+        for p in &probes {
+            let q = inc.encoder.encode(p);
+            let (a, b) = (store.search(&q, k), other.search(&q, k));
+            if exact_dense {
+                if a != b {
+                    eprintln!("[ingest] verify=mismatch store={name} probe={p:?}");
+                    failed = true;
+                }
+            } else {
+                let ids: Vec<u64> = b.iter().map(|h| h.id).collect();
+                hit += a.iter().filter(|h| ids.contains(&h.id)).count();
+                total += b.len();
+            }
+        }
+        compared += 1;
+    }
+    for name in inc.indexes.lexical_names() {
+        let lex = inc.indexes.expect_lexical(name);
+        let other = cold.indexes.expect_lexical(name);
+        for p in &probes {
+            if lex.search(p, k) != other.search(p, k) {
+                eprintln!("[ingest] verify=mismatch store={name} probe={p:?}");
+                failed = true;
+            }
+        }
+        compared += 1;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    if exact_dense {
+        println!("[ingest] verify=identical stores={compared} probes={}", probes.len());
+    } else {
+        println!(
+            "[ingest] verify=overlap stores={compared} probes={} dense_overlap={:.3}",
+            probes.len(),
+            hit as f64 / total.max(1) as f64
+        );
+    }
+    println!(
+        "[ingest] full_secs={full_secs:.3} incremental_secs={inc_secs:.3} \
+         verify_secs={cold_secs:.3} speedup={:.2}",
+        full_secs / inc_secs.max(1e-9)
+    );
+}
+
 /// `repro models` — the per-role call ledger after a full pipeline + 8-model
 /// evaluation: calls, batch sizes, token in/out estimates, and the response
 /// cache's hit rate. Lines are `[models] key=value ...` so CI can assert the
@@ -707,7 +857,7 @@ fn print_models(output: &mcqa_core::PipelineOutput) {
             output,
             &output.items[..probe],
             5,
-            QueryMode::Hybrid { fusion: Default::default(), rerank: true },
+            QueryMode::Hybrid { fusion: Default::default(), rerank: true, depth: 0 },
         );
     }
 

@@ -1,10 +1,22 @@
 //! The orchestrated end-to-end pipeline.
+//!
+//! Every run — the cold full build and the incremental re-run — flows
+//! through one planner (`Pipeline::run_planned`): the corpus is content-
+//! hashed, diffed against the previous run's [`IngestManifest`] (empty on
+//! a cold build, so everything classifies as added), and only the
+//! chunk→embed→question slices the [`mcqa_ingest::ChangeSet`] touches are
+//! re-run. Unchanged slices replay from the previous output; stale index
+//! rows are tombstoned and fresh rows upserted in place. There is no
+//! second bookkeeping path: a full rebuild is the all-added degenerate
+//! case of the incremental plan.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use mcqa_corpus::{CorpusLibrary, DocId};
 use mcqa_embed::{BioEncoder, Precision};
 use mcqa_index::{build_store_from_vectors, IndexRegistry, Metric, VectorStore};
+use mcqa_ingest::{ContentHash, IngestCensus, IngestManifest};
 use mcqa_lexical::LexicalIndex;
 use mcqa_llm::{
     build_hub, BenchKind, Judge, McqItem, ModelEndpoint, ModelHub, QuestionPrompt, Teacher,
@@ -23,6 +35,17 @@ use crate::schema::{Provenance, QualityBlock, QuestionRecord, TraceRecord};
 /// databases are named by [`TraceMode::db_name`] (`traces-<mode>`).
 pub const CHUNKS_STORE: &str = "chunks";
 
+/// Manifest source name under which the corpus document table is
+/// content-addressed.
+pub const CORPUS_SOURCE: &str = "corpus";
+
+/// A store is compacted once tombstones exceed a quarter of its live
+/// rows — cheap enough to amortise, tight enough that scans never wade
+/// through mostly-dead storage.
+fn over_tombstone_threshold(tombstones: usize, live: usize) -> bool {
+    tombstones * 4 > live.max(1)
+}
+
 /// Everything the pipeline produces, ready for evaluation.
 pub struct PipelineOutput {
     /// The configuration that produced this output.
@@ -40,10 +63,18 @@ pub struct PipelineOutput {
     /// Accepted questions in evaluation form (index-aligned with
     /// `questions`; `qid` equals the position).
     pub items: Vec<McqItem>,
-    /// Number of candidate questions generated (one per chunk).
+    /// Number of candidate questions generated (one per chunk), counting
+    /// memoized candidates replayed by an incremental run.
     pub candidates: usize,
     /// Reasoning-trace records (Figure-3 schema), 3 per accepted question.
     pub traces: Vec<TraceRecord>,
+    /// Per-mode trace embeddings in question-id order
+    /// (`trace_vectors[mode-index][qid]`, mode index as in
+    /// [`TraceMode::ALL`]). Trace text — and therefore its embedding —
+    /// depends only on question content, so an incremental re-run re-keys
+    /// a shifted question's store rows from these instead of re-encoding
+    /// three unchanged traces per shifted id.
+    pub trace_vectors: Vec<Vec<Vec<f32>>>,
     /// The paper's four vector databases behind one registry, all built
     /// with the backend `config.index` selects: [`CHUNKS_STORE`] keyed by
     /// `chunk_id` plus one [`TraceMode::db_name`] store per mode keyed by
@@ -63,6 +94,12 @@ pub struct PipelineOutput {
     /// evaluator, retrieval bundles, ablations) clone this handle so the
     /// whole reproduction shares one pool and one metrics surface.
     pub executor: Executor,
+    /// The corpus content-address table this output was built from.
+    /// Persist it alongside the registry blob; the next run diffs its own
+    /// table against this one to plan incremental work.
+    pub manifest: IngestManifest,
+    /// What the ingest planner scanned, skipped, and re-ran.
+    pub ingest: IngestCensus,
 }
 
 impl PipelineOutput {
@@ -89,8 +126,18 @@ impl PipelineOutput {
 /// The pipeline runner.
 pub struct Pipeline;
 
+/// A memoized per-chunk generation outcome replayed from a previous run.
+struct PrevOutcome<'a> {
+    record: &'a QuestionRecord,
+    item: &'a McqItem,
+    /// The question id the previous run assigned (ids are dense in
+    /// acceptance order, so edits upstream shift them).
+    old_qid: u64,
+}
+
 impl Pipeline {
-    /// Run every stage and return the full output.
+    /// Run every stage from scratch: generate the ontology, acquire the
+    /// corpus, and hand off to the planner with no previous output.
     pub fn run(config: &PipelineConfig) -> PipelineOutput {
         let mut report = RunReport::new();
         let exec = Executor::new(config.effective_workers());
@@ -102,10 +149,88 @@ impl Pipeline {
         let library = Arc::new(CorpusLibrary::build(&ontology, &config.acquisition, &exec));
         report.add(StageMetrics::single("acquire", library.len(), library.len(), t.elapsed_secs()));
 
-        // Stage 2: adaptive parallel parsing (through the runtime pool).
-        let doc_ids: Vec<u32> = (0..library.len() as u32).collect();
+        Self::run_planned(config, ontology, library, exec, report, None)
+    }
+
+    /// Full build over an existing (possibly edited) corpus — the cold
+    /// rebuild an incremental run is measured against.
+    pub fn run_full(
+        config: &PipelineConfig,
+        ontology: Arc<Ontology>,
+        library: Arc<CorpusLibrary>,
+    ) -> PipelineOutput {
+        let exec = Executor::new(config.effective_workers());
+        Self::run_planned(config, ontology, library, exec, RunReport::new(), None)
+    }
+
+    /// Incremental run: content-hash `library`, diff against `prev`'s
+    /// manifest, and re-run only the slices the change set touches.
+    /// Unchanged chunks replay their memoized generation outcome; index
+    /// rows for removed/modified slices are tombstoned and fresh rows
+    /// upserted, compacting once tombstones exceed the threshold.
+    pub fn run_incremental(
+        config: &PipelineConfig,
+        prev: &PipelineOutput,
+        library: Arc<CorpusLibrary>,
+    ) -> PipelineOutput {
+        assert_eq!(config.seed, prev.config.seed, "incremental run must keep the seed");
+        assert_eq!(
+            config.index.label(),
+            prev.config.index.label(),
+            "incremental run must keep the index backend"
+        );
+        let exec = Executor::new(config.effective_workers());
+        Self::run_planned(
+            config,
+            Arc::clone(&prev.ontology),
+            library,
+            exec,
+            RunReport::new(),
+            Some(prev),
+        )
+    }
+
+    /// The single planner every run flows through. `prev: None` is the
+    /// cold build: the diff against an empty manifest classifies every
+    /// document as added, so the whole corpus is one big re-run slice.
+    fn run_planned(
+        config: &PipelineConfig,
+        ontology: Arc<Ontology>,
+        library: Arc<CorpusLibrary>,
+        exec: Executor,
+        mut report: RunReport,
+        prev: Option<&PipelineOutput>,
+    ) -> PipelineOutput {
+        let mut census = IngestCensus::default();
+
+        // Ingest scan: content-hash every live document (fanned out) and
+        // diff the merkle trees. O(changed·log n) once the hashes exist.
+        let live_ids = library.live_ids();
+        let (hash_results, mut scan_metrics) =
+            run_stage_batched(&exec, "ingest-scan", live_ids, 0, |id| {
+                let blob = library.download(id).expect("live doc has a blob");
+                Ok::<_, String>((id.0 as u64, ContentHash::of_bytes(blob)))
+            });
+        let table: Vec<(u64, ContentHash)> =
+            hash_results.into_iter().map(|r| r.expect("hashing cannot fail")).collect();
+        let mut manifest = IngestManifest::new();
+        manifest.set_source(CORPUS_SOURCE, table);
+        let prev_manifest = prev.map_or_else(IngestManifest::new, |p| p.manifest.clone());
+        let changes = IngestManifest::diff(&prev_manifest, &manifest, CORPUS_SOURCE);
+        census.docs_scanned = library.live_len();
+        census.docs_added = changes.added.len();
+        census.docs_modified = changes.modified.len();
+        census.docs_removed = changes.removed.len();
+        scan_metrics.produced = changes.len();
+        report.add(scan_metrics);
+
+        // Stage 2: adaptive parallel parsing — only the added/modified
+        // documents (everything, on a cold build).
+        let mut parse_ids: Vec<u32> =
+            changes.added.iter().chain(&changes.modified).map(|id| *id as u32).collect();
+        parse_ids.sort_unstable();
         let parser = AdaptiveParser::new(ParserConfig::default());
-        let (parse_results, parse_metrics) = run_stage(&exec, "parse", doc_ids, |id| {
+        let (parse_results, parse_metrics) = run_stage(&exec, "parse", parse_ids, |id| {
             let blob = library.download(DocId(id)).ok_or_else(|| format!("doc {id} missing"))?;
             match parser.parse(blob).document() {
                 Some(doc) => Ok((id, doc.clone())),
@@ -117,7 +242,7 @@ impl Pipeline {
         report.add(parse_metrics);
 
         // Stage 3: semantic chunking with provenance mapping, fanned out one
-        // task per parsed document on the work-stealing pool. The stage's
+        // task per re-parsed document on the work-stealing pool. The stage's
         // metrics keep both rates observable: `throughput()` is docs/s,
         // `output_throughput()` is chunks/s.
         let encoder = BioEncoder::new(config.embed.clone());
@@ -157,19 +282,43 @@ impl Pipeline {
                 .collect();
             Ok::<_, String>(records)
         });
-        let mut chunks: Vec<ChunkRecord> =
+        let mut fresh_chunks: Vec<ChunkRecord> =
             chunk_results.into_iter().filter_map(Result::ok).flatten().collect();
-        chunks.sort_by_key(|c| c.chunk_id);
-        chunk_metrics.produced = chunks.len();
+        fresh_chunks.sort_by_key(|c| c.chunk_id);
+        chunk_metrics.produced = fresh_chunks.len();
         report.add(chunk_metrics);
 
-        // Stage 4: embed chunks (batched submission — the per-item cost is
-        // one hash-encode, so chunked tasks amortise scheduling overhead),
-        // then build the chunk vector DB (FP16) with the configured
-        // backend, bulk-loaded through the store's parallel `add_batch`.
+        // Ingest merge: replay chunks of untouched documents from the
+        // previous run, splice in the freshly chunked slices, and keep the
+        // global chunk-id order a cold build would produce.
+        let t = ScopeTimer::start("ingest-chunks");
+        let dead_docs: HashSet<u32> =
+            changes.modified.iter().chain(&changes.removed).map(|id| *id as u32).collect();
+        let fresh_ids: HashSet<u64> = fresh_chunks.iter().map(|c| c.chunk_id).collect();
+        let mut chunks: Vec<ChunkRecord> = prev
+            .map(|p| p.chunks.iter().filter(|c| !dead_docs.contains(&c.doc.0)).cloned().collect())
+            .unwrap_or_default();
+        census.chunks_reused = chunks.len();
+        census.chunks_rerun = fresh_chunks.len();
+        chunks.append(&mut fresh_chunks);
+        chunks.sort_by_key(|c| c.chunk_id);
+        census.chunks_total = chunks.len();
+        report.add(StageMetrics::single(
+            "ingest-chunks",
+            chunks.len(),
+            census.chunks_rerun,
+            t.elapsed_secs(),
+        ));
+
+        // Stage 4: embed the re-run chunks (batched submission — the
+        // per-item cost is one hash-encode, so chunked tasks amortise
+        // scheduling overhead). Unchanged chunks keep their rows in the
+        // previous run's stores, so they are never re-embedded.
+        let gen_chunks: Vec<&ChunkRecord> =
+            chunks.iter().filter(|c| fresh_ids.contains(&c.chunk_id)).collect();
         let (embed_results, embed_metrics) =
-            run_stage_batched(&exec, "embed-chunks", (0..chunks.len()).collect(), 0, |i| {
-                let c = &chunks[i];
+            run_stage_batched(&exec, "embed-chunks", (0..gen_chunks.len()).collect(), 0, |i| {
+                let c = gen_chunks[i];
                 Ok::<_, String>((c.chunk_id, encoder.encode(&c.text)))
             });
         // The embed closure is infallible, so an Err slot can only be a
@@ -179,47 +328,85 @@ impl Pipeline {
             embed_results.into_iter().map(|r| r.expect("embed-chunks task cannot fail")).collect();
         report.add(embed_metrics);
 
-        let mut indexes = IndexRegistry::new();
+        // Chunk DB: cold build bulk-loads the configured backend; an
+        // incremental run decodes the previous registry, tombstones the
+        // rows of removed/modified documents, and appends the fresh ones.
+        let mut indexes = match prev {
+            None => IndexRegistry::new(),
+            Some(p) => IndexRegistry::from_bytes(&p.indexes.to_bytes())
+                .expect("a registry round-trips through its own serialisation"),
+        };
+        let dead_chunk_ids: Vec<u64> = prev
+            .map(|p| {
+                p.chunks
+                    .iter()
+                    .filter(|c| dead_docs.contains(&c.doc.0))
+                    .map(|c| c.chunk_id)
+                    .collect()
+            })
+            .unwrap_or_default();
+
         let t = ScopeTimer::start("index-chunks");
-        let chunk_store = build_store_from_vectors(
-            &config.index,
-            config.embed.dim,
-            Metric::Cosine,
-            Precision::F16,
-            &exec,
-            &chunk_vectors,
-        );
+        if prev.is_none() {
+            let chunk_store = build_store_from_vectors(
+                &config.index,
+                config.embed.dim,
+                Metric::Cosine,
+                Precision::F16,
+                &exec,
+                &chunk_vectors,
+            );
+            indexes.insert(CHUNKS_STORE, chunk_store);
+        } else {
+            let store = indexes.expect_store_mut(CHUNKS_STORE);
+            census.tombstones_dense += store.remove(&dead_chunk_ids);
+            store.add_batch(&exec, &chunk_vectors);
+            if over_tombstone_threshold(store.tombstones(), store.len()) {
+                store.compact(&exec);
+                census.compactions += 1;
+            }
+        }
         report.add(StageMetrics::single(
             "index-chunks",
             chunk_vectors.len(),
-            chunk_store.len(),
+            indexes.expect_store(CHUNKS_STORE).len(),
             t.elapsed_secs(),
         ));
-        indexes.insert(CHUNKS_STORE, chunk_store);
         drop(chunk_vectors);
 
         // Lexical sibling: the same chunks indexed by BM25 — the hybrid
         // retrieval channel's word-level view, one Figure-1 stage row like
-        // any dense build.
+        // any dense build. Mutated with the same tombstone surface.
         let t = ScopeTimer::start("index-lex-chunks");
-        let mut chunk_lex = LexicalIndex::new(Default::default());
         let lex_pairs: Vec<(u64, &str)> =
-            chunks.iter().map(|c| (c.chunk_id, c.text.as_str())).collect();
-        chunk_lex.add_batch(&exec, &lex_pairs);
+            gen_chunks.iter().map(|c| (c.chunk_id, c.text.as_str())).collect();
+        let lex_name = IndexRegistry::lexical_sibling(CHUNKS_STORE);
+        if prev.is_none() {
+            let mut chunk_lex = LexicalIndex::new(Default::default());
+            chunk_lex.add_batch(&exec, &lex_pairs);
+            indexes.insert_lexical(&lex_name, chunk_lex);
+        } else {
+            let lex = indexes.expect_lexical_mut(&lex_name);
+            census.tombstones_lexical += lex.remove(&dead_chunk_ids);
+            lex.add_batch(&exec, &lex_pairs);
+            if over_tombstone_threshold(lex.tombstones(), lex.len()) {
+                lex.compact();
+                census.compactions += 1;
+            }
+        }
         report.add(StageMetrics::single(
             "index-lex-chunks",
             lex_pairs.len(),
-            chunk_lex.len(),
+            indexes.expect_lexical(&lex_name).len(),
             t.elapsed_secs(),
         ));
-        indexes.insert_lexical(&IndexRegistry::lexical_sibling(CHUNKS_STORE), chunk_lex);
         drop(lex_pairs);
 
-        // Stage 5: question generation (one candidate per chunk) + judge
-        // filtering at the paper's 7/10 threshold. Both model roles run
-        // through the endpoint's batched completion API — the highest-call-
-        // count generation stage is exactly where a real deployment batches
-        // its LLM traffic.
+        // Stage 5: question generation (one candidate per re-run chunk) +
+        // judge filtering at the paper's 7/10 threshold. Both model roles
+        // run through the endpoint's batched completion API. Unchanged
+        // chunks replay their memoized outcome below — including memoized
+        // rejections, which must not burn a second model call.
         let models = Arc::new(build_hub(&config.models, config.seed, Arc::clone(&ontology)));
         let endpoint: Arc<dyn ModelEndpoint> = models.clone();
         let teacher = Teacher::new(endpoint.clone(), config.seed);
@@ -236,7 +423,7 @@ impl Pipeline {
             fact_id: mcqa_ontology::FactId,
             relevant: bool,
         }
-        let cands: Vec<Candidate> = chunks
+        let cands: Vec<Candidate> = gen_chunks
             .iter()
             .filter_map(|chunk| {
                 let ckey = chunk.chunk_id.to_string();
@@ -258,7 +445,11 @@ impl Pipeline {
                 passage: &c.chunk.text,
             })
             .collect();
-        let generated = teacher.generate_question_batch(&exec, &prompts);
+        let generated = if prompts.is_empty() {
+            Vec::new()
+        } else {
+            teacher.generate_question_batch(&exec, &prompts)
+        };
 
         // Candidates whose distractor pool was exhausted (< 7 options)
         // never reach the judge.
@@ -268,10 +459,15 @@ impl Pipeline {
             .iter()
             .map(|(c, q)| (*q, ontology.fact(c.fact_id).expect("anchor resolved").salience))
             .collect();
-        let judgments = judge.score_question_batch(&exec, &score_prompts);
+        let judgments = if score_prompts.is_empty() {
+            Vec::new()
+        } else {
+            judge.score_question_batch(&exec, &score_prompts)
+        };
 
-        let mut questions = Vec::new();
-        let mut items = Vec::new();
+        // Accepted outcomes of the re-run slice, in chunk-id order. Ids
+        // stay provisional (0) until the merge renumbers the full set.
+        let mut fresh_accepted: Vec<(u64, QuestionRecord, McqItem)> = Vec::new();
         for ((cand, q), mut judgment) in wellformed.into_iter().zip(judgments) {
             if !cand.relevant {
                 // The paper's relevance check: the chunk does not state the
@@ -287,9 +483,8 @@ impl Pipeline {
                 continue;
             }
             let fact = ontology.fact(cand.fact_id).expect("anchor resolved");
-            let question_id = questions.len() as u64;
             let record = QuestionRecord {
-                question_id,
+                question_id: 0,
                 question: q.stem.clone(),
                 options: q.options.clone(),
                 answer_letter: OPTION_LETTERS[q.recorded_key],
@@ -309,8 +504,8 @@ impl Pipeline {
                     passed,
                 },
             };
-            items.push(McqItem {
-                qid: question_id,
+            let item = McqItem {
+                qid: 0,
                 bench: BenchKind::Synthetic,
                 fact: fact.id,
                 stem: record.question.clone(),
@@ -318,29 +513,25 @@ impl Pipeline {
                 correct: q.recorded_key,
                 difficulty: fact.difficulty,
                 is_math: false,
-            });
-            questions.push(record);
+            };
+            fresh_accepted.push((cand.chunk.chunk_id, record, item));
         }
-        // `chunks` is sorted by chunk id, so acceptance order == chunk-id
-        // order and ids are densely assigned in that order (as before the
-        // endpoint reroute — artifacts are byte-identical).
         report.add(StageMetrics::single(
             "generate+judge",
-            candidates,
-            questions.len(),
+            gen_chunks.len(),
+            fresh_accepted.len(),
             t.elapsed_secs(),
         ));
 
-        // Stage 6: reasoning-trace distillation — every (question, mode)
-        // pair is one batched endpoint request. Trace ids are dense:
-        // `qid * |modes| + mode_index`, with the stride derived from
-        // `TraceMode::ALL` so adding a mode can never open id gaps.
+        // Stage 6: reasoning-trace distillation for the re-run questions —
+        // every (question, mode) pair is one batched endpoint request.
+        // Trace text depends only on question content and mode, never on
+        // ids, so replayed questions keep their previous traces verbatim.
         let t = ScopeTimer::start("traces");
-        let trace_stride = TraceMode::ALL.len() as u64;
-        // Rebuild the teacher's view of each accepted question for tracing.
-        let teacher_views: Vec<mcqa_llm::GeneratedQuestion> = items
+        let trace_stride = TraceMode::ALL.len();
+        let teacher_views: Vec<mcqa_llm::GeneratedQuestion> = fresh_accepted
             .iter()
-            .map(|item| mcqa_llm::GeneratedQuestion {
+            .map(|(_, _, item)| mcqa_llm::GeneratedQuestion {
                 fact: item.fact,
                 stem: item.stem.clone(),
                 options: item.options.clone(),
@@ -354,81 +545,212 @@ impl Pipeline {
             .iter()
             .flat_map(|gq| TraceMode::ALL.iter().map(move |mode| (gq, *mode)))
             .collect();
-        let trace_texts = teacher.generate_trace_batch(&exec, &trace_prompts);
-        let traces: Vec<TraceRecord> = trace_texts
-            .into_iter()
-            .enumerate()
-            .map(|(i, trace)| {
-                let (qi, mi) = (i / TraceMode::ALL.len(), i % TraceMode::ALL.len());
-                let item = &items[qi];
-                TraceRecord {
-                    trace_id: item.qid * trace_stride + mi as u64,
-                    question_id: questions[qi].question_id,
+        let trace_texts = if trace_prompts.is_empty() {
+            Vec::new()
+        } else {
+            teacher.generate_trace_batch(&exec, &trace_prompts)
+        };
+        report.add(StageMetrics::single(
+            "traces",
+            fresh_accepted.len(),
+            trace_texts.len(),
+            t.elapsed_secs(),
+        ));
+
+        // Memoized outcomes from the previous run, keyed by chunk id. A
+        // chunk present with no question is a memoized rejection.
+        let mut snapshot: HashMap<u64, Option<PrevOutcome<'_>>> = HashMap::new();
+        if let Some(p) = prev {
+            for c in &p.chunks {
+                snapshot.insert(c.chunk_id, None);
+            }
+            for (qi, (record, item)) in p.questions.iter().zip(&p.items).enumerate() {
+                snapshot.insert(
+                    record.provenance.chunk_id,
+                    Some(PrevOutcome { record, item, old_qid: qi as u64 }),
+                );
+            }
+        }
+        let mut fresh_map: HashMap<u64, (QuestionRecord, McqItem, Vec<String>)> = HashMap::new();
+        for (ai, (chunk_id, record, item)) in fresh_accepted.into_iter().enumerate() {
+            let texts: Vec<String> =
+                trace_texts[ai * trace_stride..(ai + 1) * trace_stride].to_vec();
+            fresh_map.insert(chunk_id, (record, item, texts));
+        }
+
+        // Merge in chunk-id order — the acceptance order a cold build
+        // walks — renumbering question and trace ids densely. `identical`
+        // marks replayed questions whose id did not shift: their rows in
+        // the trace stores are already correct and stay untouched.
+        let mut questions: Vec<QuestionRecord> = Vec::new();
+        let mut items: Vec<McqItem> = Vec::new();
+        let mut traces: Vec<TraceRecord> = Vec::new();
+        let mut identical: Vec<bool> = Vec::new();
+        // `prev_qids[qid]` = the question's id in the previous run (None
+        // for freshly generated questions) — the key its reusable trace
+        // vectors live under in `prev.trace_vectors`.
+        let mut prev_qids: Vec<Option<u64>> = Vec::new();
+        for chunk in &chunks {
+            let cid = chunk.chunk_id;
+            let (mut record, mut item, texts, old_qid) = if fresh_ids.contains(&cid) {
+                match fresh_map.remove(&cid) {
+                    Some((r, it, tx)) => (r, it, tx, None),
+                    None => continue, // freshly generated and rejected
+                }
+            } else {
+                match snapshot.get(&cid) {
+                    Some(Some(pq)) => {
+                        let base = pq.old_qid as usize * trace_stride;
+                        let texts: Vec<String> = prev.expect("snapshot implies prev").traces
+                            [base..base + trace_stride]
+                            .iter()
+                            .map(|tr| tr.trace.clone())
+                            .collect();
+                        (pq.record.clone(), pq.item.clone(), texts, Some(pq.old_qid))
+                    }
+                    _ => continue, // memoized rejection
+                }
+            };
+            let qid = questions.len() as u64;
+            record.question_id = qid;
+            item.qid = qid;
+            identical.push(old_qid == Some(qid));
+            prev_qids.push(old_qid);
+            for (mi, text) in texts.into_iter().enumerate() {
+                traces.push(TraceRecord {
+                    trace_id: qid * trace_stride as u64 + mi as u64,
+                    question_id: qid,
                     mode: TraceMode::ALL[mi],
-                    trace,
+                    trace: text,
                     teacher: "GPT-4.1-sim".into(),
                     answer_excluded: true,
                     fact_id: item.fact.0,
-                }
-            })
-            .collect();
-        report.add(StageMetrics::single("traces", items.len(), traces.len(), t.elapsed_secs()));
+                });
+            }
+            items.push(item);
+            questions.push(record);
+        }
 
-        // Stage 7: embed traces (batched submission), then build one DB
-        // per mode with the configured backend. Per-mode vectors keep
-        // question order, so every backend sees the same insertion
-        // sequence a serial build would.
+        // Stage 7: embed the traces no previous vector exists for — all of
+        // them on a cold build, only fresh questions' on an incremental
+        // run. A replayed question's traces are verbatim replays, so even
+        // when its dense id shifted (forcing re-keyed store rows) the
+        // previous run's vectors are reused instead of re-encoded.
+        let to_embed: Vec<usize> = traces
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| prev_qids[i / trace_stride].is_none())
+            .map(|(i, _)| i)
+            .collect();
         let (trace_embed_results, trace_embed_metrics) =
-            run_stage_batched(&exec, "embed-traces", (0..traces.len()).collect(), 0, |i| {
+            run_stage_batched(&exec, "embed-traces", to_embed, 0, |i| {
                 let tr = &traces[i];
                 Ok::<_, String>((tr.mode, tr.question_id, encoder.encode(&tr.trace)))
             });
-        let mut mode_vectors: Vec<Vec<(u64, Vec<f32>)>> =
-            (0..TraceMode::ALL.len()).map(|_| Vec::with_capacity(items.len())).collect();
+        let mut fresh_vecs: HashMap<(usize, u64), Vec<f32>> = HashMap::new();
         for r in trace_embed_results {
             // Infallible closure: an Err slot is a panic — fail loudly
             // rather than leave a trace unretrievable.
             let (mode, qid, v) = r.expect("embed-traces task cannot fail");
             let mi = TraceMode::ALL.iter().position(|m| *m == mode).expect("known mode");
-            mode_vectors[mi].push((qid, v));
+            fresh_vecs.insert((mi, qid), v);
         }
         report.add(trace_embed_metrics);
 
+        // Assemble, per mode: the rows whose store key must change
+        // (`mode_vectors`, ascending qid — the cold build's insertion
+        // order) and the full vector table the next incremental run reuses
+        // (`trace_vectors`).
+        let mut mode_vectors: Vec<Vec<(u64, Vec<f32>)>> =
+            (0..trace_stride).map(|_| Vec::with_capacity(items.len())).collect();
+        let mut trace_vectors: Vec<Vec<Vec<f32>>> =
+            (0..trace_stride).map(|_| Vec::with_capacity(items.len())).collect();
+        for qid in 0..items.len() as u64 {
+            let old = prev_qids[qid as usize];
+            for mi in 0..trace_stride {
+                let v = match old {
+                    Some(pq) => {
+                        prev.expect("replay implies prev").trace_vectors[mi][pq as usize].clone()
+                    }
+                    None => fresh_vecs.remove(&(mi, qid)).expect("fresh trace was embedded"),
+                };
+                if old != Some(qid) {
+                    mode_vectors[mi].push((qid, v.clone()));
+                }
+                trace_vectors[mi].push(v);
+            }
+        }
+
+        // Previous-run question ids whose rows are stale: everything not
+        // replayed in place. Removed FIRST across every trace store, so a
+        // shifted id's old row can never mask its re-inserted one.
+        let dead_qids: Vec<u64> = prev
+            .map(|p| {
+                (0..p.items.len() as u64)
+                    .filter(|q| {
+                        let q = *q as usize;
+                        !(q < identical.len() && identical[q])
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
         for (mode, vectors) in TraceMode::ALL.iter().zip(&mode_vectors) {
             let t = ScopeTimer::start("index-traces");
-            let store = build_store_from_vectors(
-                &config.index,
-                config.embed.dim,
-                Metric::Cosine,
-                Precision::F16,
-                &exec,
-                vectors,
-            );
+            if prev.is_none() {
+                let store = build_store_from_vectors(
+                    &config.index,
+                    config.embed.dim,
+                    Metric::Cosine,
+                    Precision::F16,
+                    &exec,
+                    vectors,
+                );
+                indexes.insert(mode.db_name(), store);
+            } else {
+                let store = indexes.expect_store_mut(mode.db_name());
+                census.tombstones_dense += store.remove(&dead_qids);
+                store.add_batch(&exec, vectors);
+                if over_tombstone_threshold(store.tombstones(), store.len()) {
+                    store.compact(&exec);
+                    census.compactions += 1;
+                }
+            }
             report.add(StageMetrics::single(
                 &format!("index-{}", mode.db_name()),
                 vectors.len(),
-                store.len(),
+                indexes.expect_store(mode.db_name()).len(),
                 t.elapsed_secs(),
             ));
-            indexes.insert(mode.db_name(), store);
 
             // BM25 sibling over the same traces, keyed by question id like
             // the dense store, so both channels retrieve the same ids.
             let t = ScopeTimer::start("index-lex-traces");
-            let mut lex = LexicalIndex::new(Default::default());
             let pairs: Vec<(u64, &str)> = traces
                 .iter()
-                .filter(|tr| tr.mode == *mode)
+                .filter(|tr| tr.mode == *mode && !identical[tr.question_id as usize])
                 .map(|tr| (tr.question_id, tr.trace.as_str()))
                 .collect();
-            lex.add_batch(&exec, &pairs);
+            let sibling = IndexRegistry::lexical_sibling(mode.db_name());
+            if prev.is_none() {
+                let mut lex = LexicalIndex::new(Default::default());
+                lex.add_batch(&exec, &pairs);
+                indexes.insert_lexical(&sibling, lex);
+            } else {
+                let lex = indexes.expect_lexical_mut(&sibling);
+                census.tombstones_lexical += lex.remove(&dead_qids);
+                lex.add_batch(&exec, &pairs);
+                if over_tombstone_threshold(lex.tombstones(), lex.len()) {
+                    lex.compact();
+                    census.compactions += 1;
+                }
+            }
             report.add(StageMetrics::single(
                 &format!("index-lex-{}", mode.db_name()),
                 pairs.len(),
-                lex.len(),
+                indexes.expect_lexical(&sibling).len(),
                 t.elapsed_secs(),
             ));
-            indexes.insert_lexical(&IndexRegistry::lexical_sibling(mode.db_name()), lex);
         }
 
         // The model layer's cost accounting joins the stage report: one
@@ -448,10 +770,13 @@ impl Pipeline {
             items,
             candidates,
             traces,
+            trace_vectors,
             indexes: Arc::new(indexes),
             models,
             report,
             executor: exec,
+            manifest,
+            ingest: census,
         }
     }
 }
@@ -459,6 +784,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcqa_corpus::EditBatch;
 
     fn tiny_output() -> &'static PipelineOutput {
         static OUT: std::sync::OnceLock<PipelineOutput> = std::sync::OnceLock::new();
@@ -493,16 +819,18 @@ mod tests {
             let lex = out.indexes.expect_lexical(&IndexRegistry::lexical_sibling(mode.db_name()));
             assert_eq!(lex.len(), out.items.len());
         }
-        // Figure-1 stage census, including one build row per store (dense
-        // and lexical) and one model-layer cost row per role the pipeline
-        // called.
+        // Figure-1 stage census, including the ingest planner's scan and
+        // merge rows, one build row per store (dense and lexical), and one
+        // model-layer cost row per role the pipeline called.
         let names: Vec<&str> = out.report.stages().iter().map(|s| s.name.as_str()).collect();
         assert_eq!(
             names,
             vec![
                 "acquire",
+                "ingest-scan",
                 "parse",
                 "chunk",
+                "ingest-chunks",
                 "embed-chunks",
                 "index-chunks",
                 "index-lex-chunks",
@@ -519,6 +847,12 @@ mod tests {
                 "model-judge",
             ]
         );
+        // The cold build is the all-added degenerate case of the planner.
+        assert_eq!(out.ingest.docs_added, out.library.len());
+        assert_eq!(out.ingest.docs_skipped(), 0);
+        assert_eq!(out.ingest.chunks_reused, 0);
+        assert_eq!(out.ingest.chunks_rerun, out.chunks.len());
+        assert_eq!(out.manifest.source(CORPUS_SOURCE).unwrap().len(), out.library.len());
     }
 
     #[test]
@@ -657,6 +991,7 @@ mod tests {
         assert_eq!(a.chunks.len(), b.chunks.len());
         assert_eq!(a.questions, b.questions);
         assert_eq!(a.traces, b.traces);
+        assert_eq!(a.manifest, b.manifest);
     }
 
     #[test]
@@ -678,5 +1013,88 @@ mod tests {
         let out = tiny_output();
         let ratio = out.chunks.len() as f64 / out.library.len() as f64;
         assert!((3.0..=16.0).contains(&ratio), "chunks/doc = {ratio:.1}");
+    }
+
+    #[test]
+    fn incremental_noop_reuses_everything() {
+        // Unchanged corpus: 100%-skipped census, zero model calls, and
+        // artifacts identical to the previous output.
+        let prev = tiny_output();
+        let out = Pipeline::run_incremental(&prev.config, prev, Arc::clone(&prev.library));
+        assert_eq!(out.ingest.docs_changed(), 0);
+        assert_eq!(out.ingest.docs_skipped(), out.ingest.docs_scanned);
+        assert_eq!(out.ingest.chunks_rerun, 0);
+        assert_eq!(out.ingest.chunks_reused, prev.chunks.len());
+        assert_eq!(out.ingest.tombstones_dense, 0);
+        assert_eq!(out.ingest.tombstones_lexical, 0);
+        assert_eq!(out.questions, prev.questions);
+        assert_eq!(out.traces, prev.traces);
+        assert_eq!(out.chunks, prev.chunks);
+        assert_eq!(out.manifest, prev.manifest);
+        let teacher = out.models.ledger().role(mcqa_llm::Role::Teacher);
+        assert_eq!(teacher.calls, 0, "no-op run must not burn model calls");
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild_after_edits() {
+        // The tentpole acceptance: after a synthetic edit batch, the
+        // incremental run's artifacts AND search behaviour are identical
+        // to a cold rebuild over the edited corpus.
+        let prev = tiny_output();
+        let mut library = (*prev.library).clone();
+        let batch = EditBatch::synthetic(&library, 13, 5);
+        library.apply_edits(&prev.ontology, &batch);
+        let library = Arc::new(library);
+
+        let inc = Pipeline::run_incremental(&prev.config, prev, Arc::clone(&library));
+        let full =
+            Pipeline::run_full(&prev.config, Arc::clone(&prev.ontology), Arc::clone(&library));
+
+        assert!(inc.ingest.docs_changed() > 0, "batch must touch the corpus");
+        assert!(inc.ingest.chunks_reused > 0, "most chunks replay");
+        assert_eq!(inc.chunks, full.chunks);
+        assert_eq!(inc.questions, full.questions);
+        assert_eq!(inc.items, full.items);
+        assert_eq!(inc.traces, full.traces);
+        assert_eq!(inc.manifest, full.manifest);
+
+        // Search bit-identity on every dense store (flat backend) and
+        // every lexical sibling, over real probe queries.
+        let probes = ["proton therapy dose", "gene expression pathway", "tumour margin imaging"];
+        for name in inc.indexes.names() {
+            let a = inc.indexes.expect_store(name);
+            let b = full.indexes.expect_store(name);
+            assert_eq!(a.len(), b.len(), "{name} cardinality");
+            for p in &probes {
+                let q = inc.encoder.encode(p);
+                assert_eq!(a.search(&q, 10), b.search(&q, 10), "{name} search for {p:?}");
+            }
+        }
+        for name in inc.indexes.lexical_names() {
+            let a = inc.indexes.expect_lexical(name);
+            let b = full.indexes.expect_lexical(name);
+            assert_eq!(a.len(), b.len(), "{name} cardinality");
+            for p in &probes {
+                assert_eq!(a.search(p, 10), b.search(p, 10), "{name} search for {p:?}");
+            }
+        }
+
+        // A second hop: incremental-on-incremental stays identical too.
+        let mut lib2 = (*library).clone();
+        let batch2 = EditBatch::synthetic(&lib2, 14, 4);
+        lib2.apply_edits(&prev.ontology, &batch2);
+        let lib2 = Arc::new(lib2);
+        let inc2 = Pipeline::run_incremental(&inc.config, &inc, Arc::clone(&lib2));
+        let full2 = Pipeline::run_full(&prev.config, Arc::clone(&prev.ontology), lib2);
+        assert_eq!(inc2.questions, full2.questions);
+        assert_eq!(inc2.traces, full2.traces);
+        for p in &probes {
+            let q = inc2.encoder.encode(p);
+            assert_eq!(
+                inc2.chunk_store().search(&q, 10),
+                full2.chunk_store().search(&q, 10),
+                "second-hop chunk search for {p:?}"
+            );
+        }
     }
 }

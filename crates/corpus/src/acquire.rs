@@ -81,12 +81,32 @@ pub struct SearchHit {
 }
 
 /// The assembled corpus library.
+///
+/// Slots are append-only: removals tombstone the slot (so `DocId`s stay
+/// stable and a later upsert of the same id is unambiguous) and edits via
+/// [`crate::edit::EditBatch`] mutate documents in place or append new
+/// ones. `len()` counts every slot ever allocated; `live_len()` counts
+/// documents that still exist.
 pub struct CorpusLibrary {
     docs: Vec<Document>,
     blobs: Vec<Vec<u8>>,
     corruption: Vec<Corruption>,
+    deleted: Vec<bool>,
     config: AcquisitionConfig,
     exec: Executor,
+}
+
+impl Clone for CorpusLibrary {
+    fn clone(&self) -> Self {
+        Self {
+            docs: self.docs.clone(),
+            blobs: self.blobs.clone(),
+            corruption: self.corruption.clone(),
+            deleted: self.deleted.clone(),
+            config: self.config.clone(),
+            exec: self.exec.clone(),
+        }
+    }
 }
 
 impl CorpusLibrary {
@@ -142,32 +162,58 @@ impl CorpusLibrary {
 
         let (blobs, corruption): (Vec<_>, Vec<_>) =
             blob_results.into_iter().map(|r| r.expect("rendering cannot fail")).unzip();
-        Self { docs, blobs, corruption, config: config.clone(), exec: exec.clone() }
+        let deleted = vec![false; docs.len()];
+        Self { docs, blobs, corruption, deleted, config: config.clone(), exec: exec.clone() }
     }
 
-    /// Number of documents.
+    /// Number of document slots ever allocated (including deleted ones —
+    /// `DocId`s index into this range).
     pub fn len(&self) -> usize {
         self.docs.len()
     }
 
-    /// True when the library holds no documents.
+    /// True when the library holds no document slots.
     pub fn is_empty(&self) -> bool {
         self.docs.is_empty()
     }
 
+    /// Number of live (non-deleted) documents.
+    pub fn live_len(&self) -> usize {
+        self.deleted.iter().filter(|d| !**d).count()
+    }
+
+    /// Ids of all live documents, ascending.
+    pub fn live_ids(&self) -> Vec<DocId> {
+        (0..self.docs.len() as u32).map(DocId).filter(|id| !self.is_deleted(*id)).collect()
+    }
+
+    /// True when the slot exists but the document was removed by an edit.
+    pub fn is_deleted(&self, id: DocId) -> bool {
+        self.deleted.get(id.0 as usize).copied().unwrap_or(false)
+    }
+
     /// Ground-truth logical document (the oracle side; the pipeline should
-    /// use [`CorpusLibrary::download`] + parsing for the data side).
+    /// use [`CorpusLibrary::download`] + parsing for the data side). `None`
+    /// for out-of-range or deleted ids.
     pub fn document(&self, id: DocId) -> Option<&Document> {
+        if self.is_deleted(id) {
+            return None;
+        }
         self.docs.get(id.0 as usize)
     }
 
-    /// All documents.
+    /// All document slots, including deleted ones (filter with
+    /// [`CorpusLibrary::is_deleted`] when liveness matters).
     pub fn documents(&self) -> &[Document] {
         &self.docs
     }
 
     /// Download a document's SPDF bytes (possibly damaged in transit).
+    /// `None` for out-of-range or deleted ids.
     pub fn download(&self, id: DocId) -> Option<&[u8]> {
+        if self.is_deleted(id) {
+            return None;
+        }
         self.blobs.get(id.0 as usize).map(Vec::as_slice)
     }
 
@@ -186,6 +232,37 @@ impl CorpusLibrary {
         &self.config
     }
 
+    /// Replace a live slot's document and blob in place (edit support).
+    pub(crate) fn slot_replace(&mut self, id: DocId, doc: Document, blob: Vec<u8>) {
+        let i = id.0 as usize;
+        assert!(i < self.docs.len() && !self.deleted[i], "slot_replace on missing doc {id:?}");
+        self.docs[i] = doc;
+        self.blobs[i] = blob;
+        self.corruption[i] = Corruption::None;
+    }
+
+    /// Append a new document slot (edit support). The document's id must
+    /// equal the next slot index.
+    pub(crate) fn slot_append(&mut self, doc: Document, blob: Vec<u8>) -> DocId {
+        let id = DocId(self.docs.len() as u32);
+        assert_eq!(doc.id, id, "appended document must carry the next DocId");
+        self.docs.push(doc);
+        self.blobs.push(blob);
+        self.corruption.push(Corruption::None);
+        self.deleted.push(false);
+        id
+    }
+
+    /// Tombstone a slot (edit support). Returns false when already gone.
+    pub(crate) fn slot_remove(&mut self, id: DocId) -> bool {
+        let i = id.0 as usize;
+        if i >= self.docs.len() || self.deleted[i] {
+            return false;
+        }
+        self.deleted[i] = true;
+        true
+    }
+
     /// Keyword search over titles and keyword lists, Semantic-Scholar
     /// style. Case-insensitive token overlap; results sorted by score then
     /// id (deterministic). Scoring fans out on the executor the library
@@ -198,6 +275,9 @@ impl CorpusLibrary {
         }
         let (score_results, _) =
             run_stage_batched(&self.exec, "search", (0..self.docs.len()).collect(), 0, |i| {
+                if self.deleted[i] {
+                    return Ok::<_, String>(None);
+                }
                 let doc = &self.docs[i];
                 let mut hay: Vec<String> = mcqa_text::tokenize(&doc.title);
                 for k in &doc.keywords {

@@ -24,10 +24,12 @@
 pub mod acquire;
 pub mod compress;
 pub mod doc;
+pub mod edit;
 pub mod spdf;
 pub mod synth;
 
 pub use acquire::{AcquisitionConfig, CorpusLibrary, SearchHit};
 pub use doc::{DocId, DocKind, Document, FactMention, Section};
+pub use edit::{EditBatch, EditOp};
 pub use spdf::{SpdfError, SpdfObject, SpdfReader, SpdfWriter};
 pub use synth::SynthConfig;

@@ -424,7 +424,7 @@ mod tests {
             out,
             &out.items,
             k,
-            QueryMode::Hybrid { fusion: Default::default(), rerank: false },
+            QueryMode::Hybrid { fusion: Default::default(), rerank: false, depth: 0 },
         );
         assert_eq!(lexical.len(), out.items.len());
         assert_eq!(hybrid.len(), out.items.len());
@@ -451,7 +451,7 @@ mod tests {
             out,
             &out.items[..20.min(out.items.len())],
             5,
-            QueryMode::Hybrid { fusion: Default::default(), rerank: true },
+            QueryMode::Hybrid { fusion: Default::default(), rerank: true, depth: 0 },
         );
         assert_eq!(bundle.len(), 20.min(out.items.len()));
         let after = out.models.ledger().role(mcqa_llm::Role::Reranker).calls;

@@ -27,6 +27,11 @@ pub struct FlatIndex {
     matrix: EmbeddingMatrix,
     ids: Vec<u64>,
     metric: Metric,
+    /// Tombstone bitmap by row position; tombstoned rows stay resident
+    /// (and scored — their hits are filtered at the top-k push) until
+    /// [`VectorStore::compact`] rewrites the matrix.
+    dead: Vec<bool>,
+    dead_count: usize,
 }
 
 impl FlatIndex {
@@ -35,7 +40,13 @@ impl FlatIndex {
 
     /// Create an empty index.
     pub fn new(dim: usize, metric: Metric, precision: Precision) -> Self {
-        Self { matrix: EmbeddingMatrix::new(dim, precision), ids: Vec::new(), metric }
+        Self {
+            matrix: EmbeddingMatrix::new(dim, precision),
+            ids: Vec::new(),
+            metric,
+            dead: Vec::new(),
+            dead_count: 0,
+        }
     }
 
     /// Deserialise from [`VectorStore::to_bytes`] output.
@@ -47,7 +58,20 @@ impl FlatIndex {
         let matrix = EmbeddingMatrix::from_bytes(r.take(mlen)?)?;
         let n = matrix.len();
         let ids: Vec<u64> = (0..n).map(|_| r.u64()).collect::<Option<_>>()?;
-        r.exhausted().then_some(Self { matrix, ids, metric })
+        r.exhausted().then_some(Self { matrix, ids, metric, dead: vec![false; n], dead_count: 0 })
+    }
+
+    /// A tombstone-free copy: live rows re-encoded in position order. The
+    /// F16 round-trip (decode → re-encode) is exact, so the copy scores
+    /// (and serialises) identically to a cold build over the live rows.
+    fn live_clone(&self) -> Self {
+        let mut out = Self::new(self.matrix.dim(), self.metric, self.matrix.precision());
+        for (i, &id) in self.ids.iter().enumerate() {
+            if !self.dead[i] {
+                out.add(id, &self.matrix.row(i).expect("row in range"));
+            }
+        }
+        out
     }
 
     /// The external id stored at `position` (insertion order). Panics out
@@ -86,7 +110,9 @@ impl FlatIndex {
             let out = &mut scores[..rows];
             self.metric.score_block(query, q_sq, panel, &norms[start..start + rows], out);
             for (j, &score) in out.iter().enumerate() {
-                topk.push(SearchResult { id: self.ids[start + j], score });
+                if !self.dead[start + j] {
+                    topk.push(SearchResult { id: self.ids[start + j], score });
+                }
             }
         });
         topk.into_sorted()
@@ -142,7 +168,9 @@ impl FlatIndex {
                     let out = &mut scores[..rows];
                     self.metric.score_block(q, q_sq, panel, row_norms, out);
                     for (j, &score) in out.iter().enumerate() {
-                        topk.push(SearchResult { id: self.ids[start + j], score });
+                        if !self.dead[start + j] {
+                            topk.push(SearchResult { id: self.ids[start + j], score });
+                        }
                     }
                 }
             });
@@ -156,6 +184,7 @@ impl VectorStore for FlatIndex {
     fn add(&mut self, id: u64, vector: &[f32]) {
         self.matrix.push(vector);
         self.ids.push(id);
+        self.dead.push(false);
     }
 
     fn add_batch(&mut self, exec: &Executor, items: &[(u64, Vec<f32>)]) {
@@ -164,6 +193,30 @@ impl VectorStore for FlatIndex {
         let rows: Vec<&[f32]> = items.iter().map(|(_, v)| v.as_slice()).collect();
         self.matrix.extend_parallel(exec, &rows);
         self.ids.extend(items.iter().map(|(id, _)| *id));
+        self.dead.resize(self.ids.len(), false);
+    }
+
+    fn remove(&mut self, ids: &[u64]) -> usize {
+        let targets: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        let mut newly = 0;
+        for (i, id) in self.ids.iter().enumerate() {
+            if !self.dead[i] && targets.contains(id) {
+                self.dead[i] = true;
+                newly += 1;
+            }
+        }
+        self.dead_count += newly;
+        newly
+    }
+
+    fn tombstones(&self) -> usize {
+        self.dead_count
+    }
+
+    fn compact(&mut self, _exec: &Executor) {
+        if self.dead_count > 0 {
+            *self = self.live_clone();
+        }
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
@@ -180,7 +233,7 @@ impl VectorStore for FlatIndex {
     }
 
     fn len(&self) -> usize {
-        self.ids.len()
+        self.ids.len() - self.dead_count
     }
 
     fn metric(&self) -> Metric {
@@ -196,6 +249,10 @@ impl VectorStore for FlatIndex {
     }
 
     fn to_bytes(&self) -> Vec<u8> {
+        if self.dead_count > 0 {
+            // The wire format is tombstone-free: serialise the live view.
+            return self.live_clone().to_bytes();
+        }
         let m = self.matrix.to_bytes();
         let mut out = Vec::with_capacity(m.len() + self.ids.len() * 8 + 16);
         out.extend_from_slice(Self::MAGIC);
@@ -323,6 +380,45 @@ mod tests {
             batched.add_batch(Executor::global(), &items);
             assert_eq!(batched.to_bytes(), serial.to_bytes(), "{precision:?}");
         }
+    }
+
+    #[test]
+    fn remove_hides_rows_and_compact_rewrites() {
+        for precision in [Precision::F32, Precision::F16] {
+            let mut idx = FlatIndex::new(4, Metric::Cosine, precision);
+            for i in 0..4 {
+                idx.add(100 + i as u64, &unit(4, i));
+            }
+            assert_eq!(idx.remove(&[102, 999]), 1, "unknown ids are ignored");
+            assert_eq!(idx.remove(&[102]), 0, "already tombstoned");
+            assert_eq!(idx.len(), 3);
+            assert_eq!(idx.tombstones(), 1);
+            let hits = idx.search(&unit(4, 2), 4);
+            assert!(hits.iter().all(|h| h.id != 102), "tombstoned row surfaced: {hits:?}");
+
+            // Serialisation is tombstone-free and equals a cold build of
+            // the live rows; compaction produces the same store.
+            let mut cold = FlatIndex::new(4, Metric::Cosine, precision);
+            for i in [0usize, 1, 3] {
+                cold.add(100 + i as u64, &unit(4, i));
+            }
+            assert_eq!(idx.to_bytes(), cold.to_bytes(), "{precision:?}");
+            idx.compact(Executor::global());
+            assert_eq!(idx.tombstones(), 0);
+            assert_eq!(idx.to_bytes(), cold.to_bytes(), "{precision:?}");
+        }
+    }
+
+    #[test]
+    fn upsert_replaces_in_place() {
+        let mut idx = FlatIndex::new(4, Metric::Cosine, Precision::F32);
+        for i in 0..4 {
+            idx.add(i as u64, &unit(4, i as usize));
+        }
+        idx.upsert(Executor::global(), &[(1, unit(4, 3)), (9, unit(4, 0))]);
+        assert_eq!(idx.len(), 5, "one replacement + one insert");
+        let hits = idx.search(&unit(4, 3), 2);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![1, 3], "id 1 re-vectored");
     }
 
     #[test]

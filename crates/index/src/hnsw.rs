@@ -4,7 +4,22 @@
 //! inserted into a layered proximity graph; search descends greedily
 //! through the sparse upper layers and runs a beam search (`ef`) on the
 //! bottom layer. Deterministic: level draws are keyed on the external id.
+//!
+//! # Mutation semantics
+//!
+//! [`VectorStore::remove`] tombstones nodes: they stay in the graph as
+//! routing waypoints (removing them would tear the small-world structure)
+//! but are filtered from results, with the beam width bumped by the
+//! tombstone count so up to `k` live hits still surface.
+//! [`VectorStore::compact`] — and serialisation, whose wire format is
+//! always tombstone-free — **rebuilds the graph** from the live rows in
+//! insertion order. Unlike flat/IVF/PQ, the rebuilt graph is *not*
+//! bit-identical to one built without the removed rows ever present:
+//! HNSW edges depend on insertion history. This is the documented
+//! exception to the mutation surface's rebuild-equivalence contract
+//! (see [`VectorStore::upsert`]); recall properties are unaffected.
 
+use mcqa_runtime::Executor;
 use mcqa_util::KeyedStochastic;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
@@ -52,6 +67,11 @@ pub struct HnswIndex {
     dim: usize,
     metric: Metric,
     nodes: Vec<Node>,
+    /// Per-node tombstones, parallel to `nodes`. Per node rather than per
+    /// id so an upsert (tombstone + re-insert the same id) never masks
+    /// the newly inserted node.
+    dead: Vec<bool>,
+    dead_count: usize,
     entry: Option<usize>,
     max_layer: usize,
 }
@@ -89,7 +109,29 @@ impl HnswIndex {
         assert!(config.m >= 2);
         assert!(config.ef_construction >= config.m);
         assert!(config.ef_search >= 1);
-        Self { config, dim, metric, nodes: Vec::new(), entry: None, max_layer: 0 }
+        Self {
+            config,
+            dim,
+            metric,
+            nodes: Vec::new(),
+            dead: Vec::new(),
+            dead_count: 0,
+            entry: None,
+            max_layer: 0,
+        }
+    }
+
+    /// Build a fresh graph from the live nodes in insertion order — the
+    /// compaction (and serialisation) path; see the module docs for why
+    /// HNSW rebuilds rather than rewriting in place.
+    fn rebuild_live(&self) -> Self {
+        let mut out = Self::new(self.dim, self.metric, self.config.clone());
+        for (node, &dead) in self.nodes.iter().zip(&self.dead) {
+            if !dead {
+                out.add(node.id, &node.vector);
+            }
+        }
+        out
     }
 
     /// Deserialise from [`VectorStore::to_bytes`] output.
@@ -156,7 +198,17 @@ impl HnswIndex {
         if n > 0 && max_layer + 1 != tallest {
             return None;
         }
-        r.exhausted().then_some(Self { config, dim, metric, nodes, entry, max_layer })
+        let n_nodes = nodes.len();
+        r.exhausted().then_some(Self {
+            config,
+            dim,
+            metric,
+            nodes,
+            dead: vec![false; n_nodes],
+            dead_count: 0,
+            entry,
+            max_layer,
+        })
     }
 
     /// Geometric level draw, deterministic per id.
@@ -258,6 +310,7 @@ impl VectorStore for HnswIndex {
             vector: vector.to_vec(),
             neighbours: vec![Vec::new(); level + 1],
         });
+        self.dead.push(false);
 
         let Some(mut entry) = self.entry else {
             self.entry = Some(new_idx);
@@ -320,7 +373,7 @@ impl VectorStore for HnswIndex {
 
     fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        if k == 0 || self.nodes.is_empty() {
+        if k == 0 || self.len() == 0 {
             return Vec::new();
         }
         let mut entry = self.entry.expect("non-empty index has an entry");
@@ -344,11 +397,15 @@ impl VectorStore for HnswIndex {
                 }
             }
         }
-        // Beam search at the bottom.
-        let ef = self.config.ef_search.max(k);
+        // Beam search at the bottom. Tombstoned nodes still route (they
+        // stay in the beam) but are filtered from the results; widening
+        // the beam by the tombstone count keeps up to `k` live hits
+        // reachable.
+        let ef = self.config.ef_search.max(k).saturating_add(self.dead_count);
         let found = self.search_layer(query, &[entry], ef, 0);
         let mut hits: Vec<SearchResult> = found
             .into_iter()
+            .filter(|s| !self.dead[s.node])
             .map(|s| SearchResult { id: self.nodes[s.node].id, score: s.score })
             .collect();
         sort_hits(&mut hits);
@@ -356,8 +413,31 @@ impl VectorStore for HnswIndex {
         hits
     }
 
+    fn remove(&mut self, ids: &[u64]) -> usize {
+        let targets: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        let mut removed = 0usize;
+        for (node, dead) in self.nodes.iter().zip(self.dead.iter_mut()) {
+            if !*dead && targets.contains(&node.id) {
+                *dead = true;
+                removed += 1;
+            }
+        }
+        self.dead_count += removed;
+        removed
+    }
+
+    fn tombstones(&self) -> usize {
+        self.dead_count
+    }
+
+    fn compact(&mut self, _exec: &Executor) {
+        if self.dead_count > 0 {
+            *self = self.rebuild_live();
+        }
+    }
+
     fn len(&self) -> usize {
-        self.nodes.len()
+        self.nodes.len() - self.dead_count
     }
 
     fn metric(&self) -> Metric {
@@ -378,6 +458,9 @@ impl VectorStore for HnswIndex {
     }
 
     fn to_bytes(&self) -> Vec<u8> {
+        if self.dead_count > 0 {
+            return self.rebuild_live().to_bytes();
+        }
         let mut out = Vec::with_capacity(self.payload_bytes() + 64);
         out.extend_from_slice(Self::MAGIC);
         out.push(encode_metric(self.metric));
@@ -540,6 +623,47 @@ mod tests {
         }
         assert_eq!(idx.search(&random_unit(4, 9), 50).len(), 3);
         assert!(idx.search(&random_unit(4, 9), 0).is_empty());
+    }
+
+    #[test]
+    fn remove_filters_results_and_compact_rebuilds() {
+        let dim = 12;
+        let exec = mcqa_runtime::Executor::global();
+        let config = HnswConfig { m: 6, ef_construction: 24, ef_search: 32, seed: 4 };
+        let mut idx = HnswIndex::new(dim, Metric::Cosine, config.clone());
+        let data: Vec<Vec<f32>> = (0..80u64).map(|i| random_unit(dim, 300 + i)).collect();
+        for (i, v) in data.iter().enumerate() {
+            idx.add(i as u64, v);
+        }
+
+        assert_eq!(idx.remove(&[3, 4, 5, 999]), 3);
+        assert_eq!(idx.remove(&[3]), 0, "re-removal is a no-op");
+        assert_eq!(idx.len(), 77);
+        assert_eq!(idx.tombstones(), 3);
+        for q in 0..6u64 {
+            let hits = idx.search(&random_unit(dim, 900 + q), 10);
+            assert!(hits.iter().all(|h| !(3..=5).contains(&h.id)), "tombstoned ids filtered");
+            assert_eq!(hits.len(), 10, "beam widening keeps k live hits");
+        }
+
+        // Upsert re-inserts a removed id with a new vector; the new node
+        // must be searchable (per-node tombstones, not per-id).
+        idx.upsert(exec, &[(4, data[70].clone())]);
+        assert_eq!(idx.len(), 78);
+        assert!(idx.search(&data[70], 2).iter().any(|h| h.id == 4));
+
+        // Wire format and compaction are the same live rebuild.
+        let mut rebuilt = HnswIndex::new(dim, Metric::Cosine, config);
+        for (i, v) in data.iter().enumerate() {
+            if !(3..=5).contains(&i) {
+                rebuilt.add(i as u64, v);
+            }
+        }
+        rebuilt.add(4, &data[70]);
+        assert_eq!(idx.to_bytes(), rebuilt.to_bytes(), "wire = live rebuild");
+        idx.compact(exec);
+        assert_eq!(idx.tombstones(), 0);
+        assert_eq!(idx.to_bytes(), rebuilt.to_bytes(), "compaction = live rebuild");
     }
 
     #[test]

@@ -47,6 +47,12 @@ pub struct IvfIndex {
     centroids: Vec<Vec<f32>>,
     /// Inverted lists: per centroid, (external id, vector).
     lists: Vec<Vec<(u64, Vec<f32>)>>,
+    /// Per-entry tombstone bitmaps parallel to `lists`; tombstoned
+    /// entries stay resident (and are skipped at the top-k push) until
+    /// [`VectorStore::compact`]. Per-entry, not per-id, so an upsert's
+    /// re-added id is live while its superseded entry stays dead.
+    dead: Vec<Vec<bool>>,
+    dead_count: usize,
     len: usize,
     trained: bool,
 }
@@ -65,6 +71,8 @@ impl IvfIndex {
             metric,
             centroids: Vec::new(),
             lists: Vec::new(),
+            dead: Vec::new(),
+            dead_count: 0,
             len: 0,
             trained: false,
         }
@@ -121,7 +129,36 @@ impl IvfIndex {
             len += list.len();
             lists.push(list);
         }
-        r.exhausted().then_some(Self { config, dim, metric, centroids, lists, len, trained })
+        let dead = lists.iter().map(|l| vec![false; l.len()]).collect();
+        r.exhausted().then_some(Self {
+            config,
+            dim,
+            metric,
+            centroids,
+            lists,
+            dead,
+            dead_count: 0,
+            len,
+            trained,
+        })
+    }
+
+    /// Drop tombstoned entries from every inverted list, preserving each
+    /// list's insertion order. The trained coarse structure is untouched,
+    /// so assignment — and therefore search — is bit-identical to a store
+    /// rebuilt from the live rows with the same centroids.
+    fn drop_dead_entries(&mut self) {
+        if self.dead_count == 0 {
+            return;
+        }
+        for (list, dead) in self.lists.iter_mut().zip(&mut self.dead) {
+            let mut keep = dead.iter().map(|d| !d);
+            list.retain(|_| keep.next().unwrap_or(true));
+            dead.clear();
+            dead.resize(list.len(), false);
+        }
+        self.len -= self.dead_count;
+        self.dead_count = 0;
     }
 }
 
@@ -131,7 +168,31 @@ impl VectorStore for IvfIndex {
         assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
         let c = kmeans::nearest(self.metric, &self.centroids, vector);
         self.lists[c].push((id, vector.to_vec()));
+        self.dead[c].push(false);
         self.len += 1;
+    }
+
+    fn remove(&mut self, ids: &[u64]) -> usize {
+        let targets: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        let mut newly = 0;
+        for (list, dead) in self.lists.iter().zip(&mut self.dead) {
+            for ((id, _), d) in list.iter().zip(dead.iter_mut()) {
+                if !*d && targets.contains(id) {
+                    *d = true;
+                    newly += 1;
+                }
+            }
+        }
+        self.dead_count += newly;
+        newly
+    }
+
+    fn tombstones(&self) -> usize {
+        self.dead_count
+    }
+
+    fn compact(&mut self, _exec: &Executor) {
+        self.drop_dead_entries();
     }
 
     fn add_batch(&mut self, exec: &Executor, items: &[(u64, Vec<f32>)]) {
@@ -149,6 +210,7 @@ impl VectorStore for IvfIndex {
         for (c, (id, v)) in assigned.into_iter().zip(items) {
             let c = c.expect("assignment cannot fail");
             self.lists[c].push((*id, v.clone()));
+            self.dead[c].push(false);
         }
         self.len += items.len();
     }
@@ -174,6 +236,8 @@ impl VectorStore for IvfIndex {
             self.config.seed,
         );
         self.lists = vec![Vec::new(); centroids.len()];
+        self.dead = vec![Vec::new(); self.lists.len()];
+        self.dead_count = 0;
         self.centroids = centroids;
         self.trained = true;
     }
@@ -202,15 +266,17 @@ impl VectorStore for IvfIndex {
         // kept in a bounded heap instead of a materialise-then-sort pass.
         let mut topk = TopK::new(k);
         for &(list_idx, _) in ranked.iter().take(self.config.nprobe) {
-            for (id, v) in &self.lists[list_idx] {
-                topk.push(SearchResult { id: *id, score: self.metric.score(query, v) });
+            for ((id, v), dead) in self.lists[list_idx].iter().zip(&self.dead[list_idx]) {
+                if !dead {
+                    topk.push(SearchResult { id: *id, score: self.metric.score(query, v) });
+                }
             }
         }
         topk.into_sorted()
     }
 
     fn len(&self) -> usize {
-        self.len
+        self.len - self.dead_count
     }
 
     fn metric(&self) -> Metric {
@@ -228,6 +294,12 @@ impl VectorStore for IvfIndex {
     }
 
     fn to_bytes(&self) -> Vec<u8> {
+        if self.dead_count > 0 {
+            // The wire format is tombstone-free: serialise the live view.
+            let mut live = self.clone();
+            live.drop_dead_entries();
+            return live.to_bytes();
+        }
         let mut out = Vec::with_capacity(self.payload_bytes() + 64);
         out.extend_from_slice(Self::MAGIC);
         out.push(encode_metric(self.metric));
@@ -427,6 +499,51 @@ mod tests {
         }
         assert_eq!(ivf.list_sizes().iter().sum::<usize>(), 120);
         assert_eq!(ivf.len(), 120);
+    }
+
+    #[test]
+    fn remove_upsert_compact_match_rebuild_with_same_centroids() {
+        let dim = 16;
+        let data = clustered(120, 4, dim, 17);
+        let mut ivf = IvfIndex::new(dim, Metric::Cosine, IvfConfig::default());
+        ivf.train(Executor::global(), &data);
+        for (i, v) in data.iter().enumerate() {
+            ivf.add(i as u64, v);
+        }
+        // Remove a third, re-vector a few ids.
+        let gone: Vec<u64> = (0..40u64).collect();
+        assert_eq!(ivf.remove(&gone), 40);
+        assert_eq!(ivf.len(), 80);
+        assert_eq!(ivf.tombstones(), 40);
+        let upserts: Vec<(u64, Vec<f32>)> =
+            (50..55u64).map(|i| (i, data[(i as usize + 7) % data.len()].clone())).collect();
+        ivf.upsert(Executor::global(), &upserts);
+        assert_eq!(ivf.len(), 80, "upsert replaces without growing");
+
+        // Rebuild from scratch over the live rows, reusing the same
+        // trained structure (same config/seed trains the same centroids
+        // on the same sample).
+        let mut rebuilt = IvfIndex::new(dim, Metric::Cosine, IvfConfig::default());
+        rebuilt.train(Executor::global(), &data);
+        for (i, v) in data.iter().enumerate().skip(40) {
+            let id = i as u64;
+            match upserts.iter().find(|(uid, _)| *uid == id) {
+                Some(_) => continue, // re-added below in upsert order
+                None => rebuilt.add(id, v),
+            }
+        }
+        rebuilt.add_batch(Executor::global(), &upserts);
+        for q in data.iter().take(8) {
+            assert_eq!(ivf.search(q, 10), rebuilt.search(q, 10));
+        }
+        // Compaction drops the tombstones without changing results, and
+        // the wire format was already tombstone-free.
+        let before = ivf.search(&data[0], 10);
+        let wire = ivf.to_bytes();
+        ivf.compact(Executor::global());
+        assert_eq!(ivf.tombstones(), 0);
+        assert_eq!(ivf.search(&data[0], 10), before);
+        assert_eq!(ivf.to_bytes(), wire, "compaction equals the serialised live view");
     }
 
     #[test]

@@ -219,6 +219,26 @@ impl VectorStore for LazyStore {
         self.force_mut().train(exec, sample);
     }
 
+    fn remove(&mut self, ids: &[u64]) -> usize {
+        self.force_mut().remove(ids)
+    }
+
+    fn upsert(&mut self, exec: &Executor, items: &[(u64, Vec<f32>)]) {
+        self.force_mut().upsert(exec, items);
+    }
+
+    fn tombstones(&self) -> usize {
+        self.inner.get().map_or(0, |inner| inner.tombstones())
+    }
+
+    fn compact(&mut self, exec: &Executor) {
+        // An undecoded blob has no tombstones (serialisation writes the
+        // live view), so compaction only has work once decoded.
+        if self.inner.get().is_some() {
+            self.force_mut().compact(exec);
+        }
+    }
+
     fn payload_bytes(&self) -> usize {
         // Backend-specific accounting (matrix payload + graph/list
         // structure) needs the decoded store; capacity reporting is not a
@@ -344,6 +364,20 @@ mod tests {
         assert_eq!(lazy.len(), 11);
         let hits = lazy.search(&[0.0, 0.0, 0.0, 1.0], 1);
         assert_eq!(hits[0].id, 999);
+
+        // Tombstone surface forwards to the decoded backend.
+        assert_eq!(lazy.remove(&[999]), 1);
+        assert_eq!(lazy.tombstones(), 1);
+        assert_eq!(lazy.len(), 10);
+        assert_ne!(lazy.search(&[0.0, 0.0, 0.0, 1.0], 1)[0].id, 999);
+        lazy.compact(exec);
+        assert_eq!(lazy.tombstones(), 0);
+
+        // An undecoded store reports no tombstones and compacts for free.
+        let mut cold = LazyStore::open(eager.to_bytes()).expect("opens");
+        assert_eq!(cold.tombstones(), 0);
+        cold.compact(exec);
+        assert!(!cold.is_decoded(), "compacting an undecoded blob is a no-op");
     }
 
     #[test]

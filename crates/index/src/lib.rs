@@ -28,8 +28,12 @@
 //! (a no-op for everything but the coarse quantisers), [`VectorStore::add`] /
 //! [`VectorStore::add_batch`] (parallel build on a caller-supplied
 //! [`Executor`]), [`VectorStore::search`] / [`VectorStore::search_batch`],
-//! and [`VectorStore::to_bytes`] persistence (decoded back through
-//! [`decode_store`], which dispatches on each format's magic tag).
+//! the incremental-ingest mutation surface — [`VectorStore::remove`]
+//! (tombstones), [`VectorStore::upsert`], and [`VectorStore::compact`]
+//! (rewrites the storage once tombstones accumulate) — and
+//! [`VectorStore::to_bytes`] persistence (decoded back through
+//! [`decode_store`], which dispatches on each format's magic tag; the
+//! wire formats are always tombstone-free, serialising the live view).
 //!
 //! All indexes are deterministic given their seeds — `add_batch` and
 //! `search_batch` produce bit-identical stores/results to their sequential
@@ -88,10 +92,11 @@ pub trait VectorStore: Send + Sync {
     fn add(&mut self, id: u64, vector: &[f32]);
 
     /// Top-`k` most similar vectors to `query`, best first. Deterministic:
-    /// ties break by ascending id.
+    /// ties break by ascending id. Tombstoned rows (see
+    /// [`VectorStore::remove`]) never appear.
     fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult>;
 
-    /// Number of stored vectors.
+    /// Number of live (non-tombstoned) stored vectors.
     fn len(&self) -> usize;
 
     /// True when no vectors are stored.
@@ -129,6 +134,40 @@ pub trait VectorStore: Send + Sync {
             self.add(*id, v);
         }
     }
+
+    /// Tombstone the rows stored under `ids`: they stop appearing in
+    /// search results immediately, while the backing storage is only
+    /// rewritten at the next [`VectorStore::compact`] (or serialisation,
+    /// which always writes the tombstone-free live view). Ids not present
+    /// (or already tombstoned) are ignored. Returns the number of rows
+    /// newly tombstoned.
+    fn remove(&mut self, ids: &[u64]) -> usize;
+
+    /// Replace-or-insert: tombstone any existing rows under the item ids,
+    /// then bulk-insert the new vectors through
+    /// [`VectorStore::add_batch`]. Afterwards search results are
+    /// bit-identical to a store rebuilt from scratch over the final live
+    /// rows — for IVF/PQ, one reusing the same trained coarse structure;
+    /// HNSW's graph is insertion-order-dependent and documents its
+    /// rebuild-on-compaction semantics in [`crate::hnsw`].
+    fn upsert(&mut self, exec: &Executor, items: &[(u64, Vec<f32>)]) {
+        let ids: Vec<u64> = items.iter().map(|(id, _)| *id).collect();
+        self.remove(&ids);
+        self.add_batch(exec, items);
+    }
+
+    /// Number of tombstoned rows still resident in the backing storage.
+    fn tombstones(&self) -> usize {
+        0
+    }
+
+    /// Rewrite the backing storage without its tombstoned rows (a no-op
+    /// when nothing is tombstoned). Trained coarse structure — IVF/PQ
+    /// centroids and codebooks — is preserved, so post-compaction search
+    /// is bit-identical to pre-compaction search; HNSW instead rebuilds
+    /// its graph from the live rows in insertion order (see
+    /// [`crate::hnsw`]).
+    fn compact(&mut self, _exec: &Executor) {}
 
     /// Batch search fanned out on `exec`'s pool; results are index-aligned
     /// with `queries` and bit-identical to per-query [`VectorStore::search`].

@@ -196,6 +196,11 @@ struct PqList {
     /// the reconstruction directly. Derived data: recomputed on
     /// deserialisation, never part of the wire format.
     norms: Vec<f32>,
+    /// Per-entry tombstones, parallel to `ids`. Per entry rather than per
+    /// id so an upsert (tombstone + re-append the same id) never masks
+    /// the new live entry. Never serialised: the wire format is the live
+    /// view.
+    dead: Vec<bool>,
 }
 
 /// The quantized IVF index.
@@ -207,7 +212,9 @@ pub struct PqIndex {
     centroids: Vec<Vec<f32>>,
     codec: Option<ResidualCodec>,
     lists: Vec<PqList>,
+    /// Resident entries (live + tombstoned).
     len: usize,
+    dead_count: usize,
 }
 
 impl PqIndex {
@@ -220,7 +227,16 @@ impl PqIndex {
         assert!(config.nprobe >= 1);
         assert!((4..=8).contains(&config.bits), "bits must be in 4..=8");
         assert!(config.sub_dim >= 1);
-        Self { config, dim, metric, centroids: Vec::new(), codec: None, lists: Vec::new(), len: 0 }
+        Self {
+            config,
+            dim,
+            metric,
+            centroids: Vec::new(),
+            codec: None,
+            lists: Vec::new(),
+            len: 0,
+            dead_count: 0,
+        }
     }
 
     /// True when the coarse quantiser and residual codec have been trained.
@@ -264,7 +280,42 @@ impl PqIndex {
         l.ids.push(id);
         l.codes.extend_from_slice(codes);
         l.norms.push(norm);
+        l.dead.push(false);
         self.len += 1;
+    }
+
+    /// Rewrite every list without its tombstoned entries. Centroids and
+    /// codec are untouched, so live rows keep their codes (and therefore
+    /// their scores) bit-for-bit.
+    fn drop_dead_entries(&mut self) {
+        if self.dead_count == 0 {
+            return;
+        }
+        let code_bytes = self.codec.as_ref().map_or(0, |c| c.code_bytes());
+        for list in &mut self.lists {
+            if !list.dead.iter().any(|&d| d) {
+                continue;
+            }
+            let live = list.dead.iter().filter(|&&d| !d).count();
+            let mut ids = Vec::with_capacity(live);
+            let mut codes = Vec::with_capacity(live * code_bytes);
+            let mut norms = Vec::with_capacity(live);
+            for (r, &dead) in list.dead.iter().enumerate() {
+                if dead {
+                    continue;
+                }
+                ids.push(list.ids[r]);
+                codes.extend_from_slice(&list.codes[r * code_bytes..(r + 1) * code_bytes]);
+                norms.push(list.norms[r]);
+            }
+            list.ids = ids;
+            list.codes = codes;
+            list.norms = norms;
+            list.dead.clear();
+            list.dead.resize(list.ids.len(), false);
+        }
+        self.len -= self.dead_count;
+        self.dead_count = 0;
     }
 
     /// The `nprobe` best lists for `query`, best first (descending
@@ -318,7 +369,9 @@ impl PqIndex {
                 let out = &mut scores[..rows];
                 self.metric.score_block(q, q_sq, &panel[..rows * self.dim], row_norms, out);
                 for (j, &score) in out.iter().enumerate() {
-                    topk.push(SearchResult { id: list.ids[start + j], score });
+                    if !list.dead[start + j] {
+                        topk.push(SearchResult { id: list.ids[start + j], score });
+                    }
                 }
             }
             start += rows;
@@ -394,12 +447,12 @@ impl PqIndex {
                 return None;
             }
             len += entries;
-            lists.push(PqList { ids, codes, norms: Vec::new() });
+            lists.push(PqList { ids, codes, norms: Vec::new(), dead: vec![false; entries] });
         }
         if !r.exhausted() {
             return None;
         }
-        let mut index = Self { config, dim, metric, centroids, codec, lists, len };
+        let mut index = Self { config, dim, metric, centroids, codec, lists, len, dead_count: 0 };
         // Reconstruction norms are derived data: recompute them through
         // the same decode path insert-time caching used, so the decoded
         // store searches bit-identically to the original.
@@ -478,6 +531,30 @@ impl VectorStore for PqIndex {
         self.lists = vec![PqList::default(); centroids.len()];
         self.centroids = centroids;
         self.len = 0;
+        self.dead_count = 0;
+    }
+
+    fn remove(&mut self, ids: &[u64]) -> usize {
+        let targets: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        let mut removed = 0usize;
+        for list in &mut self.lists {
+            for (id, dead) in list.ids.iter().zip(list.dead.iter_mut()) {
+                if !*dead && targets.contains(id) {
+                    *dead = true;
+                    removed += 1;
+                }
+            }
+        }
+        self.dead_count += removed;
+        removed
+    }
+
+    fn tombstones(&self) -> usize {
+        self.dead_count
+    }
+
+    fn compact(&mut self, _exec: &Executor) {
+        self.drop_dead_entries();
     }
 
     fn needs_training(&self) -> bool {
@@ -486,7 +563,7 @@ impl VectorStore for PqIndex {
 
     fn search(&self, query: &[f32], k: usize) -> Vec<SearchResult> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
-        if k == 0 || self.len == 0 {
+        if k == 0 || self.len() == 0 {
             return Vec::new();
         }
         let q_sq = kernel::sq_norm(query);
@@ -508,7 +585,7 @@ impl VectorStore for PqIndex {
         for q in queries {
             assert_eq!(q.len(), self.dim, "query dimension mismatch");
         }
-        if k == 0 || self.len == 0 || queries.is_empty() {
+        if k == 0 || self.len() == 0 || queries.is_empty() {
             return vec![Vec::new(); queries.len()];
         }
         // Stage 1: rank centroids per query (independent, fan out).
@@ -556,7 +633,7 @@ impl VectorStore for PqIndex {
     }
 
     fn len(&self) -> usize {
-        self.len
+        self.len - self.dead_count
     }
 
     fn metric(&self) -> Metric {
@@ -576,6 +653,11 @@ impl VectorStore for PqIndex {
     }
 
     fn to_bytes(&self) -> Vec<u8> {
+        if self.dead_count > 0 {
+            let mut live = self.clone();
+            live.drop_dead_entries();
+            return live.to_bytes();
+        }
         let mut out = Vec::with_capacity(self.payload_bytes() + 64);
         out.extend_from_slice(Self::MAGIC);
         out.push(encode_metric(self.metric));
@@ -787,6 +869,49 @@ mod tests {
         let back = PqIndex::from_bytes(&empty.to_bytes()).unwrap();
         assert!(!back.is_trained());
         assert_eq!(back.len(), 0);
+    }
+
+    #[test]
+    fn remove_upsert_compact_match_rebuild_with_same_codec() {
+        let dim = 16;
+        let data = clustered(120, 4, dim, 19);
+        let config = PqConfig { nlist: 8, nprobe: 8, train_iters: 4, bits: 6, sub_dim: 4, seed: 2 };
+        let mut pq = trained(dim, &data, config.clone());
+        let exec = Executor::global();
+
+        let gone: Vec<u64> = (0..40).collect();
+        assert_eq!(pq.remove(&gone), 40);
+        assert_eq!(pq.remove(&gone), 0, "re-removal is a no-op");
+        assert_eq!(pq.len(), 80);
+        assert_eq!(pq.tombstones(), 40);
+
+        let upserts: Vec<(u64, Vec<f32>)> =
+            (50u64..55).map(|i| (i, data[(i as usize + 7) % data.len()].clone())).collect();
+        pq.upsert(exec, &upserts);
+        assert_eq!(pq.len(), 80, "upsert replaces, not grows");
+
+        // Rebuild cold over the surviving rows, reusing the same trained
+        // structure (same config + training sample → same centroids/codec).
+        let mut rebuilt = PqIndex::new(dim, Metric::Cosine, config);
+        rebuilt.train(exec, &data);
+        for (i, v) in data.iter().enumerate() {
+            if i >= 40 && !(50..55).contains(&i) {
+                rebuilt.add(i as u64, v);
+            }
+        }
+        rebuilt.add_batch(exec, &upserts);
+
+        let queries = clustered(8, 4, dim, 91);
+        for q in &queries {
+            assert_eq!(pq.search(q, 10), rebuilt.search(q, 10));
+        }
+        let wire = pq.to_bytes();
+        pq.compact(exec);
+        assert_eq!(pq.tombstones(), 0);
+        assert_eq!(pq.to_bytes(), wire, "serialisation already wrote the live view");
+        for q in &queries {
+            assert_eq!(pq.search(q, 10), rebuilt.search(q, 10), "post-compaction");
+        }
     }
 
     #[test]

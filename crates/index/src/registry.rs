@@ -60,6 +60,15 @@ impl LexicalSlot {
             None => self.bytes.clone(),
         }
     }
+
+    /// Mutable access, decoding a lazy slot first (mutation must see the
+    /// decoded structure).
+    fn get_mut(&mut self) -> &mut LexicalIndex {
+        if self.inner.get().is_none() {
+            self.get();
+        }
+        self.inner.get_mut().expect("decoded above")
+    }
 }
 
 /// A registry of named vector stores plus their lexical siblings.
@@ -95,6 +104,21 @@ impl IndexRegistry {
     pub fn expect_store(&self, name: &str) -> &dyn VectorStore {
         self.get(name)
             .unwrap_or_else(|| panic!("store '{name}' not registered (have: {:?})", self.names()))
+    }
+
+    /// Mutably borrow a store by name — the incremental-ingest path, which
+    /// applies `remove`/`upsert`/`compact` in place.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Box<dyn VectorStore>> {
+        self.stores.get_mut(name)
+    }
+
+    /// Mutably borrow a store that must exist; panics with the registered
+    /// names when it doesn't.
+    pub fn expect_store_mut(&mut self, name: &str) -> &mut Box<dyn VectorStore> {
+        let names = format!("{:?}", self.names());
+        self.stores
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("store '{name}' not registered (have: {names})"))
     }
 
     /// Search a named store. `None` when the store does not exist.
@@ -146,6 +170,22 @@ impl IndexRegistry {
     /// first touch. `None` when no sibling is registered under `name`.
     pub fn lexical(&self, name: &str) -> Option<&LexicalIndex> {
         self.lexical.get(name).map(LexicalSlot::get)
+    }
+
+    /// Mutably borrow a lexical sibling by name, decoding a lazily-opened
+    /// slot first — the incremental-ingest path.
+    pub fn lexical_mut(&mut self, name: &str) -> Option<&mut LexicalIndex> {
+        self.lexical.get_mut(name).map(LexicalSlot::get_mut)
+    }
+
+    /// Mutably borrow a lexical sibling that must exist; panics with the
+    /// registered names when it doesn't.
+    pub fn expect_lexical_mut(&mut self, name: &str) -> &mut LexicalIndex {
+        let names = format!("{:?}", self.lexical_names());
+        self.lexical
+            .get_mut(name)
+            .map(LexicalSlot::get_mut)
+            .unwrap_or_else(|| panic!("lexical index '{name}' not registered (have: {names})"))
     }
 
     /// Borrow a lexical sibling that must exist; panics with the

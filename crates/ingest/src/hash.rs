@@ -1,0 +1,100 @@
+//! 256-bit content addresses built from the workspace's stable hashing.
+//!
+//! The real system would use BLAKE3; this reproduction is offline, so the
+//! address is four independent [`StableHasher`] lanes (FNV-1a streams
+//! domain-separated by seed, SplitMix64-finalised) over the same bytes —
+//! 256 bits of stable, platform-independent state. Not cryptographic, but
+//! collision probability is negligible at corpus scale and, critically
+//! for the reproduction, **bit-stable forever**: the same document bytes
+//! address to the same hash on every platform in every run.
+
+use mcqa_util::StableHasher;
+
+/// Domain separator so content hashes can never collide with the
+/// workspace's other `StableHasher` uses.
+const LANE_SEED: u64 = 0x00C0_A7E2_7AD1_2E57_u64;
+
+/// A 256-bit content address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentHash(pub [u8; 32]);
+
+impl ContentHash {
+    /// The address of zero bytes of content — also the root of an empty
+    /// merkle tree.
+    pub const ZERO: Self = Self([0u8; 32]);
+
+    /// Hash raw content bytes.
+    pub fn of_bytes(bytes: &[u8]) -> Self {
+        Self::of_parts(0, &[bytes])
+    }
+
+    /// Hash a tagged sequence of byte parts (length-prefixed per part, so
+    /// part boundaries are unambiguous). The merkle layer uses distinct
+    /// tags for leaves and branches; content addressing uses tag 0.
+    pub fn of_parts(tag: u8, parts: &[&[u8]]) -> Self {
+        let mut out = [0u8; 32];
+        for lane in 0..4u64 {
+            let mut h = StableHasher::with_seed(LANE_SEED ^ lane);
+            h.write(&[tag]);
+            h.write_u64(parts.len() as u64);
+            for p in parts {
+                h.write_u64(p.len() as u64);
+                h.write(p);
+            }
+            out[lane as usize * 8..][..8].copy_from_slice(&h.finish().to_le_bytes());
+        }
+        Self(out)
+    }
+
+    /// Lowercase hex rendering (the form `[ingest]` roots print as).
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl std::fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ContentHash({}…)", &self.to_hex()[..16])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_content_sensitive() {
+        let a = ContentHash::of_bytes(b"a document body");
+        assert_eq!(a, ContentHash::of_bytes(b"a document body"));
+        assert_ne!(a, ContentHash::of_bytes(b"a document bodY"));
+        assert_ne!(a, ContentHash::of_bytes(b""));
+        assert_ne!(ContentHash::of_bytes(b""), ContentHash::ZERO);
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        // All four 64-bit lanes must react to a content change — a stuck
+        // lane would halve the effective width.
+        let a = ContentHash::of_bytes(b"x").0;
+        let b = ContentHash::of_bytes(b"y").0;
+        for lane in 0..4 {
+            assert_ne!(a[lane * 8..][..8], b[lane * 8..][..8], "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn part_boundaries_disambiguate() {
+        assert_ne!(
+            ContentHash::of_parts(1, &[b"ab", b"c"]),
+            ContentHash::of_parts(1, &[b"a", b"bc"])
+        );
+        assert_ne!(ContentHash::of_parts(1, &[b"ab"]), ContentHash::of_parts(2, &[b"ab"]));
+    }
+
+    #[test]
+    fn hex_renders_all_32_bytes() {
+        let h = ContentHash::of_bytes(b"hex me");
+        assert_eq!(h.to_hex().len(), 64);
+        assert!(h.to_hex().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -1,0 +1,33 @@
+//! Incremental ingest: content-addressed change detection for the
+//! benchmarking pipeline.
+//!
+//! The batch pipeline rebuilds everything from scratch on every run. At
+//! the scales the paper targets, most re-runs touch a sliver of the
+//! corpus — a few revised documents, a handful of additions — and a full
+//! rebuild wastes hours re-embedding and re-questioning unchanged text.
+//! This crate supplies the bookkeeping that turns the batch pipeline into
+//! a long-lived service:
+//!
+//! - [`ContentHash`] — a 256-bit stable content address per document.
+//! - [`MerkleTree`] / [`diff`] — a radix merkle trie over each source's
+//!   id space; diffing two trees emits the [`ChangeSet`]
+//!   (added/modified/removed ids) in O(changed·log n).
+//! - [`IngestManifest`] — the persisted per-source address tables,
+//!   serialised alongside the index registry so the next run can diff
+//!   against what the artifacts were actually built from.
+//! - [`IngestCensus`] — the scan/skip/re-run counters an incremental
+//!   pass reports (Figure-1 `ingest-*` stage rows and `[ingest]` lines).
+//!
+//! The index-side halves of the story — tombstones, `remove`/`upsert`,
+//! and `compact` — live on the `VectorStore` trait and `LexicalIndex`;
+//! the pipeline planner in `mcqa-core` joins the two.
+
+pub mod census;
+pub mod hash;
+pub mod manifest;
+pub mod merkle;
+
+pub use census::IngestCensus;
+pub use hash::ContentHash;
+pub use manifest::IngestManifest;
+pub use merkle::{diff, ChangeSet, MerkleTree};

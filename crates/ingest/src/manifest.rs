@@ -1,0 +1,200 @@
+//! The persisted `IngestManifest`: per-source content addresses.
+//!
+//! One manifest rides alongside the serialised `IndexRegistry` (the
+//! pipeline persists both from the same output), recording every source
+//! database's `(document id, content hash)` table. A re-run hashes the
+//! current corpus, builds both merkle trees, and [`IngestManifest::diff`]
+//! emits the [`ChangeSet`] that plans the incremental work.
+//!
+//! Wire format (`INGM` magic, byte-identical round-trip): sources in name
+//! order; per source the id-sorted document table with delta-zigzag
+//! varint ids and raw 32-byte hashes.
+
+use std::collections::BTreeMap;
+
+use mcqa_util::codec::{put_u32, put_varint, unzigzag, zigzag, Reader};
+
+use crate::hash::ContentHash;
+use crate::merkle::{diff, ChangeSet, MerkleTree};
+
+/// Per-source content-address tables, round-trippable to bytes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestManifest {
+    /// Source name → id-sorted `(doc id, content hash)` table.
+    sources: BTreeMap<String, Vec<(u64, ContentHash)>>,
+}
+
+impl IngestManifest {
+    /// Magic tag opening the serialised format.
+    pub const MAGIC: &'static [u8; 4] = b"INGM";
+
+    /// An empty manifest (also what a cold run diffs against).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a source's document table, replacing any previous entry.
+    /// Items are sorted by id; duplicate ids panic (one document, one
+    /// address).
+    pub fn set_source(&mut self, name: &str, mut items: Vec<(u64, ContentHash)>) {
+        items.sort_unstable_by_key(|(id, _)| *id);
+        for w in items.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate document id {} in source '{name}'", w[0].0);
+        }
+        self.sources.insert(name.to_string(), items);
+    }
+
+    /// A source's id-sorted document table, `None` when unrecorded.
+    pub fn source(&self, name: &str) -> Option<&[(u64, ContentHash)]> {
+        self.sources.get(name).map(Vec::as_slice)
+    }
+
+    /// Recorded source names, sorted.
+    pub fn source_names(&self) -> Vec<&str> {
+        self.sources.keys().map(String::as_str).collect()
+    }
+
+    /// Build the merkle tree for one source (empty tree when unrecorded —
+    /// so diffing against a manifest that never saw the source classifies
+    /// every document as added).
+    pub fn tree(&self, name: &str) -> MerkleTree {
+        MerkleTree::from_items(self.sources.get(name).cloned().unwrap_or_default())
+    }
+
+    /// The merkle root of one source ([`ContentHash::ZERO`] when
+    /// unrecorded or empty).
+    pub fn root(&self, name: &str) -> ContentHash {
+        self.tree(name).root_hash()
+    }
+
+    /// Diff one source between two manifests: the `ChangeSet` going from
+    /// `old` to `new`.
+    pub fn diff(old: &Self, new: &Self, source: &str) -> ChangeSet {
+        diff(&old.tree(source), &new.tree(source))
+    }
+
+    /// Serialise (deterministic: name order, id order — re-encoding a
+    /// decoded manifest is byte-identical).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(Self::MAGIC);
+        put_u32(&mut out, self.sources.len());
+        for (name, items) in &self.sources {
+            put_u32(&mut out, name.len());
+            out.extend_from_slice(name.as_bytes());
+            put_u32(&mut out, items.len());
+            let mut prev = 0i64;
+            for (id, hash) in items {
+                put_varint(&mut out, zigzag((*id as i64).wrapping_sub(prev)));
+                out.extend_from_slice(&hash.0);
+                prev = *id as i64;
+            }
+        }
+        out
+    }
+
+    /// Decode a [`IngestManifest::to_bytes`] artifact. `None` on any
+    /// truncation, magic mismatch, unsorted/duplicate ids, or trailing
+    /// garbage.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(bytes);
+        r.expect_magic(Self::MAGIC)?;
+        let n_sources = r.count(8)?;
+        let mut sources = BTreeMap::new();
+        let mut prev_name: Option<String> = None;
+        for _ in 0..n_sources {
+            let name_len = r.count(1)?;
+            let name = std::str::from_utf8(r.take(name_len)?).ok()?.to_string();
+            if prev_name.as_ref().is_some_and(|p| *p >= name) {
+                return None; // name order is part of the canonical form
+            }
+            let n_docs = r.count(33)?;
+            let mut items = Vec::with_capacity(n_docs);
+            let mut prev = 0i64;
+            for i in 0..n_docs {
+                let id = prev.wrapping_add(unzigzag(r.varint()?));
+                if i > 0 && id <= prev {
+                    return None; // ids strictly increase
+                }
+                let hash = ContentHash(r.take(32)?.try_into().ok()?);
+                items.push((id as u64, hash));
+                prev = id;
+            }
+            prev_name = Some(name.clone());
+            sources.insert(name, items);
+        }
+        r.exhausted().then_some(Self { sources })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IngestManifest {
+        let mut m = IngestManifest::new();
+        m.set_source(
+            "chunks",
+            vec![
+                (5, ContentHash::of_bytes(b"five")),
+                (1, ContentHash::of_bytes(b"one")),
+                (9, ContentHash::of_bytes(b"nine")),
+            ],
+        );
+        m.set_source("traces-detailed", vec![(2, ContentHash::of_bytes(b"t"))]);
+        m.set_source("empty-source", Vec::new());
+        m
+    }
+
+    #[test]
+    fn roundtrip_is_byte_identical() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        let back = IngestManifest::from_bytes(&bytes).expect("decodes");
+        assert_eq!(back, m);
+        assert_eq!(back.to_bytes(), bytes, "re-encode is byte-identical");
+        assert_eq!(back.source_names(), vec!["chunks", "empty-source", "traces-detailed"]);
+        assert_eq!(back.source("chunks").unwrap()[0].0, 1, "ids come back sorted");
+        // Corruption rejected at every truncation point.
+        for cut in 0..bytes.len() {
+            assert!(IngestManifest::from_bytes(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(IngestManifest::from_bytes(&longer).is_none());
+        // Empty manifest round-trips.
+        let empty = IngestManifest::new();
+        assert_eq!(IngestManifest::from_bytes(&empty.to_bytes()), Some(empty));
+    }
+
+    #[test]
+    fn diff_between_manifests_plans_per_source() {
+        let old = sample();
+        let mut new = sample();
+        new.set_source(
+            "chunks",
+            vec![
+                (1, ContentHash::of_bytes(b"one")),     // unchanged
+                (5, ContentHash::of_bytes(b"five-v2")), // modified
+                (12, ContentHash::of_bytes(b"twelve")), // added
+            ], // 9 removed
+        );
+        let cs = IngestManifest::diff(&old, &new, "chunks");
+        assert_eq!(cs.added, vec![12]);
+        assert_eq!(cs.modified, vec![5]);
+        assert_eq!(cs.removed, vec![9]);
+        assert!(IngestManifest::diff(&old, &new, "traces-detailed").is_empty());
+        // A source the old manifest never recorded: everything is new.
+        let cold = IngestManifest::diff(&IngestManifest::new(), &new, "chunks");
+        assert_eq!(cold.added, vec![1, 5, 12]);
+        assert_eq!(old.root("missing"), ContentHash::ZERO);
+        assert_ne!(old.root("chunks"), new.root("chunks"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate document id")]
+    fn duplicate_ids_rejected() {
+        let mut m = IngestManifest::new();
+        m.set_source("x", vec![(1, ContentHash::ZERO), (1, ContentHash::of_bytes(b"a"))]);
+    }
+}

@@ -1,0 +1,286 @@
+//! A merkle tree over a document collection, diffable in O(changed·log n).
+//!
+//! The tree is a **radix trie over the u64 id space**: at depth `d` the
+//! children split on bit `63 − d` of the document id, with an absent side
+//! stored as `None`. Because the shape is a pure function of the id set —
+//! never of insertion order or balancing history — two trees built over
+//! collections that share a subset of ids align structurally, and
+//! [`diff`] can skip any subtree whose hashes agree. The subtrees it
+//! cannot skip contain only changed documents (plus, at a leaf/branch
+//! mismatch, the one resident leaf), so the walk touches O(changed·log n)
+//! nodes rather than O(n).
+
+use crate::hash::ContentHash;
+
+const LEAF_TAG: u8 = 1;
+const BRANCH_TAG: u8 = 2;
+
+#[derive(Debug)]
+enum Node {
+    Leaf { id: u64, content: ContentHash, hash: ContentHash },
+    Branch { hash: ContentHash, left: Option<Box<Node>>, right: Option<Box<Node>> },
+}
+
+impl Node {
+    fn hash(&self) -> &ContentHash {
+        match self {
+            Node::Leaf { hash, .. } | Node::Branch { hash, .. } => hash,
+        }
+    }
+}
+
+/// A merkle tree over `(document id, content hash)` pairs.
+#[derive(Debug)]
+pub struct MerkleTree {
+    root: Option<Node>,
+    len: usize,
+}
+
+/// The outcome of diffing an old tree against a new one: document ids
+/// sorted ascending within each class.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChangeSet {
+    /// Ids present only in the new tree.
+    pub added: Vec<u64>,
+    /// Ids present in both trees with differing content hashes.
+    pub modified: Vec<u64>,
+    /// Ids present only in the old tree.
+    pub removed: Vec<u64>,
+}
+
+impl ChangeSet {
+    /// True when nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.modified.is_empty() && self.removed.is_empty()
+    }
+
+    /// Total number of changed documents.
+    pub fn len(&self) -> usize {
+        self.added.len() + self.modified.len() + self.removed.len()
+    }
+
+    /// A `ChangeSet` that marks a whole collection as newly added — the
+    /// cold-build degenerate case, which lets the full rebuild flow
+    /// through the same incremental planner.
+    pub fn all_added(ids: impl IntoIterator<Item = u64>) -> Self {
+        let mut added: Vec<u64> = ids.into_iter().collect();
+        added.sort_unstable();
+        Self { added, modified: Vec::new(), removed: Vec::new() }
+    }
+}
+
+fn leaf_hash(id: u64, content: &ContentHash) -> ContentHash {
+    ContentHash::of_parts(LEAF_TAG, &[&id.to_le_bytes(), &content.0])
+}
+
+fn branch_hash(left: Option<&Node>, right: Option<&Node>) -> ContentHash {
+    let absent = ContentHash::ZERO;
+    let l = left.map_or(&absent, |n| n.hash());
+    let r = right.map_or(&absent, |n| n.hash());
+    ContentHash::of_parts(
+        BRANCH_TAG,
+        &[&[u8::from(left.is_some()), u8::from(right.is_some())], &l.0, &r.0],
+    )
+}
+
+/// `items` must be sorted by id with distinct ids; splits on `bit`.
+fn build(items: &[(u64, ContentHash)], bit: u32) -> Node {
+    if items.len() == 1 {
+        let (id, content) = items[0];
+        return Node::Leaf { id, content, hash: leaf_hash(id, &content) };
+    }
+    debug_assert!(items.len() > 1);
+    let split = items.partition_point(|(id, _)| id & (1u64 << bit) == 0);
+    // Distinct ids differ in some bit ≤ the current one, so a multi-item
+    // side always has a lower bit to split on; at bit 0 both sides hold
+    // exactly one item and return before reading the (saturated) child
+    // bit.
+    let child_bit = bit.saturating_sub(1);
+    let left = (split > 0).then(|| Box::new(build(&items[..split], child_bit)));
+    let right = (split < items.len()).then(|| Box::new(build(&items[split..], child_bit)));
+    let hash = branch_hash(left.as_deref(), right.as_deref());
+    Node::Branch { hash, left, right }
+}
+
+impl MerkleTree {
+    /// Build a tree over `(id, content hash)` pairs (any order; sorted
+    /// internally). Panics on duplicate ids — one document, one address.
+    pub fn from_items(mut items: Vec<(u64, ContentHash)>) -> Self {
+        items.sort_unstable_by_key(|(id, _)| *id);
+        for w in items.windows(2) {
+            assert_ne!(w[0].0, w[1].0, "duplicate document id {} in merkle input", w[0].0);
+        }
+        let len = items.len();
+        let root = (!items.is_empty()).then(|| build(&items, 63));
+        Self { root, len }
+    }
+
+    /// Number of documents in the tree.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree covers no documents.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The root hash: one 256-bit summary of the whole collection.
+    /// [`ContentHash::ZERO`] for an empty tree.
+    pub fn root_hash(&self) -> ContentHash {
+        self.root.as_ref().map_or(ContentHash::ZERO, |n| *n.hash())
+    }
+}
+
+fn collect(node: Option<&Node>, out: &mut Vec<(u64, ContentHash)>) {
+    match node {
+        None => {}
+        Some(Node::Leaf { id, content, .. }) => out.push((*id, *content)),
+        Some(Node::Branch { left, right, .. }) => {
+            collect(left.as_deref(), out);
+            collect(right.as_deref(), out);
+        }
+    }
+}
+
+/// Merge two id-sorted item lists covering the same id range into the
+/// change classes, skipping ids whose content agrees.
+fn merge_diff(old: &[(u64, ContentHash)], new: &[(u64, ContentHash)], cs: &mut ChangeSet) {
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some(&(oid, _)), Some(&(nid, _))) if oid < nid => {
+                cs.removed.push(oid);
+                i += 1;
+            }
+            (Some(&(oid, _)), Some(&(nid, _))) if oid > nid => {
+                cs.added.push(nid);
+                j += 1;
+            }
+            (Some(&(oid, oh)), Some(&(_, nh))) => {
+                if oh != nh {
+                    cs.modified.push(oid);
+                }
+                i += 1;
+                j += 1;
+            }
+            (Some(&(oid, _)), None) => {
+                cs.removed.push(oid);
+                i += 1;
+            }
+            (None, Some(&(nid, _))) => {
+                cs.added.push(nid);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+}
+
+fn diff_nodes(old: Option<&Node>, new: Option<&Node>, cs: &mut ChangeSet) {
+    match (old, new) {
+        (None, None) => {}
+        // Equal hashes ⇒ identical subtrees: the skip that makes the walk
+        // O(changed·log n).
+        (Some(a), Some(b)) if a.hash() == b.hash() => {}
+        (
+            Some(Node::Branch { left: al, right: ar, .. }),
+            Some(Node::Branch { left: bl, right: br, .. }),
+        ) => {
+            diff_nodes(al.as_deref(), bl.as_deref(), cs);
+            diff_nodes(ar.as_deref(), br.as_deref(), cs);
+        }
+        // Leaf vs branch (or vs nothing): every resident id on either
+        // side is part of the change region — collecting them is already
+        // O(changed) work.
+        _ => {
+            let mut old_items = Vec::new();
+            let mut new_items = Vec::new();
+            collect(old, &mut old_items);
+            collect(new, &mut new_items);
+            merge_diff(&old_items, &new_items, cs);
+        }
+    }
+}
+
+/// Diff two trees: which document ids were added, modified, or removed
+/// going from `old` to `new`. Ids come back sorted ascending per class
+/// (the trees are walked left-to-right over the id-space radix).
+pub fn diff(old: &MerkleTree, new: &MerkleTree) -> ChangeSet {
+    let mut cs = ChangeSet::default();
+    diff_nodes(old.root.as_ref(), new.root.as_ref(), &mut cs);
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(ids: &[u64]) -> Vec<(u64, ContentHash)> {
+        ids.iter().map(|&id| (id, ContentHash::of_bytes(&id.to_le_bytes()))).collect()
+    }
+
+    #[test]
+    fn root_is_order_independent_and_content_sensitive() {
+        let a = MerkleTree::from_items(items(&[1, 5, 9, 1000, u64::MAX]));
+        let mut rev = items(&[1, 5, 9, 1000, u64::MAX]);
+        rev.reverse();
+        let b = MerkleTree::from_items(rev);
+        assert_eq!(a.root_hash(), b.root_hash(), "shape is a function of the id set");
+
+        let mut edited = items(&[1, 5, 9, 1000, u64::MAX]);
+        edited[2].1 = ContentHash::of_bytes(b"changed");
+        let c = MerkleTree::from_items(edited);
+        assert_ne!(a.root_hash(), c.root_hash());
+        assert_eq!(MerkleTree::from_items(Vec::new()).root_hash(), ContentHash::ZERO);
+    }
+
+    #[test]
+    fn diff_classifies_add_modify_remove() {
+        let old = MerkleTree::from_items(items(&[1, 2, 3, 4, 100]));
+        let mut new_items = items(&[2, 3, 4, 100, 7]);
+        new_items.iter_mut().find(|(id, _)| *id == 3).unwrap().1 = ContentHash::of_bytes(b"v2");
+        let new = MerkleTree::from_items(new_items);
+        let cs = diff(&old, &new);
+        assert_eq!(cs.added, vec![7]);
+        assert_eq!(cs.modified, vec![3]);
+        assert_eq!(cs.removed, vec![1]);
+        assert_eq!(cs.len(), 3);
+        assert!(!cs.is_empty());
+    }
+
+    #[test]
+    fn identical_trees_diff_empty() {
+        let a = MerkleTree::from_items(items(&[0, 1, 2, 63, 64, 65, u64::MAX]));
+        let b = MerkleTree::from_items(items(&[0, 1, 2, 63, 64, 65, u64::MAX]));
+        assert!(diff(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn empty_transitions() {
+        let empty = MerkleTree::from_items(Vec::new());
+        let full = MerkleTree::from_items(items(&[10, 20, 30]));
+        let up = diff(&empty, &full);
+        assert_eq!(up.added, vec![10, 20, 30]);
+        assert!(up.modified.is_empty() && up.removed.is_empty());
+        let down = diff(&full, &empty);
+        assert_eq!(down.removed, vec![10, 20, 30]);
+        assert!(down.added.is_empty() && down.modified.is_empty());
+        assert!(diff(&empty, &empty).is_empty());
+    }
+
+    #[test]
+    fn all_added_matches_empty_to_n_diff() {
+        let full = MerkleTree::from_items(items(&[9, 1, 5]));
+        let empty = MerkleTree::from_items(Vec::new());
+        assert_eq!(ChangeSet::all_added([9, 1, 5]), diff(&empty, &full));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate document id")]
+    fn duplicate_ids_rejected() {
+        let mut dup = items(&[1, 2]);
+        dup.push((1, ContentHash::of_bytes(b"other")));
+        MerkleTree::from_items(dup);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the merkle change detector: `diff` must report
+//! exactly the documents a brute-force comparison of the two id → hash
+//! maps reports — complete (no changed document missed) and sound (no
+//! unchanged document flagged) — on randomized collections, including the
+//! empty → N and N → empty degenerate transitions.
+
+use std::collections::BTreeMap;
+
+use mcqa_ingest::{diff, ChangeSet, ContentHash, MerkleTree};
+use mcqa_util::KeyedStochastic;
+use proptest::prelude::*;
+
+fn hash_of(body: u64) -> ContentHash {
+    ContentHash::of_bytes(&body.to_le_bytes())
+}
+
+/// Brute force: walk both maps and classify every id.
+fn brute_force(old: &BTreeMap<u64, ContentHash>, new: &BTreeMap<u64, ContentHash>) -> ChangeSet {
+    let mut cs = ChangeSet::default();
+    for (id, h) in new {
+        match old.get(id) {
+            None => cs.added.push(*id),
+            Some(prev) if prev != h => cs.modified.push(*id),
+            Some(_) => {}
+        }
+    }
+    for id in old.keys() {
+        if !new.contains_key(id) {
+            cs.removed.push(*id);
+        }
+    }
+    cs
+}
+
+fn tree(map: &BTreeMap<u64, ContentHash>) -> MerkleTree {
+    MerkleTree::from_items(map.iter().map(|(id, h)| (*id, *h)).collect())
+}
+
+proptest! {
+    /// Random old/new collections over a shared id universe: the merkle
+    /// diff equals the brute-force classification exactly.
+    #[test]
+    fn diff_is_complete_and_sound(seed in 0u64..192) {
+        let rng = KeyedStochastic::new(seed ^ 0xD1FF);
+        // Sparse ids across the full u64 range plus a dense low block, so
+        // both deep and shallow trie splits get exercised.
+        let universe = rng.below(60, &["universe"]);
+        let mut old = BTreeMap::new();
+        let mut new = BTreeMap::new();
+        for i in 0..universe {
+            let it = i.to_string();
+            let id = if rng.bernoulli(0.5, &["wide", &it]) {
+                rng.raw(&["id", &it])
+            } else {
+                rng.raw(&["id", &it]) % 64
+            };
+            let body = rng.raw(&["content", &it]);
+            let in_old = rng.bernoulli(0.6, &["old", &it]);
+            let in_new = rng.bernoulli(0.6, &["new", &it]);
+            let mutated = rng.bernoulli(0.3, &["mut", &it]);
+            if in_old {
+                old.insert(id, hash_of(body));
+            }
+            if in_new {
+                new.insert(id, hash_of(if mutated { body ^ 1 } else { body }));
+            }
+        }
+
+        let expected = brute_force(&old, &new);
+        let got = diff(&tree(&old), &tree(&new));
+        prop_assert_eq!(&got, &expected);
+        prop_assert_eq!(got.len(), expected.added.len() + expected.modified.len() + expected.removed.len());
+
+        // Self-diff is empty, and root hashes agree with emptiness.
+        prop_assert!(diff(&tree(&new), &tree(&new)).is_empty());
+        prop_assert_eq!(
+            tree(&old).root_hash() == tree(&new).root_hash(),
+            got.is_empty(),
+            "root hashes must agree exactly when nothing changed"
+        );
+    }
+}
+
+#[test]
+fn empty_to_n_is_all_added() {
+    let items: BTreeMap<u64, ContentHash> = (0..37u64).map(|id| (id * 1000, hash_of(id))).collect();
+    let got = diff(&MerkleTree::from_items(Vec::new()), &tree(&items));
+    assert_eq!(got, ChangeSet::all_added(items.keys().copied()));
+    assert_eq!(got.len(), 37);
+}
+
+#[test]
+fn n_to_empty_is_all_removed() {
+    let items: BTreeMap<u64, ContentHash> = (0..37u64).map(|id| (id * 1000, hash_of(id))).collect();
+    let got = diff(&tree(&items), &MerkleTree::from_items(Vec::new()));
+    assert!(got.added.is_empty() && got.modified.is_empty());
+    assert_eq!(got.removed, items.keys().copied().collect::<Vec<_>>());
+}
+
+#[test]
+fn empty_to_empty_is_empty() {
+    let empty = MerkleTree::from_items(Vec::new());
+    assert!(diff(&empty, &MerkleTree::from_items(Vec::new())).is_empty());
+    assert_eq!(empty.root_hash(), MerkleTree::from_items(Vec::new()).root_hash());
+}

@@ -13,8 +13,19 @@
 //! [`LexicalIndex::add`] calls in item order, and
 //! [`LexicalIndex::search_batch`] is bit-identical to per-query
 //! [`LexicalIndex::search`], at any worker count. Scoring accumulates
-//! per-document sums in ascending [`TermId`] order so the floating-point
-//! addition order is fixed.
+//! per-document sums in sorted term-**string** order, so the
+//! floating-point addition order is fixed *and* independent of interning
+//! order — a mutated index (whose vocabulary still holds terms the live
+//! documents no longer use) scores bit-identically to one rebuilt from
+//! scratch over the live documents.
+//!
+//! Mutation surface (mirroring [`mcqa-index`'s](../index) `VectorStore`):
+//! [`LexicalIndex::remove`] tombstones documents by external id — their
+//! postings stay resident but are skipped, with `n`, `avgdl`, and each
+//! term's `df` corrected to the live view so scores match a live-only
+//! rebuild. [`LexicalIndex::compact`] (and serialisation, whose `LEXI`
+//! wire format is always tombstone-free) rewrites postings without the
+//! dead documents.
 
 use std::collections::HashMap;
 
@@ -69,6 +80,14 @@ pub struct LexicalIndex {
     docs: Vec<DocEntry>,
     /// Sum of all documents' content-token lengths.
     total_tokens: u64,
+    /// Per-document tombstones, parallel to `docs`. Per entry rather than
+    /// per id so an upsert (tombstone + re-append the same id) never
+    /// masks the new live document. Never serialised.
+    dead: Vec<bool>,
+    dead_count: usize,
+    /// Content-token lengths of tombstoned documents, for `avgdl`
+    /// correction.
+    dead_tokens: u64,
 }
 
 /// The per-item tokenisation product `add_batch` fans out: distinct terms
@@ -111,6 +130,9 @@ impl LexicalIndex {
             postings: Vec::new(),
             docs: Vec::new(),
             total_tokens: 0,
+            dead: Vec::new(),
+            dead_count: 0,
+            dead_tokens: 0,
         }
     }
 
@@ -119,14 +141,14 @@ impl LexicalIndex {
         self.params
     }
 
-    /// Number of indexed documents.
+    /// Number of live (non-tombstoned) indexed documents.
     pub fn len(&self) -> usize {
-        self.docs.len()
+        self.docs.len() - self.dead_count
     }
 
-    /// True when no documents are indexed.
+    /// True when no live documents are indexed.
     pub fn is_empty(&self) -> bool {
-        self.docs.is_empty()
+        self.len() == 0
     }
 
     /// Vocabulary size (distinct content terms seen).
@@ -159,7 +181,96 @@ impl LexicalIndex {
         }
         self.vocab.record_document(&distinct);
         self.docs.push(DocEntry { id, len });
+        self.dead.push(false);
         self.total_tokens += u64::from(len);
+    }
+
+    /// Tombstone the documents stored under `ids`: they stop appearing in
+    /// results (and stop counting toward `n`/`avgdl`/`df`) immediately;
+    /// postings are only rewritten by [`LexicalIndex::compact`] or
+    /// serialisation. Unknown (or already tombstoned) ids are ignored.
+    /// Returns the number of documents newly tombstoned.
+    pub fn remove(&mut self, ids: &[u64]) -> usize {
+        let targets: std::collections::HashSet<u64> = ids.iter().copied().collect();
+        let mut removed = 0usize;
+        let mut removed_tokens = 0u64;
+        for (d, dead) in self.docs.iter().zip(self.dead.iter_mut()) {
+            if !*dead && targets.contains(&d.id) {
+                *dead = true;
+                removed += 1;
+                removed_tokens += u64::from(d.len);
+            }
+        }
+        self.dead_count += removed;
+        self.dead_tokens += removed_tokens;
+        removed
+    }
+
+    /// Replace-or-insert: tombstone any existing documents under the item
+    /// ids, then bulk-insert the new texts. Afterwards search results are
+    /// bit-identical to an index rebuilt from scratch over the final live
+    /// documents.
+    pub fn upsert<S: AsRef<str> + Sync>(&mut self, exec: &Executor, items: &[(u64, S)]) {
+        let ids: Vec<u64> = items.iter().map(|(id, _)| *id).collect();
+        self.remove(&ids);
+        self.add_batch(exec, items);
+    }
+
+    /// Number of tombstoned documents still resident in the postings.
+    pub fn tombstones(&self) -> usize {
+        self.dead_count
+    }
+
+    /// Rewrite postings without the tombstoned documents (a no-op when
+    /// nothing is tombstoned). Vocabulary term ids are preserved — terms
+    /// whose every posting died stay interned with an empty list — which
+    /// is invisible to search (accumulation is string-ordered and `df`
+    /// counts live postings).
+    pub fn compact(&mut self) {
+        if self.dead_count > 0 {
+            *self = self.live_view();
+        }
+    }
+
+    /// The tombstone-free rewrite backing [`LexicalIndex::compact`] and
+    /// [`LexicalIndex::to_bytes`]: live documents keep their insertion
+    /// order (doc indices renumbered densely), postings drop dead entries,
+    /// and the vocabulary's document frequencies are rebuilt from the
+    /// surviving lists.
+    fn live_view(&self) -> Self {
+        let mut remap = vec![u32::MAX; self.docs.len()];
+        let mut docs = Vec::with_capacity(self.docs.len() - self.dead_count);
+        for (i, (d, &dead)) in self.docs.iter().zip(&self.dead).enumerate() {
+            if !dead {
+                remap[i] = docs.len() as u32;
+                docs.push(*d);
+            }
+        }
+        let mut dfs = Vec::with_capacity(self.postings.len());
+        let mut postings = Vec::with_capacity(self.postings.len());
+        for list in &self.postings {
+            let live: Vec<Posting> = list
+                .iter()
+                .filter(|p| remap[p.doc as usize] != u32::MAX)
+                .map(|p| Posting { doc: remap[p.doc as usize], tf: p.tf })
+                .collect();
+            dfs.push(live.len() as u32);
+            postings.push(live);
+        }
+        let terms: Vec<String> = self.vocab.terms().map(str::to_string).collect();
+        let vocab = Vocabulary::from_parts(terms, dfs, docs.len() as u32)
+            .expect("live view preserves vocabulary invariants");
+        let n_docs = docs.len();
+        Self {
+            params: self.params,
+            vocab,
+            postings,
+            docs,
+            total_tokens: self.total_tokens - self.dead_tokens,
+            dead: vec![false; n_docs],
+            dead_count: 0,
+            dead_tokens: 0,
+        }
     }
 
     /// Bulk insertion: tokenisation and counting fan out on `exec`'s
@@ -184,30 +295,44 @@ impl LexicalIndex {
     /// treats a short list as "no lexical evidence" rather than padding
     /// it with zeros.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchResult> {
-        if k == 0 || self.docs.is_empty() {
+        if k == 0 || self.is_empty() {
             return Vec::new();
         }
-        // Distinct known query terms in ascending id order: a fixed
-        // accumulation order makes scores bit-stable however the query
-        // spelled them.
-        let mut qids: Vec<TermId> =
-            content_tokens(query).iter().filter_map(|t| self.vocab.id(t)).collect();
-        qids.sort_by_key(|t| t.0);
-        qids.dedup();
-        if qids.is_empty() {
+        // Distinct known query terms in sorted term-**string** order: a
+        // fixed accumulation order makes scores bit-stable however the
+        // query spelled them, and — unlike id order — is independent of
+        // interning history, so a tombstoned index scores bit-identically
+        // to one rebuilt from scratch over its live documents.
+        let mut qterms: Vec<(String, TermId)> = content_tokens(query)
+            .into_iter()
+            .filter_map(|t| self.vocab.id(&t).map(|id| (t, id)))
+            .collect();
+        qterms.sort_by(|a, b| a.0.cmp(&b.0));
+        qterms.dedup_by(|a, b| a.0 == b.0);
+        if qterms.is_empty() {
             return Vec::new();
         }
-        let n = self.docs.len() as f64;
-        let avgdl = self.total_tokens as f64 / n;
+        let n = self.len() as f64;
+        let avgdl = (self.total_tokens - self.dead_tokens) as f64 / n;
         let Bm25Params { k1, b } = self.params;
         let (k1, b) = (f64::from(k1), f64::from(b));
         let mut scores: HashMap<u32, f64> = HashMap::new();
-        for tid in qids {
+        for (_, tid) in qterms {
             let list = &self.postings[tid.0 as usize];
-            let df = list.len() as f64;
+            let df = if self.dead_count == 0 {
+                list.len()
+            } else {
+                list.iter().filter(|p| !self.dead[p.doc as usize]).count()
+            } as f64;
+            if df == 0.0 {
+                continue; // every posting tombstoned: no live evidence
+            }
             // Lucene's non-negative Okapi idf.
             let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
             for p in list {
+                if self.dead[p.doc as usize] {
+                    continue;
+                }
                 let tf = f64::from(p.tf);
                 let dl = f64::from(self.docs[p.doc as usize].len);
                 let norm = k1 * (1.0 - b + b * dl / avgdl);
@@ -253,6 +378,9 @@ impl LexicalIndex {
     /// delta-zigzag-varint coded in insertion order; each term's posting
     /// list delta-varint codes its (strictly increasing) doc indices.
     pub fn to_bytes(&self) -> Vec<u8> {
+        if self.dead_count > 0 {
+            return self.live_view().to_bytes();
+        }
         let mut out = Vec::new();
         out.extend_from_slice(Self::MAGIC);
         out.extend_from_slice(&self.params.k1.to_le_bytes());
@@ -338,7 +466,16 @@ impl LexicalIndex {
             postings.push(list);
         }
         let vocab = Vocabulary::from_parts(terms, dfs, u32::try_from(ndocs).ok()?)?;
-        Some(Self { params: Bm25Params { k1, b }, vocab, postings, docs, total_tokens })
+        Some(Self {
+            params: Bm25Params { k1, b },
+            vocab,
+            postings,
+            docs,
+            total_tokens,
+            dead: vec![false; ndocs],
+            dead_count: 0,
+            dead_tokens: 0,
+        })
     }
 }
 
@@ -427,6 +564,66 @@ mod tests {
         let mut wrong = idx.to_bytes();
         wrong[0] = b'X';
         assert!(LexicalIndex::from_bytes(&wrong).is_none());
+    }
+
+    #[test]
+    fn remove_upsert_compact_match_rebuild_from_scratch() {
+        let exec = Executor::global();
+        let mut idx = build();
+
+        assert_eq!(idx.remove(&[11, 14, 999]), 2);
+        assert_eq!(idx.remove(&[11]), 0, "re-removal is a no-op");
+        assert_eq!(idx.len(), 4);
+        assert_eq!(idx.tombstones(), 2);
+        assert!(idx.search("repair", 5).is_empty(), "df of a fully dead term is live-corrected");
+
+        // Upsert replaces doc 12 and re-introduces id 11 with new text:
+        // per-entry tombstones must surface the new entries.
+        idx.upsert(
+            exec,
+            &[(12, "Proton arcs spare healthy tissue."), (11, "Dose painting boosts tumours.")],
+        );
+        assert_eq!(idx.len(), 5, "12 replaced in place, 11 re-added");
+
+        // From-scratch rebuild over the final live docs: interning order
+        // differs (e.g. "radiation" is no longer term 0), yet every score
+        // must match bit-for-bit thanks to string-ordered accumulation
+        // and live-corrected n/avgdl/df.
+        let mut rebuilt = LexicalIndex::default();
+        rebuilt.add(10, "Radiation induces apoptosis in tumour cells.");
+        rebuilt.add(13, "Hospital billing codes changed in fiscal budgets.");
+        rebuilt.add(15, "");
+        rebuilt.add(12, "Proton arcs spare healthy tissue.");
+        rebuilt.add(11, "Dose painting boosts tumours.");
+        for q in ["radiation tumour", "proton dose", "billing", "repair pathways", ""] {
+            assert_eq!(idx.search(q, 6), rebuilt.search(q, 6), "query {q:?}");
+        }
+
+        // Serialisation writes the live view; compaction is the same
+        // rewrite in place, and neither changes a single search bit.
+        let wire = idx.to_bytes();
+        idx.compact();
+        assert_eq!(idx.tombstones(), 0);
+        assert_eq!(idx.to_bytes(), wire);
+        for q in ["radiation tumour", "proton dose", "billing"] {
+            assert_eq!(idx.search(q, 6), rebuilt.search(q, 6), "post-compaction query {q:?}");
+        }
+        // The decoded live view keeps matching too.
+        let back = LexicalIndex::from_bytes(&wire).expect("decodes");
+        assert_eq!(back.search("radiation tumour", 6), rebuilt.search("radiation tumour", 6));
+
+        // Degenerate: removing everything empties the index (the
+        // vocabulary survives with zero-df terms, invisible to search).
+        let mut all_gone = build();
+        let ids: Vec<u64> = corpus().iter().map(|(id, _)| *id).collect();
+        assert_eq!(all_gone.remove(&ids), 6);
+        assert!(all_gone.is_empty());
+        assert!(all_gone.search("radiation", 5).is_empty());
+        all_gone.compact();
+        assert_eq!(all_gone.len(), 0);
+        let back = LexicalIndex::from_bytes(&all_gone.to_bytes()).expect("decodes");
+        assert!(back.is_empty());
+        assert!(back.search("radiation", 5).is_empty());
     }
 
     #[test]

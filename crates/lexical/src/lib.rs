@@ -27,4 +27,4 @@ pub mod bm25;
 pub mod fusion;
 
 pub use bm25::{Bm25Params, LexicalIndex};
-pub use fusion::{fuse_depth, Fusion};
+pub use fusion::{fuse_depth, Fusion, DEFAULT_FUSE_DEPTH};

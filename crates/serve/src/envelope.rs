@@ -60,6 +60,9 @@ pub enum QueryMode {
         fusion: Fusion,
         /// Rescore the fused top-k through the cross-encoder reranker.
         rerank: bool,
+        /// Per-channel over-fetch multiplier before fusion; `0` selects
+        /// [`mcqa_lexical::DEFAULT_FUSE_DEPTH`].
+        depth: usize,
     },
 }
 
@@ -78,7 +81,7 @@ impl QueryMode {
         match self {
             QueryMode::Dense => "dense".into(),
             QueryMode::Lexical => "lexical".into(),
-            QueryMode::Hybrid { fusion, rerank } => {
+            QueryMode::Hybrid { fusion, rerank, .. } => {
                 format!("hybrid-{}{}", fusion.label(), if *rerank { "+rr" } else { "" })
             }
         }
@@ -293,7 +296,7 @@ mod tests {
         assert_eq!(r.input.text(), None);
 
         let r = QueryRequest::text_and_vector("chunks", "dose rate", vec![0.5], 4)
-            .with_mode(QueryMode::Hybrid { fusion: Fusion::default(), rerank: true });
+            .with_mode(QueryMode::Hybrid { fusion: Fusion::default(), rerank: true, depth: 0 });
         assert_eq!(r.input.text(), Some("dose rate"));
         assert_eq!(r.mode.label(), "hybrid-rrf60+rr");
         assert_eq!(QueryMode::Lexical.label(), "lexical");

@@ -297,19 +297,22 @@ struct Dispatcher {
 
 /// A totally ordered stand-in for [`QueryMode`] in the group map: the
 /// variant tag plus the fusion knobs (f32 weight via its bit pattern —
-/// grouping only needs a stable key, not numeric order).
-type ModeKey = (u8, u32, u8);
+/// grouping only needs a stable key, not numeric order) and the hybrid
+/// over-fetch depth.
+type ModeKey = (u8, u32, u32, u8);
 
 /// The micro-batch group key: one store search per (source, k, mode).
 type GroupKey = (String, usize, ModeKey);
 
 fn mode_key(mode: &QueryMode) -> ModeKey {
     match *mode {
-        QueryMode::Dense => (0, 0, 0),
-        QueryMode::Lexical => (1, 0, 0),
-        QueryMode::Hybrid { fusion: Fusion::Rrf { k0 }, rerank } => (2, k0, u8::from(rerank)),
-        QueryMode::Hybrid { fusion: Fusion::Weighted { dense }, rerank } => {
-            (3, dense.to_bits(), u8::from(rerank))
+        QueryMode::Dense => (0, 0, 0, 0),
+        QueryMode::Lexical => (1, 0, 0, 0),
+        QueryMode::Hybrid { fusion: Fusion::Rrf { k0 }, rerank, depth } => {
+            (2, k0, depth as u32, u8::from(rerank))
+        }
+        QueryMode::Hybrid { fusion: Fusion::Weighted { dense }, rerank, depth } => {
+            (3, dense.to_bits(), depth as u32, u8::from(rerank))
         }
     }
 }
@@ -383,8 +386,8 @@ impl Dispatcher {
             match mode {
                 QueryMode::Dense => self.serve_dense(&source, k, &members, cache, &mut ctx),
                 QueryMode::Lexical => self.serve_lexical(&source, k, &members, &mut ctx),
-                QueryMode::Hybrid { fusion, rerank } => {
-                    self.serve_hybrid(&source, k, fusion, rerank, &members, cache, &mut ctx)
+                QueryMode::Hybrid { fusion, rerank, depth } => {
+                    self.serve_hybrid(&source, k, fusion, rerank, depth, &members, cache, &mut ctx)
                 }
             }
         }
@@ -525,8 +528,8 @@ impl Dispatcher {
     }
 
     /// The hybrid channel: both stores over-fetched to
-    /// [`fuse_depth`]`(k)`, fused per query, optionally rescored by the
-    /// reranker. Bit-identical to fusing two direct searches offline.
+    /// [`fuse_depth`]`(k, depth)`, fused per query, optionally rescored by
+    /// the reranker. Bit-identical to fusing two direct searches offline.
     #[allow(clippy::too_many_arguments)]
     fn serve_hybrid(
         &self,
@@ -534,6 +537,7 @@ impl Dispatcher {
         k: usize,
         fusion: Fusion,
         rerank: bool,
+        fetch_depth: usize,
         members: &[usize],
         cache: Option<&EmbeddingCache<'_>>,
         ctx: &mut GroupCtx<'_>,
@@ -618,7 +622,7 @@ impl Dispatcher {
         }
 
         // Search stage: both channels batched, then fuse per query.
-        let depth = fuse_depth(k);
+        let depth = fuse_depth(k, fetch_depth);
         let t_search = Instant::now();
         let dense_hits = store.search_batch(&self.exec, &vectors, depth);
         let lex_hits = lex.search_batch(&self.exec, &texts, depth);

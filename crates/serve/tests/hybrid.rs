@@ -141,7 +141,7 @@ fn offline_hybrid(
     k: usize,
 ) -> Vec<mcqa_index::SearchResult> {
     let fix = fixture();
-    let depth = fuse_depth(k);
+    let depth = fuse_depth(k, 0);
     let dense = fix.registry.expect_store("chunks").search(&encoder().encode(text), depth);
     let lexical = fix.registry.expect_lexical("lex-chunks").search(text, depth);
     let mut fused = fusion.fuse(&dense, &lexical, k);
@@ -185,7 +185,7 @@ proptest! {
             Fusion::Rrf { k0: 10 },
             Fusion::Weighted { dense: 0.7 },
         ][fusion_pick];
-        let mode = QueryMode::Hybrid { fusion, rerank };
+        let mode = QueryMode::Hybrid { fusion, rerank, depth: 0 };
 
         let texts: Vec<String> = (0..n).map(|i| query_text(seed + i as u64)).collect();
         let reqs: Vec<QueryRequest> = texts
@@ -249,8 +249,10 @@ proptest! {
 fn vector_only_inputs_need_text_for_lexical_modes() {
     let service = start_service(1, 4);
     let vec = encoder().encode("dose rate");
-    for mode in [QueryMode::Lexical, QueryMode::Hybrid { fusion: Fusion::default(), rerank: false }]
-    {
+    for mode in [
+        QueryMode::Lexical,
+        QueryMode::Hybrid { fusion: Fusion::default(), rerank: false, depth: 0 },
+    ] {
         match service
             .submit(QueryRequest::vector("chunks", vec.clone(), 3).with_mode(mode))
             .unwrap()
@@ -275,7 +277,7 @@ fn rerank_requires_start_full() {
         Executor::new(1),
         ServeConfig::default(),
     );
-    let rerank = QueryMode::Hybrid { fusion: Fusion::default(), rerank: true };
+    let rerank = QueryMode::Hybrid { fusion: Fusion::default(), rerank: true, depth: 0 };
     match service
         .submit(QueryRequest::text("chunks", "proton dose", 3).with_mode(rerank))
         .unwrap()
@@ -284,7 +286,7 @@ fn rerank_requires_start_full() {
         Err(ServeError::NoReranker { source }) => assert_eq!(source, "chunks"),
         other => panic!("expected NoReranker, got {other:?}"),
     }
-    let plain = QueryMode::Hybrid { fusion: Fusion::default(), rerank: false };
+    let plain = QueryMode::Hybrid { fusion: Fusion::default(), rerank: false, depth: 0 };
     assert!(service
         .submit(QueryRequest::text("chunks", "proton dose", 3).with_mode(plain))
         .unwrap()

@@ -232,6 +232,70 @@ for mode in baseline batched; do
     fi
 done
 
+echo "== repro smoke: one ingest planner =="
+# The incremental-ingest invariant: the cold build and the incremental
+# re-run flow through the same planner (`run_planned`), so there is
+# exactly one generation call site for the single bookkeeping path to
+# guard. A second call site reappearing means a fork of the plan logic.
+if [[ "$(grep -c 'generate_question_batch' crates/core/src/pipeline.rs)" != "1" ]]; then
+    echo "repro smoke FAILED: pipeline.rs must call generate_question_batch exactly once (cold and incremental share the planner)" >&2
+    exit 1
+fi
+if ! grep -q 'fn run_planned' crates/core/src/pipeline.rs; then
+    echo "repro smoke FAILED: pipeline.rs lost the shared ingest planner (run_planned)" >&2
+    exit 1
+fi
+
+echo "== repro smoke: incremental ingest (no-op edit batch) =="
+# An unchanged corpus must re-run nothing: every document skipped, zero
+# tombstones, zero compactions, and the post-edit indexes verify
+# identical against the cold rebuild.
+INGEST0_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- ingest --scale "${SCALE}" --seed "${SEED}" --edits 0 2>&1)"
+echo "${INGEST0_OUT}" | grep '\[ingest\]'
+for want in "edits=0" "docs_added=0" "docs_modified=0" "docs_removed=0" "chunks_rerun=0" \
+    "tombstones_dense=0" "tombstones_lexical=0" "compactions=0" "verify=identical"; do
+    if ! grep -qF "${want}" <<<"${INGEST0_OUT}"; then
+        echo "repro smoke FAILED: no-op ingest census is missing '${want}'" >&2
+        exit 1
+    fi
+done
+SCANNED="$(grep -F '[ingest] docs_scanned=' <<<"${INGEST0_OUT}" | cut -d= -f2)"
+SKIPPED="$(grep -F '[ingest] docs_skipped=' <<<"${INGEST0_OUT}" | cut -d= -f2)"
+if [[ -z "${SCANNED}" || "${SCANNED}" != "${SKIPPED}" ]]; then
+    echo "repro smoke FAILED: no-op ingest must skip 100% of documents (scanned=${SCANNED} skipped=${SKIPPED})" >&2
+    exit 1
+fi
+
+echo "== repro smoke: incremental ingest (single-document edit) =="
+# One edited document must re-run only its own slices: exactly one
+# document changed, the rest of the chunk set reused, and the re-run
+# indexes still verify against the cold rebuild.
+INGEST1_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- ingest --scale "${SCALE}" --seed "${SEED}" --edits 1 2>&1)"
+echo "${INGEST1_OUT}" | grep '\[ingest\]'
+if ! grep -qF 'verify=identical' <<<"${INGEST1_OUT}"; then
+    echo "repro smoke FAILED: single-edit ingest did not verify against the cold rebuild" >&2
+    exit 1
+fi
+ADDED="$(grep -F '[ingest] docs_added=' <<<"${INGEST1_OUT}" | cut -d= -f2)"
+MODIFIED="$(grep -F '[ingest] docs_modified=' <<<"${INGEST1_OUT}" | cut -d= -f2)"
+REMOVED="$(grep -F '[ingest] docs_removed=' <<<"${INGEST1_OUT}" | cut -d= -f2)"
+if [[ "$((ADDED + MODIFIED + REMOVED))" != "1" ]]; then
+    echo "repro smoke FAILED: a 1-op edit batch must change exactly one document (add=${ADDED} mod=${MODIFIED} rm=${REMOVED})" >&2
+    exit 1
+fi
+TOTAL="$(grep -F '[ingest] chunks_total=' <<<"${INGEST1_OUT}" | cut -d= -f2)"
+RERUN="$(grep -F '[ingest] chunks_rerun=' <<<"${INGEST1_OUT}" | cut -d= -f2)"
+REUSED="$(grep -F '[ingest] chunks_reused=' <<<"${INGEST1_OUT}" | cut -d= -f2)"
+if ! awk -v t="${TOTAL}" -v r="${RERUN}" -v u="${REUSED}" \
+    'BEGIN { exit !(u > 0 && t > 0 && r * 10 < t) }'; then
+    echo "repro smoke FAILED: a single edit re-ran too much (rerun=${RERUN} of ${TOTAL}, reused=${REUSED})" >&2
+    exit 1
+fi
+if ! grep -qE '\[ingest\] full_secs=[0-9.]+ incremental_secs=[0-9.]+ verify_secs=[0-9.]+ speedup=[0-9.]+' <<<"${INGEST1_OUT}"; then
+    echo "repro smoke FAILED: ingest reports no wall-clock comparison line" >&2
+    exit 1
+fi
+
 echo "== repro smoke: golden artifact census (scale 0.02, seed 42) =="
 # The golden determinism bar: the sim-backend generation artifacts at the
 # pinned (scale, seed) must stay byte-identical across refactors. Captured

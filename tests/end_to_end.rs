@@ -23,8 +23,10 @@ fn pipeline_stage_census_matches_figure1() {
         stages,
         vec![
             "acquire",
+            "ingest-scan",
             "parse",
             "chunk",
+            "ingest-chunks",
             "embed-chunks",
             "index-chunks",
             "index-lex-chunks",
@@ -40,12 +42,13 @@ fn pipeline_stage_census_matches_figure1() {
             "model-teacher",
             "model-judge",
         ],
-        "workflow stages must match the paper's Figure 1 (plus a build row per vector DB, \
-         its lexical sibling, and a model-layer cost row per role the pipeline called)"
+        "workflow stages must match the paper's Figure 1 (plus the ingest planner's scan and \
+         merge rows, a build row per vector DB, its lexical sibling, and a model-layer cost \
+         row per role the pipeline called)"
     );
     // Parsing is allowed (and expected) to lose a few corrupt documents,
     // but must recover the overwhelming majority.
-    let parse = &output.report.stages()[1];
+    let parse = &output.report.stages()[2];
     assert!(parse.success_rate() > 0.95, "parse success {}", parse.success_rate());
 }
 
