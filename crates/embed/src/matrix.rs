@@ -8,6 +8,8 @@
 use mcqa_util::f16::{decode_f16_bytes, encode_f16_bytes};
 use serde::{Deserialize, Serialize};
 
+use crate::panels::PanelCache;
+
 /// Storage precision for an embedding matrix.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Precision {
@@ -149,6 +151,13 @@ impl EmbeddingMatrix {
         }
     }
 
+    /// Bytes the matrix occupies fully decoded to F32 — what a
+    /// [`PanelBudget::Auto`](crate::panels::PanelBudget::Auto) panel cache
+    /// budgets for.
+    pub fn decoded_bytes(&self) -> usize {
+        self.rows * self.dim * 4
+    }
+
     /// Fetch row `i` as `f32` (decompressing when stored as F16).
     ///
     /// Returns `None` when `i` is out of range.
@@ -222,11 +231,68 @@ impl EmbeddingMatrix {
                 for start in (0..self.rows).step_by(block_rows) {
                     let end = (start + block_rows).min(self.rows);
                     let n = (end - start) * self.dim;
-                    let bytes = &self.data_f16[start * self.dim * 2..end * self.dim * 2];
-                    for (dst, c) in panel[..n].iter_mut().zip(bytes.chunks_exact(2)) {
-                        *dst = mcqa_util::F16(u16::from_le_bytes([c[0], c[1]])).to_f32();
-                    }
+                    self.decode_panel_into(start, end, &mut panel[..n]);
                     f(start, &panel[..n]);
+                }
+            }
+        }
+    }
+
+    /// Decode rows `start..end` into `out` (which must hold exactly
+    /// `(end - start) * dim` f32s). This is **the** F16 panel decode: both
+    /// the streaming path ([`EmbeddingMatrix::for_each_block`]) and the
+    /// cache-fill path ([`EmbeddingMatrix::for_each_panel`]) bottom out
+    /// here, which is what makes cached and uncached scoring bit-identical
+    /// by construction.
+    fn decode_panel_into(&self, start: usize, end: usize, out: &mut [f32]) {
+        debug_assert_eq!(out.len(), (end - start) * self.dim);
+        let bytes = &self.data_f16[start * self.dim * 2..end * self.dim * 2];
+        for (dst, c) in out.iter_mut().zip(bytes.chunks_exact(2)) {
+            *dst = mcqa_util::F16(u16::from_le_bytes([c[0], c[1]])).to_f32();
+        }
+    }
+
+    /// Cache-aware panel iteration: like [`EmbeddingMatrix::for_each_block`]
+    /// but F16 panels are fetched from (and made resident in) `cache` under
+    /// its byte budget, so repeat queries skip the decode entirely. `seg`
+    /// namespaces this matrix inside a cache shared across segments.
+    ///
+    /// An F32 matrix hands out direct sub-slices exactly as
+    /// `for_each_block` does — it is already resident, so the cache is
+    /// bypassed. A miss (or a disabled cache) decodes through the same
+    /// `decode_panel_into` the streaming path uses:
+    /// panels observed through this accessor are byte-for-byte the panels
+    /// `for_each_block` yields, at every budget including zero.
+    pub fn for_each_panel<F: FnMut(usize, &[f32])>(
+        &self,
+        cache: &PanelCache,
+        seg: u64,
+        block_rows: usize,
+        mut f: F,
+    ) {
+        assert!(block_rows > 0, "block_rows must be positive");
+        match self.precision {
+            Precision::F32 => {
+                for start in (0..self.rows).step_by(block_rows) {
+                    let end = (start + block_rows).min(self.rows);
+                    f(start, &self.data_f32[start * self.dim..end * self.dim]);
+                }
+            }
+            Precision::F16 => {
+                let auto_cap = self.decoded_bytes();
+                let mut scratch = Vec::new();
+                for start in (0..self.rows).step_by(block_rows) {
+                    let end = (start + block_rows).min(self.rows);
+                    let n = (end - start) * self.dim;
+                    cache.with_panel(
+                        seg,
+                        start,
+                        n,
+                        auto_cap,
+                        &mut scratch,
+                        |buf| self.decode_panel_into(start, end, buf),
+                        |panel| f(start, panel),
+                    );
                 }
             }
         }

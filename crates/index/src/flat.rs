@@ -1,18 +1,20 @@
 //! Exact brute-force index over an [`EmbeddingMatrix`], scored by a
 //! blocked, query-batched kernel.
 //!
-//! Search never materialises the full hit list: rows are decoded in
-//! panels ([`EmbeddingMatrix::for_each_block`]), scored by
+//! Search never materialises the full hit list: rows arrive in panels
+//! through the cache-aware accessor ([`EmbeddingMatrix::for_each_panel`],
+//! backed by the index's resident [`PanelCache`]), scored by
 //! [`Metric::score_block`] against the matrix's build-time-cached row
 //! norms, and fed into a bounded top-k heap. Batched search additionally
-//! blocks over *queries*, so one F16 panel decode is amortised across a
-//! whole block of queries instead of being repeated per query — the
-//! dominant cost of the old per-row loop, which re-decoded the entire
-//! matrix once per query. Results are bit-identical to scoring each row
+//! blocks over *queries*, so one F16 panel fetch is amortised across a
+//! whole block of queries instead of being repeated per query; the panel
+//! cache removes the remaining per-search decode for batch-of-1 traffic —
+//! after the first search the decoded panels are resident and a lone
+//! query runs at F32 speed. Results are bit-identical to scoring each row
 //! with [`Metric::score`] and fully sorting (the property suite in
 //! `tests/kernel.rs` holds every path to that oracle).
 
-use mcqa_embed::{EmbeddingMatrix, Precision};
+use mcqa_embed::{EmbeddingMatrix, PanelBudget, PanelCache, Precision};
 use mcqa_runtime::{run_stage, Executor};
 use mcqa_util::kernel;
 
@@ -32,6 +34,11 @@ pub struct FlatIndex {
     /// [`VectorStore::compact`] rewrites the matrix.
     dead: Vec<bool>,
     dead_count: usize,
+    /// Resident decoded panels for F16 matrices (a `Clone` starts cold, so
+    /// derived `Clone` stays correct for independently-mutating copies).
+    /// Invalidated whenever the matrix bytes change; `remove` only
+    /// tombstones, so it leaves the panels resident.
+    cache: PanelCache,
 }
 
 impl FlatIndex {
@@ -46,6 +53,7 @@ impl FlatIndex {
             metric,
             dead: Vec::new(),
             dead_count: 0,
+            cache: PanelCache::default(),
         }
     }
 
@@ -58,7 +66,21 @@ impl FlatIndex {
         let matrix = EmbeddingMatrix::from_bytes(r.take(mlen)?)?;
         let n = matrix.len();
         let ids: Vec<u64> = (0..n).map(|_| r.u64()).collect::<Option<_>>()?;
-        r.exhausted().then_some(Self { matrix, ids, metric, dead: vec![false; n], dead_count: 0 })
+        r.exhausted().then_some(Self {
+            matrix,
+            ids,
+            metric,
+            dead: vec![false; n],
+            dead_count: 0,
+            cache: PanelCache::default(),
+        })
+    }
+
+    /// The resident panel cache (hit/miss counters, budget, residency) —
+    /// read-only; budgets change through
+    /// [`VectorStore::set_panel_cache_budget`].
+    pub fn panel_cache(&self) -> &PanelCache {
+        &self.cache
     }
 
     /// A tombstone-free copy: live rows re-encoded in position order. The
@@ -66,6 +88,7 @@ impl FlatIndex {
     /// (and serialises) identically to a cold build over the live rows.
     fn live_clone(&self) -> Self {
         let mut out = Self::new(self.matrix.dim(), self.metric, self.matrix.precision());
+        out.cache = self.cache.clone(); // cold, but keeps the budget policy
         for (i, &id) in self.ids.iter().enumerate() {
             if !self.dead[i] {
                 out.add(id, &self.matrix.row(i).expect("row in range"));
@@ -105,7 +128,7 @@ impl FlatIndex {
         let mut topk = TopK::new(k);
         let mut scores = vec![0.0f32; block_rows];
         let norms = self.matrix.row_sq_norms();
-        self.matrix.for_each_block(block_rows, |start, panel| {
+        self.matrix.for_each_panel(&self.cache, 0, block_rows, |start, panel| {
             let rows = panel.len() / self.dim();
             let out = &mut scores[..rows];
             self.metric.score_block(query, q_sq, panel, &norms[start..start + rows], out);
@@ -161,7 +184,7 @@ impl FlatIndex {
             let mut topks: Vec<TopK> = (0..block_queries.len()).map(|_| TopK::new(k)).collect();
             let mut scores = vec![0.0f32; block_rows];
             let norms = self.matrix.row_sq_norms();
-            self.matrix.for_each_block(block_rows, |start, panel| {
+            self.matrix.for_each_panel(&self.cache, 0, block_rows, |start, panel| {
                 let rows = panel.len() / self.dim();
                 let row_norms = &norms[start..start + rows];
                 for ((q, &q_sq), topk) in block_queries.iter().zip(&q_sqs).zip(topks.iter_mut()) {
@@ -185,6 +208,8 @@ impl VectorStore for FlatIndex {
         self.matrix.push(vector);
         self.ids.push(id);
         self.dead.push(false);
+        // The tail panel's row count changed; resident copies are stale.
+        self.cache.invalidate();
     }
 
     fn add_batch(&mut self, exec: &Executor, items: &[(u64, Vec<f32>)]) {
@@ -194,6 +219,7 @@ impl VectorStore for FlatIndex {
         self.matrix.extend_parallel(exec, &rows);
         self.ids.extend(items.iter().map(|(id, _)| *id));
         self.dead.resize(self.ids.len(), false);
+        self.cache.invalidate();
     }
 
     fn remove(&mut self, ids: &[u64]) -> usize {
@@ -246,6 +272,14 @@ impl VectorStore for FlatIndex {
 
     fn payload_bytes(&self) -> usize {
         self.matrix.payload_bytes() + self.ids.len() * 8
+    }
+
+    fn set_panel_cache_budget(&mut self, budget: PanelBudget) {
+        self.cache.set_budget(budget);
+    }
+
+    fn panel_cache_resident_bytes(&self) -> usize {
+        self.cache.resident_bytes()
     }
 
     fn to_bytes(&self) -> Vec<u8> {

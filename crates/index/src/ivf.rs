@@ -6,8 +6,17 @@
 //! FAISS `IndexIVFFlat` trade-off: `nprobe ≪ nlist` gives large speedups
 //! at a small recall cost (measured against [`crate::FlatIndex`] in the
 //! benches and by `repro recall`).
+//!
+//! Each inverted list stores its rows as one packed row-major F32 panel
+//! with insert-time-cached squared norms — permanently resident in the
+//! shape search wants, so the in-list scan is a direct
+//! [`Metric::score_block`] sweep (the same kernel as flat search) with no
+//! per-entry pointer chase and nothing to decode or cache. The wire
+//! format is unchanged from the per-entry layout: packing is an in-memory
+//! choice only.
 
 use mcqa_runtime::{run_stage_batched, Executor};
+use mcqa_util::kernel;
 use serde::{Deserialize, Serialize};
 
 use crate::codec::{encode_metric, put_f32s, put_u32, put_u64, ReadMetricExt, Reader};
@@ -38,6 +47,23 @@ impl Default for IvfConfig {
     }
 }
 
+/// One inverted list as a resident row panel: parallel arrays of ids,
+/// packed row-major F32 rows, insert-time-cached squared norms, and
+/// per-entry tombstones. Tombstoned entries stay resident (and are
+/// skipped at the top-k push) until [`VectorStore::compact`]; per-entry
+/// rather than per-id so an upsert's re-added id is live while its
+/// superseded entry stays dead. Norms are derived data — recomputed on
+/// deserialisation, never serialised.
+#[derive(Debug, Clone, Default)]
+struct IvfList {
+    ids: Vec<u64>,
+    /// `ids.len() × dim` packed rows — already the panel shape
+    /// [`Metric::score_block`] scans, with no gather step.
+    rows: Vec<f32>,
+    norms: Vec<f32>,
+    dead: Vec<bool>,
+}
+
 /// The IVF index.
 #[derive(Debug, Clone)]
 pub struct IvfIndex {
@@ -45,13 +71,8 @@ pub struct IvfIndex {
     dim: usize,
     metric: Metric,
     centroids: Vec<Vec<f32>>,
-    /// Inverted lists: per centroid, (external id, vector).
-    lists: Vec<Vec<(u64, Vec<f32>)>>,
-    /// Per-entry tombstone bitmaps parallel to `lists`; tombstoned
-    /// entries stay resident (and are skipped at the top-k push) until
-    /// [`VectorStore::compact`]. Per-entry, not per-id, so an upsert's
-    /// re-added id is live while its superseded entry stays dead.
-    dead: Vec<Vec<bool>>,
+    /// Inverted lists, one packed panel per centroid.
+    lists: Vec<IvfList>,
     dead_count: usize,
     len: usize,
     trained: bool,
@@ -71,7 +92,6 @@ impl IvfIndex {
             metric,
             centroids: Vec::new(),
             lists: Vec::new(),
-            dead: Vec::new(),
             dead_count: 0,
             len: 0,
             trained: false,
@@ -90,7 +110,14 @@ impl IvfIndex {
 
     /// Occupancy histogram (list lengths), useful for balance diagnostics.
     pub fn list_sizes(&self) -> Vec<usize> {
-        self.lists.iter().map(Vec::len).collect()
+        self.lists.iter().map(|l| l.ids.len()).collect()
+    }
+
+    /// Rows per scored block within a list panel: sized like flat
+    /// search's so the scores buffer stays L2-resident at any
+    /// dimensionality (the panel itself is always resident).
+    fn block_rows(&self) -> usize {
+        (16_384 / self.dim.max(1)).clamp(8, 4096)
     }
 
     /// Deserialise from [`VectorStore::to_bytes`] output.
@@ -124,19 +151,25 @@ impl IvfIndex {
         let mut lists = Vec::with_capacity(n_lists);
         for _ in 0..n_lists {
             let entries = r.count(8 + dim * 4)?;
-            let list: Vec<(u64, Vec<f32>)> =
-                (0..entries).map(|_| Some((r.u64()?, r.f32_vec(dim)?))).collect::<Option<_>>()?;
-            len += list.len();
+            let mut list = IvfList::default();
+            for _ in 0..entries {
+                list.ids.push(r.u64()?);
+                let v = r.f32_vec(dim)?;
+                // Norms are derived data, recomputed through the same
+                // kernel insert-time caching uses — bit-identical scores.
+                list.norms.push(kernel::sq_norm(&v));
+                list.rows.extend_from_slice(&v);
+            }
+            list.dead.resize(entries, false);
+            len += entries;
             lists.push(list);
         }
-        let dead = lists.iter().map(|l| vec![false; l.len()]).collect();
         r.exhausted().then_some(Self {
             config,
             dim,
             metric,
             centroids,
             lists,
-            dead,
             dead_count: 0,
             len,
             trained,
@@ -151,11 +184,28 @@ impl IvfIndex {
         if self.dead_count == 0 {
             return;
         }
-        for (list, dead) in self.lists.iter_mut().zip(&mut self.dead) {
-            let mut keep = dead.iter().map(|d| !d);
-            list.retain(|_| keep.next().unwrap_or(true));
-            dead.clear();
-            dead.resize(list.len(), false);
+        let dim = self.dim;
+        for list in &mut self.lists {
+            if !list.dead.iter().any(|&d| d) {
+                continue;
+            }
+            let live = list.dead.iter().filter(|&&d| !d).count();
+            let mut ids = Vec::with_capacity(live);
+            let mut rows = Vec::with_capacity(live * dim);
+            let mut norms = Vec::with_capacity(live);
+            for (r, &dead) in list.dead.iter().enumerate() {
+                if dead {
+                    continue;
+                }
+                ids.push(list.ids[r]);
+                rows.extend_from_slice(&list.rows[r * dim..(r + 1) * dim]);
+                norms.push(list.norms[r]);
+            }
+            list.ids = ids;
+            list.rows = rows;
+            list.norms = norms;
+            list.dead.clear();
+            list.dead.resize(list.ids.len(), false);
         }
         self.len -= self.dead_count;
         self.dead_count = 0;
@@ -167,16 +217,19 @@ impl VectorStore for IvfIndex {
         assert!(self.trained, "IvfIndex::add before train()");
         assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
         let c = kmeans::nearest(self.metric, &self.centroids, vector);
-        self.lists[c].push((id, vector.to_vec()));
-        self.dead[c].push(false);
+        let list = &mut self.lists[c];
+        list.ids.push(id);
+        list.rows.extend_from_slice(vector);
+        list.norms.push(kernel::sq_norm(vector));
+        list.dead.push(false);
         self.len += 1;
     }
 
     fn remove(&mut self, ids: &[u64]) -> usize {
         let targets: std::collections::HashSet<u64> = ids.iter().copied().collect();
         let mut newly = 0;
-        for (list, dead) in self.lists.iter().zip(&mut self.dead) {
-            for ((id, _), d) in list.iter().zip(dead.iter_mut()) {
+        for list in &mut self.lists {
+            for (id, d) in list.ids.iter().zip(list.dead.iter_mut()) {
                 if !*d && targets.contains(id) {
                     *d = true;
                     newly += 1;
@@ -209,8 +262,11 @@ impl VectorStore for IvfIndex {
             });
         for (c, (id, v)) in assigned.into_iter().zip(items) {
             let c = c.expect("assignment cannot fail");
-            self.lists[c].push((*id, v.clone()));
-            self.dead[c].push(false);
+            let list = &mut self.lists[c];
+            list.ids.push(*id);
+            list.rows.extend_from_slice(v);
+            list.norms.push(kernel::sq_norm(v));
+            list.dead.push(false);
         }
         self.len += items.len();
     }
@@ -235,8 +291,7 @@ impl VectorStore for IvfIndex {
             self.config.train_iters,
             self.config.seed,
         );
-        self.lists = vec![Vec::new(); centroids.len()];
-        self.dead = vec![Vec::new(); self.lists.len()];
+        self.lists = vec![IvfList::default(); centroids.len()];
         self.dead_count = 0;
         self.centroids = centroids;
         self.trained = true;
@@ -262,14 +317,31 @@ impl VectorStore for IvfIndex {
             b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
         });
         // The in-list exact scan shares flat search's machinery: each
-        // candidate is scored by the fixed-order `Metric::score` kernel and
-        // kept in a bounded heap instead of a materialise-then-sort pass.
+        // probed list is a resident packed panel, swept block-by-block by
+        // the fixed-order `Metric::score_block` kernel against the
+        // insert-time-cached norms (bit-identical to per-row
+        // `Metric::score` — the kernel property suite holds that oracle)
+        // and kept in a bounded heap instead of a materialise-then-sort
+        // pass.
+        let q_sq = kernel::sq_norm(query);
+        let block_rows = self.block_rows();
+        let mut scores = vec![0.0f32; block_rows];
         let mut topk = TopK::new(k);
         for &(list_idx, _) in ranked.iter().take(self.config.nprobe) {
-            for ((id, v), dead) in self.lists[list_idx].iter().zip(&self.dead[list_idx]) {
-                if !dead {
-                    topk.push(SearchResult { id: *id, score: self.metric.score(query, v) });
+            let list = &self.lists[list_idx];
+            let n = list.ids.len();
+            let mut start = 0usize;
+            while start < n {
+                let rows = block_rows.min(n - start);
+                let panel = &list.rows[start * self.dim..(start + rows) * self.dim];
+                let out = &mut scores[..rows];
+                self.metric.score_block(query, q_sq, panel, &list.norms[start..start + rows], out);
+                for (j, &score) in out.iter().enumerate() {
+                    if !list.dead[start + j] {
+                        topk.push(SearchResult { id: list.ids[start + j], score });
+                    }
                 }
+                start += rows;
             }
         }
         topk.into_sorted()
@@ -315,10 +387,10 @@ impl VectorStore for IvfIndex {
         }
         put_u32(&mut out, self.lists.len());
         for list in &self.lists {
-            put_u32(&mut out, list.len());
-            for (id, v) in list {
+            put_u32(&mut out, list.ids.len());
+            for (r, id) in list.ids.iter().enumerate() {
                 put_u64(&mut out, *id);
-                put_f32s(&mut out, v);
+                put_f32s(&mut out, &list.rows[r * self.dim..(r + 1) * self.dim]);
             }
         }
         out

@@ -13,6 +13,7 @@
 
 use std::sync::OnceLock;
 
+use mcqa_embed::PanelBudget;
 use mcqa_runtime::Executor;
 
 use crate::codec::{ReadMetricExt, Reader};
@@ -128,6 +129,10 @@ pub fn peek_store_header(bytes: &[u8]) -> Option<StoreHeader> {
 pub struct LazyStore {
     header: StoreHeader,
     bytes: Vec<u8>,
+    /// A panel-cache budget configured before the body decode; applied to
+    /// the inner store the moment it materialises (budgets are a
+    /// registry-open-time configuration, decoding is first-search-time).
+    budget: Option<PanelBudget>,
     inner: OnceLock<Box<dyn VectorStore>>,
 }
 
@@ -136,7 +141,7 @@ impl LazyStore {
     /// `None` when the header is malformed or the magic tag unknown.
     pub fn open(bytes: Vec<u8>) -> Option<Self> {
         let header = peek_store_header(&bytes)?;
-        Some(Self { header, bytes, inner: OnceLock::new() })
+        Some(Self { header, bytes, budget: None, inner: OnceLock::new() })
     }
 
     /// The header decoded at open time. Reflects the serialised store;
@@ -154,9 +159,13 @@ impl LazyStore {
     fn force(&self) -> &dyn VectorStore {
         self.inner
             .get_or_init(|| {
-                decode_store(&self.bytes).unwrap_or_else(|| {
+                let mut store = decode_store(&self.bytes).unwrap_or_else(|| {
                     panic!("lazy {} store body is corrupt (header was valid)", self.header.backend)
-                })
+                });
+                if let Some(budget) = self.budget {
+                    store.set_panel_cache_budget(budget);
+                }
+                store
             })
             .as_ref()
     }
@@ -244,6 +253,21 @@ impl VectorStore for LazyStore {
         // structure) needs the decoded store; capacity reporting is not a
         // startup-path call.
         self.force().payload_bytes()
+    }
+
+    fn set_panel_cache_budget(&mut self, budget: PanelBudget) {
+        match self.inner.get() {
+            // Already decoded: apply directly.
+            Some(_) => self.force_mut().set_panel_cache_budget(budget),
+            // Still raw bytes: stash it; `force` applies it after decode.
+            None => self.budget = Some(budget),
+        }
+    }
+
+    fn panel_cache_resident_bytes(&self) -> usize {
+        // An undecoded store has no cache; never force a decode for a
+        // capacity probe.
+        self.inner.get().map_or(0, |inner| inner.panel_cache_resident_bytes())
     }
 
     fn to_bytes(&self) -> Vec<u8> {

@@ -188,6 +188,18 @@ pub trait VectorStore: Send + Sync {
     /// structure), for capacity reporting.
     fn payload_bytes(&self) -> usize;
 
+    /// Re-budget the store's resident decoded-panel cache (see
+    /// [`mcqa_embed::PanelCache`]). A no-op for backends without one —
+    /// IVF and HNSW keep working vectors at F32 already; flat and PQ
+    /// decode panels at search time and cache them under this budget.
+    fn set_panel_cache_budget(&mut self, _budget: mcqa_embed::PanelBudget) {}
+
+    /// Bytes of decoded panels currently resident in the store's panel
+    /// cache (0 for backends without one), for capacity reporting.
+    fn panel_cache_resident_bytes(&self) -> usize {
+        0
+    }
+
     /// Serialise the store (self-describing: a 4-byte magic tag selects
     /// the decoder in [`decode_store`]).
     fn to_bytes(&self) -> Vec<u8>;

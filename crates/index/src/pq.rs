@@ -21,6 +21,7 @@
 //! (`PQIV`); inverted-list ids are delta + zigzag varint coded, so the
 //! serialized store stays close to `bits/8` bytes per dimension.
 
+use mcqa_embed::{PanelBudget, PanelCache};
 use mcqa_runtime::{run_stage_batched, Executor};
 use mcqa_util::kernel;
 use serde::{Deserialize, Serialize};
@@ -215,6 +216,10 @@ pub struct PqIndex {
     /// Resident entries (live + tombstoned).
     len: usize,
     dead_count: usize,
+    /// Resident reconstructed panels, keyed by inverted list (`seg` = list
+    /// index). Invalidated whenever list contents change; `remove` only
+    /// tombstones, so panels stay resident across it.
+    cache: PanelCache,
 }
 
 impl PqIndex {
@@ -236,7 +241,15 @@ impl PqIndex {
             lists: Vec::new(),
             len: 0,
             dead_count: 0,
+            cache: PanelCache::default(),
         }
+    }
+
+    /// The resident panel cache (hit/miss counters, budget, residency) —
+    /// read-only; budgets change through
+    /// [`VectorStore::set_panel_cache_budget`].
+    pub fn panel_cache(&self) -> &PanelCache {
+        &self.cache
     }
 
     /// True when the coarse quantiser and residual codec have been trained.
@@ -282,6 +295,8 @@ impl PqIndex {
         l.norms.push(norm);
         l.dead.push(false);
         self.len += 1;
+        // The appended list's tail panel changed; resident copies are stale.
+        self.cache.invalidate();
     }
 
     /// Rewrite every list without its tombstoned entries. Centroids and
@@ -316,6 +331,7 @@ impl PqIndex {
         }
         self.len -= self.dead_count;
         self.dead_count = 0;
+        self.cache.invalidate();
     }
 
     /// The `nprobe` best lists for `query`, best first (descending
@@ -334,18 +350,21 @@ impl PqIndex {
         ranked.into_iter().map(|(i, _)| i).collect()
     }
 
-    /// Scan one inverted list for a set of queries: reconstruct each row
-    /// panel **once**, score it against every probing query with
+    /// Scan one inverted list for a set of queries: fetch each row panel
+    /// through the resident [`PanelCache`] (reconstructing it **once** on a
+    /// miss), score it against every probing query with
     /// [`Metric::score_block`], and feed the per-query `TopK`s. The
     /// single-query and batched paths both come through here, so their
-    /// per-row math (and therefore their results) is identical.
+    /// per-row math (and therefore their results) is identical; the cache
+    /// replays the same [`ResidualCodec::decode_into`] output a miss
+    /// produces, so residency never changes a bit either.
     fn scan_list(
         &self,
         li: usize,
         queries: &[&[f32]],
         q_sqs: &[f32],
         topks: &mut [TopK],
-        panel: &mut [f32],
+        scratch: &mut Vec<f32>,
         scores: &mut [f32],
     ) {
         let list = &self.lists[li];
@@ -356,24 +375,44 @@ impl PqIndex {
         let centroid = &self.centroids[li];
         let code_bytes = codec.code_bytes();
         let block_rows = self.block_rows();
+        // Budget `Auto` resolves to the whole reconstructed store (every
+        // resident entry across all lists, decoded to F32).
+        let auto_cap = self.len * self.dim * 4;
         let n = list.ids.len();
         let mut start = 0usize;
         while start < n {
             let rows = block_rows.min(n - start);
-            for r in 0..rows {
-                let codes = &list.codes[(start + r) * code_bytes..(start + r + 1) * code_bytes];
-                codec.decode_into(codes, centroid, &mut panel[r * self.dim..(r + 1) * self.dim]);
-            }
-            let row_norms = &list.norms[start..start + rows];
-            for ((q, &q_sq), topk) in queries.iter().zip(q_sqs).zip(topks.iter_mut()) {
-                let out = &mut scores[..rows];
-                self.metric.score_block(q, q_sq, &panel[..rows * self.dim], row_norms, out);
-                for (j, &score) in out.iter().enumerate() {
-                    if !list.dead[start + j] {
-                        topk.push(SearchResult { id: list.ids[start + j], score });
+            let floats = rows * self.dim;
+            self.cache.with_panel(
+                li as u64,
+                start,
+                floats,
+                auto_cap,
+                scratch,
+                |buf| {
+                    for r in 0..rows {
+                        let codes =
+                            &list.codes[(start + r) * code_bytes..(start + r + 1) * code_bytes];
+                        codec.decode_into(
+                            codes,
+                            centroid,
+                            &mut buf[r * self.dim..(r + 1) * self.dim],
+                        );
                     }
-                }
-            }
+                },
+                |panel| {
+                    let row_norms = &list.norms[start..start + rows];
+                    for ((q, &q_sq), topk) in queries.iter().zip(q_sqs).zip(topks.iter_mut()) {
+                        let out = &mut scores[..rows];
+                        self.metric.score_block(q, q_sq, &panel[..floats], row_norms, out);
+                        for (j, &score) in out.iter().enumerate() {
+                            if !list.dead[start + j] {
+                                topk.push(SearchResult { id: list.ids[start + j], score });
+                            }
+                        }
+                    }
+                },
+            );
             start += rows;
         }
     }
@@ -452,7 +491,17 @@ impl PqIndex {
         if !r.exhausted() {
             return None;
         }
-        let mut index = Self { config, dim, metric, centroids, codec, lists, len, dead_count: 0 };
+        let mut index = Self {
+            config,
+            dim,
+            metric,
+            centroids,
+            codec,
+            lists,
+            len,
+            dead_count: 0,
+            cache: PanelCache::default(),
+        };
         // Reconstruction norms are derived data: recompute them through
         // the same decode path insert-time caching used, so the decoded
         // store searches bit-identically to the original.
@@ -532,6 +581,7 @@ impl VectorStore for PqIndex {
         self.centroids = centroids;
         self.len = 0;
         self.dead_count = 0;
+        self.cache.invalidate();
     }
 
     fn remove(&mut self, ids: &[u64]) -> usize {
@@ -568,10 +618,10 @@ impl VectorStore for PqIndex {
         }
         let q_sq = kernel::sq_norm(query);
         let mut topk = vec![TopK::new(k)];
-        let mut panel = vec![0.0f32; self.block_rows() * self.dim];
+        let mut scratch = Vec::new();
         let mut scores = vec![0.0f32; self.block_rows()];
         for li in self.ranked_lists(query) {
-            self.scan_list(li, &[query], &[q_sq], &mut topk, &mut panel, &mut scores);
+            self.scan_list(li, &[query], &[q_sq], &mut topk, &mut scratch, &mut scores);
         }
         topk.pop().expect("one accumulator").into_sorted()
     }
@@ -611,9 +661,9 @@ impl VectorStore for PqIndex {
             let qrefs: Vec<&[f32]> = qis.iter().map(|&qi| queries[qi].as_slice()).collect();
             let q_sqs: Vec<f32> = qrefs.iter().map(|q| kernel::sq_norm(q)).collect();
             let mut topks: Vec<TopK> = (0..qis.len()).map(|_| TopK::new(k)).collect();
-            let mut panel = vec![0.0f32; self.block_rows() * self.dim];
+            let mut scratch = Vec::new();
             let mut scores = vec![0.0f32; self.block_rows()];
-            self.scan_list(li, &qrefs, &q_sqs, &mut topks, &mut panel, &mut scores);
+            self.scan_list(li, &qrefs, &q_sqs, &mut topks, &mut scratch, &mut scores);
             let out: Vec<(usize, Vec<SearchResult>)> =
                 qis.iter().copied().zip(topks.into_iter().map(TopK::into_sorted)).collect();
             Ok::<_, String>(out)
@@ -650,6 +700,14 @@ impl VectorStore for PqIndex {
         let centroids = self.centroids.len() * self.dim * 4;
         let codec = self.codec.as_ref().map_or(0, |c| (c.scale.len() + c.bias.len()) * 4);
         lists + centroids + codec
+    }
+
+    fn set_panel_cache_budget(&mut self, budget: PanelBudget) {
+        self.cache.set_budget(budget);
+    }
+
+    fn panel_cache_resident_bytes(&self) -> usize {
+        self.cache.resident_bytes()
     }
 
     fn to_bytes(&self) -> Vec<u8> {

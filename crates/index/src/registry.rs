@@ -152,6 +152,23 @@ impl IndexRegistry {
         self.stores.values().map(|s| s.payload_bytes()).sum()
     }
 
+    /// Apply one panel-cache budget to every registered store (see
+    /// [`VectorStore::set_panel_cache_budget`]). Lazily-opened stores
+    /// stash the budget and apply it when their body decodes, so this is
+    /// safe (and cheap) to call right after
+    /// [`IndexRegistry::open_bytes`].
+    pub fn set_panel_cache_budget(&mut self, budget: mcqa_embed::PanelBudget) {
+        for store in self.stores.values_mut() {
+            store.set_panel_cache_budget(budget);
+        }
+    }
+
+    /// Total bytes of decoded panels resident across every store's panel
+    /// cache, for capacity reporting.
+    pub fn panel_cache_resident_bytes(&self) -> usize {
+        self.stores.values().map(|s| s.panel_cache_resident_bytes()).sum()
+    }
+
     /// The registry name of a dense source's lexical sibling: the one
     /// naming convention every layer (pipeline build, serving, eval,
     /// benches) shares, so there is exactly one place to spell it.

@@ -86,11 +86,23 @@ pub struct ServeConfig {
     /// How long the dispatcher waits for the batch to fill before
     /// flushing what it has. Bounds the latency cost of coalescing.
     pub flush_deadline: Duration,
+    /// Single-request fast path: when a request arrives on an otherwise
+    /// empty queue, dispatch it immediately instead of waiting out the
+    /// flush deadline. Coalescing only pays when there is something to
+    /// coalesce *with*, so at low load this removes the deadline from the
+    /// latency floor without changing any answer — the dispatched
+    /// singleton runs the same grouped search path as a batch of one.
+    pub fast_path: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { queue_capacity: 256, max_batch: 64, flush_deadline: Duration::from_micros(500) }
+        Self {
+            queue_capacity: 256,
+            max_batch: 64,
+            flush_deadline: Duration::from_micros(500),
+            fast_path: true,
+        }
     }
 }
 
@@ -330,6 +342,25 @@ impl Dispatcher {
                 Err(_) => break,
             };
             let mut batch = vec![first];
+            // Single-request fast path: drain whatever is already queued
+            // without waiting. If the first request arrived alone, there
+            // is nothing to coalesce with — dispatch it now rather than
+            // paying the flush deadline for a batch that will stay at 1.
+            if self.config.fast_path {
+                while batch.len() < self.config.max_batch {
+                    match rx.try_recv() {
+                        Ok(p) => batch.push(p),
+                        // Empty or disconnected; disconnect is settled by
+                        // the outer recv after this batch drains.
+                        Err(_) => break,
+                    }
+                }
+                if batch.len() == 1 {
+                    self.stats.fast_path_hit();
+                    self.process(batch, cache.as_ref());
+                    continue;
+                }
+            }
             // Dynamic micro-batching: keep pulling until the watermark or
             // the flush deadline, whichever comes first. The deadline is
             // measured from the first dequeue, so a lone request is never

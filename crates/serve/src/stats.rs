@@ -36,6 +36,7 @@ pub struct ServiceStats {
     served_ok: AtomicU64,
     served_err: AtomicU64,
     batches: AtomicU64,
+    fast_path_hits: AtomicU64,
     batch_hist: [AtomicU64; BATCH_BUCKETS],
     queue_nanos: AtomicU64,
     encode_nanos: AtomicU64,
@@ -58,6 +59,10 @@ impl ServiceStats {
     pub(crate) fn record_batch(&self, size: usize) {
         self.batches.fetch_add(1, Relaxed);
         self.batch_hist[bucket_of(size)].fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn fast_path_hit(&self) {
+        self.fast_path_hits.fetch_add(1, Relaxed);
     }
 
     pub(crate) fn record_served(&self, ok: bool) {
@@ -88,6 +93,7 @@ impl ServiceStats {
             served_ok: self.served_ok.load(Relaxed),
             served_err: self.served_err.load(Relaxed),
             batches: self.batches.load(Relaxed),
+            fast_path_hits: self.fast_path_hits.load(Relaxed),
             batch_hist: std::array::from_fn(|i| self.batch_hist[i].load(Relaxed)),
             queue_secs: self.queue_nanos.load(Relaxed) as f64 / 1e9,
             encode_secs: self.encode_nanos.load(Relaxed) as f64 / 1e9,
@@ -110,6 +116,10 @@ pub struct ServiceSnapshot {
     pub served_err: u64,
     /// Micro-batches dispatched.
     pub batches: u64,
+    /// Dispatches that took the single-request fast path: the request
+    /// arrived on an empty queue, so the dispatcher skipped the
+    /// flush-deadline wait entirely (see [`crate::ServeConfig::fast_path`]).
+    pub fast_path_hits: u64,
     /// Batch-size histogram (see [`BATCH_BUCKET_LABELS`]).
     pub batch_hist: [u64; BATCH_BUCKETS],
     /// Summed per-request queue wait.
@@ -156,12 +166,13 @@ impl ServiceSnapshot {
         vec![
             format!(
                 "[serve] ledger admitted={} rejected={} served_ok={} served_err={} \
-                 batches={} mean_batch={:.1} saturation={:.3}",
+                 batches={} fast_path_hits={} mean_batch={:.1} saturation={:.3}",
                 self.admitted,
                 self.rejected,
                 self.served_ok,
                 self.served_err,
                 self.batches,
+                self.fast_path_hits,
                 self.mean_batch(),
                 self.saturation()
             ),
@@ -200,6 +211,7 @@ mod tests {
         s.reject();
         s.record_batch(4);
         s.record_batch(6);
+        s.fast_path_hit();
         for i in 0..10 {
             s.record_served(i > 0); // one error, nine ok
         }
@@ -210,6 +222,7 @@ mod tests {
         assert_eq!(snap.served(), 10);
         assert_eq!(snap.served_err, 1);
         assert_eq!(snap.batches, 2);
+        assert_eq!(snap.fast_path_hits, 1);
         assert_eq!(snap.batch_hist[2], 1, "4 lands in 3-4");
         assert_eq!(snap.batch_hist[3], 1, "6 lands in 5-8");
         assert!((snap.mean_batch() - 5.0).abs() < 1e-12);
@@ -219,6 +232,7 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines.iter().all(|l| l.starts_with("[serve] ")));
         assert!(lines[0].contains("admitted=10"));
+        assert!(lines[0].contains("fast_path_hits=1"));
         assert!(lines[2].contains("b3-4=1"));
     }
 

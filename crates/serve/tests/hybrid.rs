@@ -128,6 +128,7 @@ fn start_service(workers: usize, max_batch: usize) -> QueryService {
             queue_capacity: 64,
             max_batch,
             flush_deadline: std::time::Duration::from_micros(200),
+            ..ServeConfig::default()
         },
     )
 }

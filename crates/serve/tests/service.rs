@@ -81,8 +81,10 @@ proptest! {
         k in 1usize..9,
         workers_pick in 0usize..2,
         batch_pick in 0usize..3,
+        fast_pick in 0usize..2,
         shuffle in 0u64..1000,
     ) {
+        let fast_path = fast_pick == 1;
         let workers = [1usize, 4][workers_pick];
         let max_batch = [1usize, 4, 64][batch_pick];
         let reqs = requests(n, seed, k);
@@ -101,6 +103,7 @@ proptest! {
                 queue_capacity: 64,
                 max_batch,
                 flush_deadline: std::time::Duration::from_micros(200),
+                fast_path,
             },
         );
         let mut tickets: Vec<Option<mcqa_serve::QueryTicket>> =
@@ -120,6 +123,12 @@ proptest! {
         prop_assert_eq!(snap.served_ok, n as u64);
         prop_assert_eq!(snap.rejected, 0);
         prop_assert_eq!(snap.batch_hist.iter().copied().sum::<u64>(), snap.batches);
+        // A fast-path dispatch is still a dispatch: the counter can never
+        // outrun the batch ledger, and with the path disabled it stays 0.
+        prop_assert!(snap.fast_path_hits <= snap.batches);
+        if !fast_path {
+            prop_assert_eq!(snap.fast_path_hits, 0);
+        }
     }
 
     /// `query_batch` returns index-aligned results with per-request errors
@@ -150,6 +159,7 @@ proptest! {
                 queue_capacity: 4,
                 max_batch: 4,
                 flush_deadline: std::time::Duration::from_micros(100),
+                ..ServeConfig::default()
             },
         );
         let results = service.query_batch(reqs.clone());
@@ -199,6 +209,7 @@ proptest! {
                 queue_capacity: 64,
                 max_batch,
                 flush_deadline: std::time::Duration::from_micros(200),
+                ..ServeConfig::default()
             },
         );
         let tickets: Vec<_> =
@@ -218,6 +229,53 @@ proptest! {
         // Idempotent.
         let again = service.shutdown();
         prop_assert_eq!(again.served(), n as u64);
+    }
+
+    /// The single-request fast path is an optimisation of the schedule,
+    /// never the answer: a sequential (queue-always-empty) workload takes
+    /// the fast path on every dispatch, returns hits bit-identical to the
+    /// batched dispatcher serving the same requests, and the admission
+    /// ledger still conserves (admitted + rejected == submitted).
+    #[test]
+    fn fast_path_is_bit_identical_to_batched_dispatch(
+        n in 1usize..16,
+        seed in 0u64..1000,
+        k in 1usize..9,
+    ) {
+        let reqs = requests(n, seed, k);
+        let fast = QueryService::start(
+            registry().clone(),
+            None,
+            Executor::new(2),
+            ServeConfig::default(),
+        );
+        // Wait out each ticket before the next submit: the queue is empty
+        // at every arrival, so every dispatch must be a fast-path hit.
+        let fast_hits: Vec<_> = reqs
+            .iter()
+            .map(|r| fast.submit(r.clone()).expect("admitted").wait().expect("served").hits)
+            .collect();
+        let snap = fast.shutdown();
+        prop_assert_eq!(snap.admitted + snap.rejected, n as u64, "conservation");
+        prop_assert_eq!(snap.served_ok, n as u64);
+        prop_assert_eq!(snap.fast_path_hits, n as u64, "every dispatch was a singleton");
+        prop_assert_eq!(snap.batches, n as u64);
+
+        let batched = QueryService::start(
+            registry().clone(),
+            None,
+            Executor::new(2),
+            ServeConfig { fast_path: false, ..ServeConfig::default() },
+        );
+        let batched_hits: Vec<_> = reqs
+            .iter()
+            .map(|r| batched.submit(r.clone()).expect("admitted").wait().expect("served").hits)
+            .collect();
+        prop_assert_eq!(batched.shutdown().fast_path_hits, 0);
+        for (i, (f, b)) in fast_hits.iter().zip(&batched_hits).enumerate() {
+            prop_assert_eq!(f, b, "request {}", i);
+            prop_assert_eq!(f, &direct_hits(&reqs[i]), "request {}", i);
+        }
     }
 }
 
@@ -245,6 +303,7 @@ fn bounded_queue_rejects_without_losing_admitted_work() {
             queue_capacity: 1,
             max_batch: 1,
             flush_deadline: std::time::Duration::from_micros(50),
+            ..ServeConfig::default()
         },
     );
     let total = 64;

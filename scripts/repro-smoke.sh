@@ -232,6 +232,67 @@ for mode in baseline batched; do
     fi
 done
 
+echo "== repro smoke: panel cache + single-request fast path =="
+# The batch-of-1 invariant: every index backend scans through the
+# cache-aware accessor (EmbeddingMatrix::for_each_panel). The raw
+# streaming iterator reappearing under crates/index would fork the scan
+# path the resident panel cache unified.
+if grep -rn 'for_each_block(' crates/index/src; then
+    echo "repro smoke FAILED: crates/index bypasses the panel cache (for_each_block)" >&2
+    exit 1
+fi
+# Every percentile line reports the fast-path observable, and the run
+# reports the cache's resident footprint against its budget.
+if ! grep -F '[serve] mode=' <<<"${SERVE_OUT}" | grep -qE 'fast_path_hits=[0-9]+'; then
+    echo "repro smoke FAILED: serve-bench percentile lines report no fast_path_hits" >&2
+    exit 1
+fi
+if ! grep -qE '\[serve\] panel_cache resident_bytes=[0-9]+ budget=' <<<"${SERVE_OUT}"; then
+    echo "repro smoke FAILED: serve-bench reports no panel_cache footprint line" >&2
+    exit 1
+fi
+# Batch-of-1 p50: the resident cache must not be slower than the
+# decode-per-query floor it replaced. Compare the default (auto budget)
+# against --cache-budget 0 (cache disabled) at concurrency 1, with 5%
+# slack for timer noise. At scale 0.1 the gap is ~10x, not 5%.
+P50_CACHED="$(grep -F '[serve] mode=baseline concurrency=1 ' <<<"${SERVE_OUT}" | grep -oE 'p50_ms=[0-9.]+' | cut -d= -f2)"
+NOCACHE_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- serve-bench --scale "${SCALE}" --seed "${SEED}" --serve-requests 128 --serve-concurrency 1 --cache-budget 0 2>&1)"
+echo "${NOCACHE_OUT}" | grep -E '\[serve\] (mode=|panel_cache)'
+P50_UNCACHED="$(grep -F '[serve] mode=baseline concurrency=1 ' <<<"${NOCACHE_OUT}" | grep -oE 'p50_ms=[0-9.]+' | cut -d= -f2)"
+if [[ -z "${P50_CACHED}" || -z "${P50_UNCACHED}" ]]; then
+    echo "repro smoke FAILED: missing concurrency-1 p50 (cached='${P50_CACHED}' uncached='${P50_UNCACHED}')" >&2
+    exit 1
+fi
+if ! awk -v c="${P50_CACHED}" -v u="${P50_UNCACHED}" 'BEGIN { exit !(c <= u * 1.05) }'; then
+    echo "repro smoke FAILED: cached batch-of-1 p50 ${P50_CACHED}ms > uncached ${P50_UNCACHED}ms" >&2
+    exit 1
+fi
+# A zero budget must actually disable residency.
+if ! grep -qF '[serve] panel_cache resident_bytes=0 budget=0' <<<"${NOCACHE_OUT}"; then
+    echo "repro smoke FAILED: --cache-budget 0 left panels resident" >&2
+    exit 1
+fi
+
+echo "== repro smoke: saturation-knee sweep =="
+# `--sweep` walks the offered open-loop rate to the saturation knee and
+# must report the max sustainable rate for the dense and hybrid modes,
+# with the seed and arrival discipline on every line.
+SWEEP_OUT="$(cargo run --release -q -p mcqa-bench --bin repro -- serve-bench --scale "${SCALE}" --seed "${SEED}" --serve-requests 128 --serve-concurrency 2 --sweep 2>&1)"
+echo "${SWEEP_OUT}" | grep '\[serve\] sweep'
+for mode in dense hybrid; do
+    KNEE="$(grep -E "\[serve\] sweep mode=${mode} .*max_sustainable_qps=[0-9]+" <<<"${SWEEP_OUT}" || true)"
+    if [[ -z "${KNEE}" ]]; then
+        echo "repro smoke FAILED: sweep reports no max_sustainable_qps for mode=${mode}" >&2
+        exit 1
+    fi
+    for key in "seed=${SEED}" "arrivals=open"; do
+        if ! grep -qF "${key}" <<<"${KNEE}"; then
+            echo "repro smoke FAILED: sweep knee line for mode=${mode} is missing '${key}'" >&2
+            exit 1
+        fi
+    done
+done
+
 echo "== repro smoke: one ingest planner =="
 # The incremental-ingest invariant: the cold build and the incremental
 # re-run flow through the same planner (`run_planned`), so there is
